@@ -1,0 +1,101 @@
+// ablation_acl_eval — cost of the ACL machinery on the syscall fast path.
+//
+// Every boxed open/stat/unlink consults a directory ACL; this
+// google-benchmark suite measures the pieces: rights parsing, subject
+// pattern matching (exact vs. wildcard), rights_for() as the entry count
+// grows, ACL file parse/format round-trips, and the path-cleaning done on
+// every path argument.
+#include <benchmark/benchmark.h>
+
+#include "acl/acl.h"
+#include "acl/acl_store.h"
+#include "util/fs.h"
+#include "util/path.h"
+#include "util/rand.h"
+
+namespace ibox {
+namespace {
+
+Acl make_acl(int entries, double wildcard_fraction, Rng& rng) {
+  Acl acl;
+  for (int i = 0; i < entries; ++i) {
+    std::string subject = "globus:/O=Org" + std::to_string(i % 16) +
+                          "/CN=User" + std::to_string(i);
+    if (rng.chance(wildcard_fraction)) {
+      subject = "globus:/O=Org" + std::to_string(i % 16) + "/*";
+    }
+    acl.set_entry(*SubjectPattern::Parse(subject),
+                  *Rights::Parse(i % 3 ? "rl" : "rwlax"));
+  }
+  return acl;
+}
+
+void BM_RightsParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Rights::Parse("rlv(rwlax)"));
+  }
+}
+BENCHMARK(BM_RightsParse);
+
+void BM_PatternMatchExact(benchmark::State& state) {
+  auto pattern = *SubjectPattern::Parse("globus:/O=UnivNowhere/CN=Fred");
+  auto identity = *Identity::Parse("globus:/O=UnivNowhere/CN=Fred");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern.matches(identity));
+  }
+}
+BENCHMARK(BM_PatternMatchExact);
+
+void BM_PatternMatchWildcard(benchmark::State& state) {
+  auto pattern = *SubjectPattern::Parse("globus:/O=UnivNowhere/*");
+  auto identity = *Identity::Parse("globus:/O=UnivNowhere/OU=Phys/CN=Fred");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern.matches(identity));
+  }
+}
+BENCHMARK(BM_PatternMatchWildcard);
+
+void BM_RightsForByEntryCount(benchmark::State& state) {
+  Rng rng(7);
+  Acl acl = make_acl(static_cast<int>(state.range(0)), 0.25, rng);
+  auto identity = *Identity::Parse("globus:/O=Org7/CN=User7");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acl.rights_for(identity));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RightsForByEntryCount)->Range(1, 256)->Complexity();
+
+void BM_AclParse(benchmark::State& state) {
+  Rng rng(7);
+  std::string text = make_acl(static_cast<int>(state.range(0)), 0.25, rng).str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Acl::Parse(text));
+  }
+}
+BENCHMARK(BM_AclParse)->Range(1, 256);
+
+void BM_AclStoreLoad(benchmark::State& state) {
+  TempDir tmp("aclbench");
+  AclStore store(tmp.path());
+  Rng rng(7);
+  (void)store.store(tmp.path(), make_acl(16, 0.25, rng));
+  auto identity = *Identity::Parse("globus:/O=Org3/CN=User3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.rights_in(tmp.path(), identity));
+  }
+}
+BENCHMARK(BM_AclStoreLoad);
+
+void BM_PathClean(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        path_clean("/chirp/host:9094/../host:9094/work/./sim/../out.dat"));
+  }
+}
+BENCHMARK(BM_PathClean);
+
+}  // namespace
+}  // namespace ibox
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// ablation_chirp — Chirp protocol costs over loopback.
+//
+// What a grid user pays for the virtual user space: authentication
+// handshake latency per method, small-RPC latency (stat), and streaming
+// read/write throughput as a function of request size.
+//
+//   ablation_chirp [--quick]
+#include <fcntl.h>
+
+#include <cstdio>
+
+#include "auth/sim_gsi.h"
+#include "auth/sim_kerberos.h"
+#include "auth/simple.h"
+#include "chirp/client.h"
+#include "chirp/server.h"
+#include "util/fs.h"
+#include "util/stopwatch.h"
+
+using namespace ibox;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  const int auth_rounds = quick ? 20 : 200;
+  const int rpc_rounds = quick ? 500 : 5000;
+
+  TempDir export_dir("chirp-bench");
+  TempDir state_dir("chirp-bench-state");
+  CertificateAuthority ca("BenchCA", "bench-secret");
+  Kdc kdc("BENCH.REALM", "service-secret");
+  kdc.add_user("bench", "pw");
+
+  ChirpServerOptions options;
+  options.export_root = export_dir.path();
+  options.state_dir = state_dir.path();
+  options.enable_gsi = true;
+  options.gsi_trust.trust(ca.name(), ca.verification_secret());
+  options.enable_kerberos = true;
+  options.kerberos_realm = "BENCH.REALM";
+  options.kerberos_service_secret = "service-secret";
+  options.enable_unix = true;
+  options.root_acl_text = "globus:/O=Bench/* rwlax\nkerberos:* rwlax\nunix:* rwlax\n";
+  auto server = ChirpServer::Start(options);
+  if (!server.ok()) return 1;
+
+  auto gsi_data = ca.issue("/O=Bench/CN=User", 3600, wall_clock_seconds());
+  GsiCredential gsi_cred(gsi_data);
+  auto ticket = kdc.issue("bench", "pw", 3600, wall_clock_seconds());
+  KerberosCredential krb_cred(*ticket);
+  UnixCredential unix_cred(current_unix_username());
+
+  std::printf("Chirp ablation (loopback, port %u)\n\n", (*server)->port());
+
+  // --- auth handshake latency per method ---
+  std::printf("authentication handshake latency (%d rounds):\n",
+              auth_rounds);
+  struct Method {
+    const char* name;
+    const ClientCredential* cred;
+  } methods[] = {{"gsi", &gsi_cred}, {"kerberos", &krb_cred},
+                 {"unix", &unix_cred}};
+  for (const auto& method : methods) {
+    Stopwatch timer;
+    for (int i = 0; i < auth_rounds; ++i) {
+      auto client =
+          ChirpClient::Connect("localhost", (*server)->port(), {method.cred});
+      if (!client.ok()) return 1;
+    }
+    std::printf("  %-10s %8.1f us/handshake\n", method.name,
+                timer.seconds() / auth_rounds * 1e6);
+  }
+
+  // --- small-RPC latency ---
+  auto client =
+      ChirpClient::Connect("localhost", (*server)->port(), {&gsi_cred});
+  if (!client.ok()) return 1;
+  if (!(*client)->put_file("/probe", "x").ok()) return 1;
+  {
+    Stopwatch timer;
+    for (int i = 0; i < rpc_rounds; ++i) {
+      if (!(*client)->stat("/probe").ok()) return 1;
+    }
+    std::printf("\nstat RPC latency: %.1f us (%d rounds)\n",
+                timer.seconds() / rpc_rounds * 1e6, rpc_rounds);
+  }
+
+  // --- streaming throughput by block size ---
+  std::printf("\nstreaming throughput (MB/s):\n");
+  std::printf("  %10s %12s %12s\n", "block", "write", "read");
+  const size_t kTotal = quick ? (8u << 20) : (64u << 20);
+  for (size_t block : {4096u, 65536u, 1048576u, 4194304u}) {
+    auto handle = (*client)->open("/stream.bin", O_RDWR | O_CREAT, 0644);
+    if (!handle.ok()) return 1;
+    std::string buf(block, 'b');
+    Stopwatch write_timer;
+    for (size_t off = 0; off < kTotal; off += block) {
+      if (!(*client)->pwrite(*handle, buf, off % (16u << 20)).ok()) return 1;
+    }
+    double write_s = write_timer.seconds();
+    Stopwatch read_timer;
+    for (size_t off = 0; off < kTotal; off += block) {
+      auto data = (*client)->pread(*handle, block, off % (16u << 20));
+      if (!data.ok()) return 1;
+    }
+    double read_s = read_timer.seconds();
+    (void)(*client)->close(*handle);
+    std::printf("  %10zu %12.1f %12.1f\n", block, kTotal / write_s / 1e6,
+                kTotal / read_s / 1e6);
+  }
+
+  const auto& stats = (*server)->stats();
+  std::printf("\nserver stats: %llu connections, %llu requests, %llu MB "
+              "read, %llu MB written\n",
+              static_cast<unsigned long long>(stats.connections.load()),
+              static_cast<unsigned long long>(stats.requests.load()),
+              static_cast<unsigned long long>(stats.bytes_read.load() >> 20),
+              static_cast<unsigned long long>(stats.bytes_written.load() >> 20));
+  return 0;
+}

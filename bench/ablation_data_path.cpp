@@ -1,0 +1,126 @@
+// ablation_data_path — measures the Figure 4(b) design space.
+//
+// The paper moves small data by ptrace peek/poke and bulk data through the
+// I/O channel, noting "This extra data copy has some performance
+// implications explored below." This harness quantifies those
+// implications: a child reads a file in fixed-size blocks under each data
+// path (peek/poke, process_vm, I/O channel, and the paper's mixed mode),
+// and the harness reports effective throughput per transfer size.
+//
+//   ablation_data_path [--quick]
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+using namespace ibox;
+
+namespace {
+
+int child_main(const std::string& file, size_t block, long total_bytes) {
+  UniqueFd fd(::open(file.c_str(), O_RDONLY));
+  if (!fd) return 1;
+  std::vector<char> buf(block);
+  long moved = 0;
+  uint64_t offset = 0;
+  struct stat st;
+  if (::fstat(fd.get(), &st) != 0) return 1;
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  while (moved < total_bytes) {
+    ssize_t n = ::pread(fd.get(), buf.data(), block, offset);
+    if (n <= 0) return 1;
+    moved += n;
+    offset = (offset + block) % (size - block);
+  }
+  std::printf("%ld\n", moved);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string child_file;
+  size_t child_block = 0;
+  long child_total = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--child" && i + 3 < argc) {
+      child_file = argv[++i];
+      child_block = static_cast<size_t>(*parse_i64(argv[++i]));
+      child_total = *parse_i64(argv[++i]);
+    }
+  }
+  if (!child_file.empty()) {
+    return child_main(child_file, child_block, child_total);
+  }
+  bench::use_memory_backed_tmpdir();
+
+  TempDir work("datapath");
+  (void)write_file(work.sub(".__acl"), "bench:/O=Bench/* rwlax\n");
+  const std::string file = work.sub("data.bin");
+  std::string contents(4u << 20, 'd');
+  (void)write_file(file, contents);
+
+  const std::string self = bench::self_path();
+  struct Mode {
+    const char* name;
+    DataPath path;
+  } modes[] = {
+      {"peekpoke", DataPath::kPeekPoke},
+      {"processvm", DataPath::kProcessVm},
+      {"channel", DataPath::kChannel},
+      {"paper-mixed", DataPath::kPaper},
+  };
+  const size_t blocks[] = {1, 64, 512, 4096, 65536, 1u << 20};
+
+  std::printf("Figure 4(b) ablation: boxed read() throughput by data path\n");
+  std::printf("(MB/s; total volume scaled per block size)\n\n");
+  std::printf("%12s", "block");
+  for (const auto& mode : modes) std::printf(" %12s", mode.name);
+  std::printf(" %12s\n", "native");
+  bench::print_rule(12 + 13 * 5);
+
+  for (size_t block : blocks) {
+    // Keep syscall counts sane for tiny blocks.
+    long total = static_cast<long>(
+        std::min<uint64_t>(64u << 20, 4000ull * block));
+    if (block == 1) total = quick ? 2000 : 20000;
+    if (quick) total = std::max<long>(total / 8, 1000);
+
+    const std::vector<std::string> child_argv = {
+        self, "--child", file, std::to_string(block), std::to_string(total)};
+    std::printf("%12zu", block);
+    for (const auto& mode : modes) {
+      SandboxConfig config;
+      config.data_path = mode.path;
+      Stopwatch timer;
+      auto out = bench::run_boxed(child_argv, config);
+      double seconds = timer.seconds();
+      if (!out.ok()) {
+        std::printf(" %12s", "fail");
+        continue;
+      }
+      std::printf(" %12.1f", total / seconds / 1e6);
+    }
+    Stopwatch native_timer;
+    auto native = bench::run_native(child_argv);
+    double native_s = native_timer.seconds();
+    std::printf(" %12.1f\n", native.ok() ? total / native_s / 1e6 : 0.0);
+    std::fflush(stdout);
+  }
+  bench::print_rule(12 + 13 * 5);
+  std::printf(
+      "\nexpected shape: peek/poke collapses for large blocks (one ptrace\n"
+      "round-trip per 8 bytes); the channel adds one staging copy but rides\n"
+      "the kernel's bulk copy; the paper's mixed mode tracks the better of\n"
+      "the two at each size. Boxed startup cost (~libc load through the\n"
+      "channel) is included, so small-volume rows understate throughput.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// ablation_hierarchy — costs of the Figure 6 hierarchical identity design.
+//
+// The paper's future-work OS keeps identities in a tree; these benchmarks
+// size the operations such a kernel would perform on every protection
+// domain creation, signal check, and gridmap lookup, as the population of
+// domains grows.
+#include <benchmark/benchmark.h>
+
+#include "identity/hierarchy.h"
+
+namespace ibox {
+namespace {
+
+HierName hn(const std::string& text) { return *HierName::Parse(text); }
+
+// A tree with `n` visitor domains under root:server:grid.
+IdentityTree populate(int n) {
+  IdentityTree tree;
+  (void)tree.create(HierName::Root(), hn("root:server"));
+  (void)tree.create(hn("root:server"), hn("root:server:grid"));
+  for (int i = 0; i < n; ++i) {
+    auto name = hn("root:server:grid").child("anon" + std::to_string(i));
+    (void)tree.create(hn("root:server"), name);
+    DomainInfo info;
+    (void)tree.bind_identity(
+        hn("root:server"), name,
+        *Identity::Parse("/O=Org/CN=User" + std::to_string(i)));
+  }
+  return tree;
+}
+
+void BM_CreateDestroyDomain(benchmark::State& state) {
+  IdentityTree tree = populate(static_cast<int>(state.range(0)));
+  auto name = hn("root:server:grid:ephemeral");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.create(hn("root:server"), name).ok());
+    benchmark::DoNotOptimize(tree.destroy(hn("root:server"), name).ok());
+  }
+}
+BENCHMARK(BM_CreateDestroyDomain)->Range(8, 8192);
+
+void BM_ManagesCheck(benchmark::State& state) {
+  IdentityTree tree = populate(static_cast<int>(state.range(0)));
+  auto actor = hn("root:server");
+  auto subject = hn("root:server:grid:anon0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.manages(actor, subject));
+  }
+}
+BENCHMARK(BM_ManagesCheck)->Range(8, 8192);
+
+void BM_FindByIdentity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  IdentityTree tree = populate(n);
+  auto needle = *Identity::Parse("/O=Org/CN=User" + std::to_string(n / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find_by_identity(needle));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FindByIdentity)->Range(8, 8192)->Complexity();
+
+void BM_ChildrenListing(benchmark::State& state) {
+  IdentityTree tree = populate(static_cast<int>(state.range(0)));
+  auto parent = hn("root:server:grid");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.children(parent));
+  }
+}
+BENCHMARK(BM_ChildrenListing)->Range(8, 1024);
+
+void BM_HierNameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HierName::Parse("root:dthain:grid:anon2:subtask:worker"));
+  }
+}
+BENCHMARK(BM_HierNameParse);
+
+}  // namespace
+}  // namespace ibox
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Shared helpers for the figure-reproduction harnesses: self-execution of
+// the bench binary natively and inside an identity box, and fixed-width
+// table printing in the style of the paper's figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/result.h"
+#include "util/spawn.h"
+
+namespace ibox::bench {
+
+// Points TempDir at tmpfs when available. The paper's microbenchmarks ran
+// "with the file wholly in the system buffer cache"; on a disk-backed /tmp
+// the first writer pays cold block allocation, which would be misattributed
+// to whichever side (native or boxed) ran first.
+inline void use_memory_backed_tmpdir() {
+  if (dir_exists("/dev/shm")) ::setenv("TMPDIR", "/dev/shm", 1);
+}
+
+// Runs `argv` natively (no box) and returns captured stdout.
+inline Result<std::string> run_native(const std::vector<std::string>& argv) {
+  auto result = run_capture(argv);
+  if (!result.ok()) return result.error();
+  if (result->exit_code != 0) {
+    std::fprintf(stderr, "native child failed (%d): %s\n", result->exit_code,
+                 result->err.c_str());
+    return Error(ECHILD);
+  }
+  return result->out;
+}
+
+// Runs `argv` inside a fresh identity box and returns captured stdout.
+inline Result<std::string> run_boxed(const std::vector<std::string>& argv,
+                                     const SandboxConfig& config = {},
+                                     SupervisorStats* stats_out = nullptr) {
+  TempDir state("bench-box");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.provision_home = false;   // benches manage their own work dirs
+  options.redirect_passwd = false;  // and don't need the passwd trick
+  auto identity = Identity::Parse("bench:/O=Bench/CN=Visitor");
+  auto box = BoxContext::Create(*identity, options);
+  if (!box.ok()) return box.error();
+
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) return Error::FromErrno();
+  UniqueFd read_end(out_pipe[0]), write_end(out_pipe[1]);
+
+  ProcessRegistry registry;
+  Supervisor supervisor(**box, registry, config);
+  Supervisor::Stdio stdio{-1, write_end.get(), -1};
+
+  // Drain concurrently to avoid pipe-buffer deadlock on chatty children.
+  std::string out;
+  std::thread drainer([&] {
+    char buf[1 << 14];
+    while (true) {
+      ssize_t n = ::read(read_end.get(), buf, sizeof(buf));
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+  });
+  auto exit_code = supervisor.run(argv, {}, stdio);
+  write_end.reset();  // EOF for the drainer
+  drainer.join();
+  if (!exit_code.ok()) return exit_code.error();
+  if (*exit_code != 0) {
+    std::fprintf(stderr, "boxed child failed (%d)\n", *exit_code);
+    return Error(ECHILD);
+  }
+  if (stats_out) *stats_out = supervisor.stats();
+  return out;
+}
+
+// Stamps `acl_text` as the ACL of `dir` and every subdirectory, governing a
+// pre-staged workload tree for a boxed run.
+inline Status stamp_acl_recursive(const std::string& dir,
+                                  const std::string& acl_text) {
+  IBOX_RETURN_IF_ERROR(write_file(dir + "/.__acl", acl_text));
+  auto entries = list_dir(dir);
+  if (!entries.ok()) return entries.error();
+  for (const auto& name : *entries) {
+    const std::string child = dir + "/" + name;
+    if (dir_exists(child)) {
+      IBOX_RETURN_IF_ERROR(stamp_acl_recursive(child, acl_text));
+    }
+  }
+  return Status::Ok();
+}
+
+// Absolute path of the currently running binary (for self-exec).
+inline std::string self_path() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace ibox::bench

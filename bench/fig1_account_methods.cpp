@@ -1,0 +1,56 @@
+// fig1_account_methods — reproduces Figure 1: "Identity Mapping Methods".
+//
+// Part 1 prints the qualitative table exactly as the paper lays it out.
+// Part 2 backs the table with numbers: a simulated community of grid users
+// submits jobs across sites under each scheme, and the harness counts the
+// administrator interventions and failed collaborations each scheme causes.
+// The identity box row must dominate: zero root actions, zero failed
+// shares, zero failed returns, zero owner exposures.
+//
+//   fig1_account_methods [--users N] [--sites M] [--jobs J]
+#include <cstdio>
+
+#include "sim/account_model.h"
+#include "util/strings.h"
+
+using namespace ibox;
+
+int main(int argc, char** argv) {
+  AccountSimParams params;
+  for (int i = 1; i + 1 < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--users") params.users = static_cast<int>(*parse_i64(argv[++i]));
+    else if (arg == "--sites") params.sites = static_cast<int>(*parse_i64(argv[++i]));
+    else if (arg == "--jobs") params.jobs_per_user = static_cast<int>(*parse_i64(argv[++i]));
+  }
+
+  std::printf("Figure 1: Identity Mapping Methods\n\n");
+  std::printf("%s\n", render_figure1_table().c_str());
+
+  std::printf(
+      "Quantitative backing: %d users x %d sites x %d jobs each "
+      "(share p=%.2f, return p=%.2f)\n\n",
+      params.users, params.sites, params.jobs_per_user, params.share_prob,
+      params.return_prob);
+  std::printf("%-14s %12s %12s %12s %12s %12s\n", "scheme", "admin acts",
+              "failed shr", "failed ret", "privacy viol", "owner exp");
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (AccountScheme scheme : all_schemes()) {
+    auto outcome = simulate_scheme(scheme, params);
+    std::printf("%-14s %12lld %12lld %12lld %12lld %12lld\n",
+                properties_of(scheme).name.c_str(),
+                static_cast<long long>(outcome.admin_interventions),
+                static_cast<long long>(outcome.failed_shares),
+                static_cast<long long>(outcome.failed_returns),
+                static_cast<long long>(outcome.privacy_violations),
+                static_cast<long long>(outcome.owner_exposures));
+  }
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::printf(
+      "\n\nthe identity box row is all zeros: protection domains are minted\n"
+      "on the fly by unprivileged code, keyed by global identities, with\n"
+      "ACL-based sharing and durable return (paper section 2).\n");
+  return 0;
+}

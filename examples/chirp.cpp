@@ -1,0 +1,158 @@
+// chirp — command-line client for a Chirp server.
+//
+//   chirp [auth flags] HOST PORT COMMAND [ARGS...]
+//
+// Auth flags (first match is preferred):
+//   --unix                        prove the local account
+//   --gsi DN:CA_NAME:CA_SECRET    mint a certificate from the CA and use it
+//   --kerberos USER:PASS:REALM:SECRET  obtain a ticket from an inline KDC
+//
+// Commands:
+//   whoami | ls PATH | mkdir PATH | rmdir PATH | rm PATH | cat PATH |
+//   put LOCAL REMOTE [MODE] | get REMOTE [LOCAL] | stat PATH |
+//   getacl PATH | setacl PATH SUBJECT RIGHTS | exec CWD PROG [ARGS...]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/sim_gsi.h"
+#include "auth/sim_kerberos.h"
+#include "auth/simple.h"
+#include "chirp/client.h"
+#include "util/fs.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+using namespace ibox;
+
+int main(int argc, char** argv) {
+  std::vector<std::unique_ptr<ClientCredential>> owned;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--unix") {
+      owned.push_back(
+          std::make_unique<UnixCredential>(current_unix_username()));
+    } else if (arg == "--gsi" && i + 1 < argc) {
+      auto fields = split(argv[++i], ':');
+      if (fields.size() != 3) {
+        std::fprintf(stderr, "--gsi wants DN:CA_NAME:CA_SECRET\n");
+        return 2;
+      }
+      CertificateAuthority ca(fields[1], fields[2]);
+      owned.push_back(std::make_unique<GsiCredential>(
+          ca.issue(fields[0], 3600, wall_clock_seconds())));
+    } else if (arg == "--kerberos" && i + 1 < argc) {
+      auto fields = split(argv[++i], ':');
+      if (fields.size() != 4) {
+        std::fprintf(stderr,
+                     "--kerberos wants USER:PASS:REALM:SERVICE_SECRET\n");
+        return 2;
+      }
+      Kdc kdc(fields[2], fields[3]);
+      kdc.add_user(fields[0], fields[1]);
+      auto ticket =
+          kdc.issue(fields[0], fields[1], 3600, wall_clock_seconds());
+      if (!ticket.ok()) {
+        std::fprintf(stderr, "kdc refused: %s\n",
+                     ticket.error().message().c_str());
+        return 1;
+      }
+      owned.push_back(std::make_unique<KerberosCredential>(*ticket));
+    } else {
+      break;
+    }
+  }
+  if (owned.empty()) {
+    owned.push_back(
+        std::make_unique<UnixCredential>(current_unix_username()));
+  }
+  if (argc - i < 3) {
+    std::fprintf(stderr, "usage: chirp [auth flags] HOST PORT COMMAND ...\n");
+    return 2;
+  }
+  const std::string host = argv[i++];
+  const uint16_t port =
+      static_cast<uint16_t>(parse_u64(argv[i++]).value_or(0));
+  const std::string command = argv[i++];
+  std::vector<std::string> args(argv + i, argv + argc);
+
+  std::vector<const ClientCredential*> credentials;
+  for (const auto& cred : owned) credentials.push_back(cred.get());
+  auto client = ChirpClient::Connect(host, port, credentials);
+  if (!client.ok()) {
+    std::fprintf(stderr, "chirp: connect/auth failed: %s\n",
+                 client.error().message().c_str());
+    return 1;
+  }
+
+  auto fail = [](const char* what, const Error& err) {
+    std::fprintf(stderr, "chirp: %s: %s\n", what, err.message().c_str());
+    return 1;
+  };
+
+  if (command == "whoami") {
+    auto who = (*client)->whoami();
+    if (!who.ok()) return fail("whoami", who.error());
+    std::printf("%s\n", who->c_str());
+  } else if (command == "ls" && args.size() == 1) {
+    auto entries = (*client)->readdir(args[0]);
+    if (!entries.ok()) return fail("ls", entries.error());
+    for (const auto& entry : *entries) {
+      std::printf("%s%s\n", entry.name.c_str(), entry.is_dir ? "/" : "");
+    }
+  } else if (command == "mkdir" && args.size() == 1) {
+    Status st = (*client)->mkdir(args[0]);
+    if (!st.ok()) return fail("mkdir", st.error());
+  } else if (command == "rmdir" && args.size() == 1) {
+    Status st = (*client)->rmdir(args[0]);
+    if (!st.ok()) return fail("rmdir", st.error());
+  } else if (command == "rm" && args.size() == 1) {
+    Status st = (*client)->unlink(args[0]);
+    if (!st.ok()) return fail("rm", st.error());
+  } else if (command == "cat" && args.size() == 1) {
+    auto data = (*client)->get_file(args[0]);
+    if (!data.ok()) return fail("cat", data.error());
+    ::fwrite(data->data(), 1, data->size(), stdout);
+  } else if (command == "put" && args.size() >= 2) {
+    auto data = read_file(args[0]);
+    if (!data.ok()) return fail("put (local read)", data.error());
+    int mode = args.size() >= 3
+                   ? static_cast<int>(parse_u64(args[2]).value_or(0644))
+                   : 0644;
+    Status st = (*client)->put_file(args[1], *data, mode);
+    if (!st.ok()) return fail("put", st.error());
+  } else if (command == "get" && !args.empty()) {
+    auto data = (*client)->get_file(args[0]);
+    if (!data.ok()) return fail("get", data.error());
+    const std::string local =
+        args.size() >= 2 ? args[1] : path_basename(args[0]);
+    Status st = write_file(local, *data);
+    if (!st.ok()) return fail("get (local write)", st.error());
+  } else if (command == "stat" && args.size() == 1) {
+    auto st = (*client)->stat(args[0]);
+    if (!st.ok()) return fail("stat", st.error());
+    std::printf("size %llu mode %o mtime %llu\n",
+                static_cast<unsigned long long>(st->size), st->mode,
+                static_cast<unsigned long long>(st->mtime_sec));
+  } else if (command == "getacl" && args.size() == 1) {
+    auto acl = (*client)->getacl(args[0]);
+    if (!acl.ok()) return fail("getacl", acl.error());
+    std::printf("%s", acl->c_str());
+  } else if (command == "setacl" && args.size() == 3) {
+    Status st = (*client)->setacl(args[0], args[1], args[2]);
+    if (!st.ok()) return fail("setacl", st.error());
+  } else if (command == "exec" && args.size() >= 2) {
+    std::vector<std::string> exec_argv(args.begin() + 1, args.end());
+    auto result = (*client)->exec(exec_argv, args[0]);
+    if (!result.ok()) return fail("exec", result.error());
+    ::fwrite(result->out.data(), 1, result->out.size(), stdout);
+    ::fwrite(result->err.data(), 1, result->err.size(), stderr);
+    return result->exit_code;
+  } else {
+    std::fprintf(stderr, "chirp: unknown command '%s'\n", command.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// chirp_catalog — run a catalog server, or query one.
+//
+//   chirp_catalog serve [PORT]          run a catalog (prints its port)
+//   chirp_catalog list HOST PORT        list registered servers
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "chirp/catalog.h"
+#include "util/strings.h"
+
+using namespace ibox;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "serve") {
+    uint16_t port = 0;
+    if (argc >= 3) {
+      port = static_cast<uint16_t>(parse_u64(argv[2]).value_or(0));
+    }
+    auto catalog = CatalogServer::Start(port);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "chirp_catalog: %s\n",
+                   catalog.error().message().c_str());
+      return 1;
+    }
+    std::printf("chirp_catalog: serving on port %u\n", (*catalog)->port());
+    std::fflush(stdout);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_stop) ::pause();
+    return 0;
+  }
+  if (argc == 4 && std::string(argv[1]) == "list") {
+    auto port = parse_u64(argv[3]);
+    if (!port) {
+      std::fprintf(stderr, "bad port\n");
+      return 2;
+    }
+    auto entries = catalog_list(argv[2], static_cast<uint16_t>(*port));
+    if (!entries.ok()) {
+      std::fprintf(stderr, "chirp_catalog: %s\n",
+                   entries.error().message().c_str());
+      return 1;
+    }
+    for (const auto& entry : *entries) {
+      std::printf("%-24s %s:%u  owner=%s\n", entry.name.c_str(),
+                  entry.host.c_str(), entry.port, entry.owner.c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: chirp_catalog serve [PORT] | list HOST PORT\n");
+  return 2;
+}

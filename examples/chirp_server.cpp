@@ -1,0 +1,120 @@
+// chirp_server — deploy a personal file server for grid computing.
+//
+//   chirp_server --export DIR [--port N] [--root-acl FILE]
+//                [--unix] [--gsi CA_NAME:CA_SECRET] [--kerberos REALM:SECRET]
+//                [--hostname] [--catalog PORT] [--name NAME] [--no-exec]
+//
+// "A Chirp server is a personal file server for grid computing. It can be
+// deployed by an ordinary user anywhere there is space available."
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "chirp/server.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+using namespace ibox;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChirpServerOptions options;
+  TempDir state("chirp-server-state");
+  options.state_dir = state.path();
+  std::string root_acl_file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--export") {
+      options.export_root = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(
+          parse_u64(next()).value_or(0));
+    } else if (arg == "--root-acl") {
+      root_acl_file = next();
+    } else if (arg == "--unix") {
+      options.enable_unix = true;
+    } else if (arg == "--gsi") {
+      auto fields = split(next(), ':');
+      if (fields.size() != 2) {
+        std::fprintf(stderr, "--gsi wants CA_NAME:CA_SECRET\n");
+        return 2;
+      }
+      options.enable_gsi = true;
+      options.gsi_trust.trust(fields[0], fields[1]);
+    } else if (arg == "--kerberos") {
+      auto fields = split(next(), ':');
+      if (fields.size() != 2) {
+        std::fprintf(stderr, "--kerberos wants REALM:SERVICE_SECRET\n");
+        return 2;
+      }
+      options.enable_kerberos = true;
+      options.kerberos_realm = fields[0];
+      options.kerberos_service_secret = fields[1];
+    } else if (arg == "--hostname") {
+      options.enable_hostname = true;
+      options.host_resolver = [](const std::string& addr) {
+        // Loopback deployments resolve to the local host name.
+        return std::optional<std::string>(addr == "127.0.0.1" ? "localhost"
+                                                              : addr);
+      };
+    } else if (arg == "--catalog") {
+      options.catalog_port = static_cast<uint16_t>(
+          parse_u64(next()).value_or(0));
+    } else if (arg == "--name") {
+      options.server_name = next();
+    } else if (arg == "--no-exec") {
+      options.enable_exec = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.export_root.empty()) {
+    std::fprintf(stderr, "chirp_server: --export DIR is required\n");
+    return 2;
+  }
+  if (!options.enable_gsi && !options.enable_kerberos &&
+      !options.enable_hostname && !options.enable_unix) {
+    options.enable_unix = true;  // sensible default for a personal server
+  }
+  if (!root_acl_file.empty()) {
+    auto text = read_file(root_acl_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "cannot read %s\n", root_acl_file.c_str());
+      return 1;
+    }
+    options.root_acl_text = *text;
+  }
+
+  auto server = ChirpServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "chirp_server: start failed: %s\n",
+                 server.error().message().c_str());
+    return 1;
+  }
+  std::printf("chirp_server: listening on port %u, exporting %s\n",
+              (*server)->port(), options.export_root.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop) ::pause();
+
+  const auto& stats = (*server)->stats();
+  std::printf("chirp_server: shutting down (%llu connections, %llu "
+              "requests, %llu denials, %llu execs)\n",
+              static_cast<unsigned long long>(stats.connections.load()),
+              static_cast<unsigned long long>(stats.requests.load()),
+              static_cast<unsigned long long>(stats.denials.load()),
+              static_cast<unsigned long long>(stats.execs.load()));
+  return 0;
+}

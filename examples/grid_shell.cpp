@@ -1,0 +1,83 @@
+// grid_shell — an interactive-style shell whose namespace includes a
+// remote Chirp server at /chirp/grid (paper section 4: "files on a Chirp
+// server appear as ordinary files in the path /chirp/server/path").
+//
+// The demo starts a server, then runs one unmodified shell script inside an
+// identity box: it lists the remote root, reserves a working directory with
+// plain mkdir(1), writes results there with plain redirection, and reads
+// them back with cat(1) — every byte moving over the Chirp protocol under
+// the user's grid identity.
+#include <cstdio>
+
+#include "auth/sim_gsi.h"
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "chirp/chirp_driver.h"
+#include "chirp/server.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+
+using namespace ibox;
+
+int main() {
+  CertificateAuthority ca("UnivNowhereCA", "ca-secret");
+
+  TempDir export_dir("gridshell-export");
+  TempDir state_dir("gridshell-state");
+  ChirpServerOptions options;
+  options.export_root = export_dir.path();
+  options.state_dir = state_dir.path();
+  options.enable_gsi = true;
+  options.gsi_trust.trust(ca.name(), ca.verification_secret());
+  options.root_acl_text = "globus:/O=UnivNowhere/* rlv(rwlax)\n";
+  auto server = ChirpServer::Start(options);
+  if (!server.ok()) return 1;
+  std::printf("chirp server on port %u\n", (*server)->port());
+
+  // Fred's box, with the server mounted at /chirp/grid.
+  auto fred = *Identity::Parse("globus:/O=UnivNowhere/CN=Fred");
+  TempDir box_state("gridshell-box");
+  BoxOptions box_options;
+  box_options.state_dir = box_state.path();
+  auto box = BoxContext::Create(fred, box_options);
+  if (!box.ok()) return 1;
+
+  auto fred_cred_data =
+      ca.issue("/O=UnivNowhere/CN=Fred", 3600, wall_clock_seconds());
+  GsiCredential fred_cred(fred_cred_data);
+  auto connection =
+      ChirpClient::Connect("localhost", (*server)->port(), {&fred_cred});
+  if (!connection.ok()) return 1;
+  if (!(*box)
+           ->mount("/chirp/grid",
+                   std::make_unique<ChirpDriver>(std::move(*connection)))
+           .ok()) {
+    return 1;
+  }
+  std::printf("mounted chirp server at /chirp/grid inside Fred's box\n\n");
+  std::fflush(stdout);
+
+  ProcessRegistry registry;
+  Supervisor supervisor(**box, registry);
+  auto exit_code = supervisor.run(
+      {"/bin/sh", "-c",
+       "echo \"$ whoami              -> $(whoami)\"; "
+       "mkdir /chirp/grid/work 2>/dev/null; "
+       "echo \"$ mkdir /chirp/grid/work\"; "
+       "echo \"result $(date +%s)\" > /chirp/grid/work/out.dat; "
+       "echo '$ echo ... > /chirp/grid/work/out.dat'; "
+       "echo \"$ ls /chirp/grid/work  -> $(ls /chirp/grid/work)\"; "
+       "echo \"$ cat out.dat          -> $(cat /chirp/grid/work/out.dat)\""});
+  if (!exit_code.ok()) {
+    std::fprintf(stderr, "boxed shell failed: %s\n",
+                 exit_code.error().message().c_str());
+    return 1;
+  }
+
+  // Server-side view: the data really lives on the Chirp server's export,
+  // in a directory governed by Fred's fresh ACL.
+  auto acl = read_file(export_dir.sub("work/.__acl"));
+  std::printf("\nserver-side ACL of /work:\n%s",
+              acl.ok() ? acl->c_str() : "(missing)\n");
+  return *exit_code;
+}

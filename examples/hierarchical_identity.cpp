@@ -1,0 +1,93 @@
+// hierarchical_identity — the paper's Figure 6 / future-work design.
+//
+// "We propose that future operating systems should include the capability
+// for ordinary users to create new protection domains with high-level
+// names on the fly. If each user is capable of creating arbitrary names,
+// then a hierarchical namespace is necessary to prevent conflicts."
+//
+// This example builds the exact tree of Figure 6, demonstrates the
+// management relation (an ancestor may administer its descendants; siblings
+// may not touch each other), binds grid identities to anonymous leaf
+// domains, and shows cascaded teardown.
+#include <cstdio>
+#include <functional>
+
+#include "identity/hierarchy.h"
+
+using namespace ibox;
+
+namespace {
+HierName hn(const std::string& text) { return *HierName::Parse(text); }
+
+void print_tree(const IdentityTree& tree, const HierName& node, int depth) {
+  std::printf("%*s%s", depth * 4, "", node.components().back().c_str());
+  if (auto info = tree.info(node); info && info->bound_identity) {
+    std::printf("   (= %s)", info->bound_identity->str().c_str());
+  }
+  std::printf("\n");
+  auto kids = tree.children(node);
+  if (kids.ok()) {
+    for (const auto& kid : *kids) print_tree(tree, kid, depth + 1);
+  }
+}
+}  // namespace
+
+int main() {
+  IdentityTree tree;
+  const HierName root = HierName::Root();
+
+  // Figure 6's tree.
+  (void)tree.create(root, hn("root:dthain"));
+  (void)tree.create(hn("root:dthain"), hn("root:dthain:httpd"));
+  (void)tree.create(hn("root:dthain:httpd"), hn("root:dthain:httpd:webapp"));
+  (void)tree.create(hn("root:dthain"), hn("root:dthain:grid"));
+  for (const char* leaf : {"visitor", "anon2", "anon5"}) {
+    (void)tree.create(hn("root:dthain:grid"),
+                      hn("root:dthain:grid").child(leaf));
+  }
+
+  // "anon2 = /O=UnivNowhere/CN=Freddy, anon5 = /O=UnivNowhere/CN=George"
+  (void)tree.bind_identity(hn("root:dthain"), hn("root:dthain:grid:anon2"),
+                           *Identity::Parse("/O=UnivNowhere/CN=Freddy"));
+  (void)tree.bind_identity(hn("root:dthain"), hn("root:dthain:grid:anon5"),
+                           *Identity::Parse("/O=UnivNowhere/CN=George"));
+
+  std::printf("Figure 6 identity tree:\n");
+  print_tree(tree, root, 0);
+
+  // Management relations.
+  std::printf("\nmanagement relation (ancestor administers descendant):\n");
+  struct Probe {
+    const char* actor;
+    const char* subject;
+  } probes[] = {
+      {"root:dthain", "root:dthain:grid:anon2"},
+      {"root:dthain:grid", "root:dthain:httpd:webapp"},
+      {"root:dthain:grid:anon2", "root:dthain:grid:anon5"},
+      {"root", "root:dthain"},
+  };
+  for (const auto& probe : probes) {
+    std::printf("  %-28s manages %-28s : %s\n", probe.actor, probe.subject,
+                tree.manages(hn(probe.actor), hn(probe.subject)) ? "yes"
+                                                                 : "NO");
+  }
+
+  // Lookup by grid identity: the OS-level analogue of the gridmap file,
+  // but created on the fly by an ordinary user.
+  auto found =
+      tree.find_by_identity(*Identity::Parse("/O=UnivNowhere/CN=Freddy"));
+  std::printf("\nlookup /O=UnivNowhere/CN=Freddy -> %s\n",
+              found ? found->str().c_str() : "(none)");
+
+  // A web server creating identities for service processes (section 9).
+  (void)tree.create(hn("root:dthain:httpd"),
+                    hn("root:dthain:httpd:cgi-worker"));
+  std::printf("\nhttpd created a service domain: root:dthain:httpd:cgi-worker\n");
+
+  // Grid domain teardown cascades to every anonymous visitor.
+  (void)tree.destroy(hn("root:dthain"), hn("root:dthain:grid"));
+  std::printf("after destroying root:dthain:grid:\n");
+  print_tree(tree, root, 0);
+  std::printf("domains remaining: %zu\n", tree.size());
+  return 0;
+}

@@ -1,0 +1,197 @@
+// identity_box — the command-line interface of the paper's
+// `parrot_identity_box`: run a command under a chosen high-level identity.
+//
+//   identity_box [options] <identity> <command> [args...]
+//
+// Options:
+//   --state <dir>      box state directory (default: fresh temp dir)
+//   --audit <file>     write a forensic audit log
+//   --cwd <path>       initial working directory inside the box
+//   --data-path <p>    paper | peekpoke | processvm | channel
+//   --no-home          do not provision a home directory
+//   --no-passwd        do not redirect /etc/passwd
+//   --stats            print supervisor statistics to stderr at exit
+//   --mount <pfx>=<host>:<port>   mount a Chirp server at a path prefix
+//                      (authenticated as unix:<user>, or with --gsi)
+//   --gsi DN:CA:SECRET mint a certificate for Chirp mounts
+//
+// Examples:
+//   identity_box Freddy /bin/sh                          (paper Figure 2)
+//   identity_box --mount /chirp/grid=localhost:9123 \
+//       --gsi /O=U/CN=Fred:GridCA:secret \
+//       globus:/O=U/CN=Fred /bin/sh                      (grid namespace)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/sim_gsi.h"
+#include "auth/simple.h"
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "chirp/chirp_driver.h"
+#include "identity/identity.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: identity_box [--state DIR] [--audit FILE] "
+               "[--cwd PATH] [--data-path MODE] [--no-home] [--no-passwd] "
+               "[--stats] [--mount PREFIX=HOST:PORT] [--gsi DN:CA:SECRET] "
+               "<identity> <command> [args...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ibox;
+
+  BoxOptions options;
+  SandboxConfig config;
+  bool print_stats = false;
+  std::string state_dir;
+  std::vector<std::pair<std::string, std::string>> mounts;  // prefix, addr
+  std::string gsi_spec;
+
+  int argi = 1;
+  for (; argi < argc; ++argi) {
+    std::string arg = argv[argi];
+    if (arg == "--state" && argi + 1 < argc) {
+      state_dir = argv[++argi];
+    } else if (arg == "--audit" && argi + 1 < argc) {
+      options.audit_log_path = argv[++argi];
+    } else if (arg == "--cwd" && argi + 1 < argc) {
+      config.initial_cwd = argv[++argi];
+    } else if (arg == "--data-path" && argi + 1 < argc) {
+      std::string mode = argv[++argi];
+      if (mode == "paper") config.data_path = DataPath::kPaper;
+      else if (mode == "peekpoke") config.data_path = DataPath::kPeekPoke;
+      else if (mode == "processvm") config.data_path = DataPath::kProcessVm;
+      else if (mode == "channel") config.data_path = DataPath::kChannel;
+      else { usage(); return 2; }
+    } else if (arg == "--no-home") {
+      options.provision_home = false;
+    } else if (arg == "--no-passwd") {
+      options.redirect_passwd = false;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--mount" && argi + 1 < argc) {
+      std::string spec = argv[++argi];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        usage();
+        return 2;
+      }
+      mounts.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--gsi" && argi + 1 < argc) {
+      gsi_spec = argv[++argi];
+    } else if (arg == "--help") {
+      usage();
+      return 0;
+    } else {
+      break;
+    }
+  }
+  if (argc - argi < 2) {
+    usage();
+    return 2;
+  }
+
+  auto identity = Identity::Parse(argv[argi]);
+  if (!identity) {
+    std::fprintf(stderr, "identity_box: invalid identity '%s'\n", argv[argi]);
+    return 2;
+  }
+  ++argi;
+
+  std::unique_ptr<TempDir> temp_state;
+  if (state_dir.empty()) {
+    temp_state = std::make_unique<TempDir>("identity-box");
+    state_dir = temp_state->path();
+  }
+  options.state_dir = state_dir;
+
+  auto box = BoxContext::Create(*identity, options);
+  if (!box.ok()) {
+    std::fprintf(stderr, "identity_box: cannot create box: %s\n",
+                 box.error().message().c_str());
+    return 1;
+  }
+
+  // Attach remote Chirp namespaces.
+  for (const auto& [prefix, addr] : mounts) {
+    auto host_port = split(addr, ':');
+    auto port =
+        host_port.size() == 2 ? parse_u64(host_port[1]) : std::nullopt;
+    if (!port || *port > 65535) {
+      std::fprintf(stderr, "identity_box: bad mount address %s\n",
+                   addr.c_str());
+      return 2;
+    }
+    std::unique_ptr<ClientCredential> credential;
+    if (!gsi_spec.empty()) {
+      auto fields = split(gsi_spec, ':');
+      if (fields.size() != 3) {
+        std::fprintf(stderr, "identity_box: --gsi wants DN:CA:SECRET\n");
+        return 2;
+      }
+      CertificateAuthority ca(fields[1], fields[2]);
+      credential = std::make_unique<GsiCredential>(
+          ca.issue(fields[0], 3600, wall_clock_seconds()));
+    } else {
+      credential =
+          std::make_unique<UnixCredential>(current_unix_username());
+    }
+    auto client = ChirpClient::Connect(
+        host_port[0], static_cast<uint16_t>(*port), {credential.get()});
+    if (!client.ok()) {
+      std::fprintf(stderr, "identity_box: cannot mount %s from %s: %s\n",
+                   prefix.c_str(), addr.c_str(),
+                   client.error().message().c_str());
+      return 1;
+    }
+    Status mounted = (*box)->mount(
+        prefix, std::make_unique<ChirpDriver>(std::move(*client)));
+    if (!mounted.ok()) {
+      std::fprintf(stderr, "identity_box: mount %s failed: %s\n",
+                   prefix.c_str(), mounted.message().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> command(argv + argi, argv + argc);
+  ProcessRegistry registry;
+  Supervisor supervisor(**box, registry, config);
+  auto exit_code = supervisor.run(command);
+  if (!exit_code.ok()) {
+    std::fprintf(stderr, "identity_box: cannot run %s: %s\n",
+                 command[0].c_str(), exit_code.error().message().c_str());
+    return 1;
+  }
+  if (print_stats) {
+    const auto& s = supervisor.stats();
+    std::fprintf(stderr,
+                 "identity_box stats: trapped=%llu nullified=%llu "
+                 "rewritten=%llu passed=%llu denials=%llu "
+                 "peekpoke=%lluB processvm=%lluB channel=%lluB "
+                 "signals(fwd=%llu denied=%llu) procs=%llu execs=%llu\n",
+                 static_cast<unsigned long long>(s.syscalls_trapped),
+                 static_cast<unsigned long long>(s.syscalls_nullified),
+                 static_cast<unsigned long long>(s.syscalls_rewritten),
+                 static_cast<unsigned long long>(s.syscalls_passed),
+                 static_cast<unsigned long long>(s.denials),
+                 static_cast<unsigned long long>(s.bytes_via_peekpoke),
+                 static_cast<unsigned long long>(s.bytes_via_processvm),
+                 static_cast<unsigned long long>(s.bytes_via_channel),
+                 static_cast<unsigned long long>(s.signals_forwarded),
+                 static_cast<unsigned long long>(s.signals_denied),
+                 static_cast<unsigned long long>(s.processes_seen),
+                 static_cast<unsigned long long>(s.execs));
+  }
+  return *exit_code;
+}

@@ -1,0 +1,80 @@
+// untrusted_web — paper section 9's non-grid application:
+//
+// "Many programs downloaded from the web are associated with credentials
+// that identify the owner or creator. Yet, credentials alone do not imply
+// that the program is trusted. Using an identity box, an ordinary user may
+// run an untrusted program using a credentialed name such as JoeHacker or
+// BigSoftwareCorp. In addition to protecting the supervising user, the
+// identity box could be used for forensic purposes, recording the objects
+// accessed and the activities taken by the untrusted user."
+//
+// This example "downloads" a shifty installer script, runs it inside a box
+// named by its creator's credential, and then prints the forensic report:
+// everything it touched, and everything it was denied.
+#include <cstdio>
+#include <map>
+
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+
+using namespace ibox;
+
+int main() {
+  TempDir world("untrusted-web");
+  // The user's own data, which the installer has no business reading.
+  (void)make_dirs(world.sub("documents"));
+  (void)write_file(world.sub("documents/taxes-2005.txt"),
+                   "adjusted gross income: ...", 0600);
+
+  // The "downloaded" program, signed by JoeHacker.
+  const std::string installer =
+      "#!/bin/sh\n"
+      "echo 'Installing totally legitimate software...'\n"
+      "cat " + world.sub("documents/taxes-2005.txt") + " 2>/dev/null"
+      "  && echo 'exfiltrated!' || echo '(could not read your documents)'\n"
+      "kill -9 1 2>/dev/null || echo '(could not kill init)'\n"
+      "echo payload > $HOME/dropper.bin\n"
+      "echo 'Done!'\n";
+  (void)write_file(world.sub("installer.sh"), installer, 0755);
+  std::printf("downloaded installer.sh, credential: JoeHacker\n\n");
+
+  auto creator = *Identity::Parse("JoeHacker");
+  TempDir state("webbox");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.audit_log_path = state.sub("forensics.log");
+  auto box = BoxContext::Create(creator, options);
+  if (!box.ok()) return 1;
+
+  ProcessRegistry registry;
+  Supervisor supervisor(**box, registry);
+  std::printf("--- running installer inside identity box 'JoeHacker' ---\n");
+  std::fflush(stdout);
+  auto exit_code = supervisor.run({world.sub("installer.sh")});
+  std::printf("--- installer exited with %d ---\n\n",
+              exit_code.ok() ? *exit_code : -1);
+
+  // The forensic report.
+  auto records = AuditLog::Load(state.sub("forensics.log"));
+  if (!records.ok()) return 1;
+  std::printf("forensic audit of JoeHacker (%zu records):\n",
+              records->size());
+  int denials = 0;
+  for (const auto& record : *records) {
+    const bool denied = record.errno_code != 0;
+    if (denied) ++denials;
+    std::printf("  %-7s %-40s %s\n", record.operation.c_str(),
+                record.object.c_str(), denied ? "DENIED" : "ok");
+  }
+  const auto& stats = supervisor.stats();
+  std::printf(
+      "\nsummary: %d denials in the log; supervisor injected %llu "
+      "denials, blocked %llu signals\n",
+      denials, static_cast<unsigned long long>(stats.denials),
+      static_cast<unsigned long long>(stats.signals_denied));
+  std::printf("the dropped file stayed inside the box home: %s\n",
+              state.sub("home/dropper.bin").c_str());
+  return 0;
+}

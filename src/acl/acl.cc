@@ -1,0 +1,83 @@
+#include "acl/acl.h"
+
+#include "util/strings.h"
+
+namespace ibox {
+
+Result<Acl> Acl::Parse(std::string_view text) {
+  Acl acl;
+  for (const auto& raw_line : split(text, '\n')) {
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = split_ws(line);
+    if (fields.size() != 2) return Error(EBADMSG);
+    auto subject = SubjectPattern::Parse(fields[0]);
+    auto rights = Rights::Parse(fields[1]);
+    if (!subject || !rights) return Error(EBADMSG);
+    acl.entries_.push_back(AclEntry{*subject, *rights});
+  }
+  return acl;
+}
+
+std::string Acl::str() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += entry.subject.str();
+    out.push_back(' ');
+    out += entry.rights.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Rights Acl::rights_for(const Identity& id) const {
+  Rights total;
+  for (const auto& entry : entries_) {
+    if (entry.subject.matches(id)) total |= entry.rights;
+  }
+  return total;
+}
+
+bool Acl::allows(const Identity& id, const Rights& needed) const {
+  return rights_for(id).covers(needed);
+}
+
+void Acl::set_entry(const SubjectPattern& subject, const Rights& rights) {
+  if (rights.empty()) {
+    remove_entry(subject.str());
+    return;
+  }
+  for (auto& entry : entries_) {
+    if (entry.subject.str() == subject.str()) {
+      entry.rights = rights;
+      return;
+    }
+  }
+  entries_.push_back(AclEntry{subject, rights});
+}
+
+bool Acl::remove_entry(std::string_view subject_text) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->subject.str() == subject_text) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Rights> Acl::entry_for_subject(
+    std::string_view subject_text) const {
+  for (const auto& entry : entries_) {
+    if (entry.subject.str() == subject_text) return entry.rights;
+  }
+  return std::nullopt;
+}
+
+Acl Acl::ForReservedDir(const Identity& creator, const Rights& grant) {
+  Acl acl;
+  acl.set_entry(SubjectPattern::Exact(creator), grant);
+  return acl;
+}
+
+}  // namespace ibox

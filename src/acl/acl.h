@@ -1,0 +1,77 @@
+// Access control lists (paper section 3).
+//
+// Each directory governed by an identity box carries an ACL file; each line
+// names a subject pattern and a rights string:
+//
+//   /O=UnivNowhere/CN=Fred   rwlax
+//   /O=UnivNowhere/*         rl
+//   hostname:*.nowhere.edu   rlx
+//   globus:/O=NotreDame/*    v(rwlax)
+//
+// An identity's effective rights are the UNION of the rights of every entry
+// whose subject matches it. Blank lines and lines starting with '#' are
+// ignored. Modifying an ACL requires the `a` (admin) right, enforced by the
+// callers (AclStore / VFS / Chirp server).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "acl/rights.h"
+#include "identity/identity.h"
+#include "identity/pattern.h"
+#include "util/result.h"
+
+namespace ibox {
+
+struct AclEntry {
+  SubjectPattern subject;
+  Rights rights;
+
+  bool operator==(const AclEntry&) const = default;
+};
+
+class Acl {
+ public:
+  Acl() = default;
+
+  // Parses ACL file text. Malformed lines yield EBADMSG (an unreadable ACL
+  // must fail closed, never be silently partially applied).
+  static Result<Acl> Parse(std::string_view text);
+
+  // Serializes to file text; round-trips with Parse.
+  std::string str() const;
+
+  // Effective rights for an identity: union over matching entries.
+  Rights rights_for(const Identity& id) const;
+
+  // True if `id` holds every right in `needed`.
+  bool allows(const Identity& id, const Rights& needed) const;
+
+  // Replaces (or appends) the entry with exactly this subject text.
+  // An empty rights set removes the entry instead.
+  void set_entry(const SubjectPattern& subject, const Rights& rights);
+
+  // Removes the entry with exactly this subject text; false if absent.
+  bool remove_entry(std::string_view subject_text);
+
+  // Looks up the entry with exactly this subject text.
+  std::optional<Rights> entry_for_subject(std::string_view subject_text) const;
+
+  const std::vector<AclEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // The ACL stamped on a freshly reserved directory: a single entry giving
+  // the creator the parenthesized grant of its reserve right (paper sec. 4).
+  static Acl ForReservedDir(const Identity& creator, const Rights& grant);
+
+  bool operator==(const Acl&) const = default;
+
+ private:
+  std::vector<AclEntry> entries_;
+};
+
+}  // namespace ibox

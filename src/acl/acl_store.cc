@@ -1,0 +1,115 @@
+#include "acl/acl_store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fs.h"
+#include "util/path.h"
+
+namespace ibox {
+
+AclStore::AclStore(std::string root) : root_(path_clean(root)) {}
+
+std::string AclStore::acl_file_path(const std::string& dir) const {
+  return path_join(dir, kAclFileName);
+}
+
+Status AclStore::check_within_root(const std::string& dir) const {
+  if (!path_is_within(root_, dir)) return Status::Errno(EPERM);
+  return Status::Ok();
+}
+
+Result<std::optional<Acl>> AclStore::load(const std::string& dir) const {
+  IBOX_RETURN_IF_ERROR(check_within_root(dir));
+  auto text = read_file(acl_file_path(dir));
+  if (!text.ok()) {
+    if (text.error_code() == ENOENT) return std::optional<Acl>();
+    return text.error();
+  }
+  auto acl = Acl::Parse(*text);
+  if (!acl.ok()) return acl.error();
+  return std::optional<Acl>(std::move(*acl));
+}
+
+Status AclStore::store(const std::string& dir, const Acl& acl) const {
+  IBOX_RETURN_IF_ERROR(check_within_root(dir));
+  return write_file_atomic(acl_file_path(dir), acl.str(), 0644);
+}
+
+Result<std::optional<Rights>> AclStore::rights_in(const std::string& dir,
+                                                  const Identity& id) const {
+  auto acl = load(dir);
+  if (!acl.ok()) return acl.error();
+  if (!acl->has_value()) return std::optional<Rights>();
+  return std::optional<Rights>((*acl)->rights_for(id));
+}
+
+Status AclStore::make_dir(const std::string& parent_dir,
+                          const std::string& name,
+                          const Identity& creator) const {
+  IBOX_RETURN_IF_ERROR(check_within_root(parent_dir));
+  if (name.empty() || name == "." || name == ".." ||
+      name.find('/') != std::string::npos || is_acl_file_name(name)) {
+    return Status::Errno(EINVAL);
+  }
+  auto parent_acl = load(parent_dir);
+  if (!parent_acl.ok()) return parent_acl.error();
+  if (!parent_acl->has_value()) return Status::Errno(EACCES);
+
+  const Rights rights = (*parent_acl)->rights_for(creator);
+  Acl child_acl;
+  if (rights.can_write()) {
+    // Ordinary creation: the child inherits the parent's ACL verbatim.
+    child_acl = **parent_acl;
+  } else if (rights.can_reserve()) {
+    // Reservation: fresh private namespace for the creator (paper sec. 4).
+    child_acl = Acl::ForReservedDir(creator, rights.reserve_grant());
+  } else {
+    return Status::Errno(EACCES);
+  }
+
+  const std::string child = path_join(parent_dir, name);
+  if (::mkdir(child.c_str(), 0755) != 0) return Error::FromErrno();
+  Status stamped = store(child, child_acl);
+  if (!stamped.ok()) {
+    // Never leave an ungoverned directory behind: roll back the mkdir.
+    ::rmdir(child.c_str());
+    return stamped;
+  }
+  return Status::Ok();
+}
+
+Status AclStore::set_entry(const std::string& dir, const Identity& actor,
+                           const SubjectPattern& subject,
+                           const Rights& rights) const {
+  auto acl = load(dir);
+  if (!acl.ok()) return acl.error();
+  if (!acl->has_value()) return Status::Errno(EACCES);
+  if (!(*acl)->rights_for(actor).can_admin()) return Status::Errno(EACCES);
+  Acl updated = **acl;
+  updated.set_entry(subject, rights);
+  return store(dir, updated);
+}
+
+bool AclStore::is_acl_file_name(std::string_view name) {
+  return name == kAclFileName;
+}
+
+Rights unix_other_dir_rights(unsigned mode) {
+  uint8_t bits = 0;
+  if (mode & S_IROTH) bits |= kRightList;
+  if (mode & S_IWOTH) bits |= kRightWrite | kRightDelete;
+  if (mode & S_IXOTH) bits |= kRightExecute;
+  return Rights(bits);
+}
+
+bool unix_other_file_allows(unsigned mode, char op) {
+  switch (op) {
+    case 'r': return (mode & S_IROTH) != 0;
+    case 'w': return (mode & S_IWOTH) != 0;
+    case 'x': return (mode & S_IXOTH) != 0;
+    default: return false;
+  }
+}
+
+}  // namespace ibox

@@ -1,0 +1,84 @@
+// AclStore: per-directory ACL files on a host filesystem subtree.
+//
+// This implements the paper's on-disk model: every governed directory may
+// contain a file named ".__acl"; newly created directories inherit the
+// parent's ACL, except under the reserve right, where the new directory
+// receives a fresh single-entry ACL naming its creator (paper section 4).
+// Directories *without* an ACL are not governed by the store; callers (the
+// VFS LocalDriver) fall back to Unix permissions as the user `nobody`.
+//
+// Both the sandbox VFS and the Chirp server use one AclStore over their
+// exported subtree, so the semantics (inheritance, reservation, the
+// admin-gated ACL edits) live in exactly one place.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "acl/acl.h"
+#include "identity/identity.h"
+#include "util/result.h"
+
+namespace ibox {
+
+class AclStore {
+ public:
+  // The ACL file name. The leading dot keeps it out of casual listings; the
+  // store also hides it from governed directory listings (the supervisor
+  // filters it).
+  static constexpr const char* kAclFileName = ".__acl";
+
+  // `root` is the host directory under which all governed paths live. Paths
+  // passed to the other methods are host-absolute and must be within root.
+  explicit AclStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  // Host path of a directory's ACL file.
+  std::string acl_file_path(const std::string& dir) const;
+
+  // Loads the ACL of `dir`. Returns nullopt when the directory has no ACL
+  // file (fallback territory); EBADMSG when the file exists but is
+  // malformed (fails closed).
+  Result<std::optional<Acl>> load(const std::string& dir) const;
+
+  // Writes the ACL atomically.
+  Status store(const std::string& dir, const Acl& acl) const;
+
+  // Effective rights of `id` in `dir`; nullopt when the directory has no
+  // ACL (caller applies Unix-nobody fallback).
+  Result<std::optional<Rights>> rights_in(const std::string& dir,
+                                          const Identity& id) const;
+
+  // Creates `parent/name` on behalf of `creator` with the paper's
+  // semantics: `w` in the parent ACL creates the directory and copies the
+  // parent ACL into it; otherwise `v` creates it with a fresh ACL granting
+  // the creator the reserve set. EACCES when the creator holds neither
+  // right or the parent has no ACL; EEXIST / ENOENT as usual.
+  Status make_dir(const std::string& parent_dir, const std::string& name,
+                  const Identity& creator) const;
+
+  // Edits one ACL entry; `actor` must hold the admin (`a`) right in `dir`.
+  // An empty rights set deletes the entry.
+  Status set_entry(const std::string& dir, const Identity& actor,
+                   const SubjectPattern& subject, const Rights& rights) const;
+
+  // True for the ACL file itself (used to hide it from listings and to
+  // refuse direct reads/writes by boxed processes).
+  static bool is_acl_file_name(std::string_view name);
+
+ private:
+  Status check_within_root(const std::string& dir) const;
+  std::string root_;
+};
+
+// Rights implied by a Unix mode's "other" bits for the fallback case, for a
+// directory inode: r->list, w->write+delete, x->execute(traverse). For file
+// inodes use unix_other_file_allows instead.
+Rights unix_other_dir_rights(unsigned mode);
+
+// Fallback check on an individual file inode: can `nobody` (other bits)
+// read / write / execute it?
+bool unix_other_file_allows(unsigned mode, char op /* 'r' | 'w' | 'x' */);
+
+}  // namespace ibox

@@ -1,0 +1,112 @@
+#include "acl/rights.h"
+
+namespace ibox {
+
+std::optional<uint8_t> right_bit_from_letter(char letter) {
+  switch (letter) {
+    case 'r': return kRightRead;
+    case 'w': return kRightWrite;
+    case 'l': return kRightList;
+    case 'd': return kRightDelete;
+    case 'a': return kRightAdmin;
+    case 'x': return kRightExecute;
+    case 'v': return kRightReserve;
+    default: return std::nullopt;
+  }
+}
+
+namespace {
+// Letters in canonical output order.
+constexpr char kLetterOrder[] = {'r', 'w', 'l', 'd', 'a', 'x'};
+constexpr uint8_t kBitOrder[] = {kRightRead,   kRightWrite, kRightList,
+                                 kRightDelete, kRightAdmin, kRightExecute};
+
+std::string format_plain(uint8_t bits) {
+  std::string out;
+  for (size_t i = 0; i < sizeof(kBitOrder); ++i) {
+    if (bits & kBitOrder[i]) out.push_back(kLetterOrder[i]);
+  }
+  return out;
+}
+}  // namespace
+
+std::optional<Rights> Rights::Parse(std::string_view text) {
+  if (text == "-") return Rights();
+  uint8_t bits = 0;
+  uint8_t reserve = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == 'v') {
+      bits |= kRightReserve;
+      ++i;
+      if (i < text.size() && text[i] == '(') {
+        size_t close = text.find(')', i);
+        if (close == std::string_view::npos) return std::nullopt;
+        for (size_t j = i + 1; j < close; ++j) {
+          auto bit = right_bit_from_letter(text[j]);
+          if (!bit) return std::nullopt;
+          reserve |= *bit;
+        }
+        i = close + 1;
+      }
+      continue;
+    }
+    auto bit = right_bit_from_letter(c);
+    if (!bit) return std::nullopt;
+    bits |= *bit;
+    ++i;
+  }
+  if (bits == 0 && !text.empty()) return std::nullopt;  // e.g. "()" garbage
+  if (text.empty()) return std::nullopt;
+  return Rights(bits, reserve);
+}
+
+std::string Rights::str() const {
+  if (bits_ == 0) return "-";
+  std::string out = format_plain(bits_ & kAllPlainRights);
+  if (bits_ & kRightReserve) {
+    out.push_back('v');
+    if (reserve_bits_ != 0) {
+      out.push_back('(');
+      out += format_plain(reserve_bits_ & kAllPlainRights);
+      if (reserve_bits_ & kRightReserve) out.push_back('v');
+      out.push_back(')');
+    }
+  }
+  return out;
+}
+
+Rights Rights::reserve_grant() const {
+  if (!can_reserve()) return Rights();
+  // If the reserve set itself contains v, the grant carries the same
+  // parenthesized set forward (recursive reservation).
+  uint8_t grant_reserve =
+      (reserve_bits_ & kRightReserve) ? reserve_bits_ : uint8_t{0};
+  return Rights(reserve_bits_, grant_reserve);
+}
+
+Rights Rights::operator|(const Rights& other) const {
+  return Rights(static_cast<uint8_t>(bits_ | other.bits_),
+                static_cast<uint8_t>(reserve_bits_ | other.reserve_bits_));
+}
+
+Rights& Rights::operator|=(const Rights& other) {
+  *this = *this | other;
+  return *this;
+}
+
+bool Rights::covers(const Rights& needed) const {
+  if ((bits_ & needed.bits_) != needed.bits_) {
+    // `w` implies `d`.
+    uint8_t missing = needed.bits_ & ~bits_;
+    if (missing == kRightDelete && can_write()) {
+      // delete satisfied via write
+    } else {
+      return false;
+    }
+  }
+  return (reserve_bits_ & needed.reserve_bits_) == needed.reserve_bits_;
+}
+
+}  // namespace ibox

@@ -1,0 +1,103 @@
+// Rights algebra for identity-box ACLs (paper sections 3-4).
+//
+// An ACL entry grants a set of single-letter rights:
+//
+//   r  read a file in the directory
+//   w  write/create/truncate a file in the directory
+//   l  list the directory
+//   d  delete an entry from the directory
+//   a  administer: modify the directory's ACL
+//   x  execute a program in the directory
+//   v  reserve: the *only* operation permitted is mkdir, and the new
+//      directory is initialized with the rights written in parentheses,
+//      e.g. "v(rwlax)" (a variation on amplification [Jones & Wulf 75]).
+//
+// The paper's examples use "rwlax"; `d` (delete) is listed separately here
+// as in the Chirp access-control model, and `w` implies `d` for
+// compatibility with the paper's coarser set (see Rights::can_delete).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ibox {
+
+// Bit constants for individual rights.
+enum RightBit : uint8_t {
+  kRightRead = 1u << 0,
+  kRightWrite = 1u << 1,
+  kRightList = 1u << 2,
+  kRightDelete = 1u << 3,
+  kRightAdmin = 1u << 4,
+  kRightExecute = 1u << 5,
+  kRightReserve = 1u << 6,
+};
+
+// All non-reserve rights.
+inline constexpr uint8_t kAllPlainRights =
+    kRightRead | kRightWrite | kRightList | kRightDelete | kRightAdmin |
+    kRightExecute;
+
+// A rights set: plain bits plus, when kRightReserve is present, the set of
+// bits to stamp into a freshly reserved directory's ACL. The reserve set may
+// itself contain kRightReserve, meaning the reservation is inherited
+// recursively ("v(rwlaxv)" — the child may in turn reserve grandchildren
+// with the same grant).
+class Rights {
+ public:
+  constexpr Rights() = default;
+  constexpr explicit Rights(uint8_t bits, uint8_t reserve_bits = 0)
+      : bits_(bits), reserve_bits_(reserve_bits) {}
+
+  // Parses e.g. "rwlax", "rl", "v(rwlax)", "rlv(rwla)", "-" (empty).
+  // Returns nullopt on unknown letters or malformed parentheses.
+  static std::optional<Rights> Parse(std::string_view text);
+
+  // Formats back to canonical text ("-" for the empty set). Round-trips
+  // with Parse for all valid sets.
+  std::string str() const;
+
+  // Convenience constructors for common paper sets.
+  static constexpr Rights Full() {
+    return Rights(kAllPlainRights);
+  }
+  static constexpr Rights ReadList() { return Rights(kRightRead | kRightList); }
+
+  uint8_t bits() const { return bits_; }
+  uint8_t reserve_bits() const { return reserve_bits_; }
+
+  bool empty() const { return bits_ == 0; }
+  bool has(uint8_t bit) const { return (bits_ & bit) == bit; }
+
+  bool can_read() const { return has(kRightRead); }
+  bool can_write() const { return has(kRightWrite); }
+  bool can_list() const { return has(kRightList); }
+  // `w` subsumes `d` (the paper's examples use the 5-letter set rwlax).
+  bool can_delete() const { return has(kRightDelete) || has(kRightWrite); }
+  bool can_admin() const { return has(kRightAdmin); }
+  bool can_execute() const { return has(kRightExecute); }
+  bool can_reserve() const { return has(kRightReserve); }
+
+  // The rights a reserved (freshly mkdir'd) directory grants its creator.
+  Rights reserve_grant() const;
+
+  // Set union; reserve sets are also unioned.
+  Rights operator|(const Rights& other) const;
+  Rights& operator|=(const Rights& other);
+
+  // True if every right in `needed` (including reserve semantics) is held.
+  bool covers(const Rights& needed) const;
+
+  bool operator==(const Rights&) const = default;
+
+ private:
+  uint8_t bits_ = 0;
+  uint8_t reserve_bits_ = 0;
+};
+
+// Maps a right letter to its bit; nullopt for unknown letters.
+std::optional<uint8_t> right_bit_from_letter(char letter);
+
+}  // namespace ibox

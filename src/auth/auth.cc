@@ -1,0 +1,136 @@
+#include "auth/auth.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+int64_t wall_clock_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+// One direction of the in-memory pair.
+struct Queue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> messages;
+  bool closed = false;
+};
+
+class MemChannel : public AuthChannel {
+ public:
+  MemChannel(std::shared_ptr<Queue> out, std::shared_ptr<Queue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~MemChannel() override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    out_->closed = true;
+    out_->cv.notify_all();
+  }
+
+  Status send(std::string_view msg) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    if (out_->closed) return Status::Errno(EPIPE);
+    out_->messages.emplace_back(msg);
+    out_->cv.notify_one();
+    return Status::Ok();
+  }
+
+  Result<std::string> recv() override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->cv.wait(lock,
+                 [this] { return !in_->messages.empty() || in_->closed; });
+    if (in_->messages.empty()) return Error(EPIPE);
+    std::string msg = std::move(in_->messages.front());
+    in_->messages.pop_front();
+    return msg;
+  }
+
+ private:
+  std::shared_ptr<Queue> out_;
+  std::shared_ptr<Queue> in_;
+};
+
+}  // namespace
+
+AuthChannelPair make_channel_pair() {
+  auto ab = std::make_shared<Queue>();
+  auto ba = std::make_shared<Queue>();
+  AuthChannelPair pair;
+  pair.a = std::make_unique<MemChannel>(ab, ba);
+  pair.b = std::make_unique<MemChannel>(ba, ab);
+  return pair;
+}
+
+Status authenticate_client(
+    AuthChannel& channel,
+    const std::vector<const ClientCredential*>& credentials) {
+  // Offer: "auth <m1> <m2> ..." in preference order.
+  std::vector<std::string> names;
+  names.reserve(credentials.size());
+  for (const auto* cred : credentials) {
+    names.emplace_back(auth_method_name(cred->method()));
+  }
+  IBOX_RETURN_IF_ERROR(channel.send("auth " + join(names, " ")));
+
+  auto reply = channel.recv();
+  if (!reply.ok()) return reply.error();
+  auto fields = split_ws(*reply);
+  if (fields.size() != 2 || fields[0] != "use") return Status::Errno(EPROTO);
+  auto chosen = auth_method_from_name(fields[1]);
+  if (!chosen) return Status::Errno(EPROTO);
+
+  for (const auto* cred : credentials) {
+    if (cred->method() == *chosen) {
+      IBOX_RETURN_IF_ERROR(cred->prove(channel));
+      // Final verdict from the server.
+      auto verdict = channel.recv();
+      if (!verdict.ok()) return verdict.error();
+      if (*verdict != "ok") return Status::Errno(EACCES);
+      return Status::Ok();
+    }
+  }
+  return Status::Errno(EPROTO);
+}
+
+Result<Identity> authenticate_server(
+    AuthChannel& channel,
+    const std::vector<const ServerVerifier*>& verifiers) {
+  auto offer = channel.recv();
+  if (!offer.ok()) return offer.error();
+  auto fields = split_ws(*offer);
+  if (fields.empty() || fields[0] != "auth") return Error(EPROTO);
+
+  // First client-preferred method we can verify wins.
+  for (size_t i = 1; i < fields.size(); ++i) {
+    auto method = auth_method_from_name(fields[i]);
+    if (!method) continue;
+    for (const auto* verifier : verifiers) {
+      if (verifier->method() != *method) continue;
+      IBOX_RETURN_IF_ERROR(
+          channel.send("use " + std::string(auth_method_name(*method))));
+      auto identity = verifier->verify(channel);
+      if (!identity.ok()) {
+        (void)channel.send("denied");
+        IBOX_INFO << "auth: " << fields[i] << " handshake failed: "
+                  << identity.error().message();
+        return identity.error();
+      }
+      IBOX_RETURN_IF_ERROR(channel.send("ok"));
+      return *identity;
+    }
+  }
+  (void)channel.send("use none");
+  return Error(EPROTO);
+}
+
+}  // namespace ibox

@@ -1,0 +1,79 @@
+// Authentication framework (paper section 4).
+//
+// "A Chirp server supports a variety of authentication methods, including
+// Globus GSI, Kerberos, ordinary Unix names, and a simple hostname scheme.
+// Upon connecting, the client and server negotiate an acceptable
+// authentication method and then the client must prove its identity to the
+// server. If successful, the server then knows the client by a principal
+// name constructed from the authentication method and the proven identity."
+//
+// Each method is implemented against an abstract message channel so the
+// same handshakes run over the Chirp TCP connection, a local socketpair, or
+// an in-memory queue in tests. The GSI and Kerberos methods are simulated
+// with an HMAC-based credential scheme (see DESIGN.md substitution table):
+// the *code paths* — trust-anchor lookup, expiry checking, signature
+// verification, challenge-response, principal derivation — are all real.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "identity/identity.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// Bidirectional, message-oriented transport used during a handshake.
+class AuthChannel {
+ public:
+  virtual ~AuthChannel() = default;
+  virtual Status send(std::string_view msg) = 0;
+  virtual Result<std::string> recv() = 0;
+};
+
+// In-memory channel pair for tests and in-process handshakes. Thread-safe.
+struct AuthChannelPair {
+  std::unique_ptr<AuthChannel> a;  // give to the client
+  std::unique_ptr<AuthChannel> b;  // give to the server
+};
+AuthChannelPair make_channel_pair();
+
+// Injectable clock (unix seconds) so expiry paths are testable.
+using AuthClock = int64_t (*)();
+int64_t wall_clock_seconds();
+
+// A client-side credential for one method. Implementations:
+// GsiCredential, KerberosCredential, HostnameCredential, UnixCredential.
+class ClientCredential {
+ public:
+  virtual ~ClientCredential() = default;
+  virtual AuthMethod method() const = 0;
+  // Runs the client half of the handshake.
+  virtual Status prove(AuthChannel& channel) const = 0;
+};
+
+// A server-side verifier for one method.
+class ServerVerifier {
+ public:
+  virtual ~ServerVerifier() = default;
+  virtual AuthMethod method() const = 0;
+  // Runs the server half; on success returns the proven principal
+  // ("<method>:<name>").
+  virtual Result<Identity> verify(AuthChannel& channel) const = 0;
+};
+
+// Negotiation: the client offers its methods in preference order; the
+// server answers with the first offer it can verify, or rejects. Then the
+// chosen method's handshake runs. EPROTO on no common method.
+Status authenticate_client(
+    AuthChannel& channel,
+    const std::vector<const ClientCredential*>& credentials);
+
+Result<Identity> authenticate_server(
+    AuthChannel& channel,
+    const std::vector<const ServerVerifier*>& verifiers);
+
+}  // namespace ibox

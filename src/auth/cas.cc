@@ -1,0 +1,114 @@
+#include "auth/cas.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+CommunityAuthorizationService::CommunityAuthorizationService(
+    std::string signing_secret)
+    : secret_(std::move(signing_secret)) {}
+
+Status CommunityAuthorizationService::add_member(
+    const std::string& community, const std::string& subject_pattern) {
+  if (!is_valid_identity_text(community)) return Status::Errno(EINVAL);
+  auto pattern = SubjectPattern::Parse(subject_pattern);
+  if (!pattern) return Status::Errno(EINVAL);
+  auto& members = communities_[community];
+  for (const auto& existing : members) {
+    if (existing.str() == pattern->str()) return Status::Ok();  // idempotent
+  }
+  members.push_back(*pattern);
+  return Status::Ok();
+}
+
+Status CommunityAuthorizationService::remove_member(
+    const std::string& community, const std::string& subject_pattern) {
+  auto it = communities_.find(community);
+  if (it == communities_.end()) return Status::Errno(ENOENT);
+  auto& members = it->second;
+  auto match = std::find_if(members.begin(), members.end(),
+                            [&](const SubjectPattern& pattern) {
+                              return pattern.str() == subject_pattern;
+                            });
+  if (match == members.end()) return Status::Errno(ENOENT);
+  members.erase(match);
+  return Status::Ok();
+}
+
+bool CommunityAuthorizationService::is_member(const std::string& community,
+                                              const Identity& id) const {
+  auto it = communities_.find(community);
+  if (it == communities_.end()) return false;
+  for (const auto& pattern : it->second) {
+    if (pattern.matches(id)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CommunityAuthorizationService::communities() const {
+  std::vector<std::string> out;
+  out.reserve(communities_.size());
+  for (const auto& [name, members] : communities_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> CommunityAuthorizationService::members(
+    const std::string& community) const {
+  std::vector<std::string> out;
+  auto it = communities_.find(community);
+  if (it == communities_.end()) return out;
+  for (const auto& pattern : it->second) out.push_back(pattern.str());
+  return out;
+}
+
+Result<std::string> CommunityAuthorizationService::export_signed(
+    const std::string& community) const {
+  auto it = communities_.find(community);
+  if (it == communities_.end()) return Error(ENOENT);
+  std::string body = community + "\n";
+  for (const auto& pattern : it->second) body += pattern.str() + "\n";
+  return body + "|" + hmac_sha256_hex(secret_, "cas-snapshot:" + body);
+}
+
+Result<std::vector<SubjectPattern>>
+CommunityAuthorizationService::import_signed(const std::string& snapshot,
+                                             const std::string& secret) {
+  const size_t bar = snapshot.rfind('|');
+  if (bar == std::string::npos) return Error(EBADMSG);
+  const std::string body = snapshot.substr(0, bar);
+  const std::string mac = snapshot.substr(bar + 1);
+  if (hmac_sha256_hex(secret, "cas-snapshot:" + body) != mac) {
+    return Error(EKEYREJECTED);
+  }
+  std::vector<SubjectPattern> members;
+  auto lines = split(body, '\n');
+  for (size_t i = 1; i < lines.size(); ++i) {  // line 0: community name
+    if (trim(lines[i]).empty()) continue;
+    auto pattern = SubjectPattern::Parse(lines[i]);
+    if (!pattern) return Error(EBADMSG);
+    members.push_back(*pattern);
+  }
+  return members;
+}
+
+AdmissionPolicy make_admission_policy(
+    const CommunityAuthorizationService& service, std::string community) {
+  return [&service, community = std::move(community)](const Identity& id) {
+    return service.is_member(community, id) ? Status::Ok()
+                                            : Status::Errno(EACCES);
+  };
+}
+
+AdmissionPolicy make_admission_policy(std::vector<SubjectPattern> members) {
+  return [members = std::move(members)](const Identity& id) {
+    for (const auto& pattern : members) {
+      if (pattern.matches(id)) return Status::Ok();
+    }
+    return Status::Errno(EACCES);
+  };
+}
+
+}  // namespace ibox

@@ -1,0 +1,99 @@
+// Community Authorization Service (paper section 4).
+//
+// "identity boxing allows a system to have complex admission policies,
+// such as access controls with wildcards, or reference to a community
+// authorization service [Pearlman et al.], without the difficulty of
+// reconciling that policy to the existing user database."
+//
+// This module provides that admission layer:
+//
+//   * a CommunityAuthorizationService maintains named communities of
+//     subject patterns ("/O=UnivNowhere/* belongs to cms-experiment") and
+//     answers membership queries;
+//   * a community's membership can be exported as a SIGNED snapshot
+//     (HMAC over the canonical text, same simulation scheme as SimGsi)
+//     and imported by a relying server that holds the community key —
+//     the analogue of a server periodically fetching the CAS policy;
+//   * make_admission_policy() turns a service + community name into the
+//     std::function the Chirp server consults after authentication.
+//
+// Admission is orthogonal to file-level ACLs: it decides WHO may connect
+// at all; ACLs decide what an admitted identity may touch.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "auth/auth.h"
+#include "identity/identity.h"
+#include "identity/pattern.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// Verdict for one identity: admitted or not (with errno for transport).
+using AdmissionPolicy = std::function<Status(const Identity&)>;
+
+class CommunityAuthorizationService {
+ public:
+  // `signing_secret` authenticates exported snapshots.
+  explicit CommunityAuthorizationService(std::string signing_secret);
+
+  // Adds a member pattern to a community (created on first use).
+  // EINVAL on malformed patterns.
+  Status add_member(const std::string& community,
+                    const std::string& subject_pattern);
+  // Removes an exact pattern; ENOENT if absent.
+  Status remove_member(const std::string& community,
+                       const std::string& subject_pattern);
+
+  bool is_member(const std::string& community, const Identity& id) const;
+  std::vector<std::string> communities() const;
+  std::vector<std::string> members(const std::string& community) const;
+
+  // Signed snapshot of one community: "<community>\n<pattern>...\n|<mac>".
+  Result<std::string> export_signed(const std::string& community) const;
+
+  // Builds a membership checker from a signed snapshot; fails with
+  // EKEYREJECTED when the MAC does not verify under `secret`.
+  static Result<std::vector<SubjectPattern>> import_signed(
+      const std::string& snapshot, const std::string& secret);
+
+ private:
+  std::string secret_;
+  std::map<std::string, std::vector<SubjectPattern>> communities_;
+};
+
+// Admission policy backed by a live service reference.
+AdmissionPolicy make_admission_policy(
+    const CommunityAuthorizationService& service, std::string community);
+
+// Admission policy from an imported snapshot (relying-server side).
+AdmissionPolicy make_admission_policy(std::vector<SubjectPattern> members);
+
+// Decorates any ServerVerifier with an admission check: a cryptographically
+// valid credential whose identity the policy rejects is denied within the
+// same handshake (the client sees the ordinary "denied" verdict).
+class AdmissionCheckedVerifier : public ServerVerifier {
+ public:
+  AdmissionCheckedVerifier(const ServerVerifier* inner,
+                           const AdmissionPolicy* policy)
+      : inner_(inner), policy_(policy) {}
+  AuthMethod method() const override { return inner_->method(); }
+  Result<Identity> verify(AuthChannel& channel) const override {
+    auto identity = inner_->verify(channel);
+    if (!identity.ok()) return identity;
+    if (policy_ && *policy_) {
+      IBOX_RETURN_IF_ERROR((*policy_)(*identity));
+    }
+    return identity;
+  }
+
+ private:
+  const ServerVerifier* inner_;
+  const AdmissionPolicy* policy_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,132 @@
+#include "auth/sim_gsi.h"
+
+#include "util/hash.h"
+#include "util/rand.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+namespace {
+// '|' separates wire fields; escape it (and the escape) in field content.
+std::string escape_field(std::string_view text) {
+  std::string once = replace_all(text, "%", "%25");
+  return replace_all(once, "|", "%7c");
+}
+std::string unescape_field(std::string_view text) {
+  std::string once = replace_all(text, "%7c", "|");
+  return replace_all(once, "%25", "%");
+}
+
+// Fresh nonce for challenge-response; randomness source is the wall clock
+// plus the address of a stack local — adequate for a simulation handshake.
+std::string make_nonce() {
+  int local = 0;
+  uint64_t seed = static_cast<uint64_t>(wall_clock_seconds()) ^
+                  reinterpret_cast<uintptr_t>(&local);
+  Rng rng(seed);
+  return rng.ident(24);
+}
+}  // namespace
+
+std::string GsiCertificate::signed_payload() const {
+  return "gsi-cert|" + escape_field(subject) + "|" + escape_field(issuer) +
+         "|" + std::to_string(expires_at);
+}
+
+std::string GsiCertificate::serialize() const {
+  return escape_field(subject) + "|" + escape_field(issuer) + "|" +
+         std::to_string(expires_at) + "|" + signature;
+}
+
+std::optional<GsiCertificate> GsiCertificate::Deserialize(
+    std::string_view text) {
+  auto fields = split(text, '|');
+  if (fields.size() != 4) return std::nullopt;
+  GsiCertificate cert;
+  cert.subject = unescape_field(fields[0]);
+  cert.issuer = unescape_field(fields[1]);
+  auto expiry = parse_i64(fields[2]);
+  if (!expiry) return std::nullopt;
+  cert.expires_at = *expiry;
+  cert.signature = fields[3];
+  return cert;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           std::string secret)
+    : name_(std::move(name)), secret_(std::move(secret)) {}
+
+GsiUserCredentialData CertificateAuthority::issue(const std::string& subject,
+                                                  int64_t lifetime_seconds,
+                                                  int64_t now_seconds) const {
+  GsiUserCredentialData data;
+  data.certificate.subject = subject;
+  data.certificate.issuer = name_;
+  data.certificate.expires_at = now_seconds + lifetime_seconds;
+  data.certificate.signature =
+      hmac_sha256_hex(secret_, data.certificate.signed_payload());
+  // The user's possession key, deterministically derivable only with the CA
+  // secret (the simulation's key pair; see header comment).
+  data.private_key = hmac_sha256_hex(secret_, "user-key:" + subject);
+  return data;
+}
+
+void GsiTrustStore::trust(const std::string& ca_name,
+                          const std::string& secret) {
+  trusted_[ca_name] = secret;
+}
+
+std::optional<std::string> GsiTrustStore::secret_for(
+    const std::string& ca_name) const {
+  auto it = trusted_.find(ca_name);
+  if (it == trusted_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::string> GsiTrustStore::validate(const GsiCertificate& cert,
+                                            int64_t now_seconds) const {
+  auto secret = secret_for(cert.issuer);
+  if (!secret) return Error(EKEYREJECTED);  // untrusted issuer
+  if (hmac_sha256_hex(*secret, cert.signed_payload()) != cert.signature) {
+    return Error(EKEYREJECTED);  // forged or corrupted
+  }
+  if (now_seconds >= cert.expires_at) return Error(EKEYEXPIRED);
+  return cert.subject;
+}
+
+Status GsiCredential::prove(AuthChannel& channel) const {
+  IBOX_RETURN_IF_ERROR(channel.send(data_.certificate.serialize()));
+  auto nonce = channel.recv();
+  if (!nonce.ok()) return nonce.error();
+  return channel.send(hmac_sha256_hex(data_.private_key, *nonce));
+}
+
+Result<Identity> GsiVerifier::verify(AuthChannel& channel) const {
+  // The message pattern is fixed regardless of validity — recv certificate,
+  // send challenge, recv proof, judge — so a failing handshake never leaves
+  // the peer waiting on a message that will not come.
+  auto cert_text = channel.recv();
+  if (!cert_text.ok()) return cert_text.error();
+  const std::string nonce = make_nonce();
+  IBOX_RETURN_IF_ERROR(channel.send(nonce));
+  auto proof = channel.recv();
+  if (!proof.ok()) return proof.error();
+
+  auto cert = GsiCertificate::Deserialize(*cert_text);
+  if (!cert) return Error(EPROTO);
+  auto subject = trust_.validate(*cert, clock_());
+  if (!subject.ok()) return subject.error();
+
+  // Recompute the user's possession key from the CA secret (simulation of
+  // verifying a signature with the certificate's public key).
+  auto ca_secret = trust_.secret_for(cert->issuer);
+  const std::string user_key =
+      hmac_sha256_hex(*ca_secret, "user-key:" + cert->subject);
+  if (hmac_sha256_hex(user_key, nonce) != *proof) return Error(EACCES);
+
+  auto identity = Identity::Parse("globus:" + *subject);
+  if (!identity) return Error(EPROTO);
+  return *identity;
+}
+
+}  // namespace ibox

@@ -1,0 +1,116 @@
+// Simulated Grid Security Infrastructure (GSI).
+//
+// The paper authenticates grid users with GSI X.509 proxy certificates
+// carrying a distinguished name such as /O=UnivNowhere/CN=Fred. This module
+// reproduces the *structure* of that infrastructure without OpenSSL:
+//
+//   * a CertificateAuthority has a name and a signing secret; it issues a
+//     Certificate binding a subject DN to an expiry time, signed with
+//     HMAC-SHA256 over the canonical field encoding;
+//   * the user's private key is derived from the CA secret and DN at issue
+//     time and handed to the user together with the certificate (the
+//     simulation's analogue of a key pair);
+//   * a server trusts a set of CAs (a trust store mapping CA name to its
+//     verification secret — the analogue of installed CA certificates);
+//   * the handshake is nonce challenge-response: the server verifies the
+//     certificate chain (issuer trusted, signature valid, not expired) and
+//     the possession proof HMAC(user_key, nonce);
+//   * the proven principal is "globus:<subject DN>".
+//
+// See DESIGN.md: this substitution keeps every decision point of real GSI
+// validation while remaining self-contained.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "auth/auth.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// A certificate: subject DN, issuing CA, expiry, signature.
+struct GsiCertificate {
+  std::string subject;   // e.g. "/O=UnivNowhere/CN=Fred"
+  std::string issuer;    // CA name, e.g. "UnivNowhereCA"
+  int64_t expires_at = 0;  // unix seconds
+
+  std::string signature;  // HMAC-SHA256 hex over the canonical encoding
+
+  // Canonical byte string covered by the signature.
+  std::string signed_payload() const;
+
+  // Wire form "subject|issuer|expiry|signature"; fields are '|'-escaped.
+  std::string serialize() const;
+  static std::optional<GsiCertificate> Deserialize(std::string_view text);
+};
+
+// A user credential: certificate plus the possession key.
+struct GsiUserCredentialData {
+  GsiCertificate certificate;
+  std::string private_key;  // hex; proves possession in the handshake
+};
+
+// An issuing authority. Holds the signing secret.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, std::string secret);
+
+  const std::string& name() const { return name_; }
+  // The verification secret a relying party installs in its trust store.
+  // (Symmetric simulation of publishing the CA certificate.)
+  const std::string& verification_secret() const { return secret_; }
+
+  // Issues a certificate for `subject` valid for `lifetime_seconds`.
+  GsiUserCredentialData issue(const std::string& subject,
+                              int64_t lifetime_seconds,
+                              int64_t now_seconds) const;
+
+ private:
+  std::string name_;
+  std::string secret_;
+};
+
+// Server-side trust store: CA name -> verification secret.
+class GsiTrustStore {
+ public:
+  void trust(const std::string& ca_name, const std::string& secret);
+  std::optional<std::string> secret_for(const std::string& ca_name) const;
+
+  // Full validation: trusted issuer, intact signature, not expired.
+  // Returns the subject DN. EKEYREJECTED / EKEYEXPIRED on failure.
+  Result<std::string> validate(const GsiCertificate& cert,
+                               int64_t now_seconds) const;
+
+ private:
+  std::map<std::string, std::string> trusted_;
+};
+
+// Client half of the GSI handshake.
+class GsiCredential : public ClientCredential {
+ public:
+  explicit GsiCredential(GsiUserCredentialData data)
+      : data_(std::move(data)) {}
+  AuthMethod method() const override { return AuthMethod::kGlobus; }
+  Status prove(AuthChannel& channel) const override;
+
+ private:
+  GsiUserCredentialData data_;
+};
+
+// Server half. `clock` is injectable for expiry tests.
+class GsiVerifier : public ServerVerifier {
+ public:
+  explicit GsiVerifier(GsiTrustStore trust,
+                       AuthClock clock = &wall_clock_seconds)
+      : trust_(std::move(trust)), clock_(clock) {}
+  AuthMethod method() const override { return AuthMethod::kGlobus; }
+  Result<Identity> verify(AuthChannel& channel) const override;
+
+ private:
+  GsiTrustStore trust_;
+  AuthClock clock_;
+};
+
+}  // namespace ibox

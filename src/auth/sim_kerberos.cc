@@ -1,0 +1,117 @@
+#include "auth/sim_kerberos.h"
+
+#include "util/hash.h"
+#include "util/rand.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+namespace {
+std::string escape_field(std::string_view text) {
+  std::string once = replace_all(text, "%", "%25");
+  return replace_all(once, "|", "%7c");
+}
+std::string unescape_field(std::string_view text) {
+  std::string once = replace_all(text, "%7c", "|");
+  return replace_all(once, "%25", "%");
+}
+std::string make_nonce() {
+  int local = 0;
+  uint64_t seed = static_cast<uint64_t>(wall_clock_seconds()) ^
+                  reinterpret_cast<uintptr_t>(&local);
+  Rng rng(seed);
+  return rng.ident(24);
+}
+}  // namespace
+
+std::string KerberosTicket::signed_payload() const {
+  return "krb-ticket|" + escape_field(client) + "|" + escape_field(realm) +
+         "|" + std::to_string(expires_at);
+}
+
+std::string KerberosTicket::serialize() const {
+  return escape_field(client) + "|" + escape_field(realm) + "|" +
+         std::to_string(expires_at) + "|" + mac;
+}
+
+std::optional<KerberosTicket> KerberosTicket::Deserialize(
+    std::string_view text) {
+  auto fields = split(text, '|');
+  if (fields.size() != 4) return std::nullopt;
+  KerberosTicket ticket;
+  ticket.client = unescape_field(fields[0]);
+  ticket.realm = unescape_field(fields[1]);
+  auto expiry = parse_i64(fields[2]);
+  if (!expiry) return std::nullopt;
+  ticket.expires_at = *expiry;
+  ticket.mac = fields[3];
+  return ticket;
+}
+
+Kdc::Kdc(std::string realm, std::string service_secret)
+    : realm_(std::move(realm)), service_secret_(std::move(service_secret)) {}
+
+void Kdc::add_user(const std::string& user, const std::string& password) {
+  users_[user] = sha256_hex("krb-pw:" + user + ":" + password);
+}
+
+std::string Kdc::session_key_for(const KerberosTicket& ticket) const {
+  return hmac_sha256_hex(service_secret_, "sess:" + ticket.signed_payload());
+}
+
+Result<KerberosClientTicket> Kdc::issue(const std::string& user,
+                                        const std::string& password,
+                                        int64_t lifetime_seconds,
+                                        int64_t now_seconds) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Error(EACCES);
+  if (it->second != sha256_hex("krb-pw:" + user + ":" + password)) {
+    return Error(EACCES);
+  }
+  KerberosClientTicket out;
+  out.ticket.client = user;
+  out.ticket.realm = realm_;
+  out.ticket.expires_at = now_seconds + lifetime_seconds;
+  out.ticket.mac =
+      hmac_sha256_hex(service_secret_, out.ticket.signed_payload());
+  out.session_key = session_key_for(out.ticket);
+  return out;
+}
+
+Status KerberosCredential::prove(AuthChannel& channel) const {
+  IBOX_RETURN_IF_ERROR(channel.send(ticket_.ticket.serialize()));
+  auto nonce = channel.recv();
+  if (!nonce.ok()) return nonce.error();
+  return channel.send(hmac_sha256_hex(ticket_.session_key, *nonce));
+}
+
+Result<Identity> KerberosVerifier::verify(AuthChannel& channel) const {
+  // Fixed message pattern (recv ticket / send challenge / recv proof) so an
+  // invalid ticket cannot desynchronize the handshake — judging happens
+  // only after the exchange completes.
+  auto ticket_text = channel.recv();
+  if (!ticket_text.ok()) return ticket_text.error();
+  const std::string nonce = make_nonce();
+  IBOX_RETURN_IF_ERROR(channel.send(nonce));
+  auto proof = channel.recv();
+  if (!proof.ok()) return proof.error();
+
+  auto ticket = KerberosTicket::Deserialize(*ticket_text);
+  if (!ticket) return Error(EPROTO);
+  if (ticket->realm != realm_) return Error(EKEYREJECTED);
+  if (hmac_sha256_hex(service_secret_, ticket->signed_payload()) !=
+      ticket->mac) {
+    return Error(EKEYREJECTED);
+  }
+  if (clock_() >= ticket->expires_at) return Error(EKEYEXPIRED);
+  const std::string session_key =
+      hmac_sha256_hex(service_secret_, "sess:" + ticket->signed_payload());
+  if (hmac_sha256_hex(session_key, nonce) != *proof) return Error(EACCES);
+
+  auto identity =
+      Identity::Parse("kerberos:" + ticket->client + "@" + ticket->realm);
+  if (!identity) return Error(EPROTO);
+  return *identity;
+}
+
+}  // namespace ibox

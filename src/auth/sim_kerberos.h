@@ -1,0 +1,91 @@
+// Simulated Kerberos.
+//
+// Reproduces the Kerberos trust flow of the paper's Chirp server without an
+// external KDC: a Kdc holds a realm name, per-user secrets, and a service
+// secret shared with the server. A client asks the Kdc for a Ticket (MAC'd
+// with the service secret, carrying an expiry and a session key); the
+// handshake presents the ticket plus an authenticator HMAC'd with the
+// session key over a server nonce. The proven principal is
+// "kerberos:<user>@<REALM>".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "auth/auth.h"
+#include "util/result.h"
+
+namespace ibox {
+
+struct KerberosTicket {
+  std::string client;      // user name, e.g. "fred"
+  std::string realm;       // e.g. "NOWHERE.EDU"
+  int64_t expires_at = 0;  // unix seconds
+  std::string mac;         // HMAC over the fields, keyed by service secret
+
+  std::string signed_payload() const;
+  std::string serialize() const;
+  static std::optional<KerberosTicket> Deserialize(std::string_view text);
+};
+
+// Ticket plus the session key the client uses to build authenticators.
+struct KerberosClientTicket {
+  KerberosTicket ticket;
+  std::string session_key;
+};
+
+// An in-process key distribution centre.
+class Kdc {
+ public:
+  Kdc(std::string realm, std::string service_secret);
+
+  const std::string& realm() const { return realm_; }
+  const std::string& service_secret() const { return service_secret_; }
+
+  // Registers a user with a password-derived secret.
+  void add_user(const std::string& user, const std::string& password);
+
+  // Issues a ticket if the password matches; EACCES otherwise.
+  Result<KerberosClientTicket> issue(const std::string& user,
+                                     const std::string& password,
+                                     int64_t lifetime_seconds,
+                                     int64_t now_seconds) const;
+
+ private:
+  std::string session_key_for(const KerberosTicket& ticket) const;
+
+  std::string realm_;
+  std::string service_secret_;
+  std::map<std::string, std::string> users_;  // user -> password hash
+};
+
+class KerberosCredential : public ClientCredential {
+ public:
+  explicit KerberosCredential(KerberosClientTicket ticket)
+      : ticket_(std::move(ticket)) {}
+  AuthMethod method() const override { return AuthMethod::kKerberos; }
+  Status prove(AuthChannel& channel) const override;
+
+ private:
+  KerberosClientTicket ticket_;
+};
+
+// Server half; holds the service secret shared with the Kdc.
+class KerberosVerifier : public ServerVerifier {
+ public:
+  KerberosVerifier(std::string realm, std::string service_secret,
+                   AuthClock clock = &wall_clock_seconds)
+      : realm_(std::move(realm)),
+        service_secret_(std::move(service_secret)),
+        clock_(clock) {}
+  AuthMethod method() const override { return AuthMethod::kKerberos; }
+  Result<Identity> verify(AuthChannel& channel) const override;
+
+ private:
+  std::string realm_;
+  std::string service_secret_;
+  AuthClock clock_;
+};
+
+}  // namespace ibox

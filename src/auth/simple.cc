@@ -1,0 +1,129 @@
+#include "auth/simple.h"
+
+#include <pwd.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fs.h"
+#include "util/hash.h"
+#include "util/path.h"
+#include "util/rand.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+namespace {
+std::string make_nonce() {
+  int local = 0;
+  uint64_t seed = static_cast<uint64_t>(wall_clock_seconds()) ^
+                  reinterpret_cast<uintptr_t>(&local) ^
+                  (static_cast<uint64_t>(getpid()) << 32);
+  Rng rng(seed);
+  return rng.ident(24);
+}
+}  // namespace
+
+Status HostnameCredential::prove(AuthChannel& channel) const {
+  // The server derives the identity from the connection itself; the client
+  // only acknowledges so both sides stay in step.
+  return channel.send("hostname-ready");
+}
+
+Result<Identity> HostnameVerifier::verify(AuthChannel& channel) const {
+  auto ready = channel.recv();
+  if (!ready.ok()) return ready.error();
+  if (*ready != "hostname-ready") return Error(EPROTO);
+  auto hostname = resolver_(peer_address_);
+  if (!hostname) return Error(EHOSTUNREACH);
+  auto identity = Identity::Parse("hostname:" + *hostname);
+  if (!identity) return Error(EPROTO);
+  return *identity;
+}
+
+Status UnixCredential::prove(AuthChannel& channel) const {
+  IBOX_RETURN_IF_ERROR(channel.send("unix " + username_));
+  // The server names a challenge file containing a nonce; we prove local
+  // account control by *creating* the response file — the server reads the
+  // response file's owner uid from the filesystem, which the client cannot
+  // spoof over the wire.
+  auto challenge_path = channel.recv();
+  if (!challenge_path.ok()) return challenge_path.error();
+  auto nonce = read_file(*challenge_path);
+  if (!nonce.ok()) {
+    // Keep the message pattern balanced even when we cannot answer, so the
+    // server can deliver its verdict instead of waiting forever.
+    (void)channel.send("failed");
+    return nonce.error();
+  }
+  const std::string response_path = *challenge_path + ".response";
+  Status written =
+      write_file(response_path, hmac_sha256_hex(*nonce, "unix-auth"), 0600);
+  if (!written.ok()) {
+    (void)channel.send("failed");
+    return written;
+  }
+  return channel.send("written " + response_path);
+}
+
+Result<Identity> UnixVerifier::verify(AuthChannel& channel) const {
+  auto claim = channel.recv();
+  if (!claim.ok()) return claim.error();
+  auto fields = split_ws(*claim);
+  const bool claim_ok = fields.size() == 2 && fields[0] == "unix" &&
+                        is_valid_identity_text(fields[1]);
+  const std::string username = claim_ok ? fields[1] : std::string();
+
+  const std::string nonce = make_nonce();
+  const std::string challenge_path =
+      path_join(challenge_dir_, "challenge." + nonce);
+  const std::string response_path = challenge_path + ".response";
+  IBOX_RETURN_IF_ERROR(write_file(challenge_path, nonce, 0644));
+  auto cleanup = [&] {
+    ::unlink(challenge_path.c_str());
+    ::unlink(response_path.c_str());
+  };
+  Status sent = channel.send(challenge_path);
+  if (!sent.ok()) {
+    cleanup();
+    return sent.error();
+  }
+  auto done = channel.recv();
+  if (!done.ok() || !starts_with(*done, "written ")) {
+    cleanup();
+    return done.ok() ? Error(EACCES) : done.error();
+  }
+  if (!claim_ok) {
+    cleanup();
+    return Error(EPROTO);
+  }
+
+  // The response must contain the nonce proof AND be owned by the claimed
+  // account: ownership is the part the kernel vouches for.
+  struct stat st;
+  if (::lstat(response_path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    cleanup();
+    return Error(EACCES);
+  }
+  auto proof = read_file(response_path);
+  cleanup();
+  if (!proof.ok()) return proof.error();
+  if (*proof != hmac_sha256_hex(nonce, "unix-auth")) return Error(EACCES);
+
+  const struct passwd* pw = ::getpwuid(st.st_uid);
+  const std::string owner =
+      pw ? std::string(pw->pw_name) : "uid" + std::to_string(st.st_uid);
+  if (owner != username) return Error(EACCES);
+
+  auto identity = Identity::Parse("unix:" + username);
+  if (!identity) return Error(EPROTO);
+  return *identity;
+}
+
+std::string current_unix_username() {
+  if (const struct passwd* pw = ::getpwuid(::geteuid())) {
+    return pw->pw_name;
+  }
+  return "uid" + std::to_string(::geteuid());
+}
+
+}  // namespace ibox

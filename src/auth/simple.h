@@ -1,0 +1,82 @@
+// The two lightweight authentication methods of the Chirp server:
+//
+// Hostname: the server identifies the peer by reverse lookup of its network
+// address. We model the lookup with an injectable HostResolver (the
+// production analogue is DNS PTR); the client merely confirms. Principal:
+// "hostname:<fqdn>". This method proves only *where* the peer connects
+// from, which is exactly the paper's point — it is the weakest rung of the
+// method ladder, suitable for ACLs like "hostname:*.nowhere.edu rlx".
+//
+// Unix: the client proves control of a local account via a filesystem
+// challenge: the server writes a nonce into a fresh file under a directory
+// it controls and asks the client to read it back. Only a process on the
+// same machine with access to that directory can answer. Principal:
+// "unix:<username>".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "auth/auth.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// Maps a peer address (opaque text, e.g. "10.1.2.3") to a hostname.
+using HostResolver =
+    std::function<std::optional<std::string>(const std::string& address)>;
+
+class HostnameCredential : public ClientCredential {
+ public:
+  AuthMethod method() const override { return AuthMethod::kHostname; }
+  Status prove(AuthChannel& channel) const override;
+};
+
+class HostnameVerifier : public ServerVerifier {
+ public:
+  // `peer_address` is the connection's remote address as known to the
+  // server (never supplied by the client).
+  HostnameVerifier(std::string peer_address, HostResolver resolver)
+      : peer_address_(std::move(peer_address)),
+        resolver_(std::move(resolver)) {}
+  AuthMethod method() const override { return AuthMethod::kHostname; }
+  Result<Identity> verify(AuthChannel& channel) const override;
+
+ private:
+  std::string peer_address_;
+  HostResolver resolver_;
+};
+
+class UnixCredential : public ClientCredential {
+ public:
+  // `username` is the account the client claims; the challenge file proves
+  // it can read the server's challenge directory.
+  explicit UnixCredential(std::string username)
+      : username_(std::move(username)) {}
+  AuthMethod method() const override { return AuthMethod::kUnix; }
+  Status prove(AuthChannel& channel) const override;
+
+ private:
+  std::string username_;
+};
+
+class UnixVerifier : public ServerVerifier {
+ public:
+  // `challenge_dir` must be a directory only local, same-user processes can
+  // read (the server creates challenge files mode 0600 inside it).
+  explicit UnixVerifier(std::string challenge_dir)
+      : challenge_dir_(std::move(challenge_dir)) {}
+  AuthMethod method() const override { return AuthMethod::kUnix; }
+  Result<Identity> verify(AuthChannel& channel) const override;
+
+ private:
+  std::string challenge_dir_;
+};
+
+// The calling process's own username (getpwuid of the effective uid),
+// falling back to "uid<N>" when the password database has no entry.
+std::string current_unix_username();
+
+}  // namespace ibox

@@ -1,0 +1,61 @@
+#include "box/audit.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "auth/auth.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+AuditLog::AuditLog(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) {
+    fd_.reset(::open(path_.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0600));
+  }
+}
+
+void AuditLog::record(const Identity& id, std::string_view operation,
+                      std::string_view object, int errno_code) {
+  if (!fd_) return;
+  std::string line = std::to_string(wall_clock_seconds());
+  line.push_back(' ');
+  line += id.str();
+  line.push_back(' ');
+  line += operation;
+  line.push_back(' ');
+  // Paths may contain spaces; escape them to keep one record per line.
+  line += replace_all(replace_all(object, "%", "%25"), " ", "%20");
+  line.push_back(' ');
+  line += std::to_string(errno_code);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  // O_APPEND writes are atomic per line for reasonable line lengths.
+  ssize_t rc = ::write(fd_.get(), line.data(), line.size());
+  (void)rc;
+}
+
+Result<std::vector<AuditLog::Record>> AuditLog::Load(
+    const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.error();
+  std::vector<Record> out;
+  for (const auto& line : split(*text, '\n')) {
+    if (trim(line).empty()) continue;
+    auto fields = split_ws(line);
+    if (fields.size() != 5) return Error(EBADMSG);
+    Record record;
+    auto ts = parse_i64(fields[0]);
+    auto err = parse_i64(fields[4]);
+    if (!ts || !err) return Error(EBADMSG);
+    record.timestamp = *ts;
+    record.identity = fields[1];
+    record.operation = fields[2];
+    record.object = replace_all(replace_all(fields[3], "%20", " "), "%25", "%");
+    record.errno_code = static_cast<int>(*err);
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace ibox

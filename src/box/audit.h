@@ -1,0 +1,49 @@
+// Forensic audit log (paper section 9).
+//
+// "the identity box could be used for forensic purposes, recording the
+// objects accessed and the activities taken by the untrusted user."
+//
+// Each record is one line: <unix-time> <identity> <operation> <path>
+// <result>. The log is written by the supervisor, outside the box, so the
+// boxed process can neither read nor tamper with it.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "identity/identity.h"
+#include "util/fs.h"
+#include "util/result.h"
+
+namespace ibox {
+
+class AuditLog {
+ public:
+  // An empty path disables logging (all appends become no-ops).
+  explicit AuditLog(std::string path = {});
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // Thread-safe append. errno_code 0 means success.
+  void record(const Identity& id, std::string_view operation,
+              std::string_view object, int errno_code);
+
+  // Parses a log file back into records (for the forensics example/tests).
+  struct Record {
+    int64_t timestamp = 0;
+    std::string identity;
+    std::string operation;
+    std::string object;
+    int errno_code = 0;
+  };
+  static Result<std::vector<Record>> Load(const std::string& path);
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  UniqueFd fd_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,139 @@
+#include "box/box_context.h"
+
+#include <unistd.h>
+
+#include <fcntl.h>
+
+#include "box/ctl_driver.h"
+#include "box/passwd.h"
+#include "util/fs.h"
+#include "util/hash.h"
+#include "util/log.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+BoxContext::BoxContext(Identity identity, BoxOptions options)
+    : identity_(std::move(identity)),
+      options_(std::move(options)),
+      audit_(options_.audit_log_path) {}
+
+Result<std::unique_ptr<BoxContext>> BoxContext::Create(Identity identity,
+                                                       BoxOptions options) {
+  if (identity.empty()) return Error(EINVAL);
+  if (options.state_dir.empty() || !dir_exists(options.state_dir)) {
+    return Error(ENOENT);
+  }
+  std::unique_ptr<BoxContext> box(
+      new BoxContext(std::move(identity), std::move(options)));
+  IBOX_RETURN_IF_ERROR(box->initialize());
+  return box;
+}
+
+Result<std::string> BoxContext::to_box_path(
+    const std::string& host_path) const {
+  const std::string root = path_clean(options_.box_root);
+  const std::string clean = path_clean(host_path);
+  if (root == "/") return clean;
+  if (!path_is_within(root, clean)) return Error(EXDEV);
+  std::string rest = clean.substr(root.size());
+  return rest.empty() ? std::string("/") : rest;
+}
+
+Status BoxContext::initialize() {
+  auto local = std::make_unique<LocalDriver>(options_.box_root);
+  local_ = local.get();
+  auto mounts = std::make_unique<MountTable>(std::move(local));
+  vfs_ = std::make_unique<Vfs>(identity_, std::move(mounts));
+
+  // State lives under state_dir on the host. When the box root is not "/",
+  // state_dir must sit inside it so the box can reach its own home.
+  const std::string state = path_clean(options_.state_dir);
+
+  if (options_.provision_home) {
+    const std::string home_host = path_join(state, "home");
+    IBOX_RETURN_IF_ERROR(make_dirs(home_host, 0755));
+    // "Visiting users are given a fresh home directory with an appropriate
+    // ACL": full rights for the visitor, no one else listed.
+    Acl home_acl;
+    home_acl.set_entry(SubjectPattern::Exact(identity_), Rights::Full());
+    if (!options_.home_acl_extra_subject.empty()) {
+      auto subject = SubjectPattern::Parse(options_.home_acl_extra_subject);
+      auto rights = Rights::Parse(options_.home_acl_extra_rights);
+      if (!subject || !rights) return Status::Errno(EINVAL);
+      home_acl.set_entry(*subject, *rights);
+    }
+    auto home_box = to_box_path(home_host);
+    if (!home_box.ok()) return home_box.error();
+    IBOX_RETURN_IF_ERROR(local_->stamp_acl(*home_box, home_acl));
+    home_box_path_ = *home_box;
+  }
+
+  // The /ibox control namespace: get_user_name() through /ibox/username,
+  // ACL inspection and (admin-gated) edits through /ibox/acl/<path>.
+  IBOX_RETURN_IF_ERROR(
+      vfs_->mounts().mount("/ibox", std::make_unique<CtlDriver>(vfs_.get())));
+
+  if (options_.redirect_passwd) {
+    const std::string passwd_host = path_join(state, "passwd");
+    auto written = write_private_passwd(
+        identity_, home_box_path_.empty() ? "/" : home_box_path_,
+        passwd_host);
+    if (!written.ok()) return written.error();
+    if (auto passwd_box = to_box_path(passwd_host); passwd_box.ok()) {
+      vfs_->add_redirect("/etc/passwd", *passwd_box);
+    }
+  }
+
+  IBOX_INFO << "identity box created for " << identity_.str()
+            << " (state " << state << ")";
+  return Status::Ok();
+}
+
+Result<std::string> BoxContext::resolve_executable(
+    const std::string& box_path) {
+  const std::string clean = path_clean(box_path);
+  IBOX_RETURN_IF_ERROR(vfs_->access(clean, Access::kExecute));
+  audit_.record(identity_, "exec", clean, 0);
+
+  auto at = vfs_->resolve_mount(clean);
+  if (at.driver == vfs_->mounts().root_driver()) {
+    auto resolved = local_->resolve(at.driver_path, /*follow_final=*/true);
+    if (!resolved.ok()) return resolved.error();
+    return local_->host_path(*resolved);
+  }
+
+  // Remote program: fetch it into the state directory and run the copy.
+  auto handle = vfs_->open(clean, O_RDONLY, 0);
+  if (!handle.ok()) return handle.error();
+  std::string contents;
+  char buf[1 << 16];
+  uint64_t off = 0;
+  while (true) {
+    auto got = (*handle)->pread(buf, sizeof(buf), off);
+    if (!got.ok()) return got.error();
+    if (*got == 0) break;
+    contents.append(buf, *got);
+    off += *got;
+  }
+  const std::string cache =
+      path_join(options_.state_dir,
+                "exec-" + std::to_string(fnv1a64(clean)) + "-" +
+                    path_basename(clean));
+  // World-readable: when the program is a script, its interpreter re-opens
+  // this path from inside the box, where the ungoverned state directory is
+  // subject to the nobody fallback.
+  IBOX_RETURN_IF_ERROR(write_file(cache, contents, 0755));
+  return cache;
+}
+
+std::vector<std::string> BoxContext::environment_overrides() const {
+  std::vector<std::string> env;
+  if (!home_box_path_.empty()) env.push_back("HOME=" + home_box_path_);
+  env.push_back("USER=" + passwd_safe_name(identity_));
+  env.push_back("LOGNAME=" + passwd_safe_name(identity_));
+  return env;
+}
+
+}  // namespace ibox

@@ -1,0 +1,100 @@
+// BoxContext: everything the supervisor sets up for one identity box.
+//
+// Creating a box (paper section 3):
+//   * binds the visiting identity to a Vfs over the box's export root;
+//   * provisions "a fresh home directory with an appropriate ACL";
+//   * synthesizes the private /etc/passwd and redirects accesses to it;
+//   * exposes the identity through the get_user_name channel (the virtual
+//     file /ibox/username — programs need not be modified; the supervisor
+//     itself uses the identity for access control);
+//   * opens the forensic audit log.
+//
+// "No administrator intervention is needed to create an identity box": all
+// of this happens with ordinary user privileges, on the fly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "box/audit.h"
+#include "identity/identity.h"
+#include "util/result.h"
+#include "vfs/local_driver.h"
+#include "vfs/vfs.h"
+
+namespace ibox {
+
+struct BoxOptions {
+  // Host directory exported as the box's "/". "/" (default) gives the
+  // paper's interactive-session behavior: the visitor sees the whole
+  // filesystem, gated by ACLs and the nobody fallback.
+  std::string box_root = "/";
+
+  // Host directory for box state (home, passwd copy, username file, audit
+  // log). Must exist; typically a fresh temp directory per box.
+  std::string state_dir;
+
+  bool provision_home = true;
+  bool redirect_passwd = true;
+
+  // Empty disables auditing.
+  std::string audit_log_path;
+
+  // Extra rights granted in the home ACL beyond the visitor's rwldax
+  // (e.g. a trailing v(...) so the visitor can reserve sub-namespaces).
+  std::string home_acl_extra_subject;  // optional second subject
+  std::string home_acl_extra_rights;
+};
+
+class BoxContext {
+ public:
+  // Builds the box: provisions state under options.state_dir and wires the
+  // Vfs with its redirects. Fails if state_dir is missing.
+  static Result<std::unique_ptr<BoxContext>> Create(Identity identity,
+                                                    BoxOptions options);
+
+  const Identity& identity() const { return identity_; }
+  Vfs& vfs() { return *vfs_; }
+  AuditLog& audit() { return audit_; }
+
+  // Box-absolute path of the visitor's home ("" when not provisioned).
+  const std::string& home_dir() const { return home_box_path_; }
+
+  // Environment overrides for processes started inside the box
+  // ("HOME=...", "USER=...", "LOGNAME=..."), ready for execve.
+  std::vector<std::string> environment_overrides() const;
+
+  // The box path of the virtual username file backing get_user_name.
+  static constexpr const char* kUsernamePath = "/ibox/username";
+
+  // Authorizes execution of `box_path` (the x right, paper section 4) and
+  // returns the HOST path to hand to execve. Programs on non-local mounts
+  // (e.g. /chirp/...) are fetched into the box state directory first, so a
+  // visitor can run a binary that lives on a remote server.
+  Result<std::string> resolve_executable(const std::string& box_path);
+
+  // Attaches a filesystem-like service at a path prefix, Parrot-style:
+  // "files on a Chirp server appear as ordinary files in the path
+  // /chirp/server/path" (paper section 4). Typically called with a
+  // ChirpDriver before the box runs anything.
+  Status mount(const std::string& prefix, std::unique_ptr<Driver> driver) {
+    return vfs_->mounts().mount(prefix, std::move(driver));
+  }
+
+ private:
+  BoxContext(Identity identity, BoxOptions options);
+
+  Status initialize();
+  // Converts a host path under box_root into a box-absolute path.
+  Result<std::string> to_box_path(const std::string& host_path) const;
+
+  Identity identity_;
+  BoxOptions options_;
+  std::unique_ptr<Vfs> vfs_;
+  LocalDriver* local_ = nullptr;  // owned by the mount table
+  AuditLog audit_;
+  std::string home_box_path_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,171 @@
+#include "box/ctl_driver.h"
+
+#include <fcntl.h>
+
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/path.h"
+#include "util/strings.h"
+#include "vfs/vfs.h"
+
+namespace ibox {
+
+namespace {
+
+// Read-only snapshot handle (username, ACL text).
+class SnapshotHandle : public FileHandle {
+ public:
+  explicit SnapshotHandle(std::string text) : text_(std::move(text)) {}
+
+  Result<size_t> pread(void* buf, size_t count, uint64_t offset) override {
+    if (offset >= text_.size()) return size_t{0};
+    const size_t n = std::min(count, text_.size() - offset);
+    std::memcpy(buf, text_.data() + offset, n);
+    return n;
+  }
+  Result<size_t> pwrite(const void*, size_t, uint64_t) override {
+    return Error(EBADF);
+  }
+  Result<VfsStat> fstat() override {
+    VfsStat st;
+    st.mode = 0100444;  // read-only regular file
+    st.size = text_.size();
+    st.inode = fnv1a64(text_);
+    return st;
+  }
+  Status ftruncate(uint64_t) override { return Status::Errno(EBADF); }
+
+ private:
+  std::string text_;
+};
+
+// Write handle applying "subject rights" lines to a directory's ACL.
+class AclEditHandle : public FileHandle {
+ public:
+  AclEditHandle(Vfs* vfs, Identity id, std::string target)
+      : vfs_(vfs), id_(std::move(id)), target_(std::move(target)) {}
+
+  Result<size_t> pread(void*, size_t, uint64_t) override {
+    return Error(EBADF);
+  }
+
+  Result<size_t> pwrite(const void* buf, size_t count, uint64_t) override {
+    // Accumulate and apply complete lines; a final unterminated line is
+    // applied at close (destructor) for echo-without-newline callers.
+    buffer_.append(static_cast<const char*>(buf), count);
+    size_t newline;
+    while ((newline = buffer_.find('\n')) != std::string::npos) {
+      IBOX_RETURN_IF_ERROR(apply_line(buffer_.substr(0, newline)));
+      buffer_.erase(0, newline + 1);
+    }
+    return count;
+  }
+
+  ~AclEditHandle() override {
+    if (!trim(buffer_).empty()) (void)apply_line(buffer_);
+  }
+
+  Result<VfsStat> fstat() override {
+    VfsStat st;
+    st.mode = 0100200;  // write-only regular file
+    return st;
+  }
+  Status ftruncate(uint64_t) override { return Status::Ok(); }
+
+ private:
+  Status apply_line(const std::string& raw_line) {
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#') return Status::Ok();
+    auto fields = split_ws(line);
+    if (fields.size() != 2) return Status::Errno(EINVAL);
+    // The Vfs enforces the admin right via AclStore::set_entry.
+    return vfs_->setacl(target_, fields[0], fields[1]);
+  }
+
+  Vfs* vfs_;
+  Identity id_;
+  std::string target_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FileHandle>> CtlDriver::open(const Identity& id,
+                                                    const std::string& path,
+                                                    int flags, int) {
+  const std::string clean = path_clean(path);
+  const int accmode = flags & O_ACCMODE;
+
+  if (clean == "/username") {
+    if (accmode != O_RDONLY) return Error(EACCES);
+    return std::unique_ptr<FileHandle>(
+        new SnapshotHandle(id.str() + "\n"));
+  }
+  if (clean == "/acl" || starts_with(clean, "/acl/")) {
+    const std::string target =
+        clean == "/acl" ? "/" : clean.substr(std::strlen("/acl"));
+    if (accmode == O_RDONLY) {
+      auto text = vfs_->getacl(target);
+      if (!text.ok()) return text.error();
+      return std::unique_ptr<FileHandle>(new SnapshotHandle(*text));
+    }
+    if (accmode == O_WRONLY) {
+      // Authorization happens per-line in setacl; opening is free.
+      return std::unique_ptr<FileHandle>(
+          new AclEditHandle(vfs_, id, target));
+    }
+    return Error(EINVAL);
+  }
+  return Error(ENOENT);
+}
+
+Result<VfsStat> CtlDriver::stat(const Identity& id, const std::string& path) {
+  const std::string clean = path_clean(path);
+  VfsStat st;
+  if (clean == "/" || clean == "/acl") {
+    st.mode = 0040555;  // directory
+    return st;
+  }
+  if (clean == "/username") {
+    st.mode = 0100444;
+    st.size = id.str().size() + 1;
+    return st;
+  }
+  if (starts_with(clean, "/acl/")) {
+    auto text = vfs_->getacl(clean.substr(std::strlen("/acl")));
+    if (!text.ok()) return text.error();
+    st.mode = 0100644;
+    st.size = text->size();
+    return st;
+  }
+  return Error(ENOENT);
+}
+
+Result<VfsStat> CtlDriver::lstat(const Identity& id,
+                                 const std::string& path) {
+  return stat(id, path);
+}
+
+Result<std::vector<DirEntry>> CtlDriver::readdir(const Identity&,
+                                                 const std::string& path) {
+  const std::string clean = path_clean(path);
+  if (clean == "/") {
+    return std::vector<DirEntry>{{"acl", true}, {"username", false}};
+  }
+  if (clean == "/acl") return std::vector<DirEntry>{};
+  return Error(ENOTDIR);
+}
+
+Status CtlDriver::access(const Identity& id, const std::string& path,
+                         Access wanted) {
+  auto st = stat(id, path);
+  if (!st.ok()) return st.error();
+  if (wanted == Access::kWrite &&
+      !starts_with(path_clean(path), "/acl/")) {
+    return Status::Errno(EACCES);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ibox

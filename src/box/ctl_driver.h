@@ -1,0 +1,92 @@
+// CtlDriver: the box's control namespace, mounted at /ibox.
+//
+// Parrot exposes operating-system-like services through the filesystem;
+// the identity box follows suit so that UNMODIFIED tools manage it:
+//
+//   /ibox/username          read-only: the box identity (get_user_name)
+//   /ibox/acl/<path>        read:  the ACL text governing <path>
+//                           write: ACL edits, one "subject rights" line per
+//                                  write; rights "-" removes the entry.
+//                                  Requires the A right, enforced by the
+//                                  underlying ACL store — e.g.
+//
+//       $ cat /ibox/acl/home/fred
+//       Freddy rwldax
+//       $ echo "George rl" > /ibox/acl/home/fred      # grant
+//       $ echo "George -"  > /ibox/acl/home/fred      # revoke
+//
+// The driver delegates the actual checks to the box Vfs, so every rule
+// (admin right, governed directories only) holds with no second policy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "identity/identity.h"
+#include "vfs/driver.h"
+
+namespace ibox {
+
+class Vfs;
+
+class CtlDriver : public Driver {
+ public:
+  // `delegate` is the box Vfs this control surface manages. The driver is
+  // mounted INTO that same Vfs; the Vfs owns the driver, so the back
+  // reference cannot dangle.
+  explicit CtlDriver(Vfs* delegate) : vfs_(delegate) {}
+
+  std::string_view scheme() const override { return "ibox-ctl"; }
+
+  Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+                                           const std::string& path, int flags,
+                                           int mode) override;
+  Result<VfsStat> stat(const Identity& id, const std::string& path) override;
+  Result<VfsStat> lstat(const Identity& id, const std::string& path) override;
+  Result<std::vector<DirEntry>> readdir(const Identity& id,
+                                        const std::string& path) override;
+
+  // Everything mutating is rejected: the control files are not real files.
+  Status mkdir(const Identity&, const std::string&, int) override {
+    return Status::Errno(EPERM);
+  }
+  Status rmdir(const Identity&, const std::string&) override {
+    return Status::Errno(EPERM);
+  }
+  Status unlink(const Identity&, const std::string&) override {
+    return Status::Errno(EPERM);
+  }
+  Status rename(const Identity&, const std::string&,
+                const std::string&) override {
+    return Status::Errno(EPERM);
+  }
+  Status symlink(const Identity&, const std::string&,
+                 const std::string&) override {
+    return Status::Errno(EPERM);
+  }
+  Result<std::string> readlink(const Identity&, const std::string&) override {
+    return Error(EINVAL);
+  }
+  Status link(const Identity&, const std::string&,
+              const std::string&) override {
+    return Status::Errno(EPERM);
+  }
+  Status truncate(const Identity&, const std::string&, uint64_t) override {
+    return Status::Ok();  // shells O_TRUNC before writing; harmless here
+  }
+  Status utime(const Identity&, const std::string&, uint64_t,
+               uint64_t) override {
+    return Status::Errno(EPERM);
+  }
+  Status chmod(const Identity&, const std::string&, int) override {
+    return Status::Errno(EPERM);
+  }
+  Status access(const Identity& id, const std::string& path,
+                Access wanted) override;
+
+ private:
+  Vfs* vfs_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,42 @@
+#include "box/get_user_name.h"
+
+#include <fcntl.h>
+#include <pwd.h>
+#include <unistd.h>
+
+namespace ibox {
+
+namespace {
+constexpr const char* kUsernamePath = "/ibox/username";
+
+// Deliberately avoids util/ helpers: this shim is meant to be liftable
+// into any client program as-is.
+bool read_username_file(std::string& out) {
+  int fd = ::open(kUsernamePath, O_RDONLY);
+  if (fd < 0) return false;
+  char buf[512];
+  ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n <= 0) return false;
+  // Trim the trailing newline the supervisor writes.
+  while (n > 0 && (buf[n - 1] == '\n' || buf[n - 1] == '\r')) --n;
+  out.assign(buf, static_cast<size_t>(n));
+  return !out.empty();
+}
+}  // namespace
+
+bool inside_identity_box() {
+  std::string unused;
+  return read_username_file(unused);
+}
+
+std::string get_user_name() {
+  std::string name;
+  if (read_username_file(name)) return name;
+  if (const struct passwd* pw = ::getpwuid(::geteuid())) {
+    return pw->pw_name;
+  }
+  return "uid" + std::to_string(::geteuid());
+}
+
+}  // namespace ibox

@@ -1,0 +1,25 @@
+// get_user_name — the paper's new "system call" (section 3), client side.
+//
+// "This identity is then visible to the child process through a new system
+// call get_user_name. We do not expect programs to be changed to use this
+// system call."
+//
+// Inside a box the supervisor surfaces the identity as the virtual file
+// /ibox/username; this header is the thin, dependency-free shim a program
+// that *does* want the identity can call. Outside a box (no /ibox), it
+// falls back to the Unix account name, so code using it runs unchanged in
+// both worlds.
+#pragma once
+
+#include <string>
+
+namespace ibox {
+
+// The caller's high-level identity if running inside an identity box, or
+// the Unix account name otherwise. Never empty.
+std::string get_user_name();
+
+// True if the caller appears to be inside an identity box.
+bool inside_identity_box();
+
+}  // namespace ibox

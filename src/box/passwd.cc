@@ -1,0 +1,46 @@
+#include "box/passwd.h"
+
+#include <unistd.h>
+
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+std::string passwd_safe_name(const Identity& id) {
+  return replace_all(id.str(), ":", "_");
+}
+
+std::string synthesize_passwd(const Identity& id, unsigned uid, unsigned gid,
+                              const std::string& home_dir,
+                              const std::string& shell,
+                              const std::string& system_passwd) {
+  std::string out = passwd_safe_name(id) + ":x:" + std::to_string(uid) + ":" +
+                    std::to_string(gid) + ":Identity Box Visitor:" +
+                    home_dir + ":" + shell + "\n";
+  // Drop any system entry with the same uid so name lookups by uid (whoami,
+  // ls -l, getpwuid) resolve to the visiting identity, which shadows the
+  // supervising account inside the box.
+  for (const auto& line : split(system_passwd, '\n')) {
+    if (trim(line).empty()) continue;
+    auto fields = split(line, ':');
+    if (fields.size() >= 3 && fields[2] == std::to_string(uid)) continue;
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::string> write_private_passwd(const Identity& id,
+                                         const std::string& home_dir,
+                                         const std::string& output_path) {
+  std::string system_passwd =
+      read_file("/etc/passwd").value_or(std::string());
+  std::string text =
+      synthesize_passwd(id, ::getuid(), ::getgid(), home_dir, "/bin/sh",
+                        system_passwd);
+  IBOX_RETURN_IF_ERROR(write_file(output_path, text, 0644));
+  return output_path;
+}
+
+}  // namespace ibox

@@ -1,0 +1,40 @@
+// Synthesized /etc/passwd for identity boxes (paper section 3, Figure 2).
+//
+// "the identity box causes the Unix account name to correspond to that of
+// the identity string. This allows whoami and similar tools to produce
+// sensible output. This is accomplished by creating a private copy of the
+// /etc/passwd file, adding an entry at the top corresponding to the
+// visiting identity, and then redirecting all accesses to /etc/passwd to
+// that copy. [...] Neither the existing user database nor the private copy
+// play any role in access control within the identity box."
+#pragma once
+
+#include <string>
+
+#include "identity/identity.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// passwd(5) field separator is ':', which principals may contain
+// ("globus:/O=..."). The account-name field substitutes '_' for ':' so the
+// synthesized database stays parseable; everything else in the box uses the
+// untranslated identity string.
+std::string passwd_safe_name(const Identity& id);
+
+// Builds the private passwd text: a first entry naming the visiting
+// identity with the supervisor's uid/gid and the box home directory,
+// followed by `system_passwd` (usually the real /etc/passwd, so tools that
+// scan the database still see system accounts).
+std::string synthesize_passwd(const Identity& id, unsigned uid, unsigned gid,
+                              const std::string& home_dir,
+                              const std::string& shell,
+                              const std::string& system_passwd);
+
+// Convenience: read /etc/passwd (tolerating failure), synthesize, and write
+// to `output_path` (mode 0644). Returns the written path.
+Result<std::string> write_private_passwd(const Identity& id,
+                                         const std::string& home_dir,
+                                         const std::string& output_path);
+
+}  // namespace ibox

@@ -1,0 +1,61 @@
+#include "box/process_registry.h"
+
+namespace ibox {
+
+void ProcessRegistry::add(int pid, const Identity& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  processes_[pid] = id;
+}
+
+void ProcessRegistry::remove(int pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  processes_.erase(pid);
+}
+
+std::optional<Identity> ProcessRegistry::identity_of(int pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ProcessRegistry::contains(int pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return processes_.count(pid) != 0;
+}
+
+size_t ProcessRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return processes_.size();
+}
+
+std::vector<int> ProcessRegistry::pids_of(const Identity& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  for (const auto& [pid, identity] : processes_) {
+    if (identity == id) out.push_back(pid);
+  }
+  return out;
+}
+
+Status ProcessRegistry::check_signal(int sender_pid, int target_pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto sender = processes_.find(sender_pid);
+  if (sender == processes_.end()) return Status::Errno(ESRCH);
+  auto target = processes_.find(target_pid);
+  // Unregistered target: the process either doesn't exist or belongs to
+  // the world outside the box — indistinguishable on purpose.
+  if (target == processes_.end()) return Status::Errno(EPERM);
+  if (!(sender->second == target->second)) return Status::Errno(EPERM);
+  return Status::Ok();
+}
+
+Status ProcessRegistry::check_signal_group(
+    int sender_pid, const std::vector<int>& group_pids) const {
+  for (int pid : group_pids) {
+    IBOX_RETURN_IF_ERROR(check_signal(sender_pid, pid));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ibox

@@ -1,0 +1,48 @@
+// Process registry: which process carries which identity.
+//
+// "a process within an identity box may only send signals to other
+// processes with the same identity. This is easily enforced within the
+// supervisor, which keeps a table of processes under its care." (paper
+// section 3). The registry is shared by all boxes one supervisor manages,
+// so two boxes under one supervisor still cannot signal each other.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "identity/identity.h"
+#include "util/result.h"
+
+namespace ibox {
+
+class ProcessRegistry {
+ public:
+  // Registers a process under an identity. Re-registering an existing pid
+  // (pid reuse after reaping) simply overwrites.
+  void add(int pid, const Identity& id);
+  void remove(int pid);
+
+  std::optional<Identity> identity_of(int pid) const;
+  bool contains(int pid) const;
+  size_t size() const;
+  std::vector<int> pids_of(const Identity& id) const;
+
+  // Signal mediation. The sender must be registered; the target must be
+  // registered AND carry the same identity. Signals aimed outside the
+  // supervisor's process table are refused (EPERM) — the box cannot touch
+  // the wider system. ESRCH for unknown senders mirrors "who are you?".
+  Status check_signal(int sender_pid, int target_pid) const;
+
+  // pid 0 / negative pids address process groups; the supervisor restricts
+  // group signals to the sender's own registered group members.
+  Status check_signal_group(int sender_pid,
+                            const std::vector<int>& group_pids) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int, Identity> processes_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,137 @@
+#include "chirp/catalog.h"
+
+#include "auth/auth.h"
+#include "util/strings.h"
+
+namespace ibox {
+
+Result<std::unique_ptr<CatalogServer>> CatalogServer::Start(
+    uint16_t port, int64_t lifetime_seconds) {
+  std::unique_ptr<CatalogServer> server(new CatalogServer(lifetime_seconds));
+  auto listener = TcpListener::Bind(port);
+  if (!listener.ok()) return listener.error();
+  server->listener_ = std::move(*listener);
+  server->accept_thread_ =
+      std::thread([raw = server.get()] { raw->accept_loop(); });
+  return server;
+}
+
+CatalogServer::~CatalogServer() { stop(); }
+
+void CatalogServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t CatalogServer::live_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now = wall_clock_seconds();
+  size_t live = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (now - entry.last_update <= lifetime_) ++live;
+  }
+  return live;
+}
+
+void CatalogServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto channel = listener_.accept();
+    if (!channel.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_.emplace_back(
+        [this, moved = std::make_shared<FrameChannel>(std::move(*channel))] {
+          serve(std::move(*moved));
+        });
+  }
+}
+
+void CatalogServer::serve(FrameChannel channel) {
+  auto frame = channel.recv_frame();
+  if (!frame.ok()) return;
+  auto fields = split_ws(*frame);
+  if (fields.size() == 5 && fields[0] == "update") {
+    auto port = parse_u64(fields[3]);
+    if (!port || *port > 65535) {
+      (void)channel.send_frame("error");
+      return;
+    }
+    CatalogEntry entry;
+    entry.name = fields[1];
+    entry.host = fields[2];
+    entry.port = static_cast<uint16_t>(*port);
+    entry.owner = fields[4];
+    entry.last_update = wall_clock_seconds();
+    const std::string key =
+        entry.name + "@" + entry.host + ":" + fields[3];
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_[key] = entry;
+    }
+    (void)channel.send_frame("ok");
+    return;
+  }
+  if (fields.size() == 1 && fields[0] == "list") {
+    const int64_t now = wall_clock_seconds();
+    std::vector<std::string> lines;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [key, entry] : entries_) {
+        if (now - entry.last_update > lifetime_) continue;
+        lines.push_back(entry.name + " " + entry.host + " " +
+                        std::to_string(entry.port) + " " + entry.owner);
+      }
+    }
+    for (const auto& line : lines) {
+      if (!channel.send_frame(line).ok()) return;
+    }
+    (void)channel.send_frame("");  // terminator
+    return;
+  }
+  (void)channel.send_frame("error");
+}
+
+Status catalog_update(const std::string& catalog_host, uint16_t catalog_port,
+                      const CatalogEntry& entry) {
+  auto channel = tcp_connect(catalog_host, catalog_port);
+  if (!channel.ok()) return channel.error();
+  IBOX_RETURN_IF_ERROR(channel->send_frame(
+      "update " + entry.name + " " + entry.host + " " +
+      std::to_string(entry.port) + " " + entry.owner));
+  auto ack = channel->recv_frame();
+  if (!ack.ok()) return ack.error();
+  return *ack == "ok" ? Status::Ok() : Status::Errno(EPROTO);
+}
+
+Result<std::vector<CatalogEntry>> catalog_list(
+    const std::string& catalog_host, uint16_t catalog_port) {
+  auto channel = tcp_connect(catalog_host, catalog_port);
+  if (!channel.ok()) return channel.error();
+  IBOX_RETURN_IF_ERROR(channel->send_frame("list"));
+  std::vector<CatalogEntry> out;
+  while (true) {
+    auto frame = channel->recv_frame();
+    if (!frame.ok()) return frame.error();
+    if (frame->empty()) return out;
+    auto fields = split_ws(*frame);
+    if (fields.size() != 4) return Error(EPROTO);
+    auto port = parse_u64(fields[2]);
+    if (!port) return Error(EPROTO);
+    CatalogEntry entry;
+    entry.name = fields[0];
+    entry.host = fields[1];
+    entry.port = static_cast<uint16_t>(*port);
+    entry.owner = fields[3];
+    out.push_back(std::move(entry));
+  }
+}
+
+}  // namespace ibox

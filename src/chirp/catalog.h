@@ -1,0 +1,70 @@
+// The catalog server (paper section 4): "A collection of Chirp servers
+// report themselves to a catalog, which then publishes the set of available
+// servers to interested parties."
+//
+// Servers push periodic updates; entries expire after a lifetime so dead
+// servers age out. The protocol is two frame types over TCP:
+//   "update <name> <host> <port> <owner>"  -> "ok"
+//   "list"                                  -> one frame per entry + ""
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chirp/net.h"
+#include "util/result.h"
+
+namespace ibox {
+
+struct CatalogEntry {
+  std::string name;
+  std::string host;
+  uint16_t port = 0;
+  std::string owner;
+  int64_t last_update = 0;  // server-side timestamp
+};
+
+class CatalogServer {
+ public:
+  // Entries older than `lifetime_seconds` are dropped from listings.
+  static Result<std::unique_ptr<CatalogServer>> Start(
+      uint16_t port, int64_t lifetime_seconds = 300);
+  ~CatalogServer();
+  CatalogServer(const CatalogServer&) = delete;
+  CatalogServer& operator=(const CatalogServer&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+  void stop();
+
+  // Test hook: how many live entries right now.
+  size_t live_entries() const;
+
+ private:
+  CatalogServer(int64_t lifetime) : lifetime_(lifetime) {}
+  void accept_loop();
+  void serve(FrameChannel channel);
+
+  int64_t lifetime_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::string, CatalogEntry> entries_;  // keyed by name@host:port
+  std::vector<std::thread> workers_;
+};
+
+// Client side: registers/refreshes a server entry.
+Status catalog_update(const std::string& catalog_host, uint16_t catalog_port,
+                      const CatalogEntry& entry);
+
+// Client side: fetches the live server list.
+Result<std::vector<CatalogEntry>> catalog_list(
+    const std::string& catalog_host, uint16_t catalog_port);
+
+}  // namespace ibox

@@ -1,0 +1,160 @@
+#include "chirp/chirp_driver.h"
+
+namespace ibox {
+
+namespace {
+
+// A remote file handle: positional IO forwarded as pread/pwrite RPCs.
+class ChirpFileHandle : public FileHandle {
+ public:
+  ChirpFileHandle(ChirpClient& client, std::mutex& mutex, int64_t handle)
+      : client_(client), mutex_(mutex), handle_(handle) {}
+
+  ~ChirpFileHandle() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    (void)client_.close(handle_);
+  }
+
+  Result<size_t> pread(void* buf, size_t count, uint64_t offset) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto data = client_.pread(handle_, count, offset);
+    if (!data.ok()) return data.error();
+    std::memcpy(buf, data->data(), data->size());
+    return data->size();
+  }
+
+  Result<size_t> pwrite(const void* buf, size_t count,
+                        uint64_t offset) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return client_.pwrite(
+        handle_, std::string_view(static_cast<const char*>(buf), count),
+        offset);
+  }
+
+  Result<VfsStat> fstat() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return client_.fstat(handle_);
+  }
+
+  Status ftruncate(uint64_t length) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return client_.ftruncate(handle_, length);
+  }
+
+  Status fsync() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return client_.fsync(handle_);
+  }
+
+ private:
+  ChirpClient& client_;
+  std::mutex& mutex_;
+  int64_t handle_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FileHandle>> ChirpDriver::open(const Identity&,
+                                                      const std::string& path,
+                                                      int flags, int mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto handle = client_->open(path, flags, mode);
+  if (!handle.ok()) return handle.error();
+  return std::unique_ptr<FileHandle>(
+      new ChirpFileHandle(*client_, mutex_, *handle));
+}
+
+Result<VfsStat> ChirpDriver::stat(const Identity&, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->stat(path);
+}
+
+Result<VfsStat> ChirpDriver::lstat(const Identity&, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->lstat(path);
+}
+
+Status ChirpDriver::mkdir(const Identity&, const std::string& path,
+                          int mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->mkdir(path, mode);
+}
+
+Status ChirpDriver::rmdir(const Identity&, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->rmdir(path);
+}
+
+Status ChirpDriver::unlink(const Identity&, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->unlink(path);
+}
+
+Status ChirpDriver::rename(const Identity&, const std::string& from,
+                           const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->rename(from, to);
+}
+
+Result<std::vector<DirEntry>> ChirpDriver::readdir(const Identity&,
+                                                   const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->readdir(path);
+}
+
+Status ChirpDriver::symlink(const Identity&, const std::string& target,
+                            const std::string& linkpath) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->symlink(target, linkpath);
+}
+
+Result<std::string> ChirpDriver::readlink(const Identity&,
+                                          const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->readlink(path);
+}
+
+Status ChirpDriver::link(const Identity&, const std::string& oldpath,
+                         const std::string& newpath) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->link(oldpath, newpath);
+}
+
+Status ChirpDriver::truncate(const Identity&, const std::string& path,
+                             uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->truncate(path, length);
+}
+
+Status ChirpDriver::utime(const Identity&, const std::string& path,
+                          uint64_t atime, uint64_t mtime) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->utime(path, atime, mtime);
+}
+
+Status ChirpDriver::chmod(const Identity&, const std::string& path,
+                          int mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->chmod(path, mode);
+}
+
+Status ChirpDriver::access(const Identity&, const std::string& path,
+                           Access wanted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->access(path, wanted);
+}
+
+Result<std::string> ChirpDriver::getacl(const Identity&,
+                                        const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->getacl(path);
+}
+
+Status ChirpDriver::setacl(const Identity&, const std::string& path,
+                           const std::string& subject,
+                           const std::string& rights) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_->setacl(path, subject, rights);
+}
+
+}  // namespace ibox

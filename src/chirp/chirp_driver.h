@@ -1,0 +1,65 @@
+// ChirpDriver: mounts a remote Chirp server into the box VFS.
+//
+// "Using Parrot, files on a Chirp server appear as ordinary files in the
+// path /chirp/server/path" (paper section 4). The driver forwards each
+// operation over one authenticated connection; authorization happens
+// remotely, under the identity proven at connect time — the caller-side
+// identity argument is deliberately unused, because the remote server is
+// the reference monitor for its own tree.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "chirp/client.h"
+#include "vfs/driver.h"
+
+namespace ibox {
+
+class ChirpDriver : public Driver {
+ public:
+  explicit ChirpDriver(std::unique_ptr<ChirpClient> client)
+      : client_(std::move(client)) {}
+
+  std::string_view scheme() const override { return "chirp"; }
+
+  Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+                                           const std::string& path, int flags,
+                                           int mode) override;
+  Result<VfsStat> stat(const Identity& id, const std::string& path) override;
+  Result<VfsStat> lstat(const Identity& id, const std::string& path) override;
+  Status mkdir(const Identity& id, const std::string& path, int mode) override;
+  Status rmdir(const Identity& id, const std::string& path) override;
+  Status unlink(const Identity& id, const std::string& path) override;
+  Status rename(const Identity& id, const std::string& from,
+                const std::string& to) override;
+  Result<std::vector<DirEntry>> readdir(const Identity& id,
+                                        const std::string& path) override;
+  Status symlink(const Identity& id, const std::string& target,
+                 const std::string& linkpath) override;
+  Result<std::string> readlink(const Identity& id,
+                               const std::string& path) override;
+  Status link(const Identity& id, const std::string& oldpath,
+              const std::string& newpath) override;
+  Status truncate(const Identity& id, const std::string& path,
+                  uint64_t length) override;
+  Status utime(const Identity& id, const std::string& path, uint64_t atime,
+               uint64_t mtime) override;
+  Status chmod(const Identity& id, const std::string& path, int mode) override;
+  Status access(const Identity& id, const std::string& path,
+                Access wanted) override;
+  Result<std::string> getacl(const Identity& id,
+                             const std::string& path) override;
+  Status setacl(const Identity& id, const std::string& path,
+                const std::string& subject,
+                const std::string& rights) override;
+
+  ChirpClient& client() { return *client_; }
+  std::mutex& mutex() { return mutex_; }
+
+ private:
+  std::unique_ptr<ChirpClient> client_;
+  std::mutex mutex_;  // one RPC in flight per connection
+};
+
+}  // namespace ibox

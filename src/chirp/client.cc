@@ -1,0 +1,310 @@
+#include "chirp/client.h"
+
+namespace ibox {
+
+Result<std::unique_ptr<ChirpClient>> ChirpClient::Connect(
+    const std::string& host, uint16_t port,
+    const std::vector<const ClientCredential*>& credentials) {
+  auto channel = tcp_connect(host, port);
+  if (!channel.ok()) return channel.error();
+  FrameAuthChannel auth_channel(*channel);
+  IBOX_RETURN_IF_ERROR(authenticate_client(auth_channel, credentials));
+  return std::unique_ptr<ChirpClient>(
+      new ChirpClient(std::move(*channel)));
+}
+
+Result<std::pair<int64_t, std::string>> ChirpClient::rpc(
+    const BufWriter& request) {
+  IBOX_RETURN_IF_ERROR(channel_.send_frame(request.data()));
+  auto reply = channel_.recv_frame();
+  if (!reply.ok()) return reply.error();
+  BufReader reader(*reply);
+  auto status = reader.get_i64();
+  if (!status.ok()) return Error(EBADMSG);
+  if (*status < 0) return Error(static_cast<int>(-*status));
+  return std::make_pair(*status,
+                        reply->substr(reply->size() - reader.remaining()));
+}
+
+Status ChirpClient::rpc_status(const BufWriter& request) {
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  return Status::Ok();
+}
+
+Result<std::string> ChirpClient::whoami() {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kWhoami));
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto name = reader.get_bytes();
+  if (!name.ok()) return Error(EBADMSG);
+  return *name;
+}
+
+Result<int64_t> ChirpClient::open(const std::string& path, int flags,
+                                  int mode) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kOpen));
+  request.put_bytes(path);
+  request.put_u32(static_cast<uint32_t>(flags));
+  request.put_u32(static_cast<uint32_t>(mode));
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  return result->first;
+}
+
+Status ChirpClient::close(int64_t handle) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kClose));
+  request.put_i64(handle);
+  return rpc_status(request);
+}
+
+Result<std::string> ChirpClient::pread(int64_t handle, size_t length,
+                                       uint64_t offset) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kPread));
+  request.put_i64(handle);
+  request.put_u32(static_cast<uint32_t>(length));
+  request.put_u64(offset);
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto data = reader.get_bytes();
+  if (!data.ok()) return Error(EBADMSG);
+  return *data;
+}
+
+Result<size_t> ChirpClient::pwrite(int64_t handle, std::string_view data,
+                                   uint64_t offset) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kPwrite));
+  request.put_i64(handle);
+  request.put_u64(offset);
+  request.put_bytes(data);
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  return static_cast<size_t>(result->first);
+}
+
+Result<VfsStat> ChirpClient::fstat(int64_t handle) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kFstat));
+  request.put_i64(handle);
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  return decode_stat(reader);
+}
+
+Status ChirpClient::ftruncate(int64_t handle, uint64_t length) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kFtruncate));
+  request.put_i64(handle);
+  request.put_u64(length);
+  return rpc_status(request);
+}
+
+Status ChirpClient::fsync(int64_t handle) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kFsync));
+  request.put_i64(handle);
+  return rpc_status(request);
+}
+
+namespace {
+BufWriter path_request(ChirpOp op, const std::string& path) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(op));
+  request.put_bytes(path);
+  return request;
+}
+}  // namespace
+
+Result<VfsStat> ChirpClient::stat(const std::string& path) {
+  auto result = rpc(path_request(ChirpOp::kStat, path));
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  return decode_stat(reader);
+}
+
+Result<VfsStat> ChirpClient::lstat(const std::string& path) {
+  auto result = rpc(path_request(ChirpOp::kLstat, path));
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  return decode_stat(reader);
+}
+
+Status ChirpClient::mkdir(const std::string& path, int mode) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kMkdir));
+  request.put_bytes(path);
+  request.put_u32(static_cast<uint32_t>(mode));
+  return rpc_status(request);
+}
+
+Status ChirpClient::rmdir(const std::string& path) {
+  return rpc_status(path_request(ChirpOp::kRmdir, path));
+}
+
+Status ChirpClient::unlink(const std::string& path) {
+  return rpc_status(path_request(ChirpOp::kUnlink, path));
+}
+
+Status ChirpClient::rename(const std::string& from, const std::string& to) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kRename));
+  request.put_bytes(from);
+  request.put_bytes(to);
+  return rpc_status(request);
+}
+
+Result<std::vector<DirEntry>> ChirpClient::readdir(const std::string& path) {
+  auto result = rpc(path_request(ChirpOp::kReaddir, path));
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  return decode_entries(reader);
+}
+
+Status ChirpClient::symlink(const std::string& target,
+                            const std::string& linkpath) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kSymlink));
+  request.put_bytes(target);
+  request.put_bytes(linkpath);
+  return rpc_status(request);
+}
+
+Result<std::string> ChirpClient::readlink(const std::string& path) {
+  auto result = rpc(path_request(ChirpOp::kReadlink, path));
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto target = reader.get_bytes();
+  if (!target.ok()) return Error(EBADMSG);
+  return *target;
+}
+
+Status ChirpClient::link(const std::string& from, const std::string& to) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kLink));
+  request.put_bytes(from);
+  request.put_bytes(to);
+  return rpc_status(request);
+}
+
+Status ChirpClient::chmod(const std::string& path, int mode) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kChmod));
+  request.put_bytes(path);
+  request.put_u32(static_cast<uint32_t>(mode));
+  return rpc_status(request);
+}
+
+Status ChirpClient::truncate(const std::string& path, uint64_t length) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kTruncate));
+  request.put_bytes(path);
+  request.put_u64(length);
+  return rpc_status(request);
+}
+
+Status ChirpClient::utime(const std::string& path, uint64_t atime,
+                          uint64_t mtime) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kUtime));
+  request.put_bytes(path);
+  request.put_u64(atime);
+  request.put_u64(mtime);
+  return rpc_status(request);
+}
+
+Status ChirpClient::access(const std::string& path, Access wanted) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kAccess));
+  request.put_bytes(path);
+  request.put_u8(static_cast<uint8_t>(wanted));
+  return rpc_status(request);
+}
+
+Result<SpaceInfo> ChirpClient::statfs() {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kStatfs));
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto block_size = reader.get_u64();
+  auto total = reader.get_u64();
+  auto free_blocks = reader.get_u64();
+  if (!block_size.ok() || !total.ok() || !free_blocks.ok()) {
+    return Error(EBADMSG);
+  }
+  SpaceInfo info;
+  info.block_size = *block_size;
+  info.total_blocks = *total;
+  info.free_blocks = *free_blocks;
+  return info;
+}
+
+Result<std::string> ChirpClient::getacl(const std::string& path) {
+  auto result = rpc(path_request(ChirpOp::kGetAcl, path));
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto acl = reader.get_bytes();
+  if (!acl.ok()) return Error(EBADMSG);
+  return *acl;
+}
+
+Status ChirpClient::setacl(const std::string& path,
+                           const std::string& subject,
+                           const std::string& rights) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kSetAcl));
+  request.put_bytes(path);
+  request.put_bytes(subject);
+  request.put_bytes(rights);
+  return rpc_status(request);
+}
+
+Result<std::string> ChirpClient::get_file(const std::string& path) {
+  auto result = rpc(path_request(ChirpOp::kGetFile, path));
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto data = reader.get_bytes();
+  if (!data.ok()) return Error(EBADMSG);
+  return *data;
+}
+
+Status ChirpClient::put_file(const std::string& path, std::string_view data,
+                             int mode) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kPutFile));
+  request.put_bytes(path);
+  request.put_u32(static_cast<uint32_t>(mode));
+  request.put_bytes(data);
+  return rpc_status(request);
+}
+
+Result<ExecResult> ChirpClient::exec(const std::vector<std::string>& argv,
+                                     const std::string& cwd) {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kExec));
+  request.put_bytes(cwd);
+  request.put_u32(static_cast<uint32_t>(argv.size()));
+  for (const auto& arg : argv) request.put_bytes(arg);
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto exit_code = reader.get_u32();
+  auto out = reader.get_bytes();
+  auto err = reader.get_bytes();
+  if (!exit_code.ok() || !out.ok() || !err.ok()) return Error(EBADMSG);
+  ExecResult exec_result;
+  exec_result.exit_code = static_cast<int>(*exit_code);
+  exec_result.out = std::move(*out);
+  exec_result.err = std::move(*err);
+  return exec_result;
+}
+
+}  // namespace ibox

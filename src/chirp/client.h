@@ -1,0 +1,84 @@
+// ChirpClient: the client side of the Chirp protocol.
+//
+// Connect, authenticate with a preference-ordered credential list, then
+// issue Unix-like operations against the server's exported tree. Thread
+// safety: one client per thread, or external locking (one in-flight RPC at
+// a time per connection, as in the original Chirp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/auth.h"
+#include "chirp/net.h"
+#include "chirp/protocol.h"
+#include "util/result.h"
+
+namespace ibox {
+
+class ChirpClient {
+ public:
+  // Connects and runs the auth negotiation; on success the client is bound
+  // to the proven identity for its lifetime.
+  static Result<std::unique_ptr<ChirpClient>> Connect(
+      const std::string& host, uint16_t port,
+      const std::vector<const ClientCredential*>& credentials);
+
+  // The principal the server knows us by.
+  Result<std::string> whoami();
+
+  // Unix-like file interface; handles are server-side ids.
+  Result<int64_t> open(const std::string& path, int flags, int mode);
+  Status close(int64_t handle);
+  Result<std::string> pread(int64_t handle, size_t length, uint64_t offset);
+  Result<size_t> pwrite(int64_t handle, std::string_view data,
+                        uint64_t offset);
+  Result<VfsStat> fstat(int64_t handle);
+  Status ftruncate(int64_t handle, uint64_t length);
+  Status fsync(int64_t handle);
+
+  Result<VfsStat> stat(const std::string& path);
+  Result<VfsStat> lstat(const std::string& path);
+  Status mkdir(const std::string& path, int mode = 0755);
+  Status rmdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<std::vector<DirEntry>> readdir(const std::string& path);
+  Status symlink(const std::string& target, const std::string& linkpath);
+  Result<std::string> readlink(const std::string& path);
+  Status link(const std::string& from, const std::string& to);
+  Status chmod(const std::string& path, int mode);
+  Status truncate(const std::string& path, uint64_t length);
+  Status utime(const std::string& path, uint64_t atime, uint64_t mtime);
+  Status access(const std::string& path, Access wanted);
+
+  // Space totals of the server's export.
+  Result<SpaceInfo> statfs();
+
+  Result<std::string> getacl(const std::string& path);
+  Status setacl(const std::string& path, const std::string& subject,
+                const std::string& rights);
+
+  // Whole-file convenience calls (the paper's put/get workflow, Fig. 3).
+  Result<std::string> get_file(const std::string& path);
+  Status put_file(const std::string& path, std::string_view data,
+                  int mode = 0644);
+
+  // Remote execution inside an identity box named by our principal.
+  Result<ExecResult> exec(const std::vector<std::string>& argv,
+                          const std::string& cwd = "/");
+
+ private:
+  explicit ChirpClient(FrameChannel channel) : channel_(std::move(channel)) {}
+
+  // Sends request, receives reply, returns the payload reader positioned
+  // after the status (or the negative status as an error).
+  Result<std::pair<int64_t, std::string>> rpc(const BufWriter& request);
+  // For calls whose success is just "status == 0".
+  Status rpc_status(const BufWriter& request);
+
+  FrameChannel channel_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,146 @@
+#include "chirp/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ibox {
+
+namespace {
+Status send_all(int fd, const void* data, size_t size) {
+  const auto* in = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::FromErrno();
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status recv_all(int fd, void* data, size_t size) {
+  auto* out = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(fd, out + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::FromErrno();
+    }
+    if (n == 0) return Status::Errno(EPIPE);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Status FrameChannel::send_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrame) return Status::Errno(EMSGSIZE);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  char header[4];
+  std::memcpy(header, &len, 4);
+  IBOX_RETURN_IF_ERROR(send_all(fd_.get(), header, 4));
+  return send_all(fd_.get(), payload.data(), payload.size());
+}
+
+Result<std::string> FrameChannel::recv_frame() {
+  char header[4];
+  IBOX_RETURN_IF_ERROR(recv_all(fd_.get(), header, 4));
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > kMaxFrame) return Error(EMSGSIZE);
+  std::string payload(len, '\0');
+  IBOX_RETURN_IF_ERROR(recv_all(fd_.get(), payload.data(), len));
+  return payload;
+}
+
+std::string FrameChannel::peer_address() const {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return "unknown";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+std::string FrameChannel::peer_ip() const {
+  std::string full = peer_address();
+  size_t colon = full.rfind(':');
+  return colon == std::string::npos ? full : full.substr(0, colon);
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  TcpListener listener;
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error::FromErrno();
+  listener.fd_.reset(fd);
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Error::FromErrno();
+  }
+  if (::listen(fd, 64) != 0) return Error::FromErrno();
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Error::FromErrno();
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<FrameChannel> TcpListener::accept() {
+  int fd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return Error::FromErrno();
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FrameChannel(UniqueFd(fd));
+}
+
+void TcpListener::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error::FromErrno();
+  UniqueFd owned(fd);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host == "localhost" || host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Error(EHOSTUNREACH);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Error::FromErrno();
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FrameChannel(std::move(owned));
+}
+
+}  // namespace ibox

@@ -1,0 +1,71 @@
+// TCP transport for the Chirp protocol: length-prefixed frames over a
+// stream socket, plus an AuthChannel adapter so the auth handshakes from
+// src/auth run unchanged over the wire.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "auth/auth.h"
+#include "util/fs.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// A connected stream socket exchanging frames: u32 little-endian length
+// followed by that many payload bytes. Frames are capped to keep a hostile
+// peer from forcing unbounded allocation.
+class FrameChannel {
+ public:
+  static constexpr size_t kMaxFrame = 16u << 20;
+
+  explicit FrameChannel(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  Status send_frame(std::string_view payload);
+  Result<std::string> recv_frame();
+
+  int fd() const { return fd_.get(); }
+  // Remote address as "ip:port" (for hostname auth and logging).
+  std::string peer_address() const;
+  std::string peer_ip() const;
+
+ private:
+  UniqueFd fd_;
+};
+
+// AuthChannel over frames: one auth message per frame.
+class FrameAuthChannel : public AuthChannel {
+ public:
+  explicit FrameAuthChannel(FrameChannel& channel) : channel_(channel) {}
+  Status send(std::string_view msg) override {
+    return channel_.send_frame(msg);
+  }
+  Result<std::string> recv() override { return channel_.recv_frame(); }
+
+ private:
+  FrameChannel& channel_;
+};
+
+// Listening socket bound to 127.0.0.1:<port> (port 0 = kernel-assigned).
+class TcpListener {
+ public:
+  TcpListener() = default;  // unbound; assign from Bind()
+  static Result<TcpListener> Bind(uint16_t port);
+  TcpListener(TcpListener&&) = default;
+  TcpListener& operator=(TcpListener&&) = default;
+
+  uint16_t port() const { return port_; }
+  Result<FrameChannel> accept();
+  // Unblocks pending accepts (used at server shutdown).
+  void shutdown();
+
+ private:
+  UniqueFd fd_;
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:<port> (the repository's deployments are
+// loopback; a production build would resolve hostnames here).
+Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port);
+
+}  // namespace ibox

@@ -1,0 +1,64 @@
+#include "chirp/protocol.h"
+
+namespace ibox {
+
+void encode_stat(BufWriter& writer, const VfsStat& st) {
+  writer.put_u64(st.size);
+  writer.put_u32(st.mode);
+  writer.put_u64(st.inode);
+  writer.put_u64(st.mtime_sec);
+  writer.put_u64(st.atime_sec);
+  writer.put_u64(st.ctime_sec);
+  writer.put_u32(st.nlink);
+  writer.put_u64(st.blocks);
+}
+
+Result<VfsStat> decode_stat(BufReader& reader) {
+  VfsStat st;
+  auto size = reader.get_u64();
+  auto mode = reader.get_u32();
+  auto inode = reader.get_u64();
+  auto mtime = reader.get_u64();
+  auto atime = reader.get_u64();
+  auto ctime = reader.get_u64();
+  auto nlink = reader.get_u32();
+  auto blocks = reader.get_u64();
+  if (!size.ok() || !mode.ok() || !inode.ok() || !mtime.ok() ||
+      !atime.ok() || !ctime.ok() || !nlink.ok() || !blocks.ok()) {
+    return Error(EBADMSG);
+  }
+  st.size = *size;
+  st.mode = *mode;
+  st.inode = *inode;
+  st.mtime_sec = *mtime;
+  st.atime_sec = *atime;
+  st.ctime_sec = *ctime;
+  st.nlink = *nlink;
+  st.blocks = *blocks;
+  return st;
+}
+
+void encode_entries(BufWriter& writer,
+                    const std::vector<DirEntry>& entries) {
+  writer.put_u32(static_cast<uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    writer.put_bytes(entry.name);
+    writer.put_u8(entry.is_dir ? 1 : 0);
+  }
+}
+
+Result<std::vector<DirEntry>> decode_entries(BufReader& reader) {
+  auto count = reader.get_u32();
+  if (!count.ok()) return Error(EBADMSG);
+  std::vector<DirEntry> out;
+  out.reserve(std::min<uint32_t>(*count, 65536));
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto name = reader.get_bytes();
+    auto is_dir = reader.get_u8();
+    if (!name.ok() || !is_dir.ok()) return Error(EBADMSG);
+    out.push_back(DirEntry{std::move(*name), *is_dir != 0});
+  }
+  return out;
+}
+
+}  // namespace ibox

@@ -1,0 +1,81 @@
+// The Chirp wire protocol (paper section 4).
+//
+// "A Chirp server exports the available file space using a protocol that
+// closely resembles the Unix I/O interface."
+//
+// After the authentication negotiation (src/auth over FrameAuthChannel),
+// every request is one frame:  u8 opcode, then opcode-specific fields; the
+// response frame is i64 status (>= 0 success value, negative errno) and
+// opcode-specific payload. The `exec` opcode is this reproduction of the
+// paper's addition: "we have added to the Chirp protocol a simple exec call
+// that invokes a remote process [...] run within an identity box
+// corresponding to the identity negotiated at connection."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/codec.h"
+#include "vfs/types.h"
+
+namespace ibox {
+
+enum class ChirpOp : uint8_t {
+  kOpen = 1,      // path, flags, mode -> handle id
+  kClose = 2,     // handle
+  kPread = 3,     // handle, length, offset -> bytes
+  kPwrite = 4,    // handle, offset, bytes -> count
+  kFstat = 5,     // handle -> stat
+  kFtruncate = 6, // handle, length
+  kFsync = 7,     // handle
+  kStat = 8,      // path -> stat
+  kLstat = 9,     // path -> stat
+  kMkdir = 10,    // path, mode
+  kRmdir = 11,    // path
+  kUnlink = 12,   // path
+  kRename = 13,   // from, to
+  kReaddir = 14,  // path -> entries
+  kSymlink = 15,  // target, linkpath
+  kReadlink = 16, // path -> target
+  kLink = 17,     // from, to
+  kChmod = 18,    // path, mode
+  kTruncate = 19, // path, length
+  kUtime = 20,    // path, atime, mtime
+  kAccess = 21,   // path, access kind
+  kGetAcl = 22,   // path -> acl text
+  kSetAcl = 23,   // path, subject, rights
+  kWhoami = 24,   // -> principal string
+  kExec = 25,     // cwd, argv... -> exit code, stdout, stderr
+  kGetFile = 26,  // path -> whole file (convenience, like chirp's getfile)
+  kPutFile = 27,  // path, mode, data (convenience, like chirp's putfile)
+  kStatfs = 28,   // -> space totals of the export
+};
+
+// Space report for kStatfs (chirp's storage-allocation surface; SRM-style
+// clients size transfers from it).
+struct SpaceInfo {
+  uint64_t block_size = 0;
+  uint64_t total_blocks = 0;
+  uint64_t free_blocks = 0;
+};
+
+// stat encoding shared by client and server.
+void encode_stat(BufWriter& writer, const VfsStat& st);
+Result<VfsStat> decode_stat(BufReader& reader);
+
+// Directory listing encoding.
+void encode_entries(BufWriter& writer, const std::vector<DirEntry>& entries);
+Result<std::vector<DirEntry>> decode_entries(BufReader& reader);
+
+// Result of a remote exec.
+struct ExecResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+// Caps on exec capture sizes (the demo protocol returns output inline).
+inline constexpr size_t kMaxExecCapture = 4u << 20;
+
+}  // namespace ibox

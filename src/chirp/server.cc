@@ -1,0 +1,572 @@
+#include "chirp/server.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/statfs.h>
+#include <unistd.h>
+
+#include <map>
+
+#include "box/box_context.h"
+#include "chirp/catalog.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/log.h"
+#include "util/path.h"
+
+namespace ibox {
+
+struct ChirpServer::Session {
+  Identity identity;
+  FrameChannel* channel = nullptr;
+  std::map<int64_t, std::unique_ptr<FileHandle>> handles;
+  int64_t next_handle = 1;
+};
+
+ChirpServer::ChirpServer(ChirpServerOptions options)
+    : options_(std::move(options)), driver_(options_.export_root) {}
+
+Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
+    ChirpServerOptions options) {
+  if (options.export_root.empty() || !dir_exists(options.export_root)) {
+    return Error(ENOENT);
+  }
+  if (options.state_dir.empty()) options.state_dir = options.export_root;
+  if (!options.enable_gsi && !options.enable_kerberos &&
+      !options.enable_hostname && !options.enable_unix) {
+    return Error(EINVAL);
+  }
+
+  std::unique_ptr<ChirpServer> server(new ChirpServer(std::move(options)));
+
+  if (!server->options_.root_acl_text.empty()) {
+    auto acl = Acl::Parse(server->options_.root_acl_text);
+    if (!acl.ok()) return acl.error();
+    IBOX_RETURN_IF_ERROR(server->driver_.stamp_acl("/", *acl));
+  }
+
+  auto listener = TcpListener::Bind(server->options_.port);
+  if (!listener.ok()) return listener.error();
+  server->listener_ = std::move(*listener);
+
+  if (server->options_.catalog_port != 0) {
+    CatalogEntry entry;
+    entry.name = server->options_.server_name;
+    entry.host = "localhost";
+    entry.port = server->listener_.port();
+    entry.owner = current_unix_username();
+    (void)catalog_update("localhost", server->options_.catalog_port, entry);
+  }
+
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->accept_loop();
+  });
+  IBOX_INFO << "chirp server listening on port " << server->port()
+            << " exporting " << server->options_.export_root;
+  return server;
+}
+
+ChirpServer::~ChirpServer() { stop(); }
+
+void ChirpServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ChirpServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto channel = listener_.accept();
+    if (!channel.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    stats_.connections++;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, moved = std::make_shared<FrameChannel>(std::move(*channel))] {
+          serve_connection(std::move(*moved));
+        });
+  }
+}
+
+Result<Identity> ChirpServer::authenticate(FrameChannel& channel) {
+  FrameAuthChannel auth_channel(channel);
+
+  std::vector<std::unique_ptr<ServerVerifier>> owned;
+  if (options_.enable_gsi) {
+    owned.push_back(
+        std::make_unique<GsiVerifier>(options_.gsi_trust, options_.clock));
+  }
+  if (options_.enable_kerberos) {
+    owned.push_back(std::make_unique<KerberosVerifier>(
+        options_.kerberos_realm, options_.kerberos_service_secret,
+        options_.clock));
+  }
+  if (options_.enable_hostname && options_.host_resolver) {
+    owned.push_back(std::make_unique<HostnameVerifier>(
+        channel.peer_ip(), options_.host_resolver));
+  }
+  if (options_.enable_unix) {
+    owned.push_back(std::make_unique<UnixVerifier>(options_.state_dir));
+  }
+  // Admission (wildcard lists, community authorization) wraps every
+  // method so a rejected identity fails within the handshake itself.
+  std::vector<std::unique_ptr<ServerVerifier>> wrapped;
+  if (options_.admission) {
+    wrapped.reserve(owned.size());
+    for (const auto& verifier : owned) {
+      wrapped.push_back(std::make_unique<AdmissionCheckedVerifier>(
+          verifier.get(), &options_.admission));
+    }
+  }
+  const auto& active = options_.admission ? wrapped : owned;
+  std::vector<const ServerVerifier*> verifiers;
+  verifiers.reserve(active.size());
+  for (const auto& verifier : active) verifiers.push_back(verifier.get());
+  return authenticate_server(auth_channel, verifiers);
+}
+
+void ChirpServer::serve_connection(FrameChannel channel) {
+  auto identity = authenticate(channel);
+  if (!identity.ok()) {
+    stats_.auth_failures++;
+    return;
+  }
+  IBOX_INFO << "chirp connection authenticated as " << identity->str();
+
+  Session session;
+  session.identity = *identity;
+  session.channel = &channel;
+
+  while (!stopping_.load()) {
+    auto frame = channel.recv_frame();
+    if (!frame.ok()) return;  // disconnect
+    BufReader reader(*frame);
+    auto op = reader.get_u8();
+    if (!op.ok()) return;
+    stats_.requests++;
+    BufWriter reply;
+    dispatch(session, static_cast<ChirpOp>(*op), reader, reply);
+    if (!channel.send_frame(reply.data()).ok()) return;
+  }
+}
+
+namespace {
+// Writes just a status (no payload).
+void put_status(BufWriter& reply, int64_t status) { reply.put_i64(status); }
+
+int64_t status_of(const Status& st) {
+  return st.ok() ? 0 : -static_cast<int64_t>(st.error_code());
+}
+}  // namespace
+
+void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
+                           BufWriter& reply) {
+  const Identity& id = session.identity;
+  auto bad = [&reply] { put_status(reply, -EBADMSG); };
+
+  switch (op) {
+    case ChirpOp::kWhoami: {
+      put_status(reply, 0);
+      reply.put_bytes(id.str());
+      return;
+    }
+    case ChirpOp::kOpen: {
+      auto path = reader.get_bytes();
+      auto flags = reader.get_u32();
+      auto mode = reader.get_u32();
+      if (!path.ok() || !flags.ok() || !mode.ok()) return bad();
+      auto handle = driver_.open(id, *path, static_cast<int>(*flags),
+                                 static_cast<int>(*mode));
+      if (!handle.ok()) {
+        if (handle.error_code() == EACCES) stats_.denials++;
+        put_status(reply, -handle.error_code());
+        return;
+      }
+      const int64_t handle_id = session.next_handle++;
+      session.handles[handle_id] = std::move(*handle);
+      put_status(reply, handle_id);
+      return;
+    }
+    case ChirpOp::kClose: {
+      auto handle_id = reader.get_i64();
+      if (!handle_id.ok()) return bad();
+      put_status(reply, session.handles.erase(*handle_id) ? 0 : -EBADF);
+      return;
+    }
+    case ChirpOp::kPread: {
+      auto handle_id = reader.get_i64();
+      auto length = reader.get_u32();
+      auto offset = reader.get_u64();
+      if (!handle_id.ok() || !length.ok() || !offset.ok()) return bad();
+      auto it = session.handles.find(*handle_id);
+      if (it == session.handles.end()) {
+        put_status(reply, -EBADF);
+        return;
+      }
+      std::string buf(std::min<uint32_t>(*length, 4u << 20), '\0');
+      auto got = it->second->pread(buf.data(), buf.size(), *offset);
+      if (!got.ok()) {
+        put_status(reply, -got.error_code());
+        return;
+      }
+      stats_.bytes_read += *got;
+      put_status(reply, static_cast<int64_t>(*got));
+      reply.put_bytes(std::string_view(buf.data(), *got));
+      return;
+    }
+    case ChirpOp::kPwrite: {
+      auto handle_id = reader.get_i64();
+      auto offset = reader.get_u64();
+      auto data = reader.get_bytes();
+      if (!handle_id.ok() || !offset.ok() || !data.ok()) return bad();
+      auto it = session.handles.find(*handle_id);
+      if (it == session.handles.end()) {
+        put_status(reply, -EBADF);
+        return;
+      }
+      auto wrote = it->second->pwrite(data->data(), data->size(), *offset);
+      if (!wrote.ok()) {
+        put_status(reply, -wrote.error_code());
+        return;
+      }
+      stats_.bytes_written += *wrote;
+      put_status(reply, static_cast<int64_t>(*wrote));
+      return;
+    }
+    case ChirpOp::kFstat: {
+      auto handle_id = reader.get_i64();
+      if (!handle_id.ok()) return bad();
+      auto it = session.handles.find(*handle_id);
+      if (it == session.handles.end()) {
+        put_status(reply, -EBADF);
+        return;
+      }
+      auto st = it->second->fstat();
+      if (!st.ok()) {
+        put_status(reply, -st.error_code());
+        return;
+      }
+      put_status(reply, 0);
+      encode_stat(reply, *st);
+      return;
+    }
+    case ChirpOp::kFtruncate: {
+      auto handle_id = reader.get_i64();
+      auto length = reader.get_u64();
+      if (!handle_id.ok() || !length.ok()) return bad();
+      auto it = session.handles.find(*handle_id);
+      if (it == session.handles.end()) {
+        put_status(reply, -EBADF);
+        return;
+      }
+      put_status(reply, status_of(it->second->ftruncate(*length)));
+      return;
+    }
+    case ChirpOp::kFsync: {
+      auto handle_id = reader.get_i64();
+      if (!handle_id.ok()) return bad();
+      auto it = session.handles.find(*handle_id);
+      if (it == session.handles.end()) {
+        put_status(reply, -EBADF);
+        return;
+      }
+      put_status(reply, status_of(it->second->fsync()));
+      return;
+    }
+    case ChirpOp::kStat:
+    case ChirpOp::kLstat: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      auto st = (op == ChirpOp::kStat) ? driver_.stat(id, *path)
+                                       : driver_.lstat(id, *path);
+      if (!st.ok()) {
+        put_status(reply, -st.error_code());
+        return;
+      }
+      put_status(reply, 0);
+      encode_stat(reply, *st);
+      return;
+    }
+    case ChirpOp::kMkdir: {
+      auto path = reader.get_bytes();
+      auto mode = reader.get_u32();
+      if (!path.ok() || !mode.ok()) return bad();
+      Status st = driver_.mkdir(id, *path, static_cast<int>(*mode));
+      if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
+      put_status(reply, status_of(st));
+      return;
+    }
+    case ChirpOp::kRmdir: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      put_status(reply, status_of(driver_.rmdir(id, *path)));
+      return;
+    }
+    case ChirpOp::kUnlink: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      put_status(reply, status_of(driver_.unlink(id, *path)));
+      return;
+    }
+    case ChirpOp::kRename: {
+      auto from = reader.get_bytes();
+      auto to = reader.get_bytes();
+      if (!from.ok() || !to.ok()) return bad();
+      put_status(reply, status_of(driver_.rename(id, *from, *to)));
+      return;
+    }
+    case ChirpOp::kReaddir: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      auto entries = driver_.readdir(id, *path);
+      if (!entries.ok()) {
+        put_status(reply, -entries.error_code());
+        return;
+      }
+      put_status(reply, 0);
+      encode_entries(reply, *entries);
+      return;
+    }
+    case ChirpOp::kSymlink: {
+      auto target = reader.get_bytes();
+      auto linkpath = reader.get_bytes();
+      if (!target.ok() || !linkpath.ok()) return bad();
+      put_status(reply, status_of(driver_.symlink(id, *target, *linkpath)));
+      return;
+    }
+    case ChirpOp::kReadlink: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      auto target = driver_.readlink(id, *path);
+      if (!target.ok()) {
+        put_status(reply, -target.error_code());
+        return;
+      }
+      put_status(reply, 0);
+      reply.put_bytes(*target);
+      return;
+    }
+    case ChirpOp::kLink: {
+      auto from = reader.get_bytes();
+      auto to = reader.get_bytes();
+      if (!from.ok() || !to.ok()) return bad();
+      put_status(reply, status_of(driver_.link(id, *from, *to)));
+      return;
+    }
+    case ChirpOp::kChmod: {
+      auto path = reader.get_bytes();
+      auto mode = reader.get_u32();
+      if (!path.ok() || !mode.ok()) return bad();
+      put_status(reply,
+                 status_of(driver_.chmod(id, *path, static_cast<int>(*mode))));
+      return;
+    }
+    case ChirpOp::kTruncate: {
+      auto path = reader.get_bytes();
+      auto length = reader.get_u64();
+      if (!path.ok() || !length.ok()) return bad();
+      put_status(reply, status_of(driver_.truncate(id, *path, *length)));
+      return;
+    }
+    case ChirpOp::kUtime: {
+      auto path = reader.get_bytes();
+      auto atime = reader.get_u64();
+      auto mtime = reader.get_u64();
+      if (!path.ok() || !atime.ok() || !mtime.ok()) return bad();
+      put_status(reply, status_of(driver_.utime(id, *path, *atime, *mtime)));
+      return;
+    }
+    case ChirpOp::kAccess: {
+      auto path = reader.get_bytes();
+      auto kind = reader.get_u8();
+      if (!path.ok() || !kind.ok()) return bad();
+      Status st = driver_.access(id, *path, static_cast<Access>(*kind));
+      if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
+      put_status(reply, status_of(st));
+      return;
+    }
+    case ChirpOp::kGetAcl: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      auto acl = driver_.getacl(id, *path);
+      if (!acl.ok()) {
+        put_status(reply, -acl.error_code());
+        return;
+      }
+      put_status(reply, 0);
+      reply.put_bytes(*acl);
+      return;
+    }
+    case ChirpOp::kSetAcl: {
+      auto path = reader.get_bytes();
+      auto subject = reader.get_bytes();
+      auto rights = reader.get_bytes();
+      if (!path.ok() || !subject.ok() || !rights.ok()) return bad();
+      Status st = driver_.setacl(id, *path, *subject, *rights);
+      if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
+      put_status(reply, status_of(st));
+      return;
+    }
+    case ChirpOp::kGetFile: {
+      auto path = reader.get_bytes();
+      if (!path.ok()) return bad();
+      auto handle = driver_.open(id, *path, O_RDONLY, 0);
+      if (!handle.ok()) {
+        put_status(reply, -handle.error_code());
+        return;
+      }
+      std::string contents;
+      char buf[1 << 16];
+      uint64_t off = 0;
+      while (true) {
+        auto got = (*handle)->pread(buf, sizeof(buf), off);
+        if (!got.ok()) {
+          put_status(reply, -got.error_code());
+          return;
+        }
+        if (*got == 0) break;
+        contents.append(buf, *got);
+        off += *got;
+        if (contents.size() > FrameChannel::kMaxFrame / 2) {
+          put_status(reply, -EFBIG);
+          return;
+        }
+      }
+      stats_.bytes_read += contents.size();
+      put_status(reply, static_cast<int64_t>(contents.size()));
+      reply.put_bytes(contents);
+      return;
+    }
+    case ChirpOp::kPutFile: {
+      auto path = reader.get_bytes();
+      auto mode = reader.get_u32();
+      auto data = reader.get_bytes();
+      if (!path.ok() || !mode.ok() || !data.ok()) return bad();
+      auto handle = driver_.open(id, *path, O_WRONLY | O_CREAT | O_TRUNC,
+                                 static_cast<int>(*mode));
+      if (!handle.ok()) {
+        if (handle.error_code() == EACCES) stats_.denials++;
+        put_status(reply, -handle.error_code());
+        return;
+      }
+      auto wrote = (*handle)->pwrite(data->data(), data->size(), 0);
+      if (!wrote.ok()) {
+        put_status(reply, -wrote.error_code());
+        return;
+      }
+      stats_.bytes_written += *wrote;
+      put_status(reply, static_cast<int64_t>(*wrote));
+      return;
+    }
+    case ChirpOp::kStatfs: {
+      struct statfs sfs;
+      if (::statfs(options_.export_root.c_str(), &sfs) != 0) {
+        put_status(reply, -errno);
+        return;
+      }
+      put_status(reply, 0);
+      reply.put_u64(static_cast<uint64_t>(sfs.f_bsize));
+      reply.put_u64(sfs.f_blocks);
+      reply.put_u64(sfs.f_bavail);
+      return;
+    }
+    case ChirpOp::kExec: {
+      handle_exec(session, reader, reply);
+      return;
+    }
+  }
+  put_status(reply, -ENOSYS);
+}
+
+void ChirpServer::handle_exec(Session& session, BufReader& reader,
+                              BufWriter& reply) {
+  if (!options_.enable_exec) {
+    put_status(reply, -EPERM);
+    return;
+  }
+  auto cwd = reader.get_bytes();
+  auto argc = reader.get_u32();
+  if (!cwd.ok() || !argc.ok() || *argc == 0 || *argc > 256) {
+    put_status(reply, -EBADMSG);
+    return;
+  }
+  std::vector<std::string> argv;
+  argv.reserve(*argc);
+  for (uint32_t i = 0; i < *argc; ++i) {
+    auto arg = reader.get_bytes();
+    if (!arg.ok()) {
+      put_status(reply, -EBADMSG);
+      return;
+    }
+    argv.push_back(std::move(*arg));
+  }
+  stats_.execs++;
+
+  // "This process is run within an identity box corresponding to the
+  // identity negotiated at connection." The box is rooted at the host "/"
+  // (system binaries and libraries stay reachable under the nobody
+  // fallback); the client's working directory maps into the export tree,
+  // where the ACLs govern.
+  TempDir box_state("chirp-exec");
+  BoxOptions box_options;
+  box_options.state_dir = box_state.path();
+  box_options.provision_home = false;
+  box_options.redirect_passwd = true;
+  auto box = BoxContext::Create(session.identity, box_options);
+  if (!box.ok()) {
+    put_status(reply, -box.error_code());
+    return;
+  }
+  const std::string host_cwd =
+      driver_.host_path(cwd->empty() ? "/" : *cwd);
+  if (!dir_exists(host_cwd)) {
+    put_status(reply, -ENOENT);
+    return;
+  }
+
+  // Capture stdout/stderr in memfds.
+  UniqueFd out_fd(::memfd_create("chirp-exec-out", 0));
+  UniqueFd err_fd(::memfd_create("chirp-exec-err", 0));
+  UniqueFd null_fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  if (!out_fd || !err_fd || !null_fd) {
+    put_status(reply, -EIO);
+    return;
+  }
+
+  SandboxConfig config;
+  config.initial_cwd = host_cwd;
+  Supervisor supervisor(**box, registry_, config);
+  Supervisor::Stdio stdio{null_fd.get(), out_fd.get(), err_fd.get()};
+  auto exit_code = supervisor.run(argv, {}, stdio);
+  if (!exit_code.ok()) {
+    put_status(reply, -exit_code.error_code());
+    return;
+  }
+
+  auto slurp = [](int fd) {
+    std::string out;
+    char buf[1 << 16];
+    off_t off = 0;
+    while (out.size() < kMaxExecCapture) {
+      ssize_t n = ::pread(fd, buf, sizeof(buf), off);
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+      off += n;
+    }
+    return out;
+  };
+
+  put_status(reply, 0);
+  reply.put_u32(static_cast<uint32_t>(*exit_code));
+  reply.put_bytes(slurp(out_fd.get()));
+  reply.put_bytes(slurp(err_fd.get()));
+}
+
+}  // namespace ibox

@@ -1,0 +1,119 @@
+// The Chirp server (paper section 4).
+//
+// "A Chirp server is a personal file server for grid computing. It can be
+// deployed by an ordinary user anywhere there is space available in a file
+// system. [...] Chirp is a particularly interesting platform in which to
+// explore identity boxing because it has a fully virtual user space [...]
+// All data is stored and referenced by external identities."
+//
+// The server exports one directory tree. Every connection authenticates
+// via the negotiated method (GSI / Kerberos / hostname / unix); the proven
+// principal is the connection's identity for every subsequent operation,
+// enforced by the same ACL-checking LocalDriver the sandbox uses. The
+// `exec` RPC runs a program inside a ptrace identity box named by the
+// connection's principal — the paper's Figure 3 flow.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auth/cas.h"
+#include "auth/sim_gsi.h"
+#include "auth/sim_kerberos.h"
+#include "auth/simple.h"
+#include "box/process_registry.h"
+#include "chirp/net.h"
+#include "chirp/protocol.h"
+#include "vfs/local_driver.h"
+
+namespace ibox {
+
+struct ChirpServerOptions {
+  uint16_t port = 0;          // 0: kernel-assigned (read back via port())
+  std::string export_root;    // host directory exported as "/"
+  std::string state_dir;      // server scratch (exec boxes, unix challenges)
+  std::string root_acl_text;  // stamped on "/" at startup when non-empty
+
+  bool enable_exec = true;
+
+  // Authentication methods offered. At least one must be enabled.
+  bool enable_gsi = false;
+  GsiTrustStore gsi_trust;
+  bool enable_kerberos = false;
+  std::string kerberos_realm;
+  std::string kerberos_service_secret;
+  bool enable_hostname = false;
+  HostResolver host_resolver;  // maps peer IP -> hostname
+  bool enable_unix = false;
+
+  AuthClock clock = &wall_clock_seconds;
+
+  // Optional admission policy (paper section 4: wildcard admission or a
+  // community authorization service) applied to every proven identity
+  // before the connection is accepted. Empty admits everyone who
+  // authenticates; file-level ACLs still govern from there.
+  AdmissionPolicy admission;
+
+  // Catalog registration (paper: "A collection of Chirp servers report
+  // themselves to a catalog"). Zero port disables.
+  std::string server_name = "chirp";
+  uint16_t catalog_port = 0;
+};
+
+struct ChirpServerStats {
+  std::atomic<uint64_t> connections{0};
+  std::atomic<uint64_t> auth_failures{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> denials{0};
+  std::atomic<uint64_t> execs{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+class ChirpServer {
+ public:
+  // Binds, stamps the root ACL, registers with the catalog, and starts the
+  // accept thread.
+  static Result<std::unique_ptr<ChirpServer>> Start(
+      ChirpServerOptions options);
+  ~ChirpServer();
+  ChirpServer(const ChirpServer&) = delete;
+  ChirpServer& operator=(const ChirpServer&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+  const ChirpServerStats& stats() const { return stats_; }
+
+  // Stops accepting and joins all connection threads.
+  void stop();
+
+ private:
+  explicit ChirpServer(ChirpServerOptions options);
+
+  void accept_loop();
+  void serve_connection(FrameChannel channel);
+  Result<Identity> authenticate(FrameChannel& channel);
+
+  // One connection's request dispatcher.
+  struct Session;
+  void dispatch(Session& session, ChirpOp op, BufReader& reader,
+                BufWriter& reply);
+  void handle_exec(Session& session, BufReader& reader, BufWriter& reply);
+
+  ChirpServerOptions options_;
+  TcpListener listener_;
+  LocalDriver driver_;
+  ProcessRegistry registry_;
+  ChirpServerStats stats_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,128 @@
+#include "identity/hierarchy.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ibox {
+
+std::optional<HierName> HierName::Parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  HierName out;
+  for (const auto& part : split(text, ':')) {
+    if (!is_valid_identity_text(part)) return std::nullopt;
+    out.components_.push_back(part);
+  }
+  return out;
+}
+
+HierName HierName::Root() {
+  HierName out;
+  out.components_.push_back("root");
+  return out;
+}
+
+std::string HierName::str() const { return join(components_, ":"); }
+
+std::optional<HierName> HierName::parent() const {
+  if (components_.size() <= 1) return std::nullopt;
+  HierName out = *this;
+  out.components_.pop_back();
+  return out;
+}
+
+HierName HierName::child(std::string_view component) const {
+  HierName out = *this;
+  out.components_.emplace_back(component);
+  return out;
+}
+
+bool HierName::is_prefix_of(const HierName& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+IdentityTree::IdentityTree() { nodes_[HierName::Root().str()] = DomainInfo{}; }
+
+Status IdentityTree::create(const HierName& creator, const HierName& name,
+                            DomainInfo info) {
+  if (nodes_.count(name.str())) return Status::Errno(EEXIST);
+  auto parent = name.parent();
+  if (!parent) return Status::Errno(EINVAL);  // cannot re-create root
+  auto parent_it = nodes_.find(parent->str());
+  if (parent_it == nodes_.end()) return Status::Errno(ENOENT);
+  if (!exists(creator)) return Status::Errno(EACCES);
+  if (!manages(creator, *parent)) return Status::Errno(EACCES);
+  if (!parent_it->second.may_create_children) return Status::Errno(EACCES);
+  nodes_[name.str()] = std::move(info);
+  return Status::Ok();
+}
+
+Status IdentityTree::destroy(const HierName& actor, const HierName& name) {
+  if (name == HierName::Root()) return Status::Errno(EPERM);
+  if (!nodes_.count(name.str())) return Status::Errno(ENOENT);
+  if (!exists(actor)) return Status::Errno(EACCES);
+  if (!manages(actor, name)) return Status::Errno(EACCES);
+  // Erase the node and all descendants: keys sharing the "name:" prefix.
+  const std::string prefix = name.str() + ":";
+  auto it = nodes_.find(name.str());
+  it = nodes_.erase(it);
+  while (it != nodes_.end() && starts_with(it->first, prefix)) {
+    it = nodes_.erase(it);
+  }
+  return Status::Ok();
+}
+
+bool IdentityTree::exists(const HierName& name) const {
+  return nodes_.count(name.str()) != 0;
+}
+
+std::optional<DomainInfo> IdentityTree::info(const HierName& name) const {
+  auto it = nodes_.find(name.str());
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool IdentityTree::manages(const HierName& actor,
+                           const HierName& subject) const {
+  if (!exists(actor) || !exists(subject)) return false;
+  return actor.is_prefix_of(subject);
+}
+
+Status IdentityTree::bind_identity(const HierName& actor,
+                                   const HierName& name, const Identity& id) {
+  auto it = nodes_.find(name.str());
+  if (it == nodes_.end()) return Status::Errno(ENOENT);
+  if (!manages(actor, name)) return Status::Errno(EACCES);
+  it->second.bound_identity = id;
+  return Status::Ok();
+}
+
+std::optional<HierName> IdentityTree::find_by_identity(
+    const Identity& id) const {
+  for (const auto& [key, info] : nodes_) {
+    if (info.bound_identity && *info.bound_identity == id) {
+      return HierName::Parse(key);
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<HierName>> IdentityTree::children(
+    const HierName& name) const {
+  if (!exists(name)) return Error(ENOENT);
+  std::vector<HierName> out;
+  const std::string prefix = name.str() + ":";
+  for (auto it = nodes_.upper_bound(name.str());
+       it != nodes_.end() && starts_with(it->first, prefix); ++it) {
+    // Direct child: no further ':' after the prefix.
+    std::string_view rest = std::string_view(it->first).substr(prefix.size());
+    if (rest.find(':') == std::string_view::npos) {
+      if (auto parsed = HierName::Parse(it->first)) out.push_back(*parsed);
+    }
+  }
+  return out;
+}
+
+}  // namespace ibox

@@ -1,0 +1,112 @@
+// Hierarchical identity namespace (paper section 9, Figure 6).
+//
+// The paper proposes, as the "right" OS-level design, a tree of identities
+// in which every user can create protection domains beneath its own name:
+//
+//     root
+//      +-- dthain
+//      |    +-- httpd
+//      |    |    +-- webapp
+//      |    +-- grid
+//      |         +-- visitor
+//      |         +-- anon2  (= /O=UnivNowhere/CN=Freddy)
+//      |         +-- anon5  (= /O=UnivNowhere/CN=George)
+//
+// Names are written "root:dthain:grid:anon2". A node may create and destroy
+// domains strictly below itself; an ancestor is a *manager* of all its
+// descendants (it may signal/terminate them and administer their resources),
+// mirroring how the supervising Unix user is "root with respect to users in
+// the identity box".
+//
+// This module implements that proposal as a standalone library so the
+// future-work design can be exercised and benchmarked (see
+// examples/hierarchical_identity and bench/ablation_hierarchy).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "identity/identity.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// A hierarchical name: non-empty components joined by ':'. Component text
+// follows identity rules but may not itself contain ':'.
+class HierName {
+ public:
+  static std::optional<HierName> Parse(std::string_view text);
+  static HierName Root();
+
+  const std::vector<std::string>& components() const { return components_; }
+  std::string str() const;
+  size_t depth() const { return components_.size(); }
+
+  // "root:a:b" -> "root:a"; root's parent is nullopt.
+  std::optional<HierName> parent() const;
+  HierName child(std::string_view component) const;
+
+  // True if *this is `other` or an ancestor of `other`.
+  bool is_prefix_of(const HierName& other) const;
+
+  bool operator==(const HierName&) const = default;
+  auto operator<=>(const HierName&) const = default;
+
+ private:
+  std::vector<std::string> components_;
+};
+
+// Attributes attached to a domain in the tree.
+struct DomainInfo {
+  // External identity bound to this domain (e.g. a grid DN for an
+  // anonymous slot), if any. Fig 6 shows anon2 = /O=UnivNowhere/CN=Freddy.
+  std::optional<Identity> bound_identity;
+  // Whether this domain may create children (delegation can be disabled).
+  bool may_create_children = true;
+};
+
+// An in-memory identity tree with creation/deletion/management semantics.
+// Thread-compatible (callers synchronize); the sandbox and Chirp server own
+// one instance each behind their own locks.
+class IdentityTree {
+ public:
+  IdentityTree();
+
+  // Creates `name` as a child of its parent. The parent must exist, the
+  // creator must manage the parent, and the parent must allow delegation.
+  // EEXIST if already present, ENOENT if parent missing, EACCES otherwise.
+  Status create(const HierName& creator, const HierName& name,
+                DomainInfo info = {});
+
+  // Removes `name` and every descendant. Only a strict manager (proper
+  // ancestor) or the node itself may do this; root is indestructible.
+  Status destroy(const HierName& actor, const HierName& name);
+
+  bool exists(const HierName& name) const;
+  std::optional<DomainInfo> info(const HierName& name) const;
+
+  // Management: true if `actor` equals or is an ancestor of `subject`.
+  // This is the relation the paper proposes for signals and administration.
+  bool manages(const HierName& actor, const HierName& subject) const;
+
+  // Binds/looks up external identities (e.g. grid DNs) on leaf domains.
+  Status bind_identity(const HierName& actor, const HierName& name,
+                       const Identity& id);
+  std::optional<HierName> find_by_identity(const Identity& id) const;
+
+  // Direct children of `name`, sorted.
+  Result<std::vector<HierName>> children(const HierName& name) const;
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  // Flat map keyed by full name string; simple and sufficient at the scale
+  // of thousands of domains (see bench/ablation_hierarchy).
+  std::map<std::string, DomainInfo> nodes_;
+};
+
+}  // namespace ibox

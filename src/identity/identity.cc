@@ -1,0 +1,76 @@
+#include "identity/identity.h"
+
+#include "util/strings.h"
+
+namespace ibox {
+
+std::string_view auth_method_name(AuthMethod method) {
+  switch (method) {
+    case AuthMethod::kGlobus: return "globus";
+    case AuthMethod::kKerberos: return "kerberos";
+    case AuthMethod::kHostname: return "hostname";
+    case AuthMethod::kUnix: return "unix";
+    case AuthMethod::kFreeform: return "";
+  }
+  return "";
+}
+
+std::optional<AuthMethod> auth_method_from_name(std::string_view name) {
+  if (name == "globus") return AuthMethod::kGlobus;
+  if (name == "kerberos") return AuthMethod::kKerberos;
+  if (name == "hostname") return AuthMethod::kHostname;
+  if (name == "unix") return AuthMethod::kUnix;
+  return std::nullopt;
+}
+
+bool is_valid_identity_text(std::string_view text) {
+  if (text.empty()) return false;
+  if (text[0] == '#') return false;  // reserved for ACL-file comments
+  for (char c : text) {
+    // Identities are written into ACL files one entry per line with
+    // whitespace-separated rights, so embedded whitespace/control
+    // characters are rejected.
+    if (c == '\0' || c == '\n' || c == '\r' || c == ' ' || c == '\t') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Identity> Identity::Parse(std::string_view text) {
+  if (!is_valid_identity_text(text)) return std::nullopt;
+  return Identity(std::string(text));
+}
+
+Identity Identity::Make(AuthMethod method, std::string_view name) {
+  if (method == AuthMethod::kFreeform) return Identity(std::string(name));
+  std::string full(auth_method_name(method));
+  full.push_back(':');
+  full.append(name);
+  return Identity(full);
+}
+
+const Identity& Identity::Nobody() {
+  static const Identity nobody("nobody");
+  return nobody;
+}
+
+AuthMethod Identity::method() const {
+  size_t colon = full_.find(':');
+  if (colon == std::string::npos) return AuthMethod::kFreeform;
+  auto method = auth_method_from_name(
+      std::string_view(full_).substr(0, colon));
+  return method.value_or(AuthMethod::kFreeform);
+}
+
+std::string_view Identity::name() const {
+  size_t colon = full_.find(':');
+  if (colon == std::string::npos) return full_;
+  std::string_view prefix = std::string_view(full_).substr(0, colon);
+  if (!auth_method_from_name(prefix)) return full_;
+  return std::string_view(full_).substr(colon + 1);
+}
+
+bool Identity::is_nobody() const { return full_ == "nobody"; }
+
+}  // namespace ibox

@@ -1,0 +1,74 @@
+// High-level identity values (paper section 3/4).
+//
+// Inside an identity box every process and resource carries a free-form
+// identity string instead of an integer UID. When identities come from an
+// authentication handshake they are *principals* of the form
+// "<method>:<name>", e.g.
+//
+//   globus:/O=UnivNowhere/CN=Fred
+//   kerberos:fred@nowhere.edu
+//   hostname:laptop.cs.nowhere.edu
+//   unix:dthain
+//
+// but the supervisor also accepts arbitrary bare names chosen by the
+// supervising user ("MyFriend", "Anonymous429", ...).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ibox {
+
+// Authentication methods understood by the Chirp server / auth module.
+enum class AuthMethod {
+  kGlobus,     // simulated GSI certificates
+  kKerberos,   // simulated Kerberos tickets
+  kHostname,   // reverse-lookup hostname identity
+  kUnix,       // local Unix account name
+  kFreeform,   // supervisor-chosen bare name (no method prefix)
+};
+
+// Canonical lowercase method tag used in principal strings.
+std::string_view auth_method_name(AuthMethod method);
+std::optional<AuthMethod> auth_method_from_name(std::string_view name);
+
+// An identity: an opaque, non-empty string, optionally carrying a
+// "<method>:" prefix. Immutable value type.
+class Identity {
+ public:
+  Identity() = default;
+
+  // Parses a principal or freeform name. Rejects empty strings, embedded
+  // NUL/newline (would corrupt ACL files), and names starting with '#'
+  // (reserved for ACL comments).
+  static std::optional<Identity> Parse(std::string_view text);
+
+  // Builds "<method>:<name>".
+  static Identity Make(AuthMethod method, std::string_view name);
+
+  // The distinguished untrusted identity; used when no identity applies.
+  static const Identity& Nobody();
+
+  const std::string& str() const { return full_; }
+  bool empty() const { return full_.empty(); }
+
+  // Method classification; kFreeform when there is no known method prefix.
+  AuthMethod method() const;
+  // Name with the method prefix stripped (whole string for freeform).
+  std::string_view name() const;
+
+  bool is_nobody() const;
+
+  bool operator==(const Identity&) const = default;
+  auto operator<=>(const Identity&) const = default;
+
+ private:
+  explicit Identity(std::string full) : full_(std::move(full)) {}
+  std::string full_;
+};
+
+// True if `text` is acceptable as an identity string.
+bool is_valid_identity_text(std::string_view text);
+
+}  // namespace ibox

@@ -1,0 +1,29 @@
+#include "identity/pattern.h"
+
+#include "util/strings.h"
+
+namespace ibox {
+
+SubjectPattern::SubjectPattern(std::string text)
+    : text_(std::move(text)),
+      wildcard_(text_.find_first_of("*?") != std::string::npos) {}
+
+std::optional<SubjectPattern> SubjectPattern::Parse(std::string_view text) {
+  if (!is_valid_identity_text(text)) return std::nullopt;
+  return SubjectPattern(std::string(text));
+}
+
+SubjectPattern SubjectPattern::Exact(const Identity& id) {
+  return SubjectPattern(id.str());
+}
+
+bool SubjectPattern::matches(const Identity& id) const {
+  return matches(id.str());
+}
+
+bool SubjectPattern::matches(std::string_view identity_text) const {
+  if (!wildcard_) return text_ == identity_text;
+  return glob_match(text_, identity_text);
+}
+
+}  // namespace ibox

@@ -1,0 +1,47 @@
+// Subject patterns for ACL entries (paper section 3).
+//
+// An ACL subject is either an exact identity or a pattern containing
+// wildcards, e.g.
+//
+//   /O=UnivNowhere/CN=Fred      rwlax     (exact)
+//   /O=UnivNowhere/*            rl        (any DN under that org)
+//   hostname:*.nowhere.edu      rlx       (any host in the domain)
+//   globus:/O=NotreDame/*       v(rwlax)  (reserve right for the org)
+//
+// `*` matches any run of characters and `?` a single character; matching is
+// over the full identity string including any method prefix.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "identity/identity.h"
+
+namespace ibox {
+
+class SubjectPattern {
+ public:
+  SubjectPattern() = default;
+
+  // Validates the pattern text (same character rules as identities).
+  static std::optional<SubjectPattern> Parse(std::string_view text);
+
+  // Pattern that matches exactly one identity.
+  static SubjectPattern Exact(const Identity& id);
+
+  const std::string& str() const { return text_; }
+  bool is_wildcard() const { return wildcard_; }
+
+  bool matches(const Identity& id) const;
+  bool matches(std::string_view identity_text) const;
+
+  bool operator==(const SubjectPattern&) const = default;
+
+ private:
+  explicit SubjectPattern(std::string text);
+  std::string text_;
+  bool wildcard_ = false;
+};
+
+}  // namespace ibox

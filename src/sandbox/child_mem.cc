@@ -1,0 +1,170 @@
+#include "sandbox/child_mem.h"
+
+#include <fcntl.h>
+#include <sys/ptrace.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace ibox {
+
+Status ChildMem::read(uint64_t addr, void* buf, size_t count) const {
+  if (count == 0) return Status::Ok();
+  switch (mechanism_) {
+    case MemMechanism::kPeekPoke: return read_peek(addr, buf, count);
+    case MemMechanism::kProcMem: return read_procmem(addr, buf, count);
+    case MemMechanism::kProcessVm: return read_pvm(addr, buf, count);
+  }
+  return Status::Errno(EINVAL);
+}
+
+Status ChildMem::write(uint64_t addr, const void* buf, size_t count) const {
+  if (count == 0) return Status::Ok();
+  switch (mechanism_) {
+    case MemMechanism::kPeekPoke: return write_poke(addr, buf, count);
+    case MemMechanism::kProcMem: return write_procmem(addr, buf, count);
+    case MemMechanism::kProcessVm: return write_pvm(addr, buf, count);
+  }
+  return Status::Errno(EINVAL);
+}
+
+Status ChildMem::read_peek(uint64_t addr, void* buf, size_t count) const {
+  auto* out = static_cast<char*>(buf);
+  size_t done = 0;
+  // Word-at-a-time; the leading/trailing partial words are handled by
+  // reading a whole word and copying the needed slice.
+  while (done < count) {
+    const uint64_t word_addr = (addr + done) & ~7ull;
+    const size_t skip = (addr + done) - word_addr;
+    errno = 0;
+    long word = ptrace(PTRACE_PEEKDATA, pid_,
+                       reinterpret_cast<void*>(word_addr), nullptr);
+    if (errno != 0) return Error::FromErrno();
+    const size_t take = std::min(count - done, 8 - skip);
+    std::memcpy(out + done, reinterpret_cast<char*>(&word) + skip, take);
+    done += take;
+  }
+  return Status::Ok();
+}
+
+Status ChildMem::write_poke(uint64_t addr, const void* buf,
+                            size_t count) const {
+  const auto* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < count) {
+    const uint64_t word_addr = (addr + done) & ~7ull;
+    const size_t skip = (addr + done) - word_addr;
+    const size_t take = std::min(count - done, 8 - skip);
+    long word = 0;
+    if (skip != 0 || take != 8) {
+      // Partial word: read-modify-write to preserve surrounding bytes.
+      errno = 0;
+      word = ptrace(PTRACE_PEEKDATA, pid_,
+                    reinterpret_cast<void*>(word_addr), nullptr);
+      if (errno != 0) return Error::FromErrno();
+    }
+    std::memcpy(reinterpret_cast<char*>(&word) + skip, in + done, take);
+    if (ptrace(PTRACE_POKEDATA, pid_, reinterpret_cast<void*>(word_addr),
+               reinterpret_cast<void*>(word)) != 0) {
+      return Error::FromErrno();
+    }
+    done += take;
+  }
+  return Status::Ok();
+}
+
+Status ChildMem::read_procmem(uint64_t addr, void* buf, size_t count) const {
+  const std::string path = "/proc/" + std::to_string(pid_) + "/mem";
+  UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd) return Error::FromErrno();
+  size_t done = 0;
+  auto* out = static_cast<char*>(buf);
+  while (done < count) {
+    ssize_t n = ::pread(fd.get(), out + done, count - done,
+                        static_cast<off_t>(addr + done));
+    if (n < 0) return Error::FromErrno();
+    if (n == 0) return Status::Errno(EFAULT);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ChildMem::write_procmem(uint64_t addr, const void* buf,
+                               size_t count) const {
+  const std::string path = "/proc/" + std::to_string(pid_) + "/mem";
+  UniqueFd fd(::open(path.c_str(), O_WRONLY | O_CLOEXEC));
+  if (!fd) return Error::FromErrno();
+  size_t done = 0;
+  const auto* in = static_cast<const char*>(buf);
+  while (done < count) {
+    ssize_t n = ::pwrite(fd.get(), in + done, count - done,
+                         static_cast<off_t>(addr + done));
+    if (n < 0) return Error::FromErrno();
+    if (n == 0) return Status::Errno(EFAULT);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ChildMem::read_pvm(uint64_t addr, void* buf, size_t count) const {
+  struct iovec local = {buf, count};
+  struct iovec remote = {reinterpret_cast<void*>(addr), count};
+  size_t done = 0;
+  while (done < count) {
+    local.iov_base = static_cast<char*>(buf) + done;
+    local.iov_len = count - done;
+    remote.iov_base = reinterpret_cast<void*>(addr + done);
+    remote.iov_len = count - done;
+    ssize_t n = ::process_vm_readv(pid_, &local, 1, &remote, 1, 0);
+    if (n < 0) return Error::FromErrno();
+    if (n == 0) return Status::Errno(EFAULT);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ChildMem::write_pvm(uint64_t addr, const void* buf,
+                           size_t count) const {
+  struct iovec local;
+  struct iovec remote;
+  size_t done = 0;
+  while (done < count) {
+    local.iov_base = const_cast<char*>(static_cast<const char*>(buf)) + done;
+    local.iov_len = count - done;
+    remote.iov_base = reinterpret_cast<void*>(addr + done);
+    remote.iov_len = count - done;
+    ssize_t n = ::process_vm_writev(pid_, &local, 1, &remote, 1, 0);
+    if (n < 0) return Error::FromErrno();
+    if (n == 0) return Status::Errno(EFAULT);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ChildMem::read_string(uint64_t addr,
+                                          size_t max_len) const {
+  std::string out;
+  char chunk[256];
+  while (out.size() < max_len) {
+    size_t want = std::min(sizeof(chunk), max_len - out.size());
+    // Avoid crossing an unmapped page boundary mid-chunk: trim the chunk to
+    // the current page.
+    const uint64_t page_end = ((addr + out.size()) & ~4095ull) + 4096;
+    want = std::min<uint64_t>(want, page_end - (addr + out.size()));
+    Status st = read(addr + out.size(), chunk, want);
+    if (!st.ok()) return st.error();
+    for (size_t i = 0; i < want; ++i) {
+      if (chunk[i] == '\0') {
+        out.append(chunk, i);
+        return out;
+      }
+    }
+    out.append(chunk, want);
+  }
+  return Error(ENAMETOOLONG);
+}
+
+}  // namespace ibox

@@ -1,0 +1,72 @@
+// Child memory access (paper Figure 4(b)).
+//
+// "Small amounts of data can be moved by peeking and poking one word at a
+// time. Large amounts of data must be moved into the I/O channel, then the
+// application must be coerced into accessing it."
+//
+// Three mechanisms are implemented so the Figure 4(b) design space can be
+// measured (bench/ablation_data_path):
+//
+//   kPeekPoke   - PTRACE_PEEKDATA/POKEDATA, one 8-byte word per call (the
+//                 paper's small-data path);
+//   kProcMem    - pread/pwrite on /proc/<pid>/mem (what the paper wished
+//                 for: "Ideally, the supervisor would simply use mmap to
+//                 directly access the memory of the child"; writable again
+//                 on modern kernels);
+//   kProcessVm  - process_vm_readv/writev (the modern syscall pair).
+//
+// The I/O channel bulk path lives in io_channel.h; it avoids touching child
+// memory from the outside altogether by rewriting the child's own syscall.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace ibox {
+
+enum class MemMechanism { kPeekPoke, kProcMem, kProcessVm };
+
+class ChildMem {
+ public:
+  ChildMem(int pid, MemMechanism mechanism)
+      : pid_(pid), mechanism_(mechanism) {}
+
+  MemMechanism mechanism() const { return mechanism_; }
+  void set_mechanism(MemMechanism m) { mechanism_ = m; }
+
+  // Reads `count` bytes at `addr` in the child.
+  Status read(uint64_t addr, void* buf, size_t count) const;
+
+  // Writes `count` bytes at `addr` in the child.
+  Status write(uint64_t addr, const void* buf, size_t count) const;
+
+  // Reads a NUL-terminated string (bounded by max_len). EFAULT/ENAMETOOLONG.
+  Result<std::string> read_string(uint64_t addr, size_t max_len = 4096) const;
+
+  // Convenience typed accessors.
+  template <typename T>
+  Result<T> read_value(uint64_t addr) const {
+    T value{};
+    IBOX_RETURN_IF_ERROR(read(addr, &value, sizeof(T)));
+    return value;
+  }
+  template <typename T>
+  Status write_value(uint64_t addr, const T& value) const {
+    return write(addr, &value, sizeof(T));
+  }
+
+ private:
+  Status read_peek(uint64_t addr, void* buf, size_t count) const;
+  Status write_poke(uint64_t addr, const void* buf, size_t count) const;
+  Status read_procmem(uint64_t addr, void* buf, size_t count) const;
+  Status write_procmem(uint64_t addr, const void* buf, size_t count) const;
+  Status read_pvm(uint64_t addr, void* buf, size_t count) const;
+  Status write_pvm(uint64_t addr, const void* buf, size_t count) const;
+
+  int pid_;
+  MemMechanism mechanism_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,732 @@
+// Descriptor-space syscall handlers: the delegation paths of Figure 4.
+//
+// Descriptors for boxed files exist only in the supervisor; the child's
+// numbers for them are indices into the box FdTable (>= first_virtual_fd).
+// Anything not in the table (stdio, pipes, sockets) belongs to the kernel
+// and passes through untouched.
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/statfs.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sandbox/supervisor.h"
+#include "util/log.h"
+
+namespace ibox {
+
+namespace {
+// Largest single staging buffer; bigger requests become short reads/writes,
+// which POSIX permits and applications must already handle.
+constexpr size_t kMaxStage = 4u << 20;
+}  // namespace
+
+Status Supervisor::write_kernel_stat(Proc& proc, uint64_t buf_addr,
+                                     const VfsStat& st) {
+  struct stat kst;
+  std::memset(&kst, 0, sizeof(kst));
+  kst.st_dev = 2049;  // a plausible fixed device id
+  kst.st_ino = st.inode;
+  kst.st_mode = st.mode;
+  kst.st_nlink = st.nlink;
+  kst.st_uid = ::getuid();
+  kst.st_gid = ::getgid();
+  kst.st_size = static_cast<off_t>(st.size);
+  kst.st_blksize = 4096;
+  kst.st_blocks = static_cast<blkcnt_t>(st.blocks);
+  kst.st_atim.tv_sec = static_cast<time_t>(st.atime_sec);
+  kst.st_mtim.tv_sec = static_cast<time_t>(st.mtime_sec);
+  kst.st_ctim.tv_sec = static_cast<time_t>(st.ctime_sec);
+  return mem(proc).write_value(buf_addr, kst);
+}
+
+void Supervisor::stage_channel_read(
+    Proc& proc, Regs& regs, int fd, uint64_t buf_addr, size_t count,
+    std::shared_ptr<OpenFileDescription> ofd, uint64_t file_off,
+    bool advance) {
+  (void)fd;
+  count = std::min(count, kMaxStage);
+  std::string buf(count, '\0');
+  auto got = ofd->handle->pread(buf.data(), count, file_off);
+  if (!got.ok()) {
+    nullify(proc, regs, -got.error_code());
+    return;
+  }
+  if (*got == 0) {
+    nullify(proc, regs, 0);
+    return;
+  }
+  auto region = channel_->allocate(*got);
+  if (!region.ok()) {
+    nullify(proc, regs, -region.error_code());
+    return;
+  }
+  Status staged = channel_->write_at(*region, buf.data(), *got);
+  if (!staged.ok()) {
+    channel_->free_region(*region);
+    nullify(proc, regs, -staged.error_code());
+    return;
+  }
+  // Coerce the application into pulling the data from the channel itself:
+  // read(fd, buf, n) becomes pread64(channel_fd, buf, got, region).
+  regs.set_syscall_nr(SYS_pread64);
+  regs.set_arg(0, static_cast<uint64_t>(config_.channel_child_fd));
+  regs.set_arg(1, buf_addr);
+  regs.set_arg(2, *got);
+  regs.set_arg(3, *region);
+  (void)regs.store(proc.pid);
+  stats_.syscalls_rewritten++;
+
+  proc.pending.kind = PendingOp::Kind::kChannelRead;
+  proc.pending.chan_off = *region;
+  proc.pending.chan_len = *got;
+  proc.pending.ofd = std::move(ofd);
+  proc.pending.file_off = file_off;
+  proc.pending.advance_offset = advance;
+}
+
+void Supervisor::stage_channel_write(
+    Proc& proc, Regs& regs, int fd, uint64_t buf_addr, size_t count,
+    std::shared_ptr<OpenFileDescription> ofd, uint64_t file_off,
+    bool advance) {
+  (void)fd;
+  count = std::min(count, kMaxStage);
+  auto region = channel_->allocate(count);
+  if (!region.ok()) {
+    nullify(proc, regs, -region.error_code());
+    return;
+  }
+  // write(fd, buf, n) becomes pwrite64(channel_fd, buf, n, region); the
+  // kernel copies out of the application with its own credentials, and the
+  // supervisor moves the staged bytes into the boxed file at the exit stop.
+  regs.set_syscall_nr(SYS_pwrite64);
+  regs.set_arg(0, static_cast<uint64_t>(config_.channel_child_fd));
+  regs.set_arg(1, buf_addr);
+  regs.set_arg(2, count);
+  regs.set_arg(3, *region);
+  (void)regs.store(proc.pid);
+  stats_.syscalls_rewritten++;
+
+  proc.pending.kind = PendingOp::Kind::kChannelWrite;
+  proc.pending.chan_off = *region;
+  proc.pending.chan_len = count;
+  proc.pending.ofd = std::move(ofd);
+  proc.pending.file_off = file_off;
+  proc.pending.advance_offset = advance;
+}
+
+void Supervisor::sys_read(Proc& proc, Regs& regs, int fd, uint64_t buf_addr,
+                          size_t count, bool positional, uint64_t pos) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto ofd = *lookup;
+  if (ofd->is_dir) {
+    deny(proc, regs, EISDIR);
+    stats_.denials--;
+    return;
+  }
+  if ((ofd->flags & O_ACCMODE) == O_WRONLY) {
+    deny(proc, regs, EBADF);
+    stats_.denials--;
+    return;
+  }
+  const uint64_t file_off = positional ? pos : ofd->offset;
+
+  if (use_channel(count)) {
+    stage_channel_read(proc, regs, fd, buf_addr, count, ofd, file_off,
+                       !positional);
+    return;
+  }
+
+  count = std::min(count, kMaxStage);
+  std::string buf(count, '\0');
+  auto got = ofd->handle->pread(buf.data(), count, file_off);
+  if (!got.ok()) {
+    nullify(proc, regs, -got.error_code());
+    return;
+  }
+  if (*got > 0) {
+    Status wrote = mem_for_size(proc, *got).write(buf_addr, buf.data(), *got);
+    if (!wrote.ok()) {
+      nullify(proc, regs, -EFAULT);
+      return;
+    }
+    if (config_.data_path == DataPath::kProcessVm) {
+      stats_.bytes_via_processvm += *got;
+    } else {
+      stats_.bytes_via_peekpoke += *got;
+    }
+    if (!positional) ofd->offset = file_off + *got;
+  }
+  nullify(proc, regs, static_cast<int64_t>(*got));
+}
+
+void Supervisor::sys_write(Proc& proc, Regs& regs, int fd, uint64_t buf_addr,
+                           size_t count, bool positional, uint64_t pos) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto ofd = *lookup;
+  if ((ofd->flags & O_ACCMODE) == O_RDONLY) {
+    deny(proc, regs, EBADF);
+    stats_.denials--;
+    return;
+  }
+  uint64_t file_off = positional ? pos : ofd->offset;
+  if (!positional && (ofd->flags & O_APPEND)) {
+    auto st = ofd->handle->fstat();
+    if (st.ok()) file_off = st->size;
+  }
+
+  if (use_channel(count)) {
+    stage_channel_write(proc, regs, fd, buf_addr, count, ofd, file_off,
+                        !positional);
+    return;
+  }
+
+  count = std::min(count, kMaxStage);
+  std::string buf(count, '\0');
+  Status read_st = mem_for_size(proc, count).read(buf_addr, buf.data(), count);
+  if (!read_st.ok()) {
+    nullify(proc, regs, -EFAULT);
+    return;
+  }
+  auto wrote = ofd->handle->pwrite(buf.data(), count, file_off);
+  if (!wrote.ok()) {
+    nullify(proc, regs, -wrote.error_code());
+    return;
+  }
+  if (config_.data_path == DataPath::kProcessVm) {
+    stats_.bytes_via_processvm += *wrote;
+  } else {
+    stats_.bytes_via_peekpoke += *wrote;
+  }
+  if (!positional) ofd->offset = file_off + *wrote;
+  nullify(proc, regs, static_cast<int64_t>(*wrote));
+}
+
+void Supervisor::sys_readv_writev(Proc& proc, Regs& regs, bool is_write) {
+  const int fd = static_cast<int>(regs.arg(0));
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto ofd = *lookup;
+  const uint64_t iov_addr = regs.arg(1);
+  const size_t iovcnt = std::min<size_t>(regs.arg(2), 1024);
+  std::vector<struct iovec> iov(iovcnt);
+  if (iovcnt > 0) {
+    Status st = mem(proc).read(iov_addr, iov.data(),
+                               iovcnt * sizeof(struct iovec));
+    if (!st.ok()) {
+      nullify(proc, regs, -EFAULT);
+      return;
+    }
+  }
+
+  uint64_t file_off = ofd->offset;
+  if (is_write && (ofd->flags & O_APPEND)) {
+    auto st = ofd->handle->fstat();
+    if (st.ok()) file_off = st->size;
+  }
+
+  int64_t total = 0;
+  for (const auto& vec : iov) {
+    if (vec.iov_len == 0) continue;
+    if (is_write) {
+      std::string buf(std::min(vec.iov_len, kMaxStage), '\0');
+      Status read_st = mem_for_size(proc, buf.size())
+                           .read(reinterpret_cast<uint64_t>(vec.iov_base),
+                                 buf.data(), buf.size());
+      if (!read_st.ok()) {
+        nullify(proc, regs, total > 0 ? total : -EFAULT);
+        return;
+      }
+      auto wrote = ofd->handle->pwrite(buf.data(), buf.size(), file_off);
+      if (!wrote.ok()) {
+        nullify(proc, regs, total > 0 ? total : -wrote.error_code());
+        return;
+      }
+      total += static_cast<int64_t>(*wrote);
+      file_off += *wrote;
+      if (*wrote < buf.size()) break;
+    } else {
+      std::string buf(std::min(vec.iov_len, kMaxStage), '\0');
+      auto got = ofd->handle->pread(buf.data(), buf.size(), file_off);
+      if (!got.ok()) {
+        nullify(proc, regs, total > 0 ? total : -got.error_code());
+        return;
+      }
+      if (*got == 0) break;
+      Status wrote_st = mem_for_size(proc, *got)
+                            .write(reinterpret_cast<uint64_t>(vec.iov_base),
+                                   buf.data(), *got);
+      if (!wrote_st.ok()) {
+        nullify(proc, regs, total > 0 ? total : -EFAULT);
+        return;
+      }
+      total += static_cast<int64_t>(*got);
+      file_off += *got;
+      if (*got < buf.size()) break;
+    }
+  }
+  ofd->offset = file_off;
+  nullify(proc, regs, total);
+}
+
+void Supervisor::sys_close(Proc& proc, Regs& regs, int fd) {
+  if (fd == config_.channel_child_fd) {
+    // The channel descriptor must survive; report success without acting.
+    nullify(proc, regs, 0);
+    return;
+  }
+  if (proc.fds->is_open(fd)) {
+    (void)proc.fds->close(fd);
+    nullify(proc, regs, 0);
+    return;
+  }
+  proc.pending.kind = PendingOp::Kind::kNone;
+}
+
+void Supervisor::sys_fstat(Proc& proc, Regs& regs, int fd,
+                           uint64_t buf_addr) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto st = (*lookup)->handle->fstat();
+  if (!st.ok()) {
+    nullify(proc, regs, -st.error_code());
+    return;
+  }
+  Status wrote = write_kernel_stat(proc, buf_addr, *st);
+  nullify(proc, regs, wrote.ok() ? 0 : -EFAULT);
+}
+
+void Supervisor::sys_lseek(Proc& proc, Regs& regs, int fd, int64_t offset,
+                           int whence) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto ofd = *lookup;
+  int64_t base = 0;
+  switch (whence) {
+    case SEEK_SET: base = 0; break;
+    case SEEK_CUR: base = static_cast<int64_t>(ofd->offset); break;
+    case SEEK_END: {
+      auto st = ofd->handle->fstat();
+      if (!st.ok()) {
+        nullify(proc, regs, -st.error_code());
+        return;
+      }
+      base = static_cast<int64_t>(st->size);
+      break;
+    }
+    default:
+      nullify(proc, regs, -EINVAL);
+      return;
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    nullify(proc, regs, -EINVAL);
+    return;
+  }
+  ofd->offset = static_cast<uint64_t>(target);
+  if (ofd->is_dir) {
+    // Rewinding a directory stream resets the snapshot cursor.
+    ofd->dir_cursor = static_cast<size_t>(target);
+    if (target == 0) ofd->dir_loaded = false;
+  }
+  nullify(proc, regs, target);
+}
+
+void Supervisor::sys_getdents64(Proc& proc, Regs& regs, int fd,
+                                uint64_t buf_addr, size_t buf_len) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto ofd = *lookup;
+  if (!ofd->is_dir) {
+    nullify(proc, regs, -ENOTDIR);
+    return;
+  }
+  if (proc.nr == SYS_getdents) {
+    // Only the 64-bit record layout is implemented; modern libcs use it
+    // exclusively and fall back cleanly on ENOSYS.
+    nullify(proc, regs, -ENOSYS);
+    return;
+  }
+  if (!ofd->dir_loaded) {
+    auto entries = box_.vfs().readdir(ofd->box_path);
+    if (!entries.ok()) {
+      nullify(proc, regs, -entries.error_code());
+      return;
+    }
+    ofd->dir_entries = std::move(*entries);
+    // "." and ".." first, as applications expect.
+    DirEntry dotdot{"..", true};
+    DirEntry dot{".", true};
+    ofd->dir_entries.insert(ofd->dir_entries.begin(), {dot, dotdot});
+    ofd->dir_cursor = 0;
+    ofd->dir_loaded = true;
+  }
+
+  // linux_dirent64: u64 ino, s64 off, u16 reclen, u8 type, char name[].
+  std::string out;
+  size_t cursor = ofd->dir_cursor;
+  while (cursor < ofd->dir_entries.size()) {
+    const DirEntry& entry = ofd->dir_entries[cursor];
+    const size_t reclen = (8 + 8 + 2 + 1 + entry.name.size() + 1 + 7) & ~7u;
+    if (out.size() + reclen > buf_len) break;
+    std::string record(reclen, '\0');
+    uint64_t ino = cursor + 2;
+    int64_t next = static_cast<int64_t>(cursor + 1);
+    uint16_t rl = static_cast<uint16_t>(reclen);
+    uint8_t type = entry.is_dir ? DT_DIR : DT_REG;
+    std::memcpy(record.data(), &ino, 8);
+    std::memcpy(record.data() + 8, &next, 8);
+    std::memcpy(record.data() + 16, &rl, 2);
+    record[18] = static_cast<char>(type);
+    std::memcpy(record.data() + 19, entry.name.c_str(),
+                entry.name.size() + 1);
+    out += record;
+    ++cursor;
+  }
+  if (!out.empty() && cursor == ofd->dir_cursor) {
+    // Should not happen; defensive.
+    nullify(proc, regs, -EINVAL);
+    return;
+  }
+  if (out.empty() && cursor < ofd->dir_entries.size()) {
+    nullify(proc, regs, -EINVAL);  // buffer too small for one record
+    return;
+  }
+  if (!out.empty()) {
+    Status wrote = mem_for_size(proc, out.size())
+                       .write(buf_addr, out.data(), out.size());
+    if (!wrote.ok()) {
+      nullify(proc, regs, -EFAULT);
+      return;
+    }
+  }
+  ofd->dir_cursor = cursor;
+  nullify(proc, regs, static_cast<int64_t>(out.size()));
+}
+
+void Supervisor::sys_fcntl(Proc& proc, Regs& regs, int fd, int cmd,
+                           uint64_t arg3) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto ofd = *lookup;
+  switch (cmd) {
+    case F_GETFD:
+      nullify(proc, regs, proc.fds->cloexec(fd) ? FD_CLOEXEC : 0);
+      return;
+    case F_SETFD:
+      (void)proc.fds->set_cloexec(fd, (arg3 & FD_CLOEXEC) != 0);
+      nullify(proc, regs, 0);
+      return;
+    case F_GETFL:
+      nullify(proc, regs, ofd->flags);
+      return;
+    case F_SETFL: {
+      const int settable = O_APPEND | O_NONBLOCK | O_NDELAY;
+      ofd->flags = (ofd->flags & ~settable) |
+                   (static_cast<int>(arg3) & settable);
+      nullify(proc, regs, 0);
+      return;
+    }
+    case F_DUPFD:
+    case F_DUPFD_CLOEXEC: {
+      const int min_fd =
+          std::max<int>(static_cast<int>(arg3), config_.first_virtual_fd);
+      auto dup = proc.fds->dup(fd, min_fd, cmd == F_DUPFD_CLOEXEC);
+      nullify(proc, regs, dup.ok() ? *dup : -dup.error_code());
+      return;
+    }
+    case F_SETLK:
+    case F_SETLKW:
+    case F_GETLK:
+      // Advisory locks inside one box are moot: a single supervisor
+      // serializes everything. Report success.
+      nullify(proc, regs, 0);
+      return;
+    default:
+      nullify(proc, regs, -EINVAL);
+      return;
+  }
+}
+
+void Supervisor::sys_dup(Proc& proc, Regs& regs, int fd) {
+  if (!proc.fds->is_open(fd)) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto dup = proc.fds->dup(fd, config_.first_virtual_fd);
+  nullify(proc, regs, dup.ok() ? *dup : -dup.error_code());
+}
+
+void Supervisor::sys_dup2(Proc& proc, Regs& regs, int oldfd, int newfd,
+                          int flags) {
+  if (newfd == config_.channel_child_fd) {
+    // The channel descriptor is load-bearing for every rewritten transfer;
+    // the application cannot claim its number.
+    deny(proc, regs, EBADF);
+    stats_.denials--;
+    return;
+  }
+  auto lookup = proc.fds->get(oldfd);
+  if (!lookup.ok()) {
+    // Real source. If the target slot held a boxed file, it is replaced by
+    // the kernel duplicate.
+    if (proc.fds->is_open(newfd)) (void)proc.fds->close(newfd);
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  if (oldfd == newfd) {
+    nullify(proc, regs, flags != 0 ? -EINVAL : newfd);
+    return;
+  }
+  // Boxed source: run the call as close(newfd) so any real descriptor at
+  // the target number disappears, then place the duplicate at the exit.
+  regs.set_syscall_nr(SYS_close);
+  regs.set_arg(0, static_cast<uint64_t>(newfd));
+  (void)regs.store(proc.pid);
+  stats_.syscalls_rewritten++;
+  proc.pending.kind = PendingOp::Kind::kDupPlace;
+  proc.pending.target_fd = newfd;
+  proc.pending.target_cloexec = (flags & O_CLOEXEC) != 0;
+  proc.pending.dup_desc = *lookup;
+}
+
+void Supervisor::sys_ftruncate(Proc& proc, Regs& regs, int fd,
+                               uint64_t length) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  if (((*lookup)->flags & O_ACCMODE) == O_RDONLY) {
+    nullify(proc, regs, -EINVAL);
+    return;
+  }
+  Status st = (*lookup)->handle->ftruncate(length);
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_fsync(Proc& proc, Regs& regs, int fd) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  Status st = (*lookup)->handle->fsync();
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_ioctl(Proc& proc, Regs& regs, int fd) {
+  if (proc.fds->is_open(fd)) {
+    nullify(proc, regs, -ENOTTY);  // boxed files are never terminals
+    return;
+  }
+  proc.pending.kind = PendingOp::Kind::kNone;
+}
+
+void Supervisor::sys_fchmod_fd(Proc& proc, Regs& regs, int fd, int mode) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  Status st = box_.vfs().chmod((*lookup)->box_path, mode);
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+namespace {
+void fill_fake_statfs(struct statfs& out) {
+  std::memset(&out, 0, sizeof(out));
+  out.f_type = 0x01021994;  // TMPFS_MAGIC: an in-memory view of the box
+  out.f_bsize = 4096;
+  out.f_blocks = 1u << 22;
+  out.f_bfree = 1u << 21;
+  out.f_bavail = 1u << 21;
+  out.f_files = 1u << 20;
+  out.f_ffree = 1u << 19;
+  out.f_namelen = 255;
+}
+}  // namespace
+
+void Supervisor::sys_fstatfs(Proc& proc, Regs& regs, int fd,
+                             uint64_t buf_addr) {
+  if (!proc.fds->is_open(fd)) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  struct statfs out;
+  fill_fake_statfs(out);
+  Status wrote = mem(proc).write_value(buf_addr, out);
+  nullify(proc, regs, wrote.ok() ? 0 : -EFAULT);
+}
+
+void Supervisor::sys_statfs(Proc& proc, Regs& regs, uint64_t path_addr,
+                            uint64_t buf_addr) {
+  auto path = read_path_arg(proc, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  auto st = box_.vfs().stat(*path);
+  if (!st.ok()) {
+    nullify(proc, regs, -st.error_code());
+    return;
+  }
+  struct statfs out;
+  fill_fake_statfs(out);
+  Status wrote = mem(proc).write_value(buf_addr, out);
+  nullify(proc, regs, wrote.ok() ? 0 : -EFAULT);
+}
+
+void Supervisor::sys_mmap(Proc& proc, Regs& regs) {
+  const int fd = static_cast<int>(regs.arg(4));
+  const int flags = static_cast<int>(regs.arg(3));
+  if ((flags & MAP_ANONYMOUS) || fd < 0 || !proc.fds->is_open(fd)) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto lookup = proc.fds->get(fd);
+  auto ofd = *lookup;
+  const size_t len = regs.arg(1);
+  const int prot = static_cast<int>(regs.arg(2));
+  const uint64_t file_off = regs.arg(5);
+
+  if ((flags & MAP_SHARED) && (prot & PROT_WRITE)) {
+    // Writable shared mappings of boxed files would bypass the supervisor's
+    // write path entirely; refuse them (applications we target use private
+    // or read-only mappings).
+    nullify(proc, regs, -EACCES);
+    return;
+  }
+
+  // Stage the mapped window of the file into the channel and let the child
+  // map the channel instead — the paper's technique for serving mmap from
+  // an interposition agent, and what makes dynamically linked executables
+  // work inside the box.
+  auto region = channel_->allocate(len);
+  if (!region.ok()) {
+    nullify(proc, regs, -ENOMEM);
+    return;
+  }
+  std::string buf(len, '\0');
+  size_t filled = 0;
+  while (filled < len) {
+    auto got = ofd->handle->pread(buf.data() + filled, len - filled,
+                                  file_off + filled);
+    if (!got.ok() || *got == 0) break;  // short file: rest stays zero
+    filled += *got;
+  }
+  Status staged = channel_->write_at(*region, buf.data(), len);
+  if (!staged.ok()) {
+    channel_->free_region(*region);
+    nullify(proc, regs, -staged.error_code());
+    return;
+  }
+
+  int new_flags = (flags & ~(MAP_SHARED | MAP_DENYWRITE)) | MAP_PRIVATE;
+  regs.set_arg(3, static_cast<uint64_t>(new_flags));
+  regs.set_arg(4, static_cast<uint64_t>(config_.channel_child_fd));
+  regs.set_arg(5, *region);
+  (void)regs.store(proc.pid);
+  stats_.syscalls_rewritten++;
+
+  proc.pending.kind = PendingOp::Kind::kChannelMmap;
+  proc.pending.chan_off = *region;
+  proc.pending.chan_len = len;
+}
+
+void Supervisor::sys_munmap(Proc& proc, Regs& regs) {
+  const uint64_t addr = regs.arg(0);
+  if (!proc.mmap_regions.count(addr)) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  proc.pending.kind = PendingOp::Kind::kMunmap;
+  proc.pending.map_addr = addr;
+}
+
+void Supervisor::sys_poll(Proc& proc, Regs& regs, uint64_t fds_addr,
+                          uint32_t nfds) {
+  // poll/ppoll sets may mix real descriptors (pipes, ttys) with boxed
+  // ones. A boxed regular file is always ready, so each boxed entry's fd
+  // is substituted with the I/O channel descriptor — a memfd, ready for
+  // both reading and writing — the kernel polls the set natively, and the
+  // original numbers are restored at the exit stop.
+  if (nfds == 0 || nfds > 4096) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  struct KernelPollFd {
+    int32_t fd;
+    int16_t events;
+    int16_t revents;
+  };
+  static_assert(sizeof(KernelPollFd) == 8);
+  std::vector<KernelPollFd> fds(nfds);
+  if (!mem(proc).read(fds_addr, fds.data(), nfds * sizeof(KernelPollFd))
+           .ok()) {
+    proc.pending.kind = PendingOp::Kind::kNone;  // let the kernel EFAULT
+    return;
+  }
+  std::vector<std::pair<uint32_t, int>> substituted;
+  for (uint32_t i = 0; i < nfds; ++i) {
+    if (fds[i].fd >= 0 && proc.fds->is_open(fds[i].fd)) {
+      substituted.emplace_back(i, fds[i].fd);
+      const uint64_t entry_addr = fds_addr + i * sizeof(KernelPollFd);
+      if (!mem(proc)
+               .write_value<int32_t>(entry_addr, config_.channel_child_fd)
+               .ok()) {
+        proc.pending.kind = PendingOp::Kind::kNone;
+        return;
+      }
+    }
+  }
+  if (substituted.empty()) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  stats_.syscalls_rewritten++;
+  proc.pending.kind = PendingOp::Kind::kPollRestore;
+  proc.pending.user_addr = fds_addr;
+  proc.pending.poll_restore = std::move(substituted);
+}
+
+void Supervisor::sys_pipe(Proc& proc, Regs& regs, uint64_t fds_addr,
+                          int flags) {
+  // Pipes are kernel objects between boxed processes; they carry no
+  // identity semantics and pass through (the kernel assigns low real
+  // descriptor numbers that cannot collide with the boxed range).
+  (void)regs;
+  (void)fds_addr;
+  (void)flags;
+  proc.pending.kind = PendingOp::Kind::kNone;
+}
+
+}  // namespace ibox

@@ -1,0 +1,432 @@
+// Path-namespace syscall handlers: every call that names a file is resolved
+// against the box VFS — ACL checks, the nobody fallback, and the
+// /etc/passwd redirection all happen behind vfs()/driver, never here.
+#include <fcntl.h>
+#include <linux/stat.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <utime.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sandbox/supervisor.h"
+#include "util/path.h"
+
+namespace ibox {
+
+void Supervisor::sys_open_family(Proc& proc, Regs& regs, int dirfd,
+                                 uint64_t path_addr, int flags, int mode) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  const int effective_mode = mode & ~proc.umask;
+  auto handle = box_.vfs().open(*path, flags, effective_mode);
+  box_.audit().record(box_.identity(), "open", *path,
+                      handle.ok() ? 0 : handle.error_code());
+  if (!handle.ok()) {
+    if (handle.error_code() == EACCES) {
+      deny(proc, regs, EACCES);
+    } else {
+      nullify(proc, regs, -handle.error_code());
+    }
+    return;
+  }
+
+  auto ofd = std::make_shared<OpenFileDescription>();
+  ofd->handle = std::move(*handle);
+  ofd->flags = flags;
+  ofd->box_path = *path;
+  auto st = ofd->handle->fstat();
+  ofd->is_dir = st.ok() && st->is_dir();
+  const int fd = proc.fds->insert(std::move(ofd), (flags & O_CLOEXEC) != 0,
+                                  config_.first_virtual_fd);
+  nullify(proc, regs, fd);
+}
+
+void Supervisor::sys_stat_family(Proc& proc, Regs& regs, uint64_t path_addr,
+                                 uint64_t buf_addr, bool follow,
+                                 bool at_style, int dirfd, int at_flags) {
+  if (at_style && (at_flags & AT_SYMLINK_NOFOLLOW)) follow = false;
+  if (at_style && (at_flags & AT_EMPTY_PATH) && dirfd != AT_FDCWD &&
+      !proc.fds->is_open(dirfd)) {
+    // fstat of a real (unboxed) descriptor — pipe, tty, socket: kernel's.
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  auto path = resolve_at(proc, at_style ? dirfd : AT_FDCWD, path_addr,
+                         at_style && (at_flags & AT_EMPTY_PATH));
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  auto st = follow ? box_.vfs().stat(*path) : box_.vfs().lstat(*path);
+  if (!st.ok()) {
+    nullify(proc, regs, -st.error_code());
+    return;
+  }
+  Status wrote = write_kernel_stat(proc, buf_addr, *st);
+  nullify(proc, regs, wrote.ok() ? 0 : -EFAULT);
+}
+
+void Supervisor::sys_statx(Proc& proc, Regs& regs) {
+  const int dirfd = static_cast<int>(regs.arg(0));
+  const int at_flags = static_cast<int>(regs.arg(2));
+  const uint64_t buf_addr = regs.arg(4);
+  if ((at_flags & AT_EMPTY_PATH) && dirfd != AT_FDCWD &&
+      !proc.fds->is_open(dirfd)) {
+    proc.pending.kind = PendingOp::Kind::kNone;  // real descriptor: kernel's
+    return;
+  }
+  auto path = resolve_at(proc, dirfd, regs.arg(1),
+                         (at_flags & AT_EMPTY_PATH) != 0);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  const bool follow = (at_flags & AT_SYMLINK_NOFOLLOW) == 0;
+  auto st = follow ? box_.vfs().stat(*path) : box_.vfs().lstat(*path);
+  if (!st.ok()) {
+    nullify(proc, regs, -st.error_code());
+    return;
+  }
+
+  struct statx out;
+  std::memset(&out, 0, sizeof(out));
+  out.stx_mask = STATX_BASIC_STATS;
+  out.stx_blksize = 4096;
+  out.stx_nlink = st->nlink;
+  out.stx_uid = ::getuid();
+  out.stx_gid = ::getgid();
+  out.stx_mode = static_cast<uint16_t>(st->mode);
+  out.stx_ino = st->inode;
+  out.stx_size = st->size;
+  out.stx_blocks = st->blocks;
+  out.stx_atime.tv_sec = static_cast<int64_t>(st->atime_sec);
+  out.stx_mtime.tv_sec = static_cast<int64_t>(st->mtime_sec);
+  out.stx_ctime.tv_sec = static_cast<int64_t>(st->ctime_sec);
+  Status wrote = mem(proc).write_value(buf_addr, out);
+  nullify(proc, regs, wrote.ok() ? 0 : -EFAULT);
+}
+
+void Supervisor::sys_mkdir(Proc& proc, Regs& regs, int dirfd,
+                           uint64_t path_addr, int mode) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  Status st = box_.vfs().mkdir(*path, mode & ~proc.umask);
+  box_.audit().record(box_.identity(), "mkdir", *path,
+                      st.ok() ? 0 : st.error_code());
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_unlink(Proc& proc, Regs& regs, int dirfd,
+                            uint64_t path_addr, int at_flags) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  Status st = (at_flags & AT_REMOVEDIR) ? box_.vfs().rmdir(*path)
+                                        : box_.vfs().unlink(*path);
+  box_.audit().record(box_.identity(),
+                      (at_flags & AT_REMOVEDIR) ? "rmdir" : "unlink", *path,
+                      st.ok() ? 0 : st.error_code());
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_rename(Proc& proc, Regs& regs, int olddirfd,
+                            uint64_t old_addr, int newdirfd,
+                            uint64_t new_addr) {
+  auto from = resolve_at(proc, olddirfd, old_addr);
+  auto to = resolve_at(proc, newdirfd, new_addr);
+  if (!from.ok() || !to.ok()) {
+    nullify(proc, regs, -(from.ok() ? to.error_code() : from.error_code()));
+    return;
+  }
+  Status st = box_.vfs().rename(*from, *to);
+  box_.audit().record(box_.identity(), "rename", *from + "->" + *to,
+                      st.ok() ? 0 : st.error_code());
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_symlink(Proc& proc, Regs& regs, uint64_t target_addr,
+                             int dirfd, uint64_t link_addr) {
+  auto target = mem(proc).read_string(target_addr);
+  if (!target.ok()) {
+    nullify(proc, regs, -EFAULT);
+    return;
+  }
+  auto linkpath = resolve_at(proc, dirfd, link_addr);
+  if (!linkpath.ok()) {
+    nullify(proc, regs, -linkpath.error_code());
+    return;
+  }
+  Status st = box_.vfs().symlink(*target, *linkpath);
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_readlink(Proc& proc, Regs& regs, int dirfd,
+                              uint64_t path_addr, uint64_t buf_addr,
+                              size_t buf_len) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  auto target = box_.vfs().readlink(*path);
+  if (!target.ok()) {
+    nullify(proc, regs, -target.error_code());
+    return;
+  }
+  const size_t n = std::min(target->size(), buf_len);
+  if (n > 0) {
+    Status wrote = mem_for_size(proc, n).write(buf_addr, target->data(), n);
+    if (!wrote.ok()) {
+      nullify(proc, regs, -EFAULT);
+      return;
+    }
+  }
+  nullify(proc, regs, static_cast<int64_t>(n));
+}
+
+void Supervisor::sys_link(Proc& proc, Regs& regs, int olddirfd,
+                          uint64_t old_addr, int newdirfd,
+                          uint64_t new_addr) {
+  auto from = resolve_at(proc, olddirfd, old_addr);
+  auto to = resolve_at(proc, newdirfd, new_addr);
+  if (!from.ok() || !to.ok()) {
+    nullify(proc, regs, -(from.ok() ? to.error_code() : from.error_code()));
+    return;
+  }
+  Status st = box_.vfs().link(*from, *to);
+  box_.audit().record(box_.identity(), "link", *from + "->" + *to,
+                      st.ok() ? 0 : st.error_code());
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_chmod(Proc& proc, Regs& regs, int dirfd,
+                           uint64_t path_addr, int mode) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  Status st = box_.vfs().chmod(*path, mode);
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_truncate(Proc& proc, Regs& regs, uint64_t path_addr,
+                              uint64_t length) {
+  auto path = read_path_arg(proc, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  Status st = box_.vfs().truncate(*path, length);
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_access(Proc& proc, Regs& regs, int dirfd,
+                            uint64_t path_addr, int probe_mode) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  // F_OK: existence only.
+  if (probe_mode == F_OK) {
+    auto st = box_.vfs().stat(*path);
+    nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+    return;
+  }
+  Status verdict = Status::Ok();
+  if (verdict.ok() && (probe_mode & R_OK)) {
+    verdict = box_.vfs().access(*path, Access::kRead);
+  }
+  if (verdict.ok() && (probe_mode & W_OK)) {
+    verdict = box_.vfs().access(*path, Access::kWrite);
+  }
+  if (verdict.ok() && (probe_mode & X_OK)) {
+    verdict = box_.vfs().access(*path, Access::kExecute);
+  }
+  nullify(proc, regs, verdict.ok() ? 0 : -verdict.error_code());
+}
+
+void Supervisor::sys_utime_family(Proc& proc, Regs& regs) {
+  // Decode the requested times per variant; a null times pointer means
+  // "now" in all three ABIs. Timestamp fidelity matters: build tools
+  // compare mtimes, archivers restore them.
+  const auto now = static_cast<uint64_t>(::time(nullptr));
+  uint64_t atime = now, mtime = now;
+  uint64_t path_addr = 0;
+  int dirfd = AT_FDCWD;
+  uint64_t times_addr = 0;
+  bool omit_atime = false, omit_mtime = false;
+
+  if (proc.nr == SYS_utimensat) {
+    dirfd = static_cast<int>(regs.arg(0));
+    path_addr = regs.arg(1);
+    times_addr = regs.arg(2);
+    if (times_addr != 0) {
+      struct timespec ts[2];
+      if (!mem(proc).read(times_addr, ts, sizeof(ts)).ok()) {
+        nullify(proc, regs, -EFAULT);
+        return;
+      }
+      auto decode = [&](const struct timespec& spec, uint64_t& out,
+                        bool& omit) {
+        if (spec.tv_nsec == UTIME_NOW) {
+          out = now;
+        } else if (spec.tv_nsec == UTIME_OMIT) {
+          omit = true;
+        } else {
+          out = static_cast<uint64_t>(spec.tv_sec);
+        }
+      };
+      decode(ts[0], atime, omit_atime);
+      decode(ts[1], mtime, omit_mtime);
+    }
+  } else if (proc.nr == SYS_utimes) {
+    path_addr = regs.arg(0);
+    times_addr = regs.arg(1);
+    if (times_addr != 0) {
+      struct timeval tv[2];
+      if (!mem(proc).read(times_addr, tv, sizeof(tv)).ok()) {
+        nullify(proc, regs, -EFAULT);
+        return;
+      }
+      atime = static_cast<uint64_t>(tv[0].tv_sec);
+      mtime = static_cast<uint64_t>(tv[1].tv_sec);
+    }
+  } else {  // SYS_utime
+    path_addr = regs.arg(0);
+    times_addr = regs.arg(1);
+    if (times_addr != 0) {
+      struct utimbuf times;
+      if (!mem(proc).read(times_addr, &times, sizeof(times)).ok()) {
+        nullify(proc, regs, -EFAULT);
+        return;
+      }
+      atime = static_cast<uint64_t>(times.actime);
+      mtime = static_cast<uint64_t>(times.modtime);
+    }
+  }
+
+  std::string target_path;
+  if (proc.nr == SYS_utimensat && path_addr == 0) {
+    // utimensat(fd, NULL, ...): operate on the descriptor.
+    auto lookup = proc.fds->get(dirfd);
+    if (!lookup.ok()) {
+      proc.pending.kind = PendingOp::Kind::kNone;
+      return;
+    }
+    target_path = (*lookup)->box_path;
+  } else {
+    auto path = resolve_at(proc, dirfd, path_addr);
+    if (!path.ok()) {
+      nullify(proc, regs, -path.error_code());
+      return;
+    }
+    target_path = *path;
+  }
+
+  if (omit_atime || omit_mtime) {
+    auto current = box_.vfs().stat(target_path);
+    if (current.ok()) {
+      if (omit_atime) atime = current->atime_sec;
+      if (omit_mtime) mtime = current->mtime_sec;
+    }
+  }
+  Status st = box_.vfs().utime(target_path, atime, mtime);
+  if (!st.ok() && st.error_code() == EACCES) {
+    deny(proc, regs, EACCES);
+    return;
+  }
+  nullify(proc, regs, st.ok() ? 0 : -st.error_code());
+}
+
+void Supervisor::sys_chdir(Proc& proc, Regs& regs, uint64_t path_addr) {
+  auto path = read_path_arg(proc, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+  auto st = box_.vfs().stat(*path);
+  if (!st.ok()) {
+    nullify(proc, regs, -st.error_code());
+    return;
+  }
+  if (!st->is_dir()) {
+    nullify(proc, regs, -ENOTDIR);
+    return;
+  }
+  *proc.cwd = *path;
+  nullify(proc, regs, 0);
+}
+
+void Supervisor::sys_fchdir(Proc& proc, Regs& regs, int fd) {
+  auto lookup = proc.fds->get(fd);
+  if (!lookup.ok()) {
+    // A real descriptor can only be a pipe/socket/tty — never a directory,
+    // because directory opens are always boxed.
+    nullify(proc, regs, -ENOTDIR);
+    return;
+  }
+  if (!(*lookup)->is_dir) {
+    nullify(proc, regs, -ENOTDIR);
+    return;
+  }
+  *proc.cwd = (*lookup)->box_path;
+  nullify(proc, regs, 0);
+}
+
+void Supervisor::sys_getcwd(Proc& proc, Regs& regs, uint64_t buf_addr,
+                            size_t size) {
+  const std::string& cwd = *proc.cwd;
+  if (size < cwd.size() + 1) {
+    nullify(proc, regs, -ERANGE);
+    return;
+  }
+  Status wrote = mem_for_size(proc, cwd.size() + 1)
+                     .write(buf_addr, cwd.c_str(), cwd.size() + 1);
+  if (!wrote.ok()) {
+    nullify(proc, regs, -EFAULT);
+    return;
+  }
+  nullify(proc, regs, static_cast<int64_t>(cwd.size() + 1));
+}
+
+}  // namespace ibox

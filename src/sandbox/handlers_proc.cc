@@ -1,0 +1,94 @@
+// Process and identity syscall handlers: exec authorization, signal
+// mediation by identity (paper section 3), and the refusal of low-level
+// identity manipulation inside the box.
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sandbox/supervisor.h"
+#include "util/log.h"
+#include "util/path.h"
+
+namespace ibox {
+
+void Supervisor::sys_execve(Proc& proc, Regs& regs, int dirfd,
+                            uint64_t path_addr) {
+  auto path = resolve_at(proc, dirfd, path_addr);
+  if (!path.ok()) {
+    nullify(proc, regs, -path.error_code());
+    return;
+  }
+
+  auto host = box_.resolve_executable(*path);
+  box_.audit().record(box_.identity(), "execve", *path,
+                      host.ok() ? 0 : host.error_code());
+  if (!host.ok()) {
+    deny(proc, regs, host.error_code());
+    return;
+  }
+
+  // If the authorized host path differs from what the application passed
+  // (box root relocation, redirects, remote fetch), the path argument must
+  // be rewritten in the child. The bytes go just below the current stack
+  // page's red zone — clobbered space is reclaimed by the successful exec,
+  // and an in-place overwrite is attempted as fallback.
+  auto original = mem(proc).read_string(path_addr);
+  if (original.ok() && *host != *original) {
+    const size_t len = host->size() + 1;
+    uint64_t scratch = (regs.stack_pointer() - 128 - len) & ~7ull;
+    Status poked = mem(proc).write(scratch, host->c_str(), len);
+    if (poked.ok()) {
+      regs.set_arg(proc.nr == SYS_execveat ? 1 : 0, scratch);
+      (void)regs.store(proc.pid);
+    } else if (len <= original->size() + 1) {
+      Status inplace = mem(proc).write(path_addr, host->c_str(), len);
+      if (!inplace.ok()) {
+        deny(proc, regs, EACCES);
+        return;
+      }
+    } else {
+      deny(proc, regs, EACCES);
+      return;
+    }
+    stats_.syscalls_rewritten++;
+  }
+  proc.pending.kind = PendingOp::Kind::kExec;
+}
+
+void Supervisor::sys_kill(Proc& proc, Regs& regs, int target, bool is_tgkill,
+                          int target_tid) {
+  // "a process within an identity box may only send signals to other
+  // processes with the same identity."
+  const int effective_target = is_tgkill ? target_tid : target;
+  if (effective_target <= 0) {
+    // Process-group and broadcast signals would reach outside the box.
+    stats_.signals_denied++;
+    deny(proc, regs, EPERM);
+    return;
+  }
+  Status verdict = registry_.check_signal(proc.pid, effective_target);
+  if (!verdict.ok()) {
+    stats_.signals_denied++;
+    deny(proc, regs, verdict.error_code());
+    return;
+  }
+  proc.pending.kind = PendingOp::Kind::kNone;  // allowed: kernel delivers
+}
+
+void Supervisor::sys_umask(Proc& proc, Regs& regs, int mask) {
+  const int old = proc.umask;
+  proc.umask = mask & 0777;
+  nullify(proc, regs, old);
+}
+
+void Supervisor::sys_socket(Proc& proc, Regs& regs) {
+  if (config_.allow_network) {
+    proc.pending.kind = PendingOp::Kind::kNone;
+    return;
+  }
+  deny(proc, regs, EPERM);
+}
+
+}  // namespace ibox

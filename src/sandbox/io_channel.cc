@@ -1,0 +1,89 @@
+#include "sandbox/io_channel.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace ibox {
+
+namespace {
+constexpr size_t kPage = 4096;
+size_t page_round(size_t n) { return (n + kPage - 1) & ~(kPage - 1); }
+}  // namespace
+
+Result<IoChannel> IoChannel::Create(size_t initial_size) {
+  IoChannel channel;
+  int fd = ::memfd_create("ibox-io-channel", 0);
+  if (fd < 0) return Error::FromErrno();
+  channel.fd_.reset(fd);
+  channel.capacity_ = page_round(initial_size);
+  if (::ftruncate(fd, static_cast<off_t>(channel.capacity_)) != 0) {
+    return Error::FromErrno();
+  }
+  return channel;
+}
+
+Status IoChannel::ensure_capacity(size_t needed) {
+  if (needed <= capacity_) return Status::Ok();
+  size_t next = capacity_;
+  while (next < needed) next *= 2;
+  if (::ftruncate(fd_.get(), static_cast<off_t>(next)) != 0) {
+    return Error::FromErrno();
+  }
+  capacity_ = next;
+  return Status::Ok();
+}
+
+Result<uint64_t> IoChannel::allocate(size_t size) {
+  const size_t want = page_round(size == 0 ? 1 : size);
+  // First fit in the gaps between used regions.
+  uint64_t cursor = 0;
+  for (const auto& [offset, region] : used_) {
+    if (offset - cursor >= want) break;
+    cursor = offset + region.size;
+  }
+  IBOX_RETURN_IF_ERROR(ensure_capacity(cursor + want));
+  used_[cursor] = Region{want, 1};
+  in_use_ += want;
+  ++allocations_;
+  return cursor;
+}
+
+void IoChannel::ref_region(uint64_t offset) {
+  auto it = used_.find(offset);
+  if (it != used_.end()) ++it->second.refs;
+}
+
+void IoChannel::free_region(uint64_t offset) {
+  auto it = used_.find(offset);
+  if (it == used_.end()) return;
+  if (--it->second.refs > 0) return;
+  in_use_ -= it->second.size;
+  used_.erase(it);
+}
+
+Status IoChannel::write_at(uint64_t offset, const void* data, size_t size) {
+  size_t done = 0;
+  const auto* in = static_cast<const char*>(data);
+  while (done < size) {
+    ssize_t n = ::pwrite(fd_.get(), in + done, size - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) return Error::FromErrno();
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status IoChannel::read_at(uint64_t offset, void* data, size_t size) {
+  size_t done = 0;
+  auto* out = static_cast<char*>(data);
+  while (done < size) {
+    ssize_t n = ::pread(fd_.get(), out + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) return Error::FromErrno();
+    if (n == 0) return Status::Errno(EIO);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ibox

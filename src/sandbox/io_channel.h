@@ -1,0 +1,83 @@
+// The I/O channel (paper section 5, Figure 4(b)).
+//
+// "the application must be coerced into assisting the supervisor. This is
+// accomplished by converting many system calls into preads and pwrites on a
+// shared buffer called the I/O channel. This is a small in-memory file
+// shared among all of its children. The supervisor maps the channel into
+// memory, while all of the child processes simply maintain a file
+// descriptor pointing to the channel."
+//
+// Implementation: a memfd created by the supervisor before the first child
+// is spawned and dup2'ed to a fixed high descriptor in the child (inherited
+// across fork/exec). For a boxed read(2), the supervisor stages the file
+// data into a channel region and rewrites the call into
+// pread64(channel_fd, buf, n, region_offset): the kernel performs the final
+// copy into the application's buffer with the application's own
+// credentials. Writes run the mirror image. mmap of a boxed file is served
+// the same way: the region holds the file bytes and the child's mmap is
+// redirected at the channel (MAP_PRIVATE), so even dynamically linked
+// executables load through the box.
+//
+// Regions are allocated page-aligned with a first-fit free list. A region
+// backing an mmap must outlive the mapping, so those are freed only on the
+// corresponding munmap/exec/exit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/fs.h"
+#include "util/result.h"
+
+namespace ibox {
+
+class IoChannel {
+ public:
+  // Creates the backing memfd. `initial_size` is grown on demand.
+  static Result<IoChannel> Create(size_t initial_size = 1 << 20);
+
+  IoChannel(IoChannel&&) = default;
+  IoChannel& operator=(IoChannel&&) = default;
+
+  // The supervisor-side descriptor (to be inherited by the first child).
+  int fd() const { return fd_.get(); }
+
+  // Allocates a page-aligned region of at least `size` bytes (refcount 1).
+  Result<uint64_t> allocate(size_t size);
+
+  // Takes an additional reference on a region: a fork COW-shares the
+  // parent's channel-backed mappings, so both processes hold the region
+  // until each unmaps/execs/exits.
+  void ref_region(uint64_t offset);
+
+  // Drops one reference; the region is reusable when the count hits zero.
+  void free_region(uint64_t offset);
+
+  // Stages data into / retrieves data from a region.
+  Status write_at(uint64_t offset, const void* data, size_t size);
+  Status read_at(uint64_t offset, void* data, size_t size);
+
+  // Current file size and allocation stats (for bench reporting).
+  size_t capacity() const { return capacity_; }
+  size_t bytes_in_use() const { return in_use_; }
+  size_t allocations() const { return allocations_; }
+
+ private:
+  IoChannel() = default;
+
+  Status ensure_capacity(size_t needed);
+
+  struct Region {
+    size_t size = 0;
+    int refs = 1;
+  };
+
+  UniqueFd fd_;
+  size_t capacity_ = 0;
+  size_t in_use_ = 0;
+  size_t allocations_ = 0;
+  std::map<uint64_t, Region> used_;  // offset -> region
+};
+
+}  // namespace ibox

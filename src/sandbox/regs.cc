@@ -1,0 +1,150 @@
+#include "sandbox/regs.h"
+
+#include <sys/ptrace.h>
+#include <sys/syscall.h>
+
+#include <map>
+
+namespace ibox {
+
+Result<Regs> Regs::Fetch(int pid) {
+  Regs out;
+  if (ptrace(PTRACE_GETREGS, pid, nullptr, &out.regs_) != 0) {
+    return Error::FromErrno();
+  }
+  return out;
+}
+
+Status Regs::store(int pid) const {
+  if (ptrace(PTRACE_SETREGS, pid, nullptr, &regs_) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+uint64_t Regs::arg(int index) const {
+  switch (index) {
+    case 0: return regs_.rdi;
+    case 1: return regs_.rsi;
+    case 2: return regs_.rdx;
+    case 3: return regs_.r10;
+    case 4: return regs_.r8;
+    case 5: return regs_.r9;
+    default: return 0;
+  }
+}
+
+void Regs::set_arg(int index, uint64_t value) {
+  switch (index) {
+    case 0: regs_.rdi = value; break;
+    case 1: regs_.rsi = value; break;
+    case 2: regs_.rdx = value; break;
+    case 3: regs_.r10 = value; break;
+    case 4: regs_.r8 = value; break;
+    case 5: regs_.r9 = value; break;
+    default: break;
+  }
+}
+
+std::string syscall_name(long nr) {
+  static const std::map<long, const char*> kNames = {
+      {SYS_read, "read"},
+      {SYS_write, "write"},
+      {SYS_open, "open"},
+      {SYS_close, "close"},
+      {SYS_stat, "stat"},
+      {SYS_fstat, "fstat"},
+      {SYS_lstat, "lstat"},
+      {SYS_poll, "poll"},
+      {SYS_lseek, "lseek"},
+      {SYS_mmap, "mmap"},
+      {SYS_mprotect, "mprotect"},
+      {SYS_munmap, "munmap"},
+      {SYS_brk, "brk"},
+      {SYS_ioctl, "ioctl"},
+      {SYS_pread64, "pread64"},
+      {SYS_pwrite64, "pwrite64"},
+      {SYS_readv, "readv"},
+      {SYS_writev, "writev"},
+      {SYS_access, "access"},
+      {SYS_pipe, "pipe"},
+      {SYS_select, "select"},
+      {SYS_dup, "dup"},
+      {SYS_dup2, "dup2"},
+      {SYS_getpid, "getpid"},
+      {SYS_sendfile, "sendfile"},
+      {SYS_socket, "socket"},
+      {SYS_connect, "connect"},
+      {SYS_clone, "clone"},
+      {SYS_fork, "fork"},
+      {SYS_vfork, "vfork"},
+      {SYS_execve, "execve"},
+      {SYS_exit, "exit"},
+      {SYS_wait4, "wait4"},
+      {SYS_kill, "kill"},
+      {SYS_uname, "uname"},
+      {SYS_fcntl, "fcntl"},
+      {SYS_fsync, "fsync"},
+      {SYS_fdatasync, "fdatasync"},
+      {SYS_truncate, "truncate"},
+      {SYS_ftruncate, "ftruncate"},
+      {SYS_getdents, "getdents"},
+      {SYS_getcwd, "getcwd"},
+      {SYS_chdir, "chdir"},
+      {SYS_fchdir, "fchdir"},
+      {SYS_rename, "rename"},
+      {SYS_mkdir, "mkdir"},
+      {SYS_rmdir, "rmdir"},
+      {SYS_creat, "creat"},
+      {SYS_link, "link"},
+      {SYS_unlink, "unlink"},
+      {SYS_symlink, "symlink"},
+      {SYS_readlink, "readlink"},
+      {SYS_chmod, "chmod"},
+      {SYS_fchmod, "fchmod"},
+      {SYS_chown, "chown"},
+      {SYS_fchown, "fchown"},
+      {SYS_lchown, "lchown"},
+      {SYS_umask, "umask"},
+      {SYS_getuid, "getuid"},
+      {SYS_getgid, "getgid"},
+      {SYS_geteuid, "geteuid"},
+      {SYS_getegid, "getegid"},
+      {SYS_setuid, "setuid"},
+      {SYS_setgid, "setgid"},
+      {SYS_getppid, "getppid"},
+      {SYS_setsid, "setsid"},
+      {SYS_utime, "utime"},
+      {SYS_statfs, "statfs"},
+      {SYS_fstatfs, "fstatfs"},
+      {SYS_gettid, "gettid"},
+      {SYS_tkill, "tkill"},
+      {SYS_tgkill, "tgkill"},
+      {SYS_getdents64, "getdents64"},
+      {SYS_openat, "openat"},
+      {SYS_mkdirat, "mkdirat"},
+      {SYS_fchownat, "fchownat"},
+      {SYS_newfstatat, "newfstatat"},
+      {SYS_unlinkat, "unlinkat"},
+      {SYS_renameat, "renameat"},
+      {SYS_linkat, "linkat"},
+      {SYS_symlinkat, "symlinkat"},
+      {SYS_readlinkat, "readlinkat"},
+      {SYS_fchmodat, "fchmodat"},
+      {SYS_faccessat, "faccessat"},
+      {SYS_utimensat, "utimensat"},
+      {SYS_dup3, "dup3"},
+      {SYS_pipe2, "pipe2"},
+      {SYS_renameat2, "renameat2"},
+      {SYS_statx, "statx"},
+      {SYS_clone3, "clone3"},
+      {SYS_openat2, "openat2"},
+      {SYS_faccessat2, "faccessat2"},
+      {SYS_exit_group, "exit_group"},
+  };
+  auto it = kNames.find(nr);
+  if (it != kNames.end()) return it->second;
+  return "#" + std::to_string(nr);
+}
+
+}  // namespace ibox

@@ -1,0 +1,52 @@
+// x86-64 register access for syscall-stop handling (paper section 5).
+//
+// At a syscall-entry stop the supervisor reads the attempted call from
+// orig_rax and its six arguments from the argument registers; nullifying a
+// call means rewriting orig_rax to SYS_getpid; injecting a result means
+// writing rax at the exit stop (negative errno for failures — "On Linux,
+// Parrot is able to provide any return value, including 'permission
+// denied'", section 6).
+#pragma once
+
+#include <sys/user.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace ibox {
+
+class Regs {
+ public:
+  // Reads the registers of a stopped tracee. ESRCH if it vanished.
+  static Result<Regs> Fetch(int pid);
+
+  // Writes the (modified) registers back.
+  Status store(int pid) const;
+
+  // Syscall number as attempted by the tracee.
+  long syscall_nr() const { return static_cast<long>(regs_.orig_rax); }
+  void set_syscall_nr(long nr) { regs_.orig_rax = static_cast<unsigned long long>(nr); }
+
+  // Argument registers: rdi, rsi, rdx, r10, r8, r9.
+  uint64_t arg(int index) const;
+  void set_arg(int index, uint64_t value);
+
+  // Return value (valid at the exit stop).
+  int64_t ret() const { return static_cast<int64_t>(regs_.rax); }
+  void set_ret(int64_t value) { regs_.rax = static_cast<unsigned long long>(value); }
+
+  uint64_t stack_pointer() const { return regs_.rsp; }
+  uint64_t instruction_pointer() const { return regs_.rip; }
+
+  const user_regs_struct& raw() const { return regs_; }
+
+ private:
+  user_regs_struct regs_{};
+};
+
+// Human-readable syscall name ("openat", "read", ...); "#<nr>" if unknown.
+std::string syscall_name(long nr);
+
+}  // namespace ibox

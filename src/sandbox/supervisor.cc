@@ -1,0 +1,833 @@
+#include "sandbox/supervisor.h"
+
+#include <fcntl.h>
+#include <sched.h>
+#include <signal.h>
+#include <sys/ptrace.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/log.h"
+#include "util/path.h"
+
+extern char** environ;
+
+namespace ibox {
+
+Supervisor::Supervisor(BoxContext& box, ProcessRegistry& registry,
+                       SandboxConfig config)
+    : box_(box), registry_(registry), config_(config) {}
+
+Supervisor::~Supervisor() {
+  // PTRACE_O_EXITKILL tears the tree down if we are destroyed mid-run.
+  for (auto& [pid, proc] : procs_) {
+    (void)proc;
+    ::kill(pid, SIGKILL);
+  }
+}
+
+ChildMem Supervisor::mem(const Proc& proc) const {
+  switch (config_.data_path) {
+    case DataPath::kProcessVm:
+      return ChildMem(proc.pid, MemMechanism::kProcessVm);
+    case DataPath::kPeekPoke:
+    case DataPath::kPaper:
+    case DataPath::kChannel:
+      return ChildMem(proc.pid, MemMechanism::kPeekPoke);
+  }
+  return ChildMem(proc.pid, MemMechanism::kPeekPoke);
+}
+
+ChildMem Supervisor::mem_for_size(const Proc& proc, size_t size) const {
+  // Small control data (paths, structs) always moves by the word-at-a-time
+  // mechanism in kPaper mode; kProcessVm upgrades everything.
+  (void)size;
+  return mem(proc);
+}
+
+bool Supervisor::use_channel(size_t size) const {
+  switch (config_.data_path) {
+    case DataPath::kChannel: return true;
+    case DataPath::kPaper: return size > config_.channel_threshold;
+    case DataPath::kPeekPoke:
+    case DataPath::kProcessVm: return false;
+  }
+  return false;
+}
+
+Result<int> Supervisor::run(const std::vector<std::string>& argv,
+                            const std::vector<std::string>& extra_env,
+                            const Stdio& stdio) {
+  if (argv.empty()) return Error(EINVAL);
+
+  // Authorize the initial program exactly as an in-box exec would be: the
+  // visiting identity needs the execute right. resolve_executable also
+  // yields the host path to hand to execve (they differ when the box root
+  // is relocated or the program lives on a remote mount).
+  const std::string program = path_clean(
+      path_is_absolute(argv[0]) ? argv[0]
+                                : path_join(config_.initial_cwd, argv[0]));
+  auto host_program = box_.resolve_executable(program);
+  if (!host_program.ok()) return host_program.error();
+
+  auto channel = IoChannel::Create();
+  if (!channel.ok()) return channel.error();
+  channel_ = std::make_unique<IoChannel>(std::move(*channel));
+
+  std::vector<std::string> host_argv = argv;
+  host_argv[0] = *host_program;
+  auto spawned = spawn(host_argv, extra_env, stdio);
+  if (!spawned.ok()) return spawned.error();
+  root_pid_ = *spawned;
+
+  return event_loop();
+}
+
+Result<int> Supervisor::spawn(const std::vector<std::string>& argv,
+                              const std::vector<std::string>& extra_env,
+                              const Stdio& stdio) {
+  std::vector<std::string> env;
+  for (char** e = environ; *e; ++e) env.emplace_back(*e);
+  for (const auto& kv : box_.environment_overrides()) env.push_back(kv);
+  for (const auto& kv : extra_env) env.push_back(kv);
+
+  const int chan_fd = channel_->fd();
+  pid_t pid = ::fork();
+  if (pid < 0) return Error::FromErrno();
+  if (pid == 0) {
+    // Child: install stdio and the I/O channel at its reserved descriptor,
+    // submit to tracing, and stop until the supervisor is ready.
+    if (stdio.in >= 0 && ::dup2(stdio.in, STDIN_FILENO) < 0) ::_exit(126);
+    if (stdio.out >= 0 && ::dup2(stdio.out, STDOUT_FILENO) < 0) ::_exit(126);
+    if (stdio.err >= 0 && ::dup2(stdio.err, STDERR_FILENO) < 0) ::_exit(126);
+    if (::dup2(chan_fd, config_.channel_child_fd) < 0) ::_exit(126);
+    if (ptrace(PTRACE_TRACEME, 0, nullptr, nullptr) != 0) ::_exit(126);
+    ::raise(SIGSTOP);
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    std::vector<char*> cenv;
+    cenv.reserve(env.size() + 1);
+    for (const auto& kv : env) cenv.push_back(const_cast<char*>(kv.c_str()));
+    cenv.push_back(nullptr);
+    ::execve(cargv[0], cargv.data(), cenv.data());
+    ::_exit(127);
+  }
+
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) return Error::FromErrno();
+  if (!WIFSTOPPED(status)) return Error(ECHILD);
+
+  const long opts = PTRACE_O_TRACESYSGOOD | PTRACE_O_TRACEFORK |
+                    PTRACE_O_TRACEVFORK | PTRACE_O_TRACECLONE |
+                    PTRACE_O_TRACEEXEC | PTRACE_O_EXITKILL;
+  if (ptrace(PTRACE_SETOPTIONS, pid, nullptr,
+             reinterpret_cast<void*>(opts)) != 0) {
+    Error err = Error::FromErrno();
+    ::kill(pid, SIGKILL);
+    return err;
+  }
+
+  Proc proc;
+  proc.pid = pid;
+  proc.fds = std::make_shared<FdTable>();
+  proc.cwd = std::make_shared<std::string>(path_clean(config_.initial_cwd));
+  proc.attached = true;
+  procs_[pid] = std::move(proc);
+  registry_.add(pid, box_.identity());
+  stats_.processes_seen++;
+
+  if (ptrace(PTRACE_SYSCALL, pid, nullptr, nullptr) != 0) {
+    return Error::FromErrno();
+  }
+  return pid;
+}
+
+Supervisor::Proc& Supervisor::ensure_proc(int pid) {
+  auto it = procs_.find(pid);
+  if (it != procs_.end()) return it->second;
+  Proc proc;
+  proc.pid = pid;
+  proc.fds = std::make_shared<FdTable>();
+  proc.cwd = std::make_shared<std::string>(path_clean(config_.initial_cwd));
+  auto [inserted, _] = procs_.emplace(pid, std::move(proc));
+  registry_.add(pid, box_.identity());
+  stats_.processes_seen++;
+  return inserted->second;
+}
+
+void Supervisor::forget_proc(int pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return;
+  for (const auto& [addr, region] : it->second.mmap_regions) {
+    (void)addr;
+    channel_->free_region(region.first);
+  }
+  procs_.erase(it);
+  registry_.remove(pid);
+}
+
+Result<int> Supervisor::event_loop() {
+  while (!procs_.empty()) {
+    int status = 0;
+    // __WNOTHREAD: a multi-threaded host (the Chirp server runs one
+    // supervisor per connection thread) must only reap its own tracees.
+    pid_t pid = ::waitpid(-1, &status, __WALL | __WNOTHREAD);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECHILD) break;
+      return Error::FromErrno();
+    }
+
+    if (WIFEXITED(status) || WIFSIGNALED(status)) {
+      if (pid == root_pid_) {
+        root_exited_ = true;
+        root_exit_code_ = WIFEXITED(status) ? WEXITSTATUS(status)
+                                            : 128 + WTERMSIG(status);
+      }
+      forget_proc(pid);
+      continue;
+    }
+    if (!WIFSTOPPED(status)) continue;
+
+    const int sig = WSTOPSIG(status);
+    const unsigned event = static_cast<unsigned>(status) >> 16;
+
+    // A grandchild may stop before its parent's fork event names it: park
+    // it unresumed until the event arrives and its state is inherited.
+    if (!procs_.count(pid) && !event && sig == SIGSTOP) {
+      unclaimed_stops_.insert(pid);
+      continue;
+    }
+
+    Proc& proc = ensure_proc(pid);
+    int deliver = 0;
+
+    if (sig == (SIGTRAP | 0x80)) {
+      handle_syscall_stop(proc);
+    } else if (sig == SIGTRAP && event != 0) {
+      if (event == PTRACE_EVENT_FORK || event == PTRACE_EVENT_VFORK ||
+          event == PTRACE_EVENT_CLONE) {
+        unsigned long child_pid = 0;
+        if (ptrace(PTRACE_GETEVENTMSG, pid, nullptr, &child_pid) == 0) {
+          handle_fork_event(proc, static_cast<int>(child_pid));
+        }
+      } else if (event == PTRACE_EVENT_EXEC) {
+        handle_exec_event(proc);
+      }
+    } else if (sig == SIGSTOP && !proc.attached) {
+      proc.attached = true;  // attach artifact of auto-traced children
+    } else {
+      deliver = sig;
+      stats_.signals_forwarded++;
+    }
+
+    if (ptrace(PTRACE_SYSCALL, pid, nullptr,
+               reinterpret_cast<void*>(static_cast<long>(deliver))) != 0) {
+      // The process died between the stop and the resume.
+      if (errno == ESRCH) forget_proc(pid);
+    }
+  }
+  return root_exited_ ? root_exit_code_ : 128;
+}
+
+void Supervisor::handle_fork_event(Proc& parent, int child_pid) {
+  Proc& child = ensure_proc(child_pid);
+  const uint64_t flags = parent.clone_flags;
+  child.fds = (flags & CLONE_FILES)
+                  ? parent.fds
+                  : std::make_shared<FdTable>(*parent.fds);
+  child.cwd = (flags & CLONE_FS)
+                  ? parent.cwd
+                  : std::make_shared<std::string>(*parent.cwd);
+  child.umask = parent.umask;
+  // A forked child COWs the parent's address space, including the
+  // channel-backed mappings: both processes now depend on those channel
+  // pages, so each holds its own reference (dropped at its unmap, exec, or
+  // exit). Threads (CLONE_VM) share the leader's mappings and take none.
+  if (!(flags & CLONE_VM)) {
+    child.mmap_regions = parent.mmap_regions;
+    for (const auto& [addr, region] : child.mmap_regions) {
+      (void)addr;
+      channel_->ref_region(region.first);
+    }
+  }
+  child.attached = true;
+
+  if (unclaimed_stops_.erase(child_pid)) {
+    // It stopped before this event; release it now that state is wired.
+    if (ptrace(PTRACE_SYSCALL, child_pid, nullptr, nullptr) != 0 &&
+        errno == ESRCH) {
+      forget_proc(child_pid);
+    }
+  }
+}
+
+void Supervisor::handle_exec_event(Proc& proc) {
+  stats_.execs++;
+  proc.fds->apply_cloexec();
+  for (const auto& [addr, region] : proc.mmap_regions) {
+    (void)addr;
+    channel_->free_region(region.first);
+  }
+  proc.mmap_regions.clear();
+}
+
+void Supervisor::handle_syscall_stop(Proc& proc) {
+  auto regs = Regs::Fetch(proc.pid);
+  if (!regs.ok()) return;
+
+  if (!proc.in_syscall) {
+    // Genuine entry stops carry -ENOSYS in rax; anything else is a stray
+    // exit stop (e.g. the tail of the clone that created this process).
+    if (regs->ret() != -ENOSYS) return;
+    proc.in_syscall = true;
+    proc.nr = regs->syscall_nr();
+    proc.entry_regs = *regs;
+    proc.pending = PendingOp{};
+    stats_.syscalls_trapped++;
+    on_entry(proc, *regs);
+  } else {
+    proc.in_syscall = false;
+    on_exit(proc, *regs);
+  }
+}
+
+void Supervisor::nullify(Proc& proc, Regs& regs, int64_t result) {
+  IBOX_DEBUG << "pid " << proc.pid << " " << syscall_name(proc.nr) << "("
+             << proc.entry_regs.arg(0) << ", " << proc.entry_regs.arg(1)
+             << ", " << proc.entry_regs.arg(2) << ") => " << result;
+  regs.set_syscall_nr(SYS_getpid);
+  (void)regs.store(proc.pid);
+  proc.pending.kind = PendingOp::Kind::kInject;
+  proc.pending.inject_value = result;
+  stats_.syscalls_nullified++;
+}
+
+void Supervisor::deny(Proc& proc, Regs& regs, int err) {
+  stats_.denials++;
+  nullify(proc, regs, -static_cast<int64_t>(err));
+}
+
+Result<std::string> Supervisor::read_path_arg(Proc& proc,
+                                              uint64_t addr) const {
+  auto path = mem(proc).read_string(addr);
+  if (!path.ok()) return path.error();
+  if (path_is_absolute(*path)) return path_clean(*path);
+  return path_join(*proc.cwd, *path);
+}
+
+Result<std::string> Supervisor::resolve_at(Proc& proc, int dirfd,
+                                           uint64_t path_addr,
+                                           bool empty_path_ok) const {
+  auto rel = mem(proc).read_string(path_addr);
+  if (!rel.ok()) return rel.error();
+  if (rel->empty() && !empty_path_ok) return Error(ENOENT);
+  if (path_is_absolute(*rel)) return path_clean(*rel);
+  std::string base;
+  if (dirfd == AT_FDCWD) {
+    base = *proc.cwd;
+  } else {
+    auto ofd = proc.fds->get(dirfd);
+    if (!ofd.ok()) return Error(EBADF);  // passthrough dirfds are not boxed
+    // AT_EMPTY_PATH with an empty path names the descriptor itself, which
+    // may be a regular file (fstatat(fd, "", AT_EMPTY_PATH)).
+    if (!(*ofd)->is_dir && !rel->empty()) return Error(ENOTDIR);
+    base = (*ofd)->box_path;
+  }
+  if (rel->empty()) return base;
+  return path_join(base, *rel);
+}
+
+void Supervisor::on_exit(Proc& proc, Regs& regs) {
+  using Kind = PendingOp::Kind;
+  PendingOp& op = proc.pending;
+  if (op.kind == Kind::kNone) {
+    stats_.syscalls_passed++;
+    return;
+  }
+
+  // Restore the argument registers the application had at entry; the
+  // rewrite must be invisible (compilers assume the kernel preserves them).
+  auto restore_args = [&] {
+    for (int i = 0; i < 6; ++i) regs.set_arg(i, proc.entry_regs.arg(i));
+  };
+
+  switch (op.kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kInject:
+      restore_args();
+      regs.set_ret(op.inject_value);
+      break;
+    case Kind::kChannelRead: {
+      restore_args();
+      const int64_t got = regs.ret();  // pread's result from the channel
+      if (got > 0 && op.advance_offset) {
+        op.ofd->offset = op.file_off + static_cast<uint64_t>(got);
+      }
+      channel_->free_region(op.chan_off);
+      stats_.bytes_via_channel += got > 0 ? static_cast<uint64_t>(got) : 0;
+      break;
+    }
+    case Kind::kChannelWrite: {
+      restore_args();
+      int64_t staged = regs.ret();  // bytes the child pwrote to the channel
+      if (staged > 0) {
+        // Move the staged bytes from the channel into the boxed file.
+        std::string buf(static_cast<size_t>(staged), '\0');
+        Status read_st =
+            channel_->read_at(op.chan_off, buf.data(), buf.size());
+        if (read_st.ok()) {
+          auto wrote = op.ofd->handle->pwrite(buf.data(), buf.size(),
+                                              op.file_off);
+          if (wrote.ok()) {
+            if (op.advance_offset) op.ofd->offset = op.file_off + *wrote;
+            regs.set_ret(static_cast<int64_t>(*wrote));
+            stats_.bytes_via_channel += *wrote;
+          } else {
+            regs.set_ret(-wrote.error_code());
+          }
+        } else {
+          regs.set_ret(-read_st.error_code());
+        }
+      }
+      channel_->free_region(op.chan_off);
+      break;
+    }
+    case Kind::kChannelMmap: {
+      restore_args();
+      const int64_t addr = regs.ret();
+      if (addr >= 0 || addr < -4096) {  // MAP_FAILED is in (-4096, 0)
+        proc.mmap_regions[static_cast<uint64_t>(addr)] = {op.chan_off,
+                                                          op.chan_len};
+        stats_.bytes_via_channel += op.chan_len;
+      } else {
+        channel_->free_region(op.chan_off);
+      }
+      break;
+    }
+    case Kind::kDupPlace: {
+      restore_args();
+      // The call ran as close(target) so any real descriptor at the target
+      // number is gone; the boxed duplicate now occupies the slot.
+      proc.fds->place(op.target_fd, op.dup_desc, op.target_cloexec);
+      regs.set_ret(op.target_fd);
+      break;
+    }
+    case Kind::kPipeCapture: {
+      // Kernel-assigned pipe descriptors are real; nothing to record in the
+      // boxed table, but the result array is already in child memory.
+      stats_.syscalls_passed++;
+      return;  // registers untouched
+    }
+    case Kind::kExec: {
+      // Only reached when execve *failed* (success surfaces as the exec
+      // event followed by an exit stop with rax = 0 — leave that intact).
+      restore_args();
+      break;
+    }
+    case Kind::kMunmap: {
+      auto it = proc.mmap_regions.find(op.map_addr);
+      if (it != proc.mmap_regions.end()) {
+        channel_->free_region(it->second.first);
+        proc.mmap_regions.erase(it);
+      }
+      return;  // passthrough; registers untouched
+    }
+    case Kind::kPollRestore: {
+      // Put the application's descriptor numbers back into the pollfd
+      // array; the kernel polled the substituted (always-ready) channel
+      // descriptor in their place.
+      for (const auto& [index, fd] : op.poll_restore) {
+        const uint64_t entry_addr = op.user_addr + index * 8;  // pollfd: 8B
+        (void)mem(proc).write_value<int32_t>(entry_addr, fd);
+      }
+      return;  // rax (ready count) is already correct
+    }
+  }
+  (void)regs.store(proc.pid);
+}
+
+void Supervisor::on_entry(Proc& proc, Regs& regs) {
+  const long nr = proc.nr;
+  switch (nr) {
+    // ---------------- path namespace ----------------
+    case SYS_open:
+      sys_open_family(proc, regs, AT_FDCWD, regs.arg(0),
+                      static_cast<int>(regs.arg(1)),
+                      static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_creat:
+      sys_open_family(proc, regs, AT_FDCWD, regs.arg(0),
+                      O_CREAT | O_WRONLY | O_TRUNC,
+                      static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_openat:
+      sys_open_family(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                      static_cast<int>(regs.arg(2)),
+                      static_cast<int>(regs.arg(3)));
+      return;
+    case SYS_openat2:
+    case SYS_clone3:
+      // Force the caller onto the classic entry points (glibc falls back).
+      deny(proc, regs, ENOSYS);
+      stats_.denials--;  // not a policy denial
+      return;
+    case SYS_stat:
+      sys_stat_family(proc, regs, regs.arg(0), regs.arg(1), true, false, 0,
+                      0);
+      return;
+    case SYS_lstat:
+      sys_stat_family(proc, regs, regs.arg(0), regs.arg(1), false, false, 0,
+                      0);
+      return;
+    case SYS_newfstatat:
+      sys_stat_family(proc, regs, regs.arg(1), regs.arg(2), true, true,
+                      static_cast<int>(regs.arg(0)),
+                      static_cast<int>(regs.arg(3)));
+      return;
+    case SYS_statx:
+      sys_statx(proc, regs);
+      return;
+    case SYS_mkdir:
+      sys_mkdir(proc, regs, AT_FDCWD, regs.arg(0),
+                static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_mkdirat:
+      sys_mkdir(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_rmdir:
+      sys_unlink(proc, regs, AT_FDCWD, regs.arg(0), AT_REMOVEDIR);
+      return;
+    case SYS_unlink:
+      sys_unlink(proc, regs, AT_FDCWD, regs.arg(0), 0);
+      return;
+    case SYS_unlinkat:
+      sys_unlink(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                 static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_rename:
+      sys_rename(proc, regs, AT_FDCWD, regs.arg(0), AT_FDCWD, regs.arg(1));
+      return;
+    case SYS_renameat:
+    case SYS_renameat2:
+      sys_rename(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                 static_cast<int>(regs.arg(2)), regs.arg(3));
+      return;
+    case SYS_symlink:
+      sys_symlink(proc, regs, regs.arg(0), AT_FDCWD, regs.arg(1));
+      return;
+    case SYS_symlinkat:
+      sys_symlink(proc, regs, regs.arg(0), static_cast<int>(regs.arg(1)),
+                  regs.arg(2));
+      return;
+    case SYS_readlink:
+      sys_readlink(proc, regs, AT_FDCWD, regs.arg(0), regs.arg(1),
+                   regs.arg(2));
+      return;
+    case SYS_readlinkat:
+      sys_readlink(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                   regs.arg(2), regs.arg(3));
+      return;
+    case SYS_link:
+      sys_link(proc, regs, AT_FDCWD, regs.arg(0), AT_FDCWD, regs.arg(1));
+      return;
+    case SYS_linkat:
+      sys_link(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+               static_cast<int>(regs.arg(2)), regs.arg(3));
+      return;
+    case SYS_chmod:
+      sys_chmod(proc, regs, AT_FDCWD, regs.arg(0),
+                static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_fchmodat:
+      sys_chmod(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_truncate:
+      sys_truncate(proc, regs, regs.arg(0), regs.arg(1));
+      return;
+    case SYS_access:
+      sys_access(proc, regs, AT_FDCWD, regs.arg(0),
+                 static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_faccessat:
+      sys_access(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                 static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_faccessat2:
+      deny(proc, regs, ENOSYS);
+      stats_.denials--;
+      return;
+    case SYS_utime:
+    case SYS_utimes:
+    case SYS_utimensat:
+      sys_utime_family(proc, regs);
+      return;
+    case SYS_chdir:
+      sys_chdir(proc, regs, regs.arg(0));
+      return;
+    case SYS_fchdir:
+      sys_fchdir(proc, regs, static_cast<int>(regs.arg(0)));
+      return;
+    case SYS_getcwd:
+      sys_getcwd(proc, regs, regs.arg(0), regs.arg(1));
+      return;
+    case SYS_statfs:
+      sys_statfs(proc, regs, regs.arg(0), regs.arg(1));
+      return;
+    case SYS_chown:
+    case SYS_lchown:
+    case SYS_fchownat:
+      // Ownership inside the box is the ACL identity; numeric chown is
+      // meaningless and refused (paper: permission checks are based on the
+      // high-level name, not low-level account information).
+      deny(proc, regs, EPERM);
+      return;
+
+    // ---------------- descriptor space ----------------
+    case SYS_read:
+      sys_read(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+               regs.arg(2), false, 0);
+      return;
+    case SYS_pread64:
+      sys_read(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+               regs.arg(2), true, regs.arg(3));
+      return;
+    case SYS_write:
+      sys_write(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                regs.arg(2), false, 0);
+      return;
+    case SYS_pwrite64:
+      sys_write(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                regs.arg(2), true, regs.arg(3));
+      return;
+    case SYS_readv:
+      sys_readv_writev(proc, regs, false);
+      return;
+    case SYS_writev:
+      sys_readv_writev(proc, regs, true);
+      return;
+    case SYS_close:
+      sys_close(proc, regs, static_cast<int>(regs.arg(0)));
+      return;
+    case SYS_fstat:
+      sys_fstat(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1));
+      return;
+    case SYS_lseek:
+      sys_lseek(proc, regs, static_cast<int>(regs.arg(0)),
+                static_cast<int64_t>(regs.arg(1)),
+                static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_getdents:
+    case SYS_getdents64:
+      sys_getdents64(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1),
+                     regs.arg(2));
+      return;
+    case SYS_fcntl:
+      sys_fcntl(proc, regs, static_cast<int>(regs.arg(0)),
+                static_cast<int>(regs.arg(1)), regs.arg(2));
+      return;
+    case SYS_dup:
+      sys_dup(proc, regs, static_cast<int>(regs.arg(0)));
+      return;
+    case SYS_dup2:
+      sys_dup2(proc, regs, static_cast<int>(regs.arg(0)),
+               static_cast<int>(regs.arg(1)), 0);
+      return;
+    case SYS_dup3:
+      sys_dup2(proc, regs, static_cast<int>(regs.arg(0)),
+               static_cast<int>(regs.arg(1)),
+               static_cast<int>(regs.arg(2)));
+      return;
+    case SYS_ftruncate:
+      sys_ftruncate(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1));
+      return;
+    case SYS_fsync:
+    case SYS_fdatasync:
+      sys_fsync(proc, regs, static_cast<int>(regs.arg(0)));
+      return;
+    case SYS_ioctl:
+      sys_ioctl(proc, regs, static_cast<int>(regs.arg(0)));
+      return;
+    case SYS_fchmod:
+      sys_fchmod_fd(proc, regs, static_cast<int>(regs.arg(0)),
+                    static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_fchown:
+      deny(proc, regs, EPERM);
+      return;
+    case SYS_fstatfs:
+      sys_fstatfs(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1));
+      return;
+    case SYS_mmap:
+      sys_mmap(proc, regs);
+      return;
+    case SYS_munmap:
+      sys_munmap(proc, regs);
+      return;
+    case SYS_poll:
+    case SYS_ppoll:
+      sys_poll(proc, regs, regs.arg(0), static_cast<uint32_t>(regs.arg(1)));
+      return;
+    case SYS_pipe:
+      sys_pipe(proc, regs, regs.arg(0), 0);
+      return;
+    case SYS_pipe2:
+      sys_pipe(proc, regs, regs.arg(0), static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_sendfile:
+    case SYS_copy_file_range: {
+      // Between real descriptors (socket-to-socket, pipe) the kernel may
+      // splice freely; as soon as a boxed file is involved, force the
+      // caller onto its read/write fallback, which the box governs.
+      const bool any_boxed = proc.fds->is_open(static_cast<int>(regs.arg(0))) ||
+                             proc.fds->is_open(static_cast<int>(regs.arg(1)));
+      if (any_boxed) {
+        deny(proc, regs, EINVAL);
+        stats_.denials--;
+      } else {
+        proc.pending.kind = PendingOp::Kind::kNone;
+      }
+      return;
+    }
+
+    // ---------------- path syscalls without box semantics ----------------
+    case SYS_getxattr:
+    case SYS_lgetxattr:
+    case SYS_listxattr:
+    case SYS_llistxattr:
+      // Extended attributes are not part of the box's protection model and
+      // the raw path must never reach the kernel untranslated: report
+      // "no attributes", which every caller (ls, cp) handles.
+      deny(proc, regs, ENODATA);
+      stats_.denials--;
+      return;
+    case SYS_fgetxattr:
+    case SYS_flistxattr: {
+      if (proc.fds->is_open(static_cast<int>(regs.arg(0)))) {
+        deny(proc, regs, ENODATA);
+        stats_.denials--;
+      } else {
+        proc.pending.kind = PendingOp::Kind::kNone;
+      }
+      return;
+    }
+    case SYS_setxattr:
+    case SYS_lsetxattr:
+    case SYS_fsetxattr:
+    case SYS_removexattr:
+    case SYS_lremovexattr:
+    case SYS_fremovexattr:
+      deny(proc, regs, EPERM);
+      return;
+    case SYS_mknod:
+    case SYS_mknodat:
+      // Device/fifo creation is an administrative act outside the ACL
+      // model (and a raw-path escape if passed through).
+      deny(proc, regs, EPERM);
+      return;
+    case SYS_inotify_add_watch:
+    case SYS_fanotify_mark:
+      // Watch paths would bypass translation; callers degrade to polling.
+      deny(proc, regs, ENOSYS);
+      stats_.denials--;
+      return;
+    case SYS_name_to_handle_at:
+    case SYS_open_by_handle_at:
+      deny(proc, regs, ENOSYS);
+      stats_.denials--;
+      return;
+    case SYS_acct:
+    case SYS_swapon:
+    case SYS_swapoff:
+    case SYS_pivot_root:
+      deny(proc, regs, EPERM);
+      return;
+    case SYS_flock:
+    case SYS_fallocate: {
+      // Harmless on boxed files; report success without kernel involvement
+      // when the descriptor is boxed, pass through otherwise.
+      auto ofd = proc.fds->get(static_cast<int>(regs.arg(0)));
+      if (ofd.ok()) {
+        nullify(proc, regs, 0);
+      } else {
+        proc.pending.kind = PendingOp::Kind::kNone;
+      }
+      return;
+    }
+
+    // ---------------- process & identity ----------------
+    case SYS_execve:
+      sys_execve(proc, regs, AT_FDCWD, regs.arg(0));
+      return;
+    case SYS_execveat:
+      sys_execve(proc, regs, static_cast<int>(regs.arg(0)), regs.arg(1));
+      return;
+    case SYS_kill:
+      sys_kill(proc, regs, static_cast<int>(regs.arg(0)), false, 0);
+      return;
+    case SYS_tkill:
+      sys_kill(proc, regs, static_cast<int>(regs.arg(0)), false, 0);
+      return;
+    case SYS_tgkill:
+      sys_kill(proc, regs, static_cast<int>(regs.arg(0)), true,
+               static_cast<int>(regs.arg(1)));
+      return;
+    case SYS_setuid:
+    case SYS_setgid:
+    case SYS_setreuid:
+    case SYS_setregid:
+    case SYS_setresuid:
+    case SYS_setresgid:
+    case SYS_setgroups:
+      // There is no low-level identity to change inside the box.
+      deny(proc, regs, EPERM);
+      return;
+    case SYS_umask:
+      sys_umask(proc, regs, static_cast<int>(regs.arg(0)));
+      return;
+    case SYS_clone:
+      proc.clone_flags = regs.arg(0);
+      proc.pending.kind = PendingOp::Kind::kNone;
+      return;
+    case SYS_fork:
+    case SYS_vfork:
+      proc.clone_flags = 0;
+      proc.pending.kind = PendingOp::Kind::kNone;
+      return;
+    case SYS_socket:
+    case SYS_connect:
+    case SYS_bind:
+      sys_socket(proc, regs);
+      return;
+    case SYS_ptrace:
+      // As in the paper: processes under the box cannot trace each other.
+      deny(proc, regs, EPERM);
+      return;
+    case SYS_mount:
+    case SYS_umount2:
+    case SYS_chroot:
+    case SYS_reboot:
+    case SYS_sethostname:
+    case SYS_setdomainname:
+      // Administrator-only interfaces are not implemented (paper sec. 6).
+      deny(proc, regs, EPERM);
+      return;
+
+    default:
+      // Everything else (memory, scheduling, time, signals bookkeeping,
+      // IO on unboxed descriptors) passes through untouched.
+      proc.pending.kind = PendingOp::Kind::kNone;
+      return;
+  }
+}
+
+}  // namespace ibox

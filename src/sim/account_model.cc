@@ -1,0 +1,175 @@
+#include "sim/account_model.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/rand.h"
+
+namespace ibox {
+
+const std::vector<AccountScheme>& all_schemes() {
+  static const std::vector<AccountScheme> kSchemes = {
+      AccountScheme::kSingle,    AccountScheme::kUntrusted,
+      AccountScheme::kPrivate,   AccountScheme::kGroup,
+      AccountScheme::kAnonymous, AccountScheme::kPool,
+      AccountScheme::kIdentityBox,
+  };
+  return kSchemes;
+}
+
+SchemeProperties properties_of(AccountScheme scheme) {
+  // Transcribed from Figure 1 of the paper.
+  switch (scheme) {
+    case AccountScheme::kSingle:
+      return {"Single", true, false, Tri::kNo, Tri::kYes, true, "-",
+              "Personal GASS"};
+    case AccountScheme::kUntrusted:
+      return {"Untrusted", true, true, Tri::kNo, Tri::kYes, true, "-",
+              "WWW, FTP"};
+    case AccountScheme::kPrivate:
+      return {"Private", true, true, Tri::kYes, Tri::kNo, true, "per user",
+              "I-WAY"};
+    case AccountScheme::kGroup:
+      return {"Group", true, true, Tri::kFixed, Tri::kFixed, true,
+              "per group", "Grid3"};
+    case AccountScheme::kAnonymous:
+      return {"Anonymous", true, true, Tri::kYes, Tri::kNo, false,
+              "per user", "Condor on NT"};
+    case AccountScheme::kPool:
+      return {"Pool", true, true, Tri::kYes, Tri::kNo, false, "per pool",
+              "Globus, Legion"};
+    case AccountScheme::kIdentityBox:
+      return {"Identity Box", false, true, Tri::kYes, Tri::kYes, true, "-",
+              "Parrot"};
+  }
+  return {};
+}
+
+AccountSimOutcome simulate_scheme(AccountScheme scheme,
+                                  const AccountSimParams& params) {
+  const SchemeProperties props = properties_of(scheme);
+  AccountSimOutcome outcome;
+  outcome.scheme = scheme;
+  Rng rng(params.seed);
+
+  // Which (user, site) pairs have been provisioned, and which groups.
+  std::set<std::pair<int, int>> user_admitted;
+  std::set<std::pair<int, int>> group_admitted;  // (group, site)
+  std::set<int> pool_created;                    // site
+  // Whether user left persistent data at a site (for return attempts).
+  std::set<std::pair<int, int>> has_data;
+
+  for (int round = 0; round < params.jobs_per_user; ++round) {
+    for (int user = 0; user < params.users; ++user) {
+      const int site = static_cast<int>(rng.below(params.sites));
+      const int group = user / params.group_size;
+      outcome.jobs_run++;
+
+      // --- admission: what does it cost to let this job in? ---
+      switch (scheme) {
+        case AccountScheme::kSingle:
+        case AccountScheme::kUntrusted:
+          // One shared account; nothing per-user. (The account itself is
+          // assumed preexisting, as in the paper's burden column "-".)
+          break;
+        case AccountScheme::kPrivate:
+        case AccountScheme::kAnonymous:
+          // Private: a human creates the account on first contact.
+          // Anonymous (Condor/NT style): machinery mints a fresh account
+          // per job, but the *capability* was root-installed per user in
+          // the gridmap; count first contact as an intervention.
+          if (user_admitted.insert({user, site}).second) {
+            outcome.admin_interventions++;
+          }
+          break;
+        case AccountScheme::kGroup:
+          if (group_admitted.insert({group, site}).second) {
+            outcome.admin_interventions++;
+          }
+          break;
+        case AccountScheme::kPool:
+          if (pool_created.insert(site).second) {
+            outcome.admin_interventions++;
+          }
+          break;
+        case AccountScheme::kIdentityBox:
+          // "Identity boxes can be created at runtime by unprivileged
+          // users without consulting or modifying local account databases."
+          break;
+      }
+
+      // --- owner exposure: does the job run with the owner's authority? ---
+      if (!props.protects_owner) outcome.owner_exposures++;
+
+      // --- privacy: can another user read this job's data? ---
+      if (props.allows_privacy == Tri::kNo) {
+        outcome.privacy_violations++;
+      } else if (props.allows_privacy == Tri::kFixed) {
+        // Group accounts: no privacy within the group.
+        if (params.group_size > 1) outcome.privacy_violations++;
+      }
+
+      // --- sharing: the job wants to hand data to a collaborator ---
+      if (rng.chance(params.share_prob)) {
+        const int other = static_cast<int>(rng.below(params.users));
+        bool can_share = false;
+        switch (props.allows_sharing) {
+          case Tri::kYes: can_share = true; break;
+          case Tri::kNo: can_share = false; break;
+          case Tri::kFixed:
+            can_share = (other / params.group_size) == group;
+            break;
+        }
+        if (!can_share) outcome.failed_shares++;
+      }
+
+      // --- return: the job wants data a previous job stored here ---
+      if (rng.chance(params.return_prob) && has_data.count({user, site})) {
+        if (!props.allows_return) outcome.failed_returns++;
+      }
+      has_data.insert({user, site});
+    }
+  }
+  return outcome;
+}
+
+namespace {
+std::string tri_text(Tri value) {
+  switch (value) {
+    case Tri::kNo: return "no";
+    case Tri::kYes: return "yes";
+    case Tri::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+void pad(std::ostringstream& out, const std::string& text, size_t width) {
+  out << text;
+  for (size_t i = text.size(); i < width; ++i) out << ' ';
+}
+}  // namespace
+
+std::string render_figure1_table() {
+  std::ostringstream out;
+  const size_t widths[] = {14, 10, 8, 9, 9, 8, 11, 16};
+  const char* headers[] = {"Account Type", "Privilege", "Owner?",
+                           "Privacy?",     "Sharing?",  "Return?",
+                           "Burden",       "Example"};
+  for (int i = 0; i < 8; ++i) pad(out, headers[i], widths[i]);
+  out << "\n";
+  for (AccountScheme scheme : all_schemes()) {
+    const SchemeProperties props = properties_of(scheme);
+    pad(out, props.name, widths[0]);
+    pad(out, props.requires_root ? "root" : "-", widths[1]);
+    pad(out, props.protects_owner ? "yes" : "no", widths[2]);
+    pad(out, tri_text(props.allows_privacy), widths[3]);
+    pad(out, tri_text(props.allows_sharing), widths[4]);
+    pad(out, props.allows_return ? "yes" : "no", widths[5]);
+    pad(out, props.admin_burden, widths[6]);
+    pad(out, props.example_system, widths[7]);
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ibox

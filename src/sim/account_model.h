@@ -1,0 +1,80 @@
+// Account-scheme model: the qualitative comparison of Figure 1 plus a
+// quantitative simulation that puts numbers behind the table's claims.
+//
+// Figure 1 compares seven identity-mapping methods along six properties
+// (required privilege, owner protection, privacy, sharing, return, admin
+// burden). The simulation drives N grid users against M sites submitting
+// jobs over time and counts the events each scheme turns into
+// administrator work or failed collaboration:
+//
+//   * admin interventions (root actions to admit users / create accounts),
+//   * failed sharing attempts (scheme forbids cross-user data sharing),
+//   * failed returns (user comes back and the account/data is gone),
+//   * privacy violations (another user could read the data),
+//   * owner exposures (jobs ran with the resource owner's own authority).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ibox {
+
+enum class AccountScheme {
+  kSingle,
+  kUntrusted,
+  kPrivate,
+  kGroup,
+  kAnonymous,
+  kPool,
+  kIdentityBox,
+};
+
+// Three-valued property: some schemes fix a property structurally (group
+// accounts: privacy/sharing are decided by group membership, not users).
+enum class Tri { kNo, kYes, kFixed };
+
+struct SchemeProperties {
+  std::string name;
+  bool requires_root = false;
+  bool protects_owner = false;
+  Tri allows_privacy = Tri::kNo;
+  Tri allows_sharing = Tri::kNo;
+  bool allows_return = false;
+  std::string admin_burden;   // "per user", "per group", "per pool", "-"
+  std::string example_system; // as listed in the paper
+};
+
+const std::vector<AccountScheme>& all_schemes();
+SchemeProperties properties_of(AccountScheme scheme);
+
+struct AccountSimParams {
+  int users = 100;
+  int sites = 10;
+  int jobs_per_user = 20;
+  // Probability a job wants to share output with another user at the site.
+  double share_prob = 0.2;
+  // Probability a job returns to data stored by an earlier job.
+  double return_prob = 0.3;
+  // Users per collaboration group (for the group-account scheme).
+  int group_size = 25;
+  uint64_t seed = 20051112;  // SC'05 opening day
+};
+
+struct AccountSimOutcome {
+  AccountScheme scheme{};
+  int64_t admin_interventions = 0;
+  int64_t failed_shares = 0;
+  int64_t failed_returns = 0;
+  int64_t privacy_violations = 0;
+  int64_t owner_exposures = 0;
+  int64_t jobs_run = 0;
+};
+
+AccountSimOutcome simulate_scheme(AccountScheme scheme,
+                                  const AccountSimParams& params);
+
+// Renders Figure 1 as fixed-width text (the bench prints this).
+std::string render_figure1_table();
+
+}  // namespace ibox

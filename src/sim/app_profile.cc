@@ -1,0 +1,292 @@
+#include "sim/app_profile.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/fs.h"
+#include "util/path.h"
+#include "util/rand.h"
+
+namespace ibox {
+
+std::vector<AppProfile> figure5b_profiles() {
+  std::vector<AppProfile> profiles;
+
+  // AMANDA: gamma-ray telescope simulation. Long compute phases punctuated
+  // by sizeable sequential reads of calibration data and event writes.
+  {
+    AppProfile p;
+    p.name = "amanda";
+    p.paper_overhead_pct = 1.1;
+    p.data_files = 2;
+    p.file_size = 4u << 20;
+    p.io_block = 1 << 16;
+    p.sequential_passes = 2;
+    p.write_passes = 1;
+    p.metadata_ops = 20;
+    p.small_files = 8;
+    p.compute_per_block = 900000;
+    profiles.push_back(p);
+  }
+  // BLAST: scans a genomic database — the most read-intensive of the set.
+  {
+    AppProfile p;
+    p.name = "blast";
+    p.paper_overhead_pct = 5.2;
+    p.data_files = 4;
+    p.file_size = 8u << 20;
+    p.io_block = 1 << 16;
+    p.sequential_passes = 2;
+    p.write_passes = 0;
+    p.metadata_ops = 60;
+    p.small_files = 16;
+    p.small_io_ops = 100;
+    p.compute_per_block = 160000;
+    profiles.push_back(p);
+  }
+  // CMS: high-energy physics detector simulation; large event output,
+  // heavy compute.
+  {
+    AppProfile p;
+    p.name = "cms";
+    p.paper_overhead_pct = 2.1;
+    p.data_files = 2;
+    p.file_size = 6u << 20;
+    p.io_block = 1 << 17;
+    p.sequential_passes = 1;
+    p.write_passes = 2;
+    p.metadata_ops = 30;
+    p.small_files = 8;
+    p.compute_per_block = 2400000;
+    profiles.push_back(p);
+  }
+  // HF: nucleic/electronic interaction simulation; moderate files, more
+  // frequent smaller transfers — the largest scientific overhead (6.5%).
+  {
+    AppProfile p;
+    p.name = "hf";
+    p.paper_overhead_pct = 6.5;
+    p.data_files = 4;
+    p.file_size = 2u << 20;
+    p.io_block = 1 << 13;  // 8 KB blocks: more syscalls per byte
+    p.sequential_passes = 2;
+    p.write_passes = 2;
+    p.metadata_ops = 80;
+    p.small_files = 16;
+    p.small_io_ops = 200;
+    p.compute_per_block = 150000;
+    profiles.push_back(p);
+  }
+  // IBIS: climate model — almost pure compute (0.7%).
+  {
+    AppProfile p;
+    p.name = "ibis";
+    p.paper_overhead_pct = 0.7;
+    p.data_files = 1;
+    p.file_size = 2u << 20;
+    p.io_block = 1 << 18;  // 256 KB blocks: very few syscalls
+    p.sequential_passes = 2;
+    p.write_passes = 1;
+    p.metadata_ops = 10;
+    p.small_files = 4;
+    p.compute_per_block = 11000000;
+    profiles.push_back(p);
+  }
+  // make: building Parrot itself — "extensive use of small metadata
+  // operations such as stat", plus a compiler process per translation unit.
+  {
+    AppProfile p;
+    p.name = "make";
+    p.paper_overhead_pct = 35.0;
+    p.data_files = 1;
+    p.file_size = 1 << 18;
+    p.io_block = 1 << 14;
+    p.sequential_passes = 1;
+    p.write_passes = 1;
+    p.metadata_ops = 2500;
+    p.small_files = 300;
+    p.small_io_ops = 600;
+    p.spawn_count = 12;
+    p.compute_per_block = 1500;  // compilers do their real work in children
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+Result<AppProfile> profile_by_name(const std::string& name) {
+  for (const auto& profile : figure5b_profiles()) {
+    if (profile.name == name) return profile;
+  }
+  return Error(ENOENT);
+}
+
+namespace {
+
+std::string data_file_path(const std::string& work_dir, int index) {
+  return path_join(work_dir, "data" + std::to_string(index) + ".bin");
+}
+
+std::string small_file_path(const std::string& work_dir, int index) {
+  // Two-level tree, as a source tree would be.
+  return path_join(work_dir, "src" + std::to_string(index % 16) + "/f" +
+                                 std::to_string(index) + ".h");
+}
+
+// A few rounds of a cheap integer hash — the "compute" between blocks.
+uint64_t churn(uint64_t state, uint64_t rounds) {
+  for (uint64_t i = 0; i < rounds; ++i) {
+    state ^= state >> 33;
+    state *= 0xff51afd7ed558ccdull;
+    state ^= state >> 29;
+  }
+  return state;
+}
+
+}  // namespace
+
+Status prepare_profile(const AppProfile& profile, const std::string& work_dir,
+                       uint64_t seed) {
+  IBOX_RETURN_IF_ERROR(make_dirs(work_dir, 0755));
+  Rng rng(seed);
+  std::string block(1 << 16, '\0');
+  for (auto& c : block) c = static_cast<char>(rng.below(256));
+
+  for (int i = 0; i < profile.data_files; ++i) {
+    UniqueFd fd(::open(data_file_path(work_dir, i).c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!fd) return Error::FromErrno();
+    size_t written = 0;
+    while (written < profile.file_size) {
+      size_t chunk = std::min(block.size(), profile.file_size - written);
+      if (::write(fd.get(), block.data(), chunk) < 0) {
+        return Error::FromErrno();
+      }
+      written += chunk;
+    }
+  }
+  for (int i = 0; i < profile.small_files; ++i) {
+    const std::string path = small_file_path(work_dir, i);
+    IBOX_RETURN_IF_ERROR(make_dirs(path_dirname(path), 0755));
+    IBOX_RETURN_IF_ERROR(
+        write_file(path, "/* header " + std::to_string(i) + " */\n", 0644));
+  }
+  IBOX_RETURN_IF_ERROR(make_dirs(path_join(work_dir, "out"), 0755));
+  return Status::Ok();
+}
+
+Result<uint64_t> run_profile(const AppProfile& profile,
+                             const std::string& work_dir, uint64_t seed,
+                             const std::string& spawn_helper) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  uint64_t checksum = 0;
+  std::string buf(profile.io_block, '\0');
+
+  // Phase 1: large-block sequential reads (the scientific apps' staple).
+  for (int pass = 0; pass < profile.sequential_passes; ++pass) {
+    for (int i = 0; i < profile.data_files; ++i) {
+      UniqueFd fd(::open(data_file_path(work_dir, i).c_str(),
+                         O_RDONLY | O_CLOEXEC));
+      if (!fd) return Error::FromErrno();
+      while (true) {
+        ssize_t n = ::read(fd.get(), buf.data(), buf.size());
+        if (n < 0) return Error::FromErrno();
+        if (n == 0) break;
+        checksum ^= churn(static_cast<uint64_t>(buf[0]) + checksum,
+                          profile.compute_per_block);
+      }
+    }
+  }
+
+  // Phase 2: large-block sequential writes (event/checkpoint output).
+  for (int pass = 0; pass < profile.write_passes; ++pass) {
+    const std::string out_path =
+        path_join(work_dir, "out/pass" + std::to_string(pass) + ".dat");
+    UniqueFd fd(::open(out_path.c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!fd) return Error::FromErrno();
+    size_t written = 0;
+    while (written < profile.file_size) {
+      size_t chunk = std::min(buf.size(), profile.file_size - written);
+      if (::write(fd.get(), buf.data(), chunk) < 0) return Error::FromErrno();
+      written += chunk;
+      checksum = churn(checksum + written, profile.compute_per_block / 4);
+    }
+  }
+
+  // Phase 3: metadata storm (make's profile: stat, open, close).
+  for (int i = 0; i < profile.metadata_ops; ++i) {
+    const int target =
+        profile.small_files > 0
+            ? static_cast<int>(rng.below(profile.small_files))
+            : 0;
+    const std::string path = profile.small_files > 0
+                                 ? small_file_path(work_dir, target)
+                                 : data_file_path(work_dir, 0);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return Error::FromErrno();
+    checksum += st.st_size;
+    if (i % 3 == 0) {
+      UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+      if (!fd) return Error::FromErrno();
+      char byte = 0;
+      if (::read(fd.get(), &byte, 1) == 1) checksum += byte;
+    }
+  }
+
+  // Phase 4: small IO (config/log-file style 1-byte transfers).
+  if (profile.small_io_ops > 0) {
+    const std::string log_path = path_join(work_dir, "out/app.log");
+    UniqueFd fd(::open(log_path.c_str(),
+                       O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!fd) return Error::FromErrno();
+    for (int i = 0; i < profile.small_io_ops; ++i) {
+      char byte = static_cast<char>('a' + (i % 26));
+      if (::pwrite(fd.get(), &byte, 1, i) != 1) return Error::FromErrno();
+      if (::pread(fd.get(), &byte, 1, i / 2) == 1) checksum += byte;
+    }
+  }
+
+  // Phase 5: process creation (make forking compilers).
+  if (profile.spawn_count > 0 && !spawn_helper.empty()) {
+    for (int i = 0; i < profile.spawn_count; ++i) {
+      pid_t pid = ::fork();
+      if (pid < 0) return Error::FromErrno();
+      if (pid == 0) {
+        ::execl(spawn_helper.c_str(), spawn_helper.c_str(), "--spawn-child",
+                work_dir.c_str(), static_cast<char*>(nullptr));
+        ::_exit(127);
+      }
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        return Error(ECHILD);
+      }
+    }
+  }
+  return checksum;
+}
+
+int run_spawn_child(const std::string& work_dir) {
+  // A compiler-like burst: stat + read a few "headers", write one "object".
+  uint64_t checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = small_file_path(work_dir, i);
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) {
+      UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+      char buf[64];
+      if (fd && ::read(fd.get(), buf, sizeof(buf)) > 0) checksum += buf[0];
+    }
+  }
+  checksum = churn(checksum, 20000000);  // a compiler's worth of work
+  const std::string out_path =
+      path_join(work_dir, "out/obj" + std::to_string(::getpid() % 64) + ".o");
+  (void)write_file(out_path, std::to_string(checksum), 0644);
+  return 0;
+}
+
+}  // namespace ibox

@@ -1,0 +1,89 @@
+#include "util/codec.h"
+
+#include <cstring>
+
+namespace ibox {
+
+namespace {
+template <typename T>
+void append_le(std::string& buf, T v) {
+  char bytes[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  buf.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T read_le(std::string_view bytes) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+void BufWriter::put_u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void BufWriter::put_u16(uint16_t v) { append_le(buf_, v); }
+void BufWriter::put_u32(uint32_t v) { append_le(buf_, v); }
+void BufWriter::put_u64(uint64_t v) { append_le(buf_, v); }
+void BufWriter::put_i64(int64_t v) { append_le(buf_, static_cast<uint64_t>(v)); }
+
+void BufWriter::put_bytes(std::string_view bytes) {
+  put_u32(static_cast<uint32_t>(bytes.size()));
+  buf_.append(bytes);
+}
+
+void BufWriter::put_raw(std::string_view bytes) { buf_.append(bytes); }
+
+Result<std::string_view> BufReader::take(size_t n) {
+  if (remaining() < n) return Error(EBADMSG);
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<uint8_t> BufReader::get_u8() {
+  auto bytes = take(1);
+  if (!bytes.ok()) return bytes.error();
+  return static_cast<uint8_t>((*bytes)[0]);
+}
+
+Result<uint16_t> BufReader::get_u16() {
+  auto bytes = take(2);
+  if (!bytes.ok()) return bytes.error();
+  return read_le<uint16_t>(*bytes);
+}
+
+Result<uint32_t> BufReader::get_u32() {
+  auto bytes = take(4);
+  if (!bytes.ok()) return bytes.error();
+  return read_le<uint32_t>(*bytes);
+}
+
+Result<uint64_t> BufReader::get_u64() {
+  auto bytes = take(8);
+  if (!bytes.ok()) return bytes.error();
+  return read_le<uint64_t>(*bytes);
+}
+
+Result<int64_t> BufReader::get_i64() {
+  auto v = get_u64();
+  if (!v.ok()) return v.error();
+  return static_cast<int64_t>(*v);
+}
+
+Result<std::string> BufReader::get_bytes() {
+  size_t saved = pos_;
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  auto bytes = take(*len);
+  if (!bytes.ok()) {
+    pos_ = saved;
+    return bytes.error();
+  }
+  return std::string(*bytes);
+}
+
+}  // namespace ibox

@@ -1,0 +1,62 @@
+// Binary wire codec for the Chirp protocol and the supervisor/child control
+// messages. Little-endian fixed-width integers and length-prefixed byte
+// strings; a reader that never reads past its buffer and reports malformed
+// input as EBADMSG rather than crashing (the server decodes hostile bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ibox {
+
+// Appends encoded fields to an internal buffer.
+class BufWriter {
+ public:
+  void put_u8(uint8_t v);
+  void put_u16(uint16_t v);
+  void put_u32(uint32_t v);
+  void put_u64(uint64_t v);
+  void put_i64(int64_t v);
+  // Length-prefixed (u32) byte string.
+  void put_bytes(std::string_view bytes);
+  // Raw bytes, no prefix.
+  void put_raw(std::string_view bytes);
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Reads encoded fields from a borrowed buffer. All getters return EBADMSG
+// on underrun; the reader position does not advance on failure.
+class BufReader {
+ public:
+  explicit BufReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> get_u8();
+  Result<uint16_t> get_u16();
+  Result<uint32_t> get_u32();
+  Result<uint64_t> get_u64();
+  Result<int64_t> get_i64();
+  // Length-prefixed (u32) byte string; caps length at remaining() to bound
+  // allocation on malformed input.
+  Result<std::string> get_bytes();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+
+ private:
+  Result<std::string_view> take(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ibox

@@ -1,0 +1,173 @@
+#include "util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/path.h"
+
+namespace ibox {
+
+UniqueFd::~UniqueFd() { reset(); }
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int UniqueFd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd) return Error::FromErrno();
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::FromErrno();
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+namespace {
+Status write_fd_all(int fd, std::string_view contents) {
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::FromErrno();
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Status write_file(const std::string& path, std::string_view contents,
+                  int mode) {
+  UniqueFd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     mode));
+  if (!fd) return Error::FromErrno();
+  return write_fd_all(fd.get(), contents);
+}
+
+Status write_file_atomic(const std::string& path, std::string_view contents,
+                         int mode) {
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  UniqueFd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     mode));
+  if (!fd) return Error::FromErrno();
+  Status st = write_fd_all(fd.get(), contents);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  fd.reset();
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Error err = Error::FromErrno();
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  return Status::Ok();
+}
+
+Status make_dirs(const std::string& path, int mode) {
+  std::string built;
+  if (path_is_absolute(path)) built = "/";
+  for (const auto& part : path_components(path)) {
+    built = path_join(built.empty() ? "." : built, part);
+    if (::mkdir(built.c_str(), mode) != 0 && errno != EEXIST) {
+      return Error::FromErrno();
+    }
+  }
+  return Status::Ok();
+}
+
+Status remove_all(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    return errno == ENOENT ? Status::Ok() : Status(Error::FromErrno());
+  }
+  if (S_ISDIR(st.st_mode)) {
+    auto entries = list_dir(path);
+    if (!entries.ok()) return entries.error();
+    for (const auto& name : *entries) {
+      Status sub = remove_all(path_join(path, name));
+      if (!sub.ok()) return sub;
+    }
+    if (::rmdir(path.c_str()) != 0) return Error::FromErrno();
+    return Status::Ok();
+  }
+  if (::unlink(path.c_str()) != 0) return Error::FromErrno();
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> list_dir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (!dir) return Error::FromErrno();
+  std::vector<std::string> out;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (std::strcmp(entry->d_name, ".") == 0 ||
+        std::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    out.emplace_back(entry->d_name);
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+bool dir_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+TempDir::TempDir(const std::string& tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base ? base : "/tmp") + "/" + tag + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (char* made = ::mkdtemp(buf.data())) {
+    path_ = made;
+  } else {
+    // Extremely unlikely; leave path_ empty and let callers fail loudly.
+    path_.clear();
+  }
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) (void)remove_all(path_);
+}
+
+std::string TempDir::sub(std::string_view name) const {
+  return path_join(path_, name);
+}
+
+}  // namespace ibox

@@ -1,0 +1,77 @@
+// Filesystem helpers: RAII file descriptor, whole-file IO, temp directories.
+// The LocalDriver performs the real POSIX calls itself; these helpers serve
+// configuration, ACL files, tests, and the Chirp server.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ibox {
+
+// Owns a POSIX file descriptor; closes on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd();
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Reads an entire file. Returns ENOENT etc. on failure.
+Result<std::string> read_file(const std::string& path);
+
+// Writes (create/truncate) an entire file with the given mode.
+Status write_file(const std::string& path, std::string_view contents,
+                  int mode = 0644);
+
+// Atomically replaces `path` by writing to a temp sibling then rename(2).
+// Used for ACL updates so readers never observe a torn ACL.
+Status write_file_atomic(const std::string& path, std::string_view contents,
+                         int mode = 0644);
+
+// mkdir -p. Returns Ok if the directory already exists.
+Status make_dirs(const std::string& path, int mode = 0755);
+
+// Recursive delete (rm -rf). Missing path is Ok.
+Status remove_all(const std::string& path);
+
+// Lists directory entry names (excluding "." / "..") sorted.
+Result<std::vector<std::string>> list_dir(const std::string& path);
+
+bool file_exists(const std::string& path);
+bool dir_exists(const std::string& path);
+
+// Creates a unique temporary directory under $TMPDIR (or /tmp) and removes
+// it (recursively) on destruction.
+class TempDir {
+ public:
+  // `tag` appears in the directory name for debuggability.
+  explicit TempDir(const std::string& tag = "ibox");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  // Path of a child entry inside the temp dir.
+  std::string sub(std::string_view name) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ibox

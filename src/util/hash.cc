@@ -1,0 +1,173 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace ibox {
+
+uint64_t fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+// FIPS 180-4 SHA-256.
+struct Sha256Ctx {
+  uint32_t state[8];
+  uint64_t total_bits = 0;
+  uint8_t buffer[64];
+  size_t buffered = 0;
+};
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+void sha256_init(Sha256Ctx& ctx) {
+  static constexpr uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                        0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                        0x1f83d9ab, 0x5be0cd19};
+  std::memcpy(ctx.state, kInit, sizeof(kInit));
+  ctx.total_bits = 0;
+  ctx.buffered = 0;
+}
+
+void sha256_block(Sha256Ctx& ctx, const uint8_t* block) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = ctx.state[0], b = ctx.state[1], c = ctx.state[2],
+           d = ctx.state[3], e = ctx.state[4], f = ctx.state[5],
+           g = ctx.state[6], h = ctx.state[7];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    uint32_t ch = (e & f) ^ (~e & g);
+    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+    uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  ctx.state[0] += a;
+  ctx.state[1] += b;
+  ctx.state[2] += c;
+  ctx.state[3] += d;
+  ctx.state[4] += e;
+  ctx.state[5] += f;
+  ctx.state[6] += g;
+  ctx.state[7] += h;
+}
+
+void sha256_update(Sha256Ctx& ctx, const uint8_t* data, size_t len) {
+  ctx.total_bits += static_cast<uint64_t>(len) * 8;
+  while (len > 0) {
+    size_t take = std::min(len, sizeof(ctx.buffer) - ctx.buffered);
+    std::memcpy(ctx.buffer + ctx.buffered, data, take);
+    ctx.buffered += take;
+    data += take;
+    len -= take;
+    if (ctx.buffered == sizeof(ctx.buffer)) {
+      sha256_block(ctx, ctx.buffer);
+      ctx.buffered = 0;
+    }
+  }
+}
+
+std::array<uint8_t, 32> sha256_final(Sha256Ctx& ctx) {
+  const uint64_t bits = ctx.total_bits;
+  uint8_t pad = 0x80;
+  sha256_update(ctx, &pad, 1);
+  ctx.total_bits -= 8;  // padding is not message content
+  uint8_t zero = 0;
+  while (ctx.buffered != 56) {
+    sha256_update(ctx, &zero, 1);
+    ctx.total_bits -= 8;
+  }
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<uint8_t>(bits >> (56 - i * 8));
+  }
+  sha256_update(ctx, len_be, 8);
+  std::array<uint8_t, 32> out;
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<uint8_t>(ctx.state[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(ctx.state[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(ctx.state[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(ctx.state[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::array<uint8_t, 32> sha256(std::string_view data) {
+  Sha256Ctx ctx;
+  sha256_init(ctx);
+  sha256_update(ctx, reinterpret_cast<const uint8_t*>(data.data()),
+                data.size());
+  return sha256_final(ctx);
+}
+
+std::string sha256_hex(std::string_view data) {
+  auto digest = sha256(data);
+  return hex_encode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+}
+
+std::string hmac_sha256_hex(std::string_view key, std::string_view message) {
+  constexpr size_t kBlock = 64;
+  std::string key_block(key);
+  if (key_block.size() > kBlock) {
+    auto digest = sha256(key_block);
+    key_block.assign(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
+  }
+  key_block.resize(kBlock, '\0');
+  std::string inner(kBlock, '\0'), outer(kBlock, '\0');
+  for (size_t i = 0; i < kBlock; ++i) {
+    inner[i] = static_cast<char>(key_block[i] ^ 0x36);
+    outer[i] = static_cast<char>(key_block[i] ^ 0x5c);
+  }
+  auto inner_digest = sha256(inner + std::string(message));
+  std::string inner_bytes(reinterpret_cast<const char*>(inner_digest.data()),
+                          inner_digest.size());
+  auto outer_digest = sha256(outer + inner_bytes);
+  return hex_encode(std::string_view(
+      reinterpret_cast<const char*>(outer_digest.data()),
+      outer_digest.size()));
+}
+
+}  // namespace ibox

@@ -1,0 +1,29 @@
+// Hashing primitives used by the simulated grid security infrastructure
+// (auth/sim_gsi, auth/sim_kerberos). SHA-256 and HMAC-SHA256 are implemented
+// from the FIPS 180-4 / RFC 2104 specifications so the repository has no
+// external crypto dependency; they are used to *exercise the code paths* of
+// certificate validation and challenge-response, not as production crypto
+// (see DESIGN.md substitution table).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ibox {
+
+// 64-bit FNV-1a; used for cheap content fingerprints and bucket hashing.
+uint64_t fnv1a64(std::string_view data);
+
+// SHA-256 digest (32 raw bytes).
+std::array<uint8_t, 32> sha256(std::string_view data);
+
+// SHA-256 digest as lowercase hex.
+std::string sha256_hex(std::string_view data);
+
+// HMAC-SHA256 (RFC 2104) as lowercase hex. Keys longer than the 64-byte
+// block are pre-hashed per the RFC.
+std::string hmac_sha256_hex(std::string_view key, std::string_view message);
+
+}  // namespace ibox

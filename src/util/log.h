@@ -1,0 +1,53 @@
+// Minimal leveled logger. The supervisor and Chirp server are long-running
+// multi-threaded processes; logging is mutex-serialized and cheap when the
+// level is suppressed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ibox {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded. Default: kWarn
+// (override with environment variable IBOX_LOG=debug|info|warn|error|off).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& text);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define IBOX_LOG(level)                            \
+  if (::ibox::log_level() > (level)) {             \
+  } else                                           \
+    ::ibox::detail::LogLine(level)
+
+#define IBOX_DEBUG IBOX_LOG(::ibox::LogLevel::kDebug)
+#define IBOX_INFO IBOX_LOG(::ibox::LogLevel::kInfo)
+#define IBOX_WARN IBOX_LOG(::ibox::LogLevel::kWarn)
+#define IBOX_ERROR IBOX_LOG(::ibox::LogLevel::kError)
+
+}  // namespace ibox

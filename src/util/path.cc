@@ -1,0 +1,76 @@
+#include "util/path.h"
+
+#include "util/strings.h"
+
+namespace ibox {
+
+std::string path_clean(std::string_view path) {
+  if (path.empty()) return ".";
+  const bool absolute = path[0] == '/';
+  std::vector<std::string> stack;
+  for (const auto& part : split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back("..");  // relative paths may escape upward
+      }
+      // absolute: ".." at root is a no-op
+      continue;
+    }
+    stack.push_back(part);
+  }
+  std::string out = absolute ? "/" : "";
+  out += join(stack, "/");
+  if (out.empty()) return ".";
+  return out;
+}
+
+std::string path_join(std::string_view base, std::string_view rel) {
+  if (rel.empty()) return path_clean(base);
+  if (rel[0] == '/') return path_clean(rel);
+  std::string combined(base);
+  if (!combined.empty() && combined.back() != '/') combined.push_back('/');
+  combined.append(rel);
+  return path_clean(combined);
+}
+
+std::string path_dirname(std::string_view path) {
+  std::string clean = path_clean(path);
+  size_t pos = clean.rfind('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return clean.substr(0, pos);
+}
+
+std::string path_basename(std::string_view path) {
+  std::string clean = path_clean(path);
+  if (clean == "/") return "/";
+  size_t pos = clean.rfind('/');
+  if (pos == std::string::npos) return clean;
+  return clean.substr(pos + 1);
+}
+
+std::vector<std::string> path_components(std::string_view path) {
+  std::string clean = path_clean(path);
+  std::vector<std::string> out;
+  for (const auto& part : split(clean, '/')) {
+    if (!part.empty() && part != ".") out.push_back(part);
+  }
+  return out;
+}
+
+bool path_is_within(std::string_view root, std::string_view path) {
+  std::string r = path_clean(root);
+  std::string p = path_clean(path);
+  if (r == p) return true;
+  if (r == "/") return p.size() > 1 && p[0] == '/';
+  return p.size() > r.size() && starts_with(p, r) && p[r.size()] == '/';
+}
+
+bool path_is_absolute(std::string_view path) {
+  return !path.empty() && path[0] == '/';
+}
+
+}  // namespace ibox

@@ -1,0 +1,38 @@
+// Path manipulation used by the VFS and the Chirp server. All functions are
+// purely lexical: the supervisor resolves symlinks explicitly (one component
+// at a time) so that ACL checks happen on the *target's* directory, never on
+// the link (Garfinkel pitfall: "overlooking indirect paths").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibox {
+
+// Lexically normalizes a path: collapses "//" and "/./", resolves ".."
+// against preceding components (never above "/"). Preserves whether the path
+// is absolute. "" -> ".".
+std::string path_clean(std::string_view path);
+
+// Joins two path fragments with exactly one separator. If `rel` is absolute
+// it replaces `base` (POSIX semantics).
+std::string path_join(std::string_view base, std::string_view rel);
+
+// Directory part ("/a/b/c" -> "/a/b"; "/a" -> "/"; "a" -> ".").
+std::string path_dirname(std::string_view path);
+
+// Final component ("/a/b/c" -> "c"; "/" -> "/").
+std::string path_basename(std::string_view path);
+
+// Splits a cleaned path into components ("/a/b" -> {"a","b"}).
+std::vector<std::string> path_components(std::string_view path);
+
+// True if `path` is lexically inside `root` (or equal to it). Both are
+// cleaned first. Used for home-directory and I/O-channel containment checks.
+bool path_is_within(std::string_view root, std::string_view path);
+
+// True if the path is absolute.
+bool path_is_absolute(std::string_view path);
+
+}  // namespace ibox

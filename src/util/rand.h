@@ -1,0 +1,34 @@
+// Deterministic PRNG (xoshiro256**) for workload generation and property
+// tests. Seeded explicitly so every benchmark run replays the identical
+// syscall trace — the paper's Fig 5(b) comparison requires that the native
+// and boxed runs execute the same work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ibox {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t next();
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t below(uint64_t bound);
+  // Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi);
+  // Uniform double in [0, 1).
+  double uniform();
+  // Bernoulli trial.
+  bool chance(double p);
+  // Random lowercase ASCII identifier of the given length.
+  std::string ident(size_t length);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ibox

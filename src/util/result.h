@@ -1,0 +1,99 @@
+// Result<T>: value-or-errno return type used throughout the identity-box
+// libraries. The supervisor implements syscalls on behalf of boxed
+// applications, so almost every operation ultimately produces either a value
+// or a negative errno to inject into the child. Result<T> keeps that
+// convention explicit and impossible to ignore.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ibox {
+
+// A plain errno value (positive, e.g. EACCES). Zero means "no error".
+class Error {
+ public:
+  Error() = default;
+  explicit Error(int err) : errno_(err) {}
+
+  // Builds an Error from the current value of `errno`.
+  static Error FromErrno() { return Error(errno); }
+
+  int code() const { return errno_; }
+  bool ok() const { return errno_ == 0; }
+
+  // Human-readable strerror text, e.g. "Permission denied".
+  std::string message() const { return std::strerror(errno_); }
+
+  bool operator==(const Error&) const = default;
+
+ private:
+  int errno_ = 0;
+};
+
+// Result<T> holds either a T or an Error. Use ok()/value()/error().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : data_(err) {}             // NOLINT: implicit by design
+
+  // Convenience: construct an error result directly from an errno value.
+  static Result Errno(int err) { return Result(Error(err)); }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Error error() const {
+    return ok() ? Error() : std::get<Error>(data_);
+  }
+  // errno code, or 0 when ok. Handy for injecting -code into a child.
+  int error_code() const { return error().code(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analogue: success or errno.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(err) {}  // NOLINT: implicit by design
+  static Status Ok() { return Status(); }
+  static Status Errno(int err) { return Status(Error(err)); }
+
+  bool ok() const { return err_.ok(); }
+  explicit operator bool() const { return ok(); }
+  Error error() const { return err_; }
+  int error_code() const { return err_.code(); }
+  std::string message() const { return err_.message(); }
+
+ private:
+  Error err_;
+};
+
+// Propagate an error from an expression producing Result/Status.
+#define IBOX_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    auto _ibox_status = (expr);                     \
+    if (!_ibox_status.ok()) return _ibox_status.error(); \
+  } while (0)
+
+}  // namespace ibox

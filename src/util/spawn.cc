@@ -1,0 +1,109 @@
+#include "util/spawn.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace ibox {
+
+void decode_wait_status(int status, RunOutput& out) {
+  if (WIFEXITED(status)) {
+    out.exit_code = WEXITSTATUS(status);
+    out.signaled = false;
+  } else if (WIFSIGNALED(status)) {
+    out.exit_code = 128 + WTERMSIG(status);
+    out.signaled = true;
+  }
+}
+
+Result<RunOutput> run_capture(const std::vector<std::string>& argv,
+                              const std::string& stdin_data,
+                              const std::vector<std::string>& extra_env) {
+  if (argv.empty()) return Error(EINVAL);
+
+  int in_pipe[2], out_pipe[2], err_pipe[2];
+  if (::pipe(in_pipe) != 0) return Error::FromErrno();
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]); ::close(in_pipe[1]);
+    return Error::FromErrno();
+  }
+  if (::pipe(err_pipe) != 0) {
+    ::close(in_pipe[0]); ::close(in_pipe[1]);
+    ::close(out_pipe[0]); ::close(out_pipe[1]);
+    return Error::FromErrno();
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1],
+                   err_pipe[0], err_pipe[1]}) {
+      ::close(fd);
+    }
+    return Error::FromErrno();
+  }
+
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1],
+                   err_pipe[0], err_pipe[1]}) {
+      ::close(fd);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    for (const auto& kv : extra_env) ::putenv(const_cast<char*>(kv.c_str()));
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  ::close(err_pipe[1]);
+  UniqueFd to_child(in_pipe[1]), from_out(out_pipe[0]), from_err(err_pipe[0]);
+
+  // Feed stdin (bounded by pipe capacity for large inputs; benches use small
+  // inputs, so a single blocking write pass is acceptable here).
+  if (!stdin_data.empty()) {
+    size_t off = 0;
+    while (off < stdin_data.size()) {
+      ssize_t n = ::write(to_child.get(), stdin_data.data() + off,
+                          stdin_data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  to_child.reset();
+
+  RunOutput result;
+  auto drain = [](int fd, std::string& sink) {
+    char buf[1 << 14];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;
+      sink.append(buf, static_cast<size_t>(n));
+    }
+  };
+  drain(from_out.get(), result.out);
+  drain(from_err.get(), result.err);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+  decode_wait_status(status, result);
+  return result;
+}
+
+}  // namespace ibox

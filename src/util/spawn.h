@@ -1,0 +1,29 @@
+// Subprocess helpers. The benchmark harnesses and examples run child
+// programs both natively and inside an identity box; this wrapper provides
+// fork/exec with stdout/stderr capture and exit-status decoding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ibox {
+
+struct RunOutput {
+  int exit_code = -1;   // exit status, or 128+signal if killed
+  bool signaled = false;
+  std::string out;      // captured stdout
+  std::string err;      // captured stderr
+};
+
+// Runs argv[0] with the given arguments, waits for completion, and captures
+// stdout/stderr. `stdin_data`, if non-empty, is fed to the child's stdin.
+Result<RunOutput> run_capture(const std::vector<std::string>& argv,
+                              const std::string& stdin_data = {},
+                              const std::vector<std::string>& extra_env = {});
+
+// Decodes a waitpid status into exit_code/signaled form.
+void decode_wait_status(int status, RunOutput& out);
+
+}  // namespace ibox

@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ibox {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  uint64_t nanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,48 @@
+// Small string helpers shared across modules (ACL parsing, protocol text,
+// principal names). Kept allocation-light; inputs are string_views.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibox {
+
+// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+// Joins items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+// Parses a non-negative decimal integer; rejects trailing junk.
+std::optional<uint64_t> parse_u64(std::string_view text);
+std::optional<int64_t> parse_i64(std::string_view text);
+
+// Hex encode/decode (lowercase).
+std::string hex_encode(std::string_view bytes);
+std::optional<std::string> hex_decode(std::string_view hex);
+
+// Glob match: `*` matches any run (including empty, including '/'),
+// `?` matches a single character. This is the subject-pattern matcher used
+// by ACL entries, e.g. "globus:/O=UnivNowhere/*" (paper section 3).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace ibox

@@ -1,0 +1,101 @@
+// Driver: the service interface behind the VFS (paper section 3/5).
+//
+// Parrot "directs system calls to device drivers"; each driver exports a
+// filesystem-like namespace. The identity of the calling user accompanies
+// every operation, because drivers — not the caller — decide what that
+// identity may do (the local driver consults .__acl files; the Chirp driver
+// defers to the remote server's ACLs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "identity/identity.h"
+#include "util/result.h"
+#include "vfs/types.h"
+
+namespace ibox {
+
+// An open file within a driver. Offsets live in the OpenFileDescription
+// (shared across dup/fork as on Unix), so handle reads/writes are
+// positional.
+class FileHandle {
+ public:
+  virtual ~FileHandle() = default;
+
+  virtual Result<size_t> pread(void* buf, size_t count, uint64_t offset) = 0;
+  virtual Result<size_t> pwrite(const void* buf, size_t count,
+                                uint64_t offset) = 0;
+  virtual Result<VfsStat> fstat() = 0;
+  virtual Status ftruncate(uint64_t length) = 0;
+  virtual Status fsync() { return Status::Ok(); }
+
+  // For local files the real descriptor (used by the supervisor to splice
+  // data into the I/O channel); -1 for remote handles.
+  virtual int native_fd() const { return -1; }
+};
+
+class Driver {
+ public:
+  virtual ~Driver() = default;
+
+  // Human-readable scheme name ("local", "chirp").
+  virtual std::string_view scheme() const = 0;
+
+  virtual Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+                                                   const std::string& path,
+                                                   int flags, int mode) = 0;
+
+  virtual Result<VfsStat> stat(const Identity& id,
+                               const std::string& path) = 0;
+  virtual Result<VfsStat> lstat(const Identity& id,
+                                const std::string& path) = 0;
+
+  virtual Status mkdir(const Identity& id, const std::string& path,
+                       int mode) = 0;
+  virtual Status rmdir(const Identity& id, const std::string& path) = 0;
+  virtual Status unlink(const Identity& id, const std::string& path) = 0;
+  virtual Status rename(const Identity& id, const std::string& from,
+                        const std::string& to) = 0;
+
+  virtual Result<std::vector<DirEntry>> readdir(const Identity& id,
+                                                const std::string& path) = 0;
+
+  virtual Status symlink(const Identity& id, const std::string& target,
+                         const std::string& linkpath) = 0;
+  virtual Result<std::string> readlink(const Identity& id,
+                                       const std::string& path) = 0;
+  virtual Status link(const Identity& id, const std::string& oldpath,
+                      const std::string& newpath) = 0;
+
+  virtual Status truncate(const Identity& id, const std::string& path,
+                          uint64_t length) = 0;
+  virtual Status utime(const Identity& id, const std::string& path,
+                       uint64_t atime, uint64_t mtime) = 0;
+  virtual Status chmod(const Identity& id, const std::string& path,
+                       int mode) = 0;
+
+  // access(2)-style probe expressed in ACL terms.
+  virtual Status access(const Identity& id, const std::string& path,
+                        Access wanted) = 0;
+
+  // ACL management (EOPNOTSUPP for drivers without ACLs).
+  virtual Result<std::string> getacl(const Identity& id,
+                                     const std::string& path) {
+    (void)id;
+    (void)path;
+    return Error(EOPNOTSUPP);
+  }
+  virtual Status setacl(const Identity& id, const std::string& path,
+                        const std::string& subject,
+                        const std::string& rights) {
+    (void)id;
+    (void)path;
+    (void)subject;
+    (void)rights;
+    return Status::Errno(EOPNOTSUPP);
+  }
+};
+
+}  // namespace ibox

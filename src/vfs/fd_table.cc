@@ -1,0 +1,65 @@
+#include "vfs/fd_table.h"
+
+namespace ibox {
+
+int FdTable::insert(std::shared_ptr<OpenFileDescription> description,
+                    bool cloexec, int min_fd) {
+  int fd = min_fd;
+  while (slots_.count(fd)) ++fd;
+  slots_[fd] = Slot{std::move(description), cloexec};
+  return fd;
+}
+
+Result<std::shared_ptr<OpenFileDescription>> FdTable::get(int fd) const {
+  auto it = slots_.find(fd);
+  if (it == slots_.end()) return Error(EBADF);
+  return it->second.description;
+}
+
+Status FdTable::close(int fd) {
+  if (slots_.erase(fd) == 0) return Status::Errno(EBADF);
+  return Status::Ok();
+}
+
+Result<int> FdTable::dup(int fd, int min_fd, bool cloexec) {
+  auto description = get(fd);
+  if (!description.ok()) return description.error();
+  return insert(*description, cloexec, min_fd);
+}
+
+Status FdTable::dup2(int oldfd, int newfd) {
+  auto description = get(oldfd);
+  if (!description.ok()) return description.error();
+  if (oldfd == newfd) return Status::Ok();
+  slots_[newfd] = Slot{*description, false};
+  return Status::Ok();
+}
+
+void FdTable::place(int fd, std::shared_ptr<OpenFileDescription> description,
+                    bool cloexec) {
+  slots_[fd] = Slot{std::move(description), cloexec};
+}
+
+bool FdTable::cloexec(int fd) const {
+  auto it = slots_.find(fd);
+  return it != slots_.end() && it->second.cloexec;
+}
+
+Status FdTable::set_cloexec(int fd, bool value) {
+  auto it = slots_.find(fd);
+  if (it == slots_.end()) return Status::Errno(EBADF);
+  it->second.cloexec = value;
+  return Status::Ok();
+}
+
+void FdTable::apply_cloexec() {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->second.cloexec) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ibox

@@ -1,0 +1,83 @@
+// Per-process virtual file descriptor table.
+//
+// The supervisor "keep[s] tables of open files" (paper section 3): a boxed
+// process's descriptors are indices into this table, not kernel
+// descriptors. Kernel-accurate sharing semantics matter for real programs:
+//
+//   * dup/dup2 make two table slots reference one open file description
+//     (shared offset and flags);
+//   * fork copies the table, still sharing the descriptions;
+//   * close drops one slot; the description dies with its last reference;
+//   * O_CLOEXEC / FD_CLOEXEC is a property of the slot, not the description.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "vfs/driver.h"
+
+namespace ibox {
+
+// One "open file description" in the POSIX sense.
+struct OpenFileDescription {
+  std::unique_ptr<FileHandle> handle;
+  uint64_t offset = 0;
+  int flags = 0;         // open(2) flags
+  std::string box_path;  // for getdents, fchdir, diagnostics
+  bool is_dir = false;
+
+  // getdents cursor (directory streams are read via readdir snapshots).
+  std::vector<DirEntry> dir_entries;
+  size_t dir_cursor = 0;
+  bool dir_loaded = false;
+};
+
+class FdTable {
+ public:
+  FdTable() = default;
+
+  // Copy shares descriptions (fork semantics).
+  FdTable(const FdTable&) = default;
+  FdTable& operator=(const FdTable&) = default;
+
+  // Inserts a fresh description at the lowest free slot >= min_fd.
+  int insert(std::shared_ptr<OpenFileDescription> description,
+             bool cloexec = false, int min_fd = 0);
+
+  // Looks up a slot; EBADF if empty.
+  Result<std::shared_ptr<OpenFileDescription>> get(int fd) const;
+
+  bool is_open(int fd) const { return slots_.count(fd) != 0; }
+
+  // Removes a slot; EBADF if empty.
+  Status close(int fd);
+
+  // dup: new slot (>= min_fd) sharing the description. dup2: places the
+  // description at `newfd`, closing it first if open.
+  Result<int> dup(int fd, int min_fd = 0, bool cloexec = false);
+  Status dup2(int oldfd, int newfd);
+
+  // Places a description at an exact slot, replacing any prior occupant
+  // (dup2-onto-a-real-descriptor in the supervisor).
+  void place(int fd, std::shared_ptr<OpenFileDescription> description,
+             bool cloexec);
+
+  bool cloexec(int fd) const;
+  Status set_cloexec(int fd, bool value);
+
+  // Drops every slot marked close-on-exec (called at execve).
+  void apply_cloexec();
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::shared_ptr<OpenFileDescription> description;
+    bool cloexec = false;
+  };
+  std::map<int, Slot> slots_;
+};
+
+}  // namespace ibox

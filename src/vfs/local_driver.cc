@@ -1,0 +1,534 @@
+#include "vfs/local_driver.h"
+
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <cstring>
+
+#include "util/fs.h"
+#include "util/log.h"
+#include "util/path.h"
+
+namespace ibox {
+
+namespace {
+
+constexpr int kMaxSymlinkHops = 40;
+
+VfsStat to_vfs_stat(const struct stat& st) {
+  VfsStat out;
+  out.size = static_cast<uint64_t>(st.st_size);
+  out.mode = st.st_mode;
+  out.inode = st.st_ino;
+  out.mtime_sec = static_cast<uint64_t>(st.st_mtime);
+  out.atime_sec = static_cast<uint64_t>(st.st_atime);
+  out.ctime_sec = static_cast<uint64_t>(st.st_ctime);
+  out.nlink = static_cast<uint32_t>(st.st_nlink);
+  out.blocks = static_cast<uint64_t>(st.st_blocks);
+  return out;
+}
+
+// An open local file; positional IO against a real descriptor.
+class LocalFileHandle : public FileHandle {
+ public:
+  explicit LocalFileHandle(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  Result<size_t> pread(void* buf, size_t count, uint64_t offset) override {
+    ssize_t n = ::pread(fd_.get(), buf, count, static_cast<off_t>(offset));
+    if (n < 0) return Error::FromErrno();
+    return static_cast<size_t>(n);
+  }
+
+  Result<size_t> pwrite(const void* buf, size_t count,
+                        uint64_t offset) override {
+    ssize_t n = ::pwrite(fd_.get(), buf, count, static_cast<off_t>(offset));
+    if (n < 0) return Error::FromErrno();
+    return static_cast<size_t>(n);
+  }
+
+  Result<VfsStat> fstat() override {
+    struct stat st;
+    if (::fstat(fd_.get(), &st) != 0) return Error::FromErrno();
+    return to_vfs_stat(st);
+  }
+
+  Status ftruncate(uint64_t length) override {
+    if (::ftruncate(fd_.get(), static_cast<off_t>(length)) != 0) {
+      return Error::FromErrno();
+    }
+    return Status::Ok();
+  }
+
+  Status fsync() override {
+    if (::fsync(fd_.get()) != 0) return Error::FromErrno();
+    return Status::Ok();
+  }
+
+  int native_fd() const override { return fd_.get(); }
+
+ private:
+  UniqueFd fd_;
+};
+
+// The ACL right needed for each access kind.
+Rights needed_rights(Access wanted) {
+  switch (wanted) {
+    case Access::kRead: return Rights(kRightRead);
+    case Access::kWrite: return Rights(kRightWrite);
+    case Access::kList: return Rights(kRightList);
+    case Access::kDelete: return Rights(kRightDelete);
+    case Access::kAdmin: return Rights(kRightAdmin);
+    case Access::kExecute: return Rights(kRightExecute);
+  }
+  return Rights();
+}
+
+}  // namespace
+
+LocalDriver::LocalDriver(std::string export_root)
+    : root_(path_clean(export_root)), acls_(root_) {}
+
+std::string LocalDriver::host_path(const std::string& box_path) const {
+  // Clean first so ".." cannot climb out of the export root.
+  std::string clean = path_clean(box_path);
+  if (!path_is_absolute(clean)) clean = "/" + clean;
+  if (root_ == "/") return clean;
+  if (clean == "/") return root_;
+  return root_ + clean;
+}
+
+Result<std::string> LocalDriver::resolve(const std::string& box_path,
+                                         bool follow_final) const {
+  std::string clean = path_clean(box_path);
+  if (!path_is_absolute(clean)) clean = "/" + clean;
+
+  int hops = 0;
+  std::string resolved = "/";
+  std::vector<std::string> todo = path_components(clean);
+  for (size_t i = 0; i < todo.size(); ++i) {
+    const bool final_component = (i + 1 == todo.size());
+    std::string candidate = path_join(resolved, todo[i]);
+    struct stat st;
+    if (::lstat(host_path(candidate).c_str(), &st) != 0) {
+      if (errno == ENOENT && final_component) {
+        // Nonexistent final entry resolves to itself (creation target).
+        return candidate;
+      }
+      return Error::FromErrno();
+    }
+    if (S_ISLNK(st.st_mode) && (follow_final || !final_component)) {
+      if (++hops > kMaxSymlinkHops) return Error(ELOOP);
+      char target[PATH_MAX];
+      ssize_t len =
+          ::readlink(host_path(candidate).c_str(), target, sizeof(target) - 1);
+      if (len < 0) return Error::FromErrno();
+      target[len] = '\0';
+      // Targets are interpreted inside the box namespace: absolute targets
+      // restart from the export root, so links can never escape it.
+      std::string retarget = path_is_absolute(target)
+                                 ? path_clean(target)
+                                 : path_join(resolved, target);
+      std::vector<std::string> rest(todo.begin() + static_cast<long>(i) + 1,
+                                    todo.end());
+      todo = path_components(retarget);
+      todo.insert(todo.end(), rest.begin(), rest.end());
+      resolved = "/";
+      i = static_cast<size_t>(-1);  // restart scan
+      continue;
+    }
+    resolved = candidate;
+  }
+  return resolved;
+}
+
+Status LocalDriver::stamp_acl(const std::string& box_dir, const Acl& acl) {
+  return acls_.store(host_path(box_dir), acl);
+}
+
+Result<std::optional<Rights>> LocalDriver::governed_rights(
+    const std::string& box_dir, const Identity& id) const {
+  return acls_.rights_in(host_path(box_dir), id);
+}
+
+Status LocalDriver::fallback_check(const std::string& box_path, Access wanted,
+                                   bool must_exist) const {
+  struct stat st;
+  const bool exists = ::lstat(host_path(box_path).c_str(), &st) == 0;
+  struct stat parent_st;
+  if (::stat(host_path(path_dirname(box_path)).c_str(), &parent_st) != 0) {
+    return Error::FromErrno();
+  }
+
+  switch (wanted) {
+    case Access::kRead:
+      if (!exists) return Status::Errno(ENOENT);
+      return unix_other_file_allows(st.st_mode, 'r')
+                 ? Status::Ok()
+                 : Status::Errno(EACCES);
+    case Access::kWrite:
+      if (exists) {
+        return unix_other_file_allows(st.st_mode, 'w')
+                   ? Status::Ok()
+                   : Status::Errno(EACCES);
+      }
+      if (must_exist) return Status::Errno(ENOENT);
+      // Creation: the parent directory must be world-writable.
+      return unix_other_file_allows(parent_st.st_mode, 'w')
+                 ? Status::Ok()
+                 : Status::Errno(EACCES);
+    case Access::kExecute:
+      if (!exists) return Status::Errno(ENOENT);
+      return unix_other_file_allows(st.st_mode, 'x')
+                 ? Status::Ok()
+                 : Status::Errno(EACCES);
+    case Access::kList:
+      if (!exists) return Status::Errno(ENOENT);
+      return unix_other_file_allows(st.st_mode, 'r')
+                 ? Status::Ok()
+                 : Status::Errno(EACCES);
+    case Access::kDelete:
+      if (!exists) return Status::Errno(ENOENT);
+      return unix_other_file_allows(parent_st.st_mode, 'w')
+                 ? Status::Ok()
+                 : Status::Errno(EACCES);
+    case Access::kAdmin:
+      // There is no ACL to administer in ungoverned territory.
+      return Status::Errno(EACCES);
+  }
+  return Status::Errno(EACCES);
+}
+
+Status LocalDriver::authorize(const Identity& id, const std::string& box_path,
+                              Access wanted, bool must_exist) const {
+  // List and Admin of a directory are judged by the directory's own ACL;
+  // everything else by the containing directory's.
+  std::string governing_dir;
+  if (wanted == Access::kList || wanted == Access::kAdmin) {
+    struct stat st;
+    if (::stat(host_path(box_path).c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      governing_dir = box_path;
+    } else {
+      governing_dir = path_dirname(box_path);
+    }
+  } else {
+    governing_dir = path_dirname(box_path);
+  }
+
+  auto rights = governed_rights(governing_dir, id);
+  if (!rights.ok()) return rights.error();
+  if (rights->has_value()) {
+    if ((*rights)->covers(needed_rights(wanted))) return Status::Ok();
+    return Status::Errno(EACCES);
+  }
+  if (wanted == Access::kList || wanted == Access::kAdmin) {
+    // Ungoverned directory: list falls back to the dir's other-r bit.
+    struct stat st;
+    if (::stat(host_path(governing_dir).c_str(), &st) != 0) {
+      return Error::FromErrno();
+    }
+    if (wanted == Access::kAdmin) return Status::Errno(EACCES);
+    return unix_other_file_allows(st.st_mode, 'r') ? Status::Ok()
+                                                   : Status::Errno(EACCES);
+  }
+  return fallback_check(box_path, wanted, must_exist);
+}
+
+Result<std::unique_ptr<FileHandle>> LocalDriver::open(const Identity& id,
+                                                      const std::string& path,
+                                                      int flags, int mode) {
+  // The ACL file is not part of the box's namespace.
+  if (AclStore::is_acl_file_name(path_basename(path))) return Error(EACCES);
+
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+
+  struct stat st;
+  const bool exists = ::lstat(host_path(*resolved).c_str(), &st) == 0;
+  if (!exists && !(flags & O_CREAT)) return Error(ENOENT);
+  if (exists && (flags & O_CREAT) && (flags & O_EXCL)) return Error(EEXIST);
+  if (exists && S_ISDIR(st.st_mode) &&
+      ((flags & O_ACCMODE) != O_RDONLY || (flags & O_TRUNC))) {
+    return Error(EISDIR);
+  }
+
+  const int accmode = flags & O_ACCMODE;
+  const bool wants_read = accmode == O_RDONLY || accmode == O_RDWR;
+  const bool wants_write = accmode == O_WRONLY || accmode == O_RDWR ||
+                           (flags & O_TRUNC) || (flags & O_APPEND) ||
+                           (!exists && (flags & O_CREAT));
+
+  if (exists && S_ISDIR(st.st_mode)) {
+    // Opening a directory for reading = the right to list it.
+    IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  } else {
+    if (wants_read) {
+      IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kRead, exists));
+    }
+    if (wants_write) {
+      IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, exists));
+    }
+  }
+
+  // O_NOFOLLOW: we already resolved links under our own checks, so a link
+  // appearing here is a race; fail rather than follow it unchecked.
+  UniqueFd fd(::open(host_path(*resolved).c_str(),
+                     flags | (exists && S_ISDIR(st.st_mode) ? 0 : O_NOFOLLOW),
+                     mode));
+  if (!fd) return Error::FromErrno();
+  return std::unique_ptr<FileHandle>(new LocalFileHandle(std::move(fd)));
+}
+
+Result<VfsStat> LocalDriver::stat(const Identity& id,
+                                  const std::string& path) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  struct stat st;
+  if (::stat(host_path(*resolved).c_str(), &st) != 0) {
+    return Error::FromErrno();
+  }
+  return to_vfs_stat(st);
+}
+
+Result<VfsStat> LocalDriver::lstat(const Identity& id,
+                                   const std::string& path) {
+  auto resolved = resolve(path, /*follow_final=*/false);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  struct stat st;
+  if (::lstat(host_path(*resolved).c_str(), &st) != 0) {
+    return Error::FromErrno();
+  }
+  return to_vfs_stat(st);
+}
+
+Status LocalDriver::mkdir(const Identity& id, const std::string& path,
+                          int mode) {
+  auto parent = resolve(path_dirname(path_clean(path)), true);
+  if (!parent.ok()) return parent.error();
+  const std::string name = path_basename(path_clean(path));
+
+  auto rights = governed_rights(*parent, id);
+  if (!rights.ok()) return rights.error();
+  if (rights->has_value()) {
+    return acls_.make_dir(host_path(*parent), name, id);
+  }
+  // Ungoverned parent: Unix-nobody fallback; the new directory remains
+  // ungoverned.
+  struct stat st;
+  if (::stat(host_path(*parent).c_str(), &st) != 0) return Error::FromErrno();
+  if (!unix_other_file_allows(st.st_mode, 'w')) return Status::Errno(EACCES);
+  if (::mkdir(host_path(path_join(*parent, name)).c_str(), mode) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Status LocalDriver::rmdir(const Identity& id, const std::string& path) {
+  auto resolved = resolve(path, /*follow_final=*/false);
+  if (!resolved.ok()) return resolved.error();
+  if (*resolved == "/") return Status::Errno(EBUSY);
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kDelete, true));
+
+  // A governed directory legitimately contains its ACL file; remove it iff
+  // it is the only remaining entry (so rmdir keeps POSIX ENOTEMPTY
+  // semantics for everything else).
+  const std::string host = host_path(*resolved);
+  auto entries = list_dir(host);
+  if (!entries.ok()) return entries.error();
+  if (entries->size() == 1 && AclStore::is_acl_file_name((*entries)[0])) {
+    if (::unlink(path_join(host, (*entries)[0]).c_str()) != 0) {
+      return Error::FromErrno();
+    }
+  } else if (!entries->empty()) {
+    return Status::Errno(ENOTEMPTY);
+  }
+  if (::rmdir(host.c_str()) != 0) return Error::FromErrno();
+  return Status::Ok();
+}
+
+Status LocalDriver::unlink(const Identity& id, const std::string& path) {
+  if (AclStore::is_acl_file_name(path_basename(path))) {
+    return Status::Errno(EACCES);
+  }
+  auto resolved = resolve(path, /*follow_final=*/false);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kDelete, true));
+  struct stat st;
+  if (::lstat(host_path(*resolved).c_str(), &st) != 0) {
+    return Error::FromErrno();
+  }
+  if (S_ISDIR(st.st_mode)) return Status::Errno(EISDIR);
+  if (::unlink(host_path(*resolved).c_str()) != 0) return Error::FromErrno();
+  return Status::Ok();
+}
+
+Status LocalDriver::rename(const Identity& id, const std::string& from,
+                           const std::string& to) {
+  if (AclStore::is_acl_file_name(path_basename(from)) ||
+      AclStore::is_acl_file_name(path_basename(to))) {
+    return Status::Errno(EACCES);
+  }
+  auto rfrom = resolve(from, /*follow_final=*/false);
+  if (!rfrom.ok()) return rfrom.error();
+  auto rto = resolve(to, /*follow_final=*/false);
+  if (!rto.ok()) return rto.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *rfrom, Access::kDelete, true));
+  IBOX_RETURN_IF_ERROR(authorize(id, *rto, Access::kWrite, false));
+  if (::rename(host_path(*rfrom).c_str(), host_path(*rto).c_str()) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<DirEntry>> LocalDriver::readdir(const Identity& id,
+                                                   const std::string& path) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  auto names = list_dir(host_path(*resolved));
+  if (!names.ok()) return names.error();
+  std::vector<DirEntry> out;
+  out.reserve(names->size());
+  for (const auto& name : *names) {
+    if (AclStore::is_acl_file_name(name)) continue;  // invisible in the box
+    DirEntry entry;
+    entry.name = name;
+    struct stat st;
+    entry.is_dir = ::stat(host_path(path_join(*resolved, name)).c_str(),
+                          &st) == 0 &&
+                   S_ISDIR(st.st_mode);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Status LocalDriver::symlink(const Identity& id, const std::string& target,
+                            const std::string& linkpath) {
+  if (AclStore::is_acl_file_name(path_basename(linkpath))) {
+    return Status::Errno(EACCES);
+  }
+  auto resolved = resolve(linkpath, /*follow_final=*/false);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, false));
+  if (::symlink(target.c_str(), host_path(*resolved).c_str()) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Result<std::string> LocalDriver::readlink(const Identity& id,
+                                          const std::string& path) {
+  auto resolved = resolve(path, /*follow_final=*/false);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  char target[PATH_MAX];
+  ssize_t len =
+      ::readlink(host_path(*resolved).c_str(), target, sizeof(target) - 1);
+  if (len < 0) return Error::FromErrno();
+  return std::string(target, static_cast<size_t>(len));
+}
+
+Status LocalDriver::link(const Identity& id, const std::string& oldpath,
+                         const std::string& newpath) {
+  if (AclStore::is_acl_file_name(path_basename(oldpath)) ||
+      AclStore::is_acl_file_name(path_basename(newpath))) {
+    return Status::Errno(EACCES);
+  }
+  auto rold = resolve(oldpath, /*follow_final=*/true);
+  if (!rold.ok()) return rold.error();
+  auto rnew = resolve(newpath, /*follow_final=*/false);
+  if (!rnew.ok()) return rnew.error();
+  // "Parrot is obliged to prevent hard links to files that the user cannot
+  // access": the identity must already be able to read the target, since
+  // after linking the target directory's ACL can no longer be consulted.
+  IBOX_RETURN_IF_ERROR(authorize(id, *rold, Access::kRead, true));
+  IBOX_RETURN_IF_ERROR(authorize(id, *rnew, Access::kWrite, false));
+  if (::link(host_path(*rold).c_str(), host_path(*rnew).c_str()) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Status LocalDriver::truncate(const Identity& id, const std::string& path,
+                             uint64_t length) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, true));
+  if (::truncate(host_path(*resolved).c_str(),
+                 static_cast<off_t>(length)) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Status LocalDriver::utime(const Identity& id, const std::string& path,
+                          uint64_t atime, uint64_t mtime) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, true));
+  struct utimbuf times;
+  times.actime = static_cast<time_t>(atime);
+  times.modtime = static_cast<time_t>(mtime);
+  if (::utime(host_path(*resolved).c_str(), &times) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Status LocalDriver::chmod(const Identity& id, const std::string& path,
+                          int mode) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, true));
+  if (::chmod(host_path(*resolved).c_str(),
+              static_cast<mode_t>(mode)) != 0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+Status LocalDriver::access(const Identity& id, const std::string& path,
+                           Access wanted) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  struct stat st;
+  if (::stat(host_path(*resolved).c_str(), &st) != 0) {
+    return Error::FromErrno();
+  }
+  return authorize(id, *resolved, wanted, true);
+}
+
+Result<std::string> LocalDriver::getacl(const Identity& id,
+                                        const std::string& path) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  auto acl = acls_.load(host_path(*resolved));
+  if (!acl.ok()) return acl.error();
+  if (!acl->has_value()) return Error(ENOENT);
+  return (*acl)->str();
+}
+
+Status LocalDriver::setacl(const Identity& id, const std::string& path,
+                           const std::string& subject,
+                           const std::string& rights) {
+  auto resolved = resolve(path, /*follow_final=*/true);
+  if (!resolved.ok()) return resolved.error();
+  auto pattern = SubjectPattern::Parse(subject);
+  if (!pattern) return Status::Errno(EINVAL);
+  std::optional<Rights> parsed;
+  if (rights == "-" || rights.empty()) {
+    parsed = Rights();
+  } else {
+    parsed = Rights::Parse(rights);
+  }
+  if (!parsed) return Status::Errno(EINVAL);
+  return acls_.set_entry(host_path(*resolved), id, *pattern, *parsed);
+}
+
+}  // namespace ibox

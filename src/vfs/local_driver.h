@@ -1,0 +1,105 @@
+// LocalDriver: the ACL-enforcing local filesystem driver (paper section 3).
+//
+// This is the reference monitor at the heart of the identity box. Every
+// operation carries the visiting identity and is authorized against the
+// per-directory ACL store:
+//
+//   * a directory with a ".__acl" file is *governed*: the identity's rights
+//     there come from the ACL alone;
+//   * a directory without one is *ungoverned*: "Parrot enforces Unix
+//     permissions as if the visiting user was the Unix user nobody" — i.e.
+//     only the mode's "other" bits apply. This is what protects the
+//     supervising user's pre-existing data (the `secret` file of Fig. 2);
+//   * the ACL file itself is invisible and untouchable from inside the box;
+//   * symbolic links are resolved by the driver, component by component, and
+//     authorization happens in the *target's* directory — never the link's
+//     (Garfinkel's "indirect paths" pitfall);
+//   * hard links to files the identity cannot read are refused outright,
+//     because no after-the-fact ACL check is possible through a hard link.
+//
+// Paths given to the driver are box-absolute ("/work/sim.exe"); the driver
+// maps them under its export root. The supervisor uses root "/" (whole
+// filesystem); the Chirp server exports a subtree.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "acl/acl_store.h"
+#include "vfs/driver.h"
+
+namespace ibox {
+
+class LocalDriver : public Driver {
+ public:
+  // `export_root` is the host directory mapped to "/" inside the box.
+  explicit LocalDriver(std::string export_root);
+
+  std::string_view scheme() const override { return "local"; }
+
+  // Host path corresponding to a box path (lexical; no symlink processing).
+  std::string host_path(const std::string& box_path) const;
+
+  // Resolves symlinks within the export. `follow_final` selects open/stat
+  // vs. lstat/unlink semantics. Returns a box-absolute path whose
+  // non-final components are symlink-free. ELOOP after 40 hops.
+  Result<std::string> resolve(const std::string& box_path,
+                              bool follow_final) const;
+
+  const AclStore& acl_store() const { return acls_; }
+
+  // Stamps an initial ACL on a box directory (supervisor-side setup; not
+  // reachable from inside a box).
+  Status stamp_acl(const std::string& box_dir, const Acl& acl);
+
+  Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+                                           const std::string& path, int flags,
+                                           int mode) override;
+  Result<VfsStat> stat(const Identity& id, const std::string& path) override;
+  Result<VfsStat> lstat(const Identity& id, const std::string& path) override;
+  Status mkdir(const Identity& id, const std::string& path, int mode) override;
+  Status rmdir(const Identity& id, const std::string& path) override;
+  Status unlink(const Identity& id, const std::string& path) override;
+  Status rename(const Identity& id, const std::string& from,
+                const std::string& to) override;
+  Result<std::vector<DirEntry>> readdir(const Identity& id,
+                                        const std::string& path) override;
+  Status symlink(const Identity& id, const std::string& target,
+                 const std::string& linkpath) override;
+  Result<std::string> readlink(const Identity& id,
+                               const std::string& path) override;
+  Status link(const Identity& id, const std::string& oldpath,
+              const std::string& newpath) override;
+  Status truncate(const Identity& id, const std::string& path,
+                  uint64_t length) override;
+  Status utime(const Identity& id, const std::string& path, uint64_t atime,
+               uint64_t mtime) override;
+  Status chmod(const Identity& id, const std::string& path, int mode) override;
+  Status access(const Identity& id, const std::string& path,
+                Access wanted) override;
+  Result<std::string> getacl(const Identity& id,
+                             const std::string& path) override;
+  Status setacl(const Identity& id, const std::string& path,
+                const std::string& subject, const std::string& rights) override;
+
+ private:
+  // Authorizes `wanted` on the *entry* `box_path` (checked in its parent
+  // directory, or on the directory itself for list/admin of a directory).
+  // `must_exist` controls the creation case, where the check degrades to
+  // write permission on the parent.
+  Status authorize(const Identity& id, const std::string& box_path,
+                   Access wanted, bool must_exist) const;
+
+  // ACL rights of `id` in governed dir, or nullopt when ungoverned.
+  Result<std::optional<Rights>> governed_rights(const std::string& box_dir,
+                                                const Identity& id) const;
+
+  // Unix-nobody fallback for one entry.
+  Status fallback_check(const std::string& box_path, Access wanted,
+                        bool must_exist) const;
+
+  std::string root_;
+  AclStore acls_;
+};
+
+}  // namespace ibox

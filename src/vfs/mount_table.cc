@@ -1,0 +1,53 @@
+#include "vfs/mount_table.h"
+
+#include <algorithm>
+
+#include "util/path.h"
+
+namespace ibox {
+
+MountTable::MountTable(std::unique_ptr<Driver> root_driver)
+    : root_(std::move(root_driver)) {}
+
+Status MountTable::mount(const std::string& prefix,
+                         std::unique_ptr<Driver> driver) {
+  std::string clean = path_clean(prefix);
+  if (!path_is_absolute(clean) || clean == "/") return Status::Errno(EINVAL);
+  for (const auto& mount : mounts_) {
+    if (mount.prefix == clean) return Status::Errno(EEXIST);
+  }
+  mounts_.push_back(Mount{clean, std::move(driver)});
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const Mount& a, const Mount& b) {
+              return a.prefix.size() > b.prefix.size();
+            });
+  return Status::Ok();
+}
+
+MountResolution MountTable::resolve(const std::string& box_path) const {
+  std::string clean = path_clean(box_path);
+  for (const auto& mount : mounts_) {
+    if (path_is_within(mount.prefix, clean)) {
+      MountResolution out;
+      out.driver = mount.driver.get();
+      out.mount_point = mount.prefix;
+      std::string rest = clean.substr(mount.prefix.size());
+      out.driver_path = rest.empty() ? "/" : rest;
+      return out;
+    }
+  }
+  MountResolution out;
+  out.driver = root_.get();
+  out.mount_point = "/";
+  out.driver_path = clean;
+  return out;
+}
+
+std::vector<std::string> MountTable::mount_points() const {
+  std::vector<std::string> out;
+  out.reserve(mounts_.size());
+  for (const auto& mount : mounts_) out.push_back(mount.prefix);
+  return out;
+}
+
+}  // namespace ibox

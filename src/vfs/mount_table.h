@@ -1,0 +1,51 @@
+// Mount table: maps box-absolute path prefixes to drivers.
+//
+// Parrot attaches filesystem-like services at path prefixes — e.g. files on
+// a Chirp server appear under /chirp/<host>/<path> (paper section 4). The
+// longest matching prefix wins; "/" always resolves to the default (local)
+// driver.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "vfs/driver.h"
+
+namespace ibox {
+
+struct MountResolution {
+  Driver* driver = nullptr;
+  std::string driver_path;  // path within the driver's namespace
+  std::string mount_point;  // where the driver is mounted
+};
+
+class MountTable {
+ public:
+  // The default driver serves "/". The table keeps non-owning pointers
+  // alongside owned drivers so callers may register either.
+  explicit MountTable(std::unique_ptr<Driver> root_driver);
+
+  // Mounts a driver at an absolute prefix (e.g. "/chirp/localhost:9123").
+  // Longest prefix wins at resolution. EEXIST on duplicate mount points.
+  Status mount(const std::string& prefix, std::unique_ptr<Driver> driver);
+
+  // Resolves a cleaned box-absolute path.
+  MountResolution resolve(const std::string& box_path) const;
+
+  // The root (local) driver, for callers that need driver-specific setup.
+  Driver* root_driver() const { return root_.get(); }
+
+  std::vector<std::string> mount_points() const;
+
+ private:
+  struct Mount {
+    std::string prefix;
+    std::unique_ptr<Driver> driver;
+  };
+  std::unique_ptr<Driver> root_;
+  std::vector<Mount> mounts_;  // sorted by descending prefix length
+};
+
+}  // namespace ibox

@@ -1,0 +1,47 @@
+// Common VFS value types shared by drivers, the sandbox supervisor, and the
+// Chirp server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ibox {
+
+// Subset of struct stat the box exposes to visiting processes. uid/gid are
+// deliberately absent from the driver interface: inside an identity box,
+// ownership is expressed by ACL identities, not numeric ids; the supervisor
+// substitutes its own uid where the ABI demands a number.
+struct VfsStat {
+  uint64_t size = 0;
+  uint32_t mode = 0;       // POSIX mode bits incl. file type
+  uint64_t inode = 0;
+  uint64_t mtime_sec = 0;
+  uint64_t atime_sec = 0;
+  uint64_t ctime_sec = 0;
+  uint32_t nlink = 1;
+  uint64_t blocks = 0;
+
+  bool is_dir() const { return (mode & 0170000) == 0040000; }
+  bool is_regular() const { return (mode & 0170000) == 0100000; }
+  bool is_symlink() const { return (mode & 0170000) == 0120000; }
+};
+
+struct DirEntry {
+  std::string name;
+  bool is_dir = false;
+};
+
+// Access kinds a driver is asked to authorize. These map one-to-one onto
+// ACL rights; drivers translate them to Unix fallback checks when the
+// directory is ungoverned.
+enum class Access : uint8_t {
+  kRead,
+  kWrite,
+  kList,
+  kDelete,
+  kAdmin,
+  kExecute,
+};
+
+}  // namespace ibox

@@ -1,0 +1,120 @@
+#include "vfs/vfs.h"
+
+#include "util/path.h"
+
+namespace ibox {
+
+Vfs::Vfs(Identity identity, std::unique_ptr<MountTable> mounts)
+    : identity_(std::move(identity)), mounts_(std::move(mounts)) {}
+
+void Vfs::add_redirect(const std::string& from, const std::string& to) {
+  redirects_[path_clean(from)] = path_clean(to);
+}
+
+std::string Vfs::apply_redirects(const std::string& box_path) const {
+  std::string clean = path_clean(box_path);
+  auto it = redirects_.find(clean);
+  return it == redirects_.end() ? clean : it->second;
+}
+
+MountResolution Vfs::locate(const std::string& path) const {
+  return mounts_->resolve(apply_redirects(path));
+}
+
+Result<std::unique_ptr<FileHandle>> Vfs::open(const std::string& path,
+                                              int flags, int mode) {
+  auto at = locate(path);
+  return at.driver->open(identity_, at.driver_path, flags, mode);
+}
+
+Result<VfsStat> Vfs::stat(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->stat(identity_, at.driver_path);
+}
+
+Result<VfsStat> Vfs::lstat(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->lstat(identity_, at.driver_path);
+}
+
+Status Vfs::mkdir(const std::string& path, int mode) {
+  auto at = locate(path);
+  return at.driver->mkdir(identity_, at.driver_path, mode);
+}
+
+Status Vfs::rmdir(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->rmdir(identity_, at.driver_path);
+}
+
+Status Vfs::unlink(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->unlink(identity_, at.driver_path);
+}
+
+Status Vfs::rename(const std::string& from, const std::string& to) {
+  auto src = locate(from);
+  auto dst = locate(to);
+  if (src.driver != dst.driver) return Status::Errno(EXDEV);
+  return src.driver->rename(identity_, src.driver_path, dst.driver_path);
+}
+
+Result<std::vector<DirEntry>> Vfs::readdir(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->readdir(identity_, at.driver_path);
+}
+
+Status Vfs::symlink(const std::string& target, const std::string& linkpath) {
+  auto at = locate(linkpath);
+  return at.driver->symlink(identity_, target, at.driver_path);
+}
+
+Result<std::string> Vfs::readlink(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->readlink(identity_, at.driver_path);
+}
+
+Status Vfs::link(const std::string& oldpath, const std::string& newpath) {
+  auto src = locate(oldpath);
+  auto dst = locate(newpath);
+  if (src.driver != dst.driver) return Status::Errno(EXDEV);
+  return src.driver->link(identity_, src.driver_path, dst.driver_path);
+}
+
+Status Vfs::truncate(const std::string& path, uint64_t length) {
+  auto at = locate(path);
+  return at.driver->truncate(identity_, at.driver_path, length);
+}
+
+Status Vfs::utime(const std::string& path, uint64_t atime, uint64_t mtime) {
+  auto at = locate(path);
+  return at.driver->utime(identity_, at.driver_path, atime, mtime);
+}
+
+Status Vfs::chmod(const std::string& path, int mode) {
+  auto at = locate(path);
+  return at.driver->chmod(identity_, at.driver_path, mode);
+}
+
+Status Vfs::access(const std::string& path, Access wanted) {
+  auto at = locate(path);
+  return at.driver->access(identity_, at.driver_path, wanted);
+}
+
+Result<std::string> Vfs::getacl(const std::string& path) {
+  auto at = locate(path);
+  return at.driver->getacl(identity_, at.driver_path);
+}
+
+Status Vfs::setacl(const std::string& path, const std::string& subject,
+                   const std::string& rights) {
+  auto at = locate(path);
+  return at.driver->setacl(identity_, at.driver_path, subject, rights);
+}
+
+bool Vfs::is_directory(const std::string& path) {
+  auto st = stat(path);
+  return st.ok() && st->is_dir();
+}
+
+}  // namespace ibox

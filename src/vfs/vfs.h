@@ -1,0 +1,71 @@
+// Vfs: the per-box filesystem facade.
+//
+// Binds together (1) the visiting identity, (2) the mount table, and
+// (3) exact-path redirects. Redirects implement the paper's /etc/passwd
+// trick: "creating a private copy of the /etc/passwd file, adding an entry
+// at the top corresponding to the visiting identity, and then redirecting
+// all accesses to /etc/passwd to that copy."
+//
+// All paths are box-absolute; callers (the supervisor's process table, the
+// Chirp server) resolve cwd-relative paths before calling in.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "identity/identity.h"
+#include "util/result.h"
+#include "vfs/mount_table.h"
+
+namespace ibox {
+
+class Vfs {
+ public:
+  Vfs(Identity identity, std::unique_ptr<MountTable> mounts);
+
+  const Identity& identity() const { return identity_; }
+  MountTable& mounts() { return *mounts_; }
+
+  // Exact-path redirect applied before mount resolution.
+  void add_redirect(const std::string& from, const std::string& to);
+  std::string apply_redirects(const std::string& box_path) const;
+
+  Result<std::unique_ptr<FileHandle>> open(const std::string& path, int flags,
+                                           int mode);
+  Result<VfsStat> stat(const std::string& path);
+  Result<VfsStat> lstat(const std::string& path);
+  Status mkdir(const std::string& path, int mode);
+  Status rmdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<std::vector<DirEntry>> readdir(const std::string& path);
+  Status symlink(const std::string& target, const std::string& linkpath);
+  Result<std::string> readlink(const std::string& path);
+  Status link(const std::string& oldpath, const std::string& newpath);
+  Status truncate(const std::string& path, uint64_t length);
+  Status utime(const std::string& path, uint64_t atime, uint64_t mtime);
+  Status chmod(const std::string& path, int mode);
+  Status access(const std::string& path, Access wanted);
+  Result<std::string> getacl(const std::string& path);
+  Status setacl(const std::string& path, const std::string& subject,
+                const std::string& rights);
+
+  // True if `path` names an existing directory (used for chdir).
+  bool is_directory(const std::string& path);
+
+  // Which mount serves this path (after redirects). Used by the exec path
+  // to distinguish local programs from ones that must be fetched first.
+  MountResolution resolve_mount(const std::string& path) const {
+    return locate(path);
+  }
+
+ private:
+  MountResolution locate(const std::string& path) const;
+
+  Identity identity_;
+  std::unique_ptr<MountTable> mounts_;
+  std::map<std::string, std::string> redirects_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,88 @@
+// helper_threads — a multi-threaded test child run inside identity boxes.
+//
+// Exercises CLONE_VM|CLONE_FILES handling in the supervisor: threads share
+// the boxed descriptor table, so writes through a descriptor opened by one
+// thread and used by four must serialize correctly through the supervisor.
+//
+//   helper_threads <workdir>
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace {
+
+struct WorkerArgs {
+  int fd;
+  int index;
+};
+
+void* worker(void* raw) {
+  auto* args = static_cast<WorkerArgs*>(raw);
+  // Each worker writes 64 records of 16 bytes at its own offsets.
+  char record[17];
+  for (int i = 0; i < 64; ++i) {
+    std::snprintf(record, sizeof(record), "t%02dr%03d----------", args->index,
+                  i);
+    const off_t offset = (args->index * 64 + i) * 16;
+    if (::pwrite(args->fd, record, 16, offset) != 16) {
+      return reinterpret_cast<void*>(1);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return 2;
+  const std::string path = std::string(argv[1]) + "/threads.bin";
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::perror("open");
+    return 1;
+  }
+
+  constexpr int kThreads = 4;
+  pthread_t threads[kThreads];
+  WorkerArgs args[kThreads];
+  for (int i = 0; i < kThreads; ++i) {
+    args[i] = WorkerArgs{fd, i};
+    if (::pthread_create(&threads[i], nullptr, worker, &args[i]) != 0) {
+      return 1;
+    }
+  }
+  bool ok = true;
+  for (auto& thread : threads) {
+    void* result = nullptr;
+    ::pthread_join(thread, &result);
+    if (result != nullptr) ok = false;
+  }
+  if (!ok) {
+    std::printf("FAIL worker\n");
+    return 1;
+  }
+
+  // Verify every record landed intact.
+  char buf[17] = {0};
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 64; ++i) {
+      if (::pread(fd, buf, 16, (t * 64 + i) * 16) != 16) {
+        std::printf("FAIL pread\n");
+        return 1;
+      }
+      char expect[17];
+      std::snprintf(expect, sizeof(expect), "t%02dr%03d----------", t, i);
+      if (std::memcmp(buf, expect, 16) != 0) {
+        std::printf("FAIL record t%d i%d got %.16s\n", t, i, buf);
+        return 1;
+      }
+    }
+  }
+  ::close(fd);
+  std::printf("threads-ok %d records %d\n", kThreads, kThreads * 64);
+  return 0;
+}

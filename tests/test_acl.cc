@@ -1,0 +1,144 @@
+#include "acl/acl.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+Rights rp(const std::string& text) { return *Rights::Parse(text); }
+SubjectPattern sp(const std::string& text) {
+  return *SubjectPattern::Parse(text);
+}
+
+// The ACL from paper section 3.
+constexpr const char* kPaperAcl =
+    "/O=UnivNowhere/CN=Fred   rwlax\n"
+    "/O=UnivNowhere/*         rl\n";
+
+TEST(Acl, PaperExample) {
+  auto acl = Acl::Parse(kPaperAcl);
+  ASSERT_TRUE(acl.ok());
+  ASSERT_EQ(acl->size(), 2u);
+
+  // Fred matches both entries; rights are the union.
+  Rights fred = acl->rights_for(id("/O=UnivNowhere/CN=Fred"));
+  EXPECT_TRUE(fred.can_read());
+  EXPECT_TRUE(fred.can_write());
+  EXPECT_TRUE(fred.can_admin());
+
+  // Another UnivNowhere user only gets read+list via the wildcard.
+  Rights other = acl->rights_for(id("/O=UnivNowhere/CN=George"));
+  EXPECT_TRUE(other.can_read());
+  EXPECT_TRUE(other.can_list());
+  EXPECT_FALSE(other.can_write());
+
+  // Outsiders get nothing.
+  EXPECT_TRUE(acl->rights_for(id("/O=Elsewhere/CN=Eve")).empty());
+}
+
+TEST(Acl, Section4RootExample) {
+  auto acl = Acl::Parse(
+      "hostname:*.nowhere.edu   rlx\n"
+      "globus:/O=UnivNowhere/*  rwlx\n");
+  ASSERT_TRUE(acl.ok());
+  // Hosts in the domain may run existing programs...
+  Rights host = acl->rights_for(id("hostname:node7.nowhere.edu"));
+  EXPECT_TRUE(host.can_execute());
+  EXPECT_FALSE(host.can_write());
+  // ...certificate holders may stage in and run anything.
+  Rights fred = acl->rights_for(id("globus:/O=UnivNowhere/CN=Fred"));
+  EXPECT_TRUE(fred.can_write());
+  EXPECT_TRUE(fred.can_execute());
+}
+
+TEST(Acl, CommentsAndBlanksIgnored) {
+  auto acl = Acl::Parse(
+      "# this is a comment\n"
+      "\n"
+      "   \n"
+      "Freddy rwlax\n"
+      "# trailing comment\n");
+  ASSERT_TRUE(acl.ok());
+  EXPECT_EQ(acl->size(), 1u);
+}
+
+TEST(Acl, MalformedFailsClosed) {
+  EXPECT_EQ(Acl::Parse("Freddy").error_code(), EBADMSG);
+  EXPECT_EQ(Acl::Parse("Freddy rwl extra").error_code(), EBADMSG);
+  EXPECT_EQ(Acl::Parse("Freddy rwz").error_code(), EBADMSG);
+  EXPECT_EQ(Acl::Parse("#ok\nFreddy rwz\n").error_code(), EBADMSG);
+}
+
+TEST(Acl, Allows) {
+  auto acl = *Acl::Parse(kPaperAcl);
+  EXPECT_TRUE(acl.allows(id("/O=UnivNowhere/CN=Fred"), rp("rwlax")));
+  EXPECT_TRUE(acl.allows(id("/O=UnivNowhere/CN=George"), rp("rl")));
+  EXPECT_FALSE(acl.allows(id("/O=UnivNowhere/CN=George"), rp("w")));
+  EXPECT_FALSE(acl.allows(id("nobody"), rp("r")));
+}
+
+TEST(Acl, SetEntryReplacesOrAppends) {
+  Acl acl;
+  acl.set_entry(sp("Freddy"), rp("rl"));
+  acl.set_entry(sp("George"), rp("r"));
+  EXPECT_EQ(acl.size(), 2u);
+  acl.set_entry(sp("Freddy"), rp("rwlax"));
+  EXPECT_EQ(acl.size(), 2u);
+  EXPECT_TRUE(acl.rights_for(id("Freddy")).can_admin());
+}
+
+TEST(Acl, SetEmptyRightsRemoves) {
+  Acl acl;
+  acl.set_entry(sp("Freddy"), rp("rl"));
+  acl.set_entry(sp("Freddy"), Rights());
+  EXPECT_TRUE(acl.empty());
+}
+
+TEST(Acl, RemoveEntry) {
+  Acl acl;
+  acl.set_entry(sp("Freddy"), rp("rl"));
+  EXPECT_TRUE(acl.remove_entry("Freddy"));
+  EXPECT_FALSE(acl.remove_entry("Freddy"));
+  EXPECT_TRUE(acl.empty());
+}
+
+TEST(Acl, EntryForSubjectIsExactTextNotMatch) {
+  auto acl = *Acl::Parse(kPaperAcl);
+  EXPECT_TRUE(acl.entry_for_subject("/O=UnivNowhere/*").has_value());
+  // Lookup is by subject text, not pattern evaluation.
+  EXPECT_FALSE(acl.entry_for_subject("/O=UnivNowhere/CN=George").has_value());
+}
+
+TEST(Acl, ForReservedDir) {
+  // After Fred mkdirs under "globus:/O=UnivNowhere/*  v(rwlax)", /work has
+  // exactly one entry: Fred with rwlax (paper section 4).
+  Acl acl = Acl::ForReservedDir(id("globus:/O=UnivNowhere/CN=Fred"),
+                                rp("rwlax"));
+  ASSERT_EQ(acl.size(), 1u);
+  EXPECT_EQ(acl.entries()[0].subject.str(), "globus:/O=UnivNowhere/CN=Fred");
+  EXPECT_TRUE(acl.rights_for(id("globus:/O=UnivNowhere/CN=Fred")).can_admin());
+  EXPECT_TRUE(acl.rights_for(id("globus:/O=UnivNowhere/CN=George")).empty());
+}
+
+// Property: str() round-trips through Parse for assorted ACLs.
+class AclRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AclRoundTrip, FormatParseIdentity) {
+  auto acl = Acl::Parse(GetParam());
+  ASSERT_TRUE(acl.ok());
+  auto again = Acl::Parse(acl->str());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*acl, *again);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AclRoundTrip,
+    ::testing::Values(kPaperAcl, "",
+                      "hostname:*.nowhere.edu rlx\nglobus:/O=UnivNowhere/* v(rwlax)\n",
+                      "a r\nb w\nc l\nd x\ne rwldax\n",
+                      "unix:dthain rwldaxv(rwlaxv)\n",
+                      "# only a comment\n"));
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,216 @@
+#include "acl/acl_store.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include "util/fs.h"
+#include "util/path.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+Rights rp(const std::string& text) { return *Rights::Parse(text); }
+SubjectPattern sp(const std::string& text) {
+  return *SubjectPattern::Parse(text);
+}
+
+class AclStoreTest : public ::testing::Test {
+ protected:
+  AclStoreTest() : tmp_("aclstore"), store_(tmp_.path()) {}
+
+  void stamp(const std::string& dir, const std::string& acl_text) {
+    auto acl = Acl::Parse(acl_text);
+    ASSERT_TRUE(acl.ok());
+    ASSERT_TRUE(store_.store(dir, *acl).ok());
+  }
+
+  TempDir tmp_;
+  AclStore store_;
+};
+
+TEST_F(AclStoreTest, LoadAbsentIsNullopt) {
+  auto acl = store_.load(tmp_.path());
+  ASSERT_TRUE(acl.ok());
+  EXPECT_FALSE(acl->has_value());
+}
+
+TEST_F(AclStoreTest, StoreAndLoad) {
+  stamp(tmp_.path(), "Freddy rwlax\n");
+  auto acl = store_.load(tmp_.path());
+  ASSERT_TRUE(acl.ok());
+  ASSERT_TRUE(acl->has_value());
+  EXPECT_TRUE((*acl)->rights_for(id("Freddy")).can_admin());
+}
+
+TEST_F(AclStoreTest, MalformedAclFailsClosed) {
+  ASSERT_TRUE(
+      write_file(store_.acl_file_path(tmp_.path()), "garbage line here\n")
+          .ok());
+  EXPECT_EQ(store_.load(tmp_.path()).error_code(), EBADMSG);
+  EXPECT_EQ(store_.rights_in(tmp_.path(), id("Freddy")).error_code(),
+            EBADMSG);
+}
+
+TEST_F(AclStoreTest, RightsInWithAndWithoutAcl) {
+  stamp(tmp_.path(), "Freddy rl\n");
+  auto rights = store_.rights_in(tmp_.path(), id("Freddy"));
+  ASSERT_TRUE(rights.ok());
+  ASSERT_TRUE(rights->has_value());
+  EXPECT_TRUE((*rights)->can_list());
+
+  ASSERT_TRUE(make_dirs(tmp_.sub("bare")).ok());
+  auto none = store_.rights_in(tmp_.sub("bare"), id("Freddy"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());  // fallback territory
+}
+
+TEST_F(AclStoreTest, PathsOutsideRootRejected) {
+  EXPECT_EQ(store_.load("/etc").error_code(), EPERM);
+  EXPECT_EQ(store_.store("/etc", Acl()).error_code(), EPERM);
+  // Lexical escape attempts are cleaned then rejected.
+  EXPECT_EQ(store_.load(tmp_.path() + "/../outside").error_code(), EPERM);
+}
+
+TEST_F(AclStoreTest, MkdirWithWriteInheritsParentAcl) {
+  stamp(tmp_.path(), "Freddy rwlax\nGeorge rl\n");
+  ASSERT_TRUE(store_.make_dir(tmp_.path(), "data", id("Freddy")).ok());
+  auto child_acl = store_.load(tmp_.sub("data"));
+  ASSERT_TRUE(child_acl.ok() && child_acl->has_value());
+  // "Newly-created directories inherit the parent ACL."
+  EXPECT_TRUE((*child_acl)->rights_for(id("George")).can_read());
+  EXPECT_TRUE((*child_acl)->rights_for(id("Freddy")).can_write());
+}
+
+TEST_F(AclStoreTest, MkdirWithReserveCreatesFreshAcl) {
+  // The /work example from paper section 4.
+  stamp(tmp_.path(),
+        "hostname:*.nowhere.edu   rlx\n"
+        "globus:/O=UnivNowhere/*  v(rwlax)\n");
+  const Identity fred = id("globus:/O=UnivNowhere/CN=Fred");
+  ASSERT_TRUE(store_.make_dir(tmp_.path(), "work", fred).ok());
+
+  auto acl = store_.load(tmp_.sub("work"));
+  ASSERT_TRUE(acl.ok() && acl->has_value());
+  ASSERT_EQ((*acl)->size(), 1u);
+  EXPECT_EQ((*acl)->entries()[0].subject.str(), fred.str());
+  EXPECT_TRUE((*acl)->rights_for(fred).can_admin());
+  // The wildcard population does NOT share Fred's new namespace.
+  EXPECT_TRUE(
+      (*acl)->rights_for(id("globus:/O=UnivNowhere/CN=George")).empty());
+  // Hosts that only had rlx cannot mkdir at all.
+  EXPECT_EQ(store_
+                .make_dir(tmp_.path(), "work2",
+                          id("hostname:laptop.nowhere.edu"))
+                .error_code(),
+            EACCES);
+}
+
+TEST_F(AclStoreTest, MkdirDeniedWithoutWriteOrReserve) {
+  stamp(tmp_.path(), "Freddy rl\n");
+  EXPECT_EQ(store_.make_dir(tmp_.path(), "d", id("Freddy")).error_code(),
+            EACCES);
+  EXPECT_EQ(store_.make_dir(tmp_.path(), "d", id("Nobody")).error_code(),
+            EACCES);
+}
+
+TEST_F(AclStoreTest, MkdirOnUngovernedParentDenied) {
+  ASSERT_TRUE(make_dirs(tmp_.sub("bare")).ok());
+  EXPECT_EQ(store_.make_dir(tmp_.sub("bare"), "d", id("Freddy")).error_code(),
+            EACCES);
+}
+
+TEST_F(AclStoreTest, MkdirExistingIsEexist) {
+  stamp(tmp_.path(), "Freddy rwlax\n");
+  ASSERT_TRUE(store_.make_dir(tmp_.path(), "dup", id("Freddy")).ok());
+  EXPECT_EQ(store_.make_dir(tmp_.path(), "dup", id("Freddy")).error_code(),
+            EEXIST);
+}
+
+TEST_F(AclStoreTest, MkdirRejectsBadNames) {
+  stamp(tmp_.path(), "Freddy rwlax\n");
+  for (const char* bad : {"", ".", "..", "a/b", ".__acl"}) {
+    EXPECT_EQ(store_.make_dir(tmp_.path(), bad, id("Freddy")).error_code(),
+              EINVAL)
+        << bad;
+  }
+}
+
+TEST_F(AclStoreTest, RecursiveReserveChainsDownward) {
+  stamp(tmp_.path(), "Freddy v(rwlaxv)\n");
+  ASSERT_TRUE(store_.make_dir(tmp_.path(), "l1", id("Freddy")).ok());
+  // The fresh ACL carries the v right, so Freddy can reserve again below.
+  ASSERT_TRUE(store_.make_dir(tmp_.sub("l1"), "l2", id("Freddy")).ok());
+  auto acl = store_.load(tmp_.sub("l1/l2"));
+  ASSERT_TRUE(acl.ok() && acl->has_value());
+  EXPECT_TRUE((*acl)->rights_for(id("Freddy")).can_write());
+}
+
+TEST_F(AclStoreTest, SetEntryRequiresAdmin) {
+  stamp(tmp_.path(), "Freddy rwlax\nGeorge rl\n");
+  // George lacks `a`.
+  EXPECT_EQ(store_
+                .set_entry(tmp_.path(), id("George"), sp("George"),
+                           rp("rwlax"))
+                .error_code(),
+            EACCES);
+  // Freddy can grant George write access (the sharing story, section 4).
+  ASSERT_TRUE(
+      store_.set_entry(tmp_.path(), id("Freddy"), sp("George"), rp("rwl"))
+          .ok());
+  auto rights = store_.rights_in(tmp_.path(), id("George"));
+  ASSERT_TRUE(rights.ok() && rights->has_value());
+  EXPECT_TRUE((*rights)->can_write());
+}
+
+TEST_F(AclStoreTest, SetEntryEmptyRemoves) {
+  stamp(tmp_.path(), "Freddy rwlax\nGeorge rl\n");
+  ASSERT_TRUE(
+      store_.set_entry(tmp_.path(), id("Freddy"), sp("George"), Rights())
+          .ok());
+  auto acl = store_.load(tmp_.path());
+  ASSERT_TRUE(acl.ok() && acl->has_value());
+  EXPECT_EQ((*acl)->size(), 1u);
+}
+
+TEST_F(AclStoreTest, SetEntryOnUngovernedDirDenied) {
+  ASSERT_TRUE(make_dirs(tmp_.sub("bare")).ok());
+  EXPECT_EQ(store_
+                .set_entry(tmp_.sub("bare"), id("Freddy"), sp("Freddy"),
+                           rp("r"))
+                .error_code(),
+            EACCES);
+}
+
+TEST(UnixFallback, DirRights) {
+  Rights open_dir = unix_other_dir_rights(0755);
+  EXPECT_TRUE(open_dir.can_list());
+  EXPECT_TRUE(open_dir.can_execute());
+  EXPECT_FALSE(open_dir.can_write());
+
+  Rights closed_dir = unix_other_dir_rights(0700);
+  EXPECT_TRUE(closed_dir.empty());
+
+  Rights world_writable = unix_other_dir_rights(0777);
+  EXPECT_TRUE(world_writable.can_write());
+  EXPECT_TRUE(world_writable.can_delete());
+}
+
+TEST(UnixFallback, FileChecks) {
+  EXPECT_TRUE(unix_other_file_allows(0644, 'r'));
+  EXPECT_FALSE(unix_other_file_allows(0640, 'r'));  // the "secret" file
+  EXPECT_FALSE(unix_other_file_allows(0644, 'w'));
+  EXPECT_TRUE(unix_other_file_allows(0666, 'w'));
+  EXPECT_TRUE(unix_other_file_allows(0755, 'x'));
+  EXPECT_FALSE(unix_other_file_allows(0754, 'x'));
+  EXPECT_FALSE(unix_other_file_allows(0644, 'q'));
+}
+
+TEST(AclStoreMisc, IsAclFileName) {
+  EXPECT_TRUE(AclStore::is_acl_file_name(".__acl"));
+  EXPECT_FALSE(AclStore::is_acl_file_name("acl"));
+  EXPECT_FALSE(AclStore::is_acl_file_name(".__acl2"));
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,277 @@
+#include "auth/auth.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "auth/sim_gsi.h"
+#include "auth/sim_kerberos.h"
+#include "auth/simple.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+constexpr int64_t kNow = 1800000000;
+int64_t fixed_clock() { return kNow; }
+
+// Runs client and server halves concurrently over an in-memory channel.
+struct HandshakeResult {
+  Status client = Status::Ok();
+  Result<Identity> server = Error(EIO);
+};
+
+HandshakeResult run_handshake(
+    const std::vector<const ClientCredential*>& creds,
+    const std::vector<const ServerVerifier*>& verifiers) {
+  auto pair = make_channel_pair();
+  HandshakeResult result;
+  std::thread client_thread([&] {
+    result.client = authenticate_client(*pair.a, creds);
+  });
+  result.server = authenticate_server(*pair.b, verifiers);
+  client_thread.join();
+  return result;
+}
+
+// ---------------------------------------------------------------- SimGSI --
+
+class GsiTest : public ::testing::Test {
+ protected:
+  GsiTest()
+      : ca_("UnivNowhereCA", "ca-secret-0001"),
+        fred_(ca_.issue("/O=UnivNowhere/CN=Fred", 3600, kNow)) {
+    trust_.trust(ca_.name(), ca_.verification_secret());
+  }
+  CertificateAuthority ca_;
+  GsiUserCredentialData fred_;
+  GsiTrustStore trust_;
+};
+
+TEST_F(GsiTest, CertificateSerializationRoundTrip) {
+  auto back = GsiCertificate::Deserialize(fred_.certificate.serialize());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->subject, fred_.certificate.subject);
+  EXPECT_EQ(back->issuer, fred_.certificate.issuer);
+  EXPECT_EQ(back->expires_at, fred_.certificate.expires_at);
+  EXPECT_EQ(back->signature, fred_.certificate.signature);
+}
+
+TEST_F(GsiTest, SerializationEscapesDelimiters) {
+  auto odd = ca_.issue("/O=We|rd%Org/CN=X", 3600, kNow);
+  auto back = GsiCertificate::Deserialize(odd.certificate.serialize());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->subject, "/O=We|rd%Org/CN=X");
+}
+
+TEST_F(GsiTest, TrustStoreValidates) {
+  auto subject = trust_.validate(fred_.certificate, kNow);
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(*subject, "/O=UnivNowhere/CN=Fred");
+}
+
+TEST_F(GsiTest, UntrustedIssuerRejected) {
+  CertificateAuthority rogue("RogueCA", "rogue-secret");
+  auto eve = rogue.issue("/O=UnivNowhere/CN=Fred", 3600, kNow);
+  EXPECT_EQ(trust_.validate(eve.certificate, kNow).error_code(),
+            EKEYREJECTED);
+}
+
+TEST_F(GsiTest, TamperedCertificateRejected) {
+  GsiCertificate forged = fred_.certificate;
+  forged.subject = "/O=UnivNowhere/CN=Mallory";  // signature now stale
+  EXPECT_EQ(trust_.validate(forged, kNow).error_code(), EKEYREJECTED);
+}
+
+TEST_F(GsiTest, ExpiredCertificateRejected) {
+  EXPECT_EQ(trust_.validate(fred_.certificate, kNow + 7200).error_code(),
+            EKEYEXPIRED);
+}
+
+TEST_F(GsiTest, FullHandshakeYieldsPrincipal) {
+  GsiCredential cred(fred_);
+  GsiVerifier verifier(trust_, &fixed_clock);
+  auto result = run_handshake({&cred}, {&verifier});
+  ASSERT_TRUE(result.client.ok()) << result.client.message();
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_EQ(result.server->str(), "globus:/O=UnivNowhere/CN=Fred");
+}
+
+TEST_F(GsiTest, WrongKeyFailsChallenge) {
+  GsiUserCredentialData stolen = fred_;
+  stolen.private_key = "0000000000000000";  // certificate without the key
+  GsiCredential cred(stolen);
+  GsiVerifier verifier(trust_, &fixed_clock);
+  auto result = run_handshake({&cred}, {&verifier});
+  EXPECT_FALSE(result.client.ok());
+  EXPECT_EQ(result.server.error_code(), EACCES);
+}
+
+// ------------------------------------------------------------- Kerberos --
+
+class KerberosTest : public ::testing::Test {
+ protected:
+  KerberosTest() : kdc_("NOWHERE.EDU", "service-secret-7") {
+    kdc_.add_user("fred", "fredpw");
+  }
+  Kdc kdc_;
+};
+
+TEST_F(KerberosTest, KdcChecksPassword) {
+  EXPECT_TRUE(kdc_.issue("fred", "fredpw", 3600, kNow).ok());
+  EXPECT_EQ(kdc_.issue("fred", "wrong", 3600, kNow).error_code(), EACCES);
+  EXPECT_EQ(kdc_.issue("ghost", "x", 3600, kNow).error_code(), EACCES);
+}
+
+TEST_F(KerberosTest, TicketRoundTrip) {
+  auto ticket = kdc_.issue("fred", "fredpw", 3600, kNow);
+  ASSERT_TRUE(ticket.ok());
+  auto back = KerberosTicket::Deserialize(ticket->ticket.serialize());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->client, "fred");
+  EXPECT_EQ(back->realm, "NOWHERE.EDU");
+}
+
+TEST_F(KerberosTest, FullHandshakeYieldsPrincipal) {
+  auto ticket = kdc_.issue("fred", "fredpw", 3600, kNow);
+  ASSERT_TRUE(ticket.ok());
+  KerberosCredential cred(*ticket);
+  KerberosVerifier verifier("NOWHERE.EDU", kdc_.service_secret(),
+                            &fixed_clock);
+  auto result = run_handshake({&cred}, {&verifier});
+  ASSERT_TRUE(result.client.ok());
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_EQ(result.server->str(), "kerberos:fred@NOWHERE.EDU");
+}
+
+TEST_F(KerberosTest, ExpiredTicketRejected) {
+  auto ticket = kdc_.issue("fred", "fredpw", 1, kNow - 100);
+  ASSERT_TRUE(ticket.ok());
+  KerberosCredential cred(*ticket);
+  KerberosVerifier verifier("NOWHERE.EDU", kdc_.service_secret(),
+                            &fixed_clock);
+  auto result = run_handshake({&cred}, {&verifier});
+  EXPECT_EQ(result.server.error_code(), EKEYEXPIRED);
+}
+
+TEST_F(KerberosTest, WrongRealmRejected) {
+  auto ticket = kdc_.issue("fred", "fredpw", 3600, kNow);
+  ASSERT_TRUE(ticket.ok());
+  KerberosCredential cred(*ticket);
+  KerberosVerifier verifier("ELSEWHERE.ORG", kdc_.service_secret(),
+                            &fixed_clock);
+  auto result = run_handshake({&cred}, {&verifier});
+  EXPECT_EQ(result.server.error_code(), EKEYREJECTED);
+}
+
+TEST_F(KerberosTest, ForgedTicketRejected) {
+  auto ticket = kdc_.issue("fred", "fredpw", 3600, kNow);
+  ASSERT_TRUE(ticket.ok());
+  ticket->ticket.client = "root";  // MAC no longer covers the fields
+  KerberosCredential cred(*ticket);
+  KerberosVerifier verifier("NOWHERE.EDU", kdc_.service_secret(),
+                            &fixed_clock);
+  auto result = run_handshake({&cred}, {&verifier});
+  EXPECT_EQ(result.server.error_code(), EKEYREJECTED);
+}
+
+// ------------------------------------------------------------- Hostname --
+
+TEST(HostnameAuth, ResolvesPeerAddress) {
+  HostResolver resolver = [](const std::string& addr)
+      -> std::optional<std::string> {
+    if (addr == "10.0.0.7") return "laptop.cs.nowhere.edu";
+    return std::nullopt;
+  };
+  HostnameCredential cred;
+  HostnameVerifier verifier("10.0.0.7", resolver);
+  auto result = run_handshake({&cred}, {&verifier});
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_EQ(result.server->str(), "hostname:laptop.cs.nowhere.edu");
+}
+
+TEST(HostnameAuth, UnresolvableFails) {
+  HostResolver resolver = [](const std::string&)
+      -> std::optional<std::string> { return std::nullopt; };
+  HostnameCredential cred;
+  HostnameVerifier verifier("203.0.113.9", resolver);
+  auto result = run_handshake({&cred}, {&verifier});
+  EXPECT_EQ(result.server.error_code(), EHOSTUNREACH);
+}
+
+// ----------------------------------------------------------------- Unix --
+
+TEST(UnixAuth, ChallengeFileProvesAccount) {
+  TempDir tmp("unixauth");
+  UnixCredential cred(current_unix_username());
+  UnixVerifier verifier(tmp.path());
+  auto result = run_handshake({&cred}, {&verifier});
+  ASSERT_TRUE(result.client.ok()) << result.client.message();
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_EQ(result.server->str(), "unix:" + current_unix_username());
+}
+
+TEST(UnixAuth, WrongClaimRejected) {
+  TempDir tmp("unixauth");
+  UnixCredential cred("not-this-user");
+  UnixVerifier verifier(tmp.path());
+  auto result = run_handshake({&cred}, {&verifier});
+  EXPECT_EQ(result.server.error_code(), EACCES);
+}
+
+// ------------------------------------------------------------ Negotiate --
+
+TEST(Negotiation, ServerHonorsClientPreferenceOrder) {
+  TempDir tmp("negotiate");
+  CertificateAuthority ca("CA", "s");
+  GsiTrustStore trust;
+  trust.trust("CA", "s");
+  auto fred = ca.issue("/CN=Fred", 3600, kNow);
+  GsiCredential gsi_cred(fred);
+  UnixCredential unix_cred(current_unix_username());
+  GsiVerifier gsi_verifier(trust, &fixed_clock);
+  UnixVerifier unix_verifier(tmp.path());
+
+  // Client prefers unix; server supports both; unix wins.
+  auto result = run_handshake({&unix_cred, &gsi_cred},
+                              {&gsi_verifier, &unix_verifier});
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_EQ(result.server->method(), AuthMethod::kUnix);
+
+  // Client prefers gsi: gsi wins.
+  auto result2 = run_handshake({&gsi_cred, &unix_cred},
+                               {&gsi_verifier, &unix_verifier});
+  ASSERT_TRUE(result2.server.ok());
+  EXPECT_EQ(result2.server->str(), "globus:/CN=Fred");
+}
+
+TEST(Negotiation, NoCommonMethodFails) {
+  CertificateAuthority ca("CA", "s");
+  auto fred = ca.issue("/CN=Fred", 3600, kNow);
+  GsiCredential gsi_cred(fred);
+  TempDir tmp("negotiate");
+  UnixVerifier unix_verifier(tmp.path());
+  auto result = run_handshake({&gsi_cred}, {&unix_verifier});
+  EXPECT_EQ(result.server.error_code(), EPROTO);
+  EXPECT_FALSE(result.client.ok());
+}
+
+TEST(Negotiation, FallsPastUnverifiableMethod) {
+  // Client offers kerberos then unix; server only verifies unix.
+  TempDir tmp("negotiate");
+  Kdc kdc("R", "s");
+  kdc.add_user("u", "p");
+  auto ticket = kdc.issue("u", "p", 3600, kNow);
+  ASSERT_TRUE(ticket.ok());
+  KerberosCredential krb_cred(*ticket);
+  UnixCredential unix_cred(current_unix_username());
+  UnixVerifier unix_verifier(tmp.path());
+  auto result =
+      run_handshake({&krb_cred, &unix_cred}, {&unix_verifier});
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_EQ(result.server->method(), AuthMethod::kUnix);
+}
+
+}  // namespace
+}  // namespace ibox

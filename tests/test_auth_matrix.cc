@@ -1,0 +1,102 @@
+// Negotiation matrix: every combination of client credential sets and
+// server verifier sets must either agree on the client's most-preferred
+// common method or fail cleanly — never hang, never pick a method the
+// client did not offer.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "auth/sim_gsi.h"
+#include "auth/sim_kerberos.h"
+#include "auth/simple.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+constexpr int64_t kNow = 1800000000;
+int64_t fixed_clock() { return kNow; }
+
+// All four methods' fixtures, shared across the matrix.
+class AuthMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  AuthMatrix()
+      : tmp_("authmatrix"),
+        ca_("CA", "ca-secret"),
+        kdc_("REALM", "svc-secret"),
+        trust_() {
+    trust_.trust("CA", "ca-secret");
+    kdc_.add_user("user", "pw");
+    gsi_data_ = ca_.issue("/O=X/CN=User", 3600, kNow);
+    ticket_ = *kdc_.issue("user", "pw", 3600, kNow);
+
+    creds_[0] = std::make_unique<GsiCredential>(gsi_data_);
+    creds_[1] = std::make_unique<KerberosCredential>(ticket_);
+    creds_[2] = std::make_unique<UnixCredential>(current_unix_username());
+
+    verifiers_[0] = std::make_unique<GsiVerifier>(trust_, &fixed_clock);
+    verifiers_[1] = std::make_unique<KerberosVerifier>("REALM", "svc-secret",
+                                                       &fixed_clock);
+    verifiers_[2] = std::make_unique<UnixVerifier>(tmp_.path());
+  }
+
+  static AuthMethod method_of(int index) {
+    switch (index) {
+      case 0: return AuthMethod::kGlobus;
+      case 1: return AuthMethod::kKerberos;
+      default: return AuthMethod::kUnix;
+    }
+  }
+
+  TempDir tmp_;
+  CertificateAuthority ca_;
+  Kdc kdc_;
+  GsiTrustStore trust_;
+  GsiUserCredentialData gsi_data_;
+  KerberosClientTicket ticket_;
+  std::unique_ptr<ClientCredential> creds_[3];
+  std::unique_ptr<ServerVerifier> verifiers_[3];
+};
+
+TEST_P(AuthMatrix, NegotiationConverges) {
+  const int client_mask = std::get<0>(GetParam());
+  const int server_mask = std::get<1>(GetParam());
+
+  std::vector<const ClientCredential*> offered;
+  for (int i = 0; i < 3; ++i) {
+    if (client_mask & (1 << i)) offered.push_back(creds_[i].get());
+  }
+  std::vector<const ServerVerifier*> accepted;
+  for (int i = 0; i < 3; ++i) {
+    if (server_mask & (1 << i)) accepted.push_back(verifiers_[i].get());
+  }
+
+  auto pair = make_channel_pair();
+  Status client_status = Status::Ok();
+  std::thread client_thread([&] {
+    client_status = authenticate_client(*pair.a, offered);
+  });
+  auto server_result = authenticate_server(*pair.b, accepted);
+  client_thread.join();
+
+  // The first client-preferred method also present server-side wins.
+  int expected = -1;
+  for (int i = 0; i < 3 && expected < 0; ++i) {
+    if ((client_mask & (1 << i)) && (server_mask & (1 << i))) expected = i;
+  }
+  if (expected >= 0) {
+    ASSERT_TRUE(client_status.ok()) << client_status.message();
+    ASSERT_TRUE(server_result.ok()) << server_result.error().message();
+    EXPECT_EQ(server_result->method(), method_of(expected));
+  } else {
+    EXPECT_FALSE(client_status.ok());
+    EXPECT_FALSE(server_result.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, AuthMatrix,
+                         ::testing::Combine(::testing::Range(1, 8),
+                                            ::testing::Range(1, 8)));
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,220 @@
+// BoxContext, passwd synthesis, audit log, process registry.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include "box/audit.h"
+#include "box/box_context.h"
+#include "box/passwd.h"
+#include "box/process_registry.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+// ----------------------------------------------------------- passwd ------
+
+TEST(Passwd, SafeNameReplacesColons) {
+  EXPECT_EQ(passwd_safe_name(id("globus:/O=X/CN=Fred")), "globus_/O=X/CN=Fred");
+  EXPECT_EQ(passwd_safe_name(id("Freddy")), "Freddy");
+}
+
+TEST(Passwd, SynthesizedEntryComesFirstAndShadowsUid) {
+  const std::string system_passwd =
+      "root:x:0:0:root:/root:/bin/bash\n"
+      "me:x:1000:1000:Me:/home/me:/bin/sh\n";
+  std::string out = synthesize_passwd(id("Freddy"), 1000, 1000, "/box/home",
+                                      "/bin/sh", system_passwd);
+  auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[0], "Freddy:x:1000:1000:"));
+  EXPECT_NE(lines[0].find("/box/home"), std::string::npos);
+  // The system's uid-1000 entry is dropped so getpwuid(1000) -> Freddy.
+  EXPECT_EQ(out.find("me:x:1000"), std::string::npos);
+  // Unrelated entries survive.
+  EXPECT_NE(out.find("root:x:0"), std::string::npos);
+}
+
+TEST(Passwd, WritePrivatePasswdFile) {
+  TempDir tmp("passwd");
+  auto path = write_private_passwd(id("Visitor"), "/home/v",
+                                   tmp.sub("passwd"));
+  ASSERT_TRUE(path.ok());
+  auto text = read_file(*path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_TRUE(starts_with(*text, "Visitor:x:"));
+}
+
+// ------------------------------------------------------------ audit ------
+
+TEST(Audit, RecordAndLoad) {
+  TempDir tmp("audit");
+  const std::string log_path = tmp.sub("audit.log");
+  {
+    AuditLog log(log_path);
+    ASSERT_TRUE(log.enabled());
+    log.record(id("Freddy"), "open", "/work/data with space", 0);
+    log.record(id("Freddy"), "unlink", "/secret", EACCES);
+  }
+  auto records = AuditLog::Load(log_path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].identity, "Freddy");
+  EXPECT_EQ((*records)[0].operation, "open");
+  EXPECT_EQ((*records)[0].object, "/work/data with space");
+  EXPECT_EQ((*records)[0].errno_code, 0);
+  EXPECT_EQ((*records)[1].errno_code, EACCES);
+  EXPECT_GT((*records)[0].timestamp, 0);
+}
+
+TEST(Audit, DisabledLogIsNoop) {
+  AuditLog log;
+  EXPECT_FALSE(log.enabled());
+  log.record(id("X"), "open", "/y", 0);  // must not crash
+}
+
+TEST(Audit, LoadRejectsMalformed) {
+  TempDir tmp("audit");
+  ASSERT_TRUE(write_file(tmp.sub("bad"), "not a record\n").ok());
+  EXPECT_EQ(AuditLog::Load(tmp.sub("bad")).error_code(), EBADMSG);
+}
+
+// --------------------------------------------------- process registry ----
+
+TEST(ProcessRegistry, SignalMediation) {
+  ProcessRegistry registry;
+  registry.add(100, id("Freddy"));
+  registry.add(101, id("Freddy"));
+  registry.add(200, id("George"));
+
+  // Same identity: allowed.
+  EXPECT_TRUE(registry.check_signal(100, 101).ok());
+  EXPECT_TRUE(registry.check_signal(100, 100).ok());  // self
+  // Cross identity: EPERM.
+  EXPECT_EQ(registry.check_signal(100, 200).error_code(), EPERM);
+  // Outside the box: EPERM (indistinguishable from non-existent).
+  EXPECT_EQ(registry.check_signal(100, 99999).error_code(), EPERM);
+  // Unknown sender: ESRCH.
+  EXPECT_EQ(registry.check_signal(12345, 100).error_code(), ESRCH);
+}
+
+TEST(ProcessRegistry, GroupSignalsNeedEveryMember) {
+  ProcessRegistry registry;
+  registry.add(1, id("A"));
+  registry.add(2, id("A"));
+  registry.add(3, id("B"));
+  EXPECT_TRUE(registry.check_signal_group(1, {1, 2}).ok());
+  EXPECT_EQ(registry.check_signal_group(1, {1, 2, 3}).error_code(), EPERM);
+}
+
+TEST(ProcessRegistry, Bookkeeping) {
+  ProcessRegistry registry;
+  registry.add(1, id("A"));
+  registry.add(2, id("A"));
+  registry.add(3, id("B"));
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_TRUE(registry.contains(2));
+  EXPECT_EQ(registry.identity_of(3)->str(), "B");
+  EXPECT_FALSE(registry.identity_of(4));
+  EXPECT_EQ(registry.pids_of(id("A")), (std::vector<int>{1, 2}));
+  registry.remove(2);
+  EXPECT_EQ(registry.size(), 2u);
+  // pid reuse overwrites.
+  registry.add(3, id("C"));
+  EXPECT_EQ(registry.identity_of(3)->str(), "C");
+}
+
+// ------------------------------------------------------- box context -----
+
+TEST(BoxContext, ProvisionsHomePasswdUsernameAudit) {
+  TempDir state("boxctx");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.audit_log_path = state.sub("audit.log");
+  auto box = BoxContext::Create(id("Freddy"), options);
+  ASSERT_TRUE(box.ok());
+
+  // Home exists, is governed, and grants Freddy everything.
+  const std::string home = (*box)->home_dir();
+  ASSERT_FALSE(home.empty());
+  EXPECT_TRUE(dir_exists(home));  // box root is "/", so box path == host
+  auto handle = (*box)->vfs().open(home + "/mydata",
+                                   O_WRONLY | O_CREAT, 0644);
+  EXPECT_TRUE(handle.ok());
+
+  // /etc/passwd redirection: first entry names Freddy.
+  auto passwd = (*box)->vfs().open("/etc/passwd", O_RDONLY, 0);
+  ASSERT_TRUE(passwd.ok());
+  char buf[128] = {0};
+  auto got = (*passwd)->pread(buf, sizeof(buf) - 1, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(starts_with(std::string(buf, *got), "Freddy:x:"));
+
+  // /ibox/username surface.
+  auto username = (*box)->vfs().open(BoxContext::kUsernamePath, O_RDONLY, 0);
+  ASSERT_TRUE(username.ok());
+  char ubuf[64] = {0};
+  auto ugot = (*username)->pread(ubuf, sizeof(ubuf) - 1, 0);
+  ASSERT_TRUE(ugot.ok());
+  EXPECT_EQ(std::string(ubuf, *ugot), "Freddy\n");
+
+  // Environment overrides.
+  auto env = (*box)->environment_overrides();
+  ASSERT_EQ(env.size(), 3u);
+  EXPECT_EQ(env[0], "HOME=" + home);
+  EXPECT_EQ(env[1], "USER=Freddy");
+
+  EXPECT_TRUE((*box)->audit().enabled());
+}
+
+TEST(BoxContext, CreateValidation) {
+  BoxOptions options;
+  options.state_dir = "/nonexistent-dir-xyz";
+  EXPECT_EQ(BoxContext::Create(id("F"), options).error_code(), ENOENT);
+  TempDir state("boxctx");
+  options.state_dir = state.path();
+  EXPECT_EQ(BoxContext::Create(Identity(), options).error_code(), EINVAL);
+}
+
+TEST(BoxContext, ExtraHomeAclSubject) {
+  TempDir state("boxctx");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.home_acl_extra_subject = "globus:/O=UnivNowhere/*";
+  options.home_acl_extra_rights = "rl";
+  auto box = BoxContext::Create(id("Freddy"), options);
+  ASSERT_TRUE(box.ok());
+  auto acl_text = read_file(state.sub("home/.__acl"));
+  ASSERT_TRUE(acl_text.ok());
+  EXPECT_NE(acl_text->find("globus:/O=UnivNowhere/* rl"), std::string::npos);
+}
+
+TEST(BoxContext, ResolveExecutableChecksXRight) {
+  TempDir state("boxctx");
+  // Build a relocated box (box root = state dir) with a governed bin dir.
+  ASSERT_TRUE(make_dirs(state.sub("root/bin")).ok());
+  ASSERT_TRUE(write_file(state.sub("root/bin/tool"), "#!/bin/sh\n", 0755).ok());
+  ASSERT_TRUE(make_dirs(state.sub("state")).ok());
+
+  BoxOptions options;
+  options.box_root = state.sub("root");
+  options.state_dir = state.sub("state");
+  options.provision_home = false;
+  options.redirect_passwd = false;
+  auto box = BoxContext::Create(id("Freddy"), options);
+  ASSERT_TRUE(box.ok());
+
+  // Ungoverned /bin: other-x bit allows execution; host path is returned.
+  auto host = (*box)->resolve_executable("/bin/tool");
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(*host, state.sub("root/bin/tool"));
+
+  ASSERT_EQ(::chmod(state.sub("root/bin/tool").c_str(), 0700), 0);
+  EXPECT_EQ((*box)->resolve_executable("/bin/tool").error_code(), EACCES);
+}
+
+}  // namespace
+}  // namespace ibox

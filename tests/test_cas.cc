@@ -1,0 +1,111 @@
+// Community authorization service and server admission policies.
+#include "auth/cas.h"
+
+#include <gtest/gtest.h>
+
+#include "auth/sim_gsi.h"
+#include "chirp/client.h"
+#include "chirp/server.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+TEST(Cas, MembershipWithPatterns) {
+  CommunityAuthorizationService cas("cas-secret");
+  ASSERT_TRUE(cas.add_member("cms", "globus:/O=CERN/*").ok());
+  ASSERT_TRUE(cas.add_member("cms", "globus:/O=UnivNowhere/CN=Fred").ok());
+  ASSERT_TRUE(cas.add_member("atlas", "globus:/O=Elsewhere/*").ok());
+
+  EXPECT_TRUE(cas.is_member("cms", id("globus:/O=CERN/CN=Anyone")));
+  EXPECT_TRUE(cas.is_member("cms", id("globus:/O=UnivNowhere/CN=Fred")));
+  EXPECT_FALSE(cas.is_member("cms", id("globus:/O=UnivNowhere/CN=George")));
+  EXPECT_FALSE(cas.is_member("atlas", id("globus:/O=CERN/CN=Anyone")));
+  EXPECT_FALSE(cas.is_member("nonexistent", id("anyone")));
+}
+
+TEST(Cas, AddRemoveValidation) {
+  CommunityAuthorizationService cas("s");
+  EXPECT_EQ(cas.add_member("c", "bad pattern").error_code(), EINVAL);
+  EXPECT_EQ(cas.add_member("bad community", "ok").error_code(), EINVAL);
+  ASSERT_TRUE(cas.add_member("c", "x*").ok());
+  ASSERT_TRUE(cas.add_member("c", "x*").ok());  // idempotent
+  EXPECT_EQ(cas.members("c").size(), 1u);
+  EXPECT_TRUE(cas.remove_member("c", "x*").ok());
+  EXPECT_EQ(cas.remove_member("c", "x*").error_code(), ENOENT);
+  EXPECT_EQ(cas.remove_member("ghost", "x*").error_code(), ENOENT);
+  EXPECT_EQ(cas.communities(), (std::vector<std::string>{"c"}));
+}
+
+TEST(Cas, SignedSnapshotRoundTrip) {
+  CommunityAuthorizationService cas("community-key");
+  ASSERT_TRUE(cas.add_member("cms", "globus:/O=CERN/*").ok());
+  ASSERT_TRUE(cas.add_member("cms", "unix:operator").ok());
+  auto snapshot = cas.export_signed("cms");
+  ASSERT_TRUE(snapshot.ok());
+
+  auto imported =
+      CommunityAuthorizationService::import_signed(*snapshot, "community-key");
+  ASSERT_TRUE(imported.ok());
+  ASSERT_EQ(imported->size(), 2u);
+  auto policy = make_admission_policy(std::move(*imported));
+  EXPECT_TRUE(policy(id("globus:/O=CERN/CN=Sue")).ok());
+  EXPECT_EQ(policy(id("stranger")).error_code(), EACCES);
+
+  // Tampered snapshot or wrong key: rejected.
+  EXPECT_EQ(CommunityAuthorizationService::import_signed(*snapshot,
+                                                         "wrong-key")
+                .error_code(),
+            EKEYREJECTED);
+  std::string tampered = *snapshot;
+  tampered.insert(4, "evil:*\n");
+  EXPECT_EQ(
+      CommunityAuthorizationService::import_signed(tampered, "community-key")
+          .error_code(),
+      EKEYREJECTED);
+  EXPECT_EQ(cas.export_signed("ghost").error_code(), ENOENT);
+}
+
+TEST(Cas, ChirpServerAdmission) {
+  constexpr int64_t kNow = 1800000000;
+  CertificateAuthority ca("CA", "s");
+  CommunityAuthorizationService cas("cas-key");
+  ASSERT_TRUE(cas.add_member("experiment", "globus:/O=U/CN=Fred").ok());
+
+  TempDir export_dir("cas-export");
+  ChirpServerOptions options;
+  options.export_root = export_dir.path();
+  options.enable_gsi = true;
+  options.gsi_trust.trust("CA", "s");
+  options.clock = [] { return kNow; };
+  options.admission = make_admission_policy(cas, "experiment");
+  options.root_acl_text = "globus:/O=U/* rwlax\n";
+  auto server = ChirpServer::Start(options);
+  ASSERT_TRUE(server.ok());
+
+  // Fred: valid certificate AND community member -> admitted.
+  auto fred_data = ca.issue("/O=U/CN=Fred", 3600, kNow);
+  GsiCredential fred_cred(fred_data);
+  auto fred = ChirpClient::Connect("localhost", (*server)->port(),
+                                   {&fred_cred});
+  ASSERT_TRUE(fred.ok());
+  EXPECT_TRUE((*fred)->whoami().ok());
+
+  // George: valid certificate but NOT a member -> the handshake denies.
+  auto george_data = ca.issue("/O=U/CN=George", 3600, kNow);
+  GsiCredential george_cred(george_data);
+  auto george = ChirpClient::Connect("localhost", (*server)->port(),
+                                     {&george_cred});
+  EXPECT_FALSE(george.ok());
+
+  // Policy updates take effect for new connections.
+  ASSERT_TRUE(cas.add_member("experiment", "globus:/O=U/CN=George").ok());
+  auto george2 = ChirpClient::Connect("localhost", (*server)->port(),
+                                      {&george_cred});
+  EXPECT_TRUE(george2.ok());
+}
+
+}  // namespace
+}  // namespace ibox

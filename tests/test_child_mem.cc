@@ -1,0 +1,163 @@
+// ChildMem: all three Figure 4(b) memory mechanisms against a real stopped
+// child, plus the IoChannel allocator.
+#include "sandbox/child_mem.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/ptrace.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sandbox/io_channel.h"
+
+namespace ibox {
+namespace {
+
+// Spawns a stopped child exposing a known buffer; returns (pid, addr).
+class StoppedChild {
+ public:
+  StoppedChild() {
+    std::memset(shared_, 0, sizeof(shared_));
+    std::snprintf(shared_, sizeof(shared_), "hello child memory");
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::ptrace(PTRACE_TRACEME, 0, nullptr, nullptr);
+      ::raise(SIGSTOP);
+      ::_exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+  ~StoppedChild() {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+  int pid() const { return pid_; }
+  uint64_t addr() const { return reinterpret_cast<uint64_t>(shared_); }
+
+ private:
+  int pid_ = -1;
+  // The child is a fork: this buffer exists at the same address there.
+  char shared_[256];
+};
+
+class ChildMemTest : public ::testing::TestWithParam<MemMechanism> {};
+
+TEST_P(ChildMemTest, ReadKnownBuffer) {
+  StoppedChild child;
+  ChildMem mem(child.pid(), GetParam());
+  char buf[32] = {0};
+  ASSERT_TRUE(mem.read(child.addr(), buf, 18).ok());
+  EXPECT_EQ(std::string(buf, 18), "hello child memory");
+}
+
+TEST_P(ChildMemTest, WriteThenReadBack) {
+  StoppedChild child;
+  ChildMem mem(child.pid(), GetParam());
+  const char payload[] = "REWRITTEN-BY-SUPERVISOR";
+  ASSERT_TRUE(mem.write(child.addr(), payload, sizeof(payload)).ok());
+  char buf[64] = {0};
+  ASSERT_TRUE(mem.read(child.addr(), buf, sizeof(payload)).ok());
+  EXPECT_STREQ(buf, payload);
+}
+
+TEST_P(ChildMemTest, UnalignedOffsetsAndSizes) {
+  StoppedChild child;
+  ChildMem mem(child.pid(), GetParam());
+  // Write 5 bytes at an odd offset; surrounding bytes must be preserved.
+  ASSERT_TRUE(mem.write(child.addr() + 3, "XYZZY", 5).ok());
+  char buf[32] = {0};
+  ASSERT_TRUE(mem.read(child.addr(), buf, 18).ok());
+  EXPECT_EQ(std::string(buf, 18), "helXYZZYild memory");
+}
+
+TEST_P(ChildMemTest, ReadString) {
+  StoppedChild child;
+  ChildMem mem(child.pid(), GetParam());
+  auto text = mem.read_string(child.addr());
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello child memory");
+  auto bounded = mem.read_string(child.addr(), 5);
+  EXPECT_EQ(bounded.error_code(), ENAMETOOLONG);
+}
+
+TEST_P(ChildMemTest, BadAddressFails) {
+  StoppedChild child;
+  ChildMem mem(child.pid(), GetParam());
+  char buf[8];
+  EXPECT_FALSE(mem.read(0x10, buf, 8).ok());  // page zero is unmapped
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, ChildMemTest,
+                         ::testing::Values(MemMechanism::kPeekPoke,
+                                           MemMechanism::kProcMem,
+                                           MemMechanism::kProcessVm),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MemMechanism::kPeekPoke: return "PeekPoke";
+                             case MemMechanism::kProcMem: return "ProcMem";
+                             case MemMechanism::kProcessVm: return "ProcessVm";
+                           }
+                           return "Unknown";
+                         });
+
+// ------------------------------------------------------------ IoChannel --
+
+TEST(IoChannel, AllocateWriteReadFree) {
+  auto channel = IoChannel::Create(4096);
+  ASSERT_TRUE(channel.ok());
+  auto region = channel->allocate(100);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(channel->write_at(*region, "channel data", 12).ok());
+  char buf[16] = {0};
+  ASSERT_TRUE(channel->read_at(*region, buf, 12).ok());
+  EXPECT_EQ(std::string(buf, 12), "channel data");
+  EXPECT_EQ(channel->bytes_in_use(), 4096u);  // page rounded
+  channel->free_region(*region);
+  EXPECT_EQ(channel->bytes_in_use(), 0u);
+}
+
+TEST(IoChannel, RegionsDoNotOverlapAndHolesReused) {
+  auto channel = IoChannel::Create(4096);
+  ASSERT_TRUE(channel.ok());
+  auto a = channel->allocate(4096);
+  auto b = channel->allocate(8192);
+  auto c = channel->allocate(4096);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_GE(*c, *b + 8192);
+  channel->free_region(*b);
+  auto d = channel->allocate(4096);  // fits in b's hole
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, *b);
+}
+
+TEST(IoChannel, GrowsOnDemand) {
+  auto channel = IoChannel::Create(4096);
+  ASSERT_TRUE(channel.ok());
+  auto big = channel->allocate(1 << 20);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GE(channel->capacity(), 1u << 20);
+  std::string data(1 << 20, 'z');
+  EXPECT_TRUE(channel->write_at(*big, data.data(), data.size()).ok());
+}
+
+TEST(IoChannel, RefcountedSharing) {
+  auto channel = IoChannel::Create(4096);
+  ASSERT_TRUE(channel.ok());
+  auto region = channel->allocate(4096);
+  ASSERT_TRUE(region.ok());
+  channel->ref_region(*region);   // fork-style second owner
+  channel->free_region(*region);  // first owner drops
+  EXPECT_EQ(channel->bytes_in_use(), 4096u);  // still held
+  channel->free_region(*region);  // second owner drops
+  EXPECT_EQ(channel->bytes_in_use(), 0u);
+  // Double free after zero refs is a no-op.
+  channel->free_region(*region);
+}
+
+}  // namespace
+}  // namespace ibox

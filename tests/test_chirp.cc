@@ -1,0 +1,372 @@
+// Chirp server/client integration over loopback: auth negotiation, the
+// virtual user space, ACL enforcement, the reserve-right workflow of
+// Figure 3, remote exec in an identity box, and the catalog.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "auth/sim_gsi.h"
+#include "auth/sim_kerberos.h"
+#include "auth/simple.h"
+#include "chirp/catalog.h"
+#include "chirp/chirp_driver.h"
+#include "chirp/client.h"
+#include "chirp/server.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+constexpr int64_t kNow = 1800000000;
+int64_t fixed_clock() { return kNow; }
+
+class ChirpTest : public ::testing::Test {
+ protected:
+  ChirpTest()
+      : export_("chirp-export"),
+        state_("chirp-state"),
+        ca_("UnivNowhereCA", "ca-secret") {
+    trust_.trust(ca_.name(), ca_.verification_secret());
+    fred_cred_ = ca_.issue("/O=UnivNowhere/CN=Fred", 3600, kNow);
+    george_cred_ = ca_.issue("/O=UnivNowhere/CN=George", 3600, kNow);
+  }
+
+  ChirpServerOptions base_options() {
+    ChirpServerOptions options;
+    options.export_root = export_.path();
+    options.state_dir = state_.path();
+    options.enable_gsi = true;
+    options.gsi_trust = trust_;
+    options.enable_unix = true;
+    options.clock = &fixed_clock;
+    // The paper's root ACL: hosts may browse, cert holders may reserve.
+    options.root_acl_text =
+        "hostname:*.nowhere.edu rlx\n"
+        "globus:/O=UnivNowhere/* rlv(rwlax)\n";
+    return options;
+  }
+
+  std::unique_ptr<ChirpClient> connect_as_fred(ChirpServer& server) {
+    GsiCredential cred(fred_cred_);
+    auto client = ChirpClient::Connect("localhost", server.port(), {&cred});
+    EXPECT_TRUE(client.ok());
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  TempDir export_;
+  TempDir state_;
+  CertificateAuthority ca_;
+  GsiTrustStore trust_;
+  GsiUserCredentialData fred_cred_;
+  GsiUserCredentialData george_cred_;
+};
+
+TEST_F(ChirpTest, StartValidation) {
+  ChirpServerOptions options;
+  options.export_root = "/nonexistent-xyz";
+  options.enable_unix = true;
+  EXPECT_EQ(ChirpServer::Start(options).error_code(), ENOENT);
+  options.export_root = export_.path();
+  options.enable_unix = false;  // no method at all
+  EXPECT_EQ(ChirpServer::Start(options).error_code(), EINVAL);
+}
+
+TEST_F(ChirpTest, WhoamiReturnsNegotiatedPrincipal) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto client = connect_as_fred(**server);
+  ASSERT_TRUE(client);
+  auto who = client->whoami();
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(*who, "globus:/O=UnivNowhere/CN=Fred");
+}
+
+TEST_F(ChirpTest, UntrustedCertificateRejected) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  CertificateAuthority rogue("RogueCA", "rogue");
+  auto eve = rogue.issue("/O=UnivNowhere/CN=Fred", 3600, kNow);
+  GsiCredential cred(eve);
+  auto client = ChirpClient::Connect("localhost", (*server)->port(), {&cred});
+  EXPECT_FALSE(client.ok());
+  EXPECT_GT((*server)->stats().auth_failures.load(), 0u);
+}
+
+TEST_F(ChirpTest, Figure3Workflow) {
+  // "The user Fred wishes to run sim.exe on a remote machine using his
+  // grid credentials": mkdir /work (reserve) -> put -> exec -> get.
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+
+  // 1. mkdir /work under the reserve right.
+  ASSERT_TRUE(fred->mkdir("/work").ok());
+  auto acl = fred->getacl("/work");
+  ASSERT_TRUE(acl.ok());
+  EXPECT_NE(acl->find("globus:/O=UnivNowhere/CN=Fred rwlax"),
+            std::string::npos);
+
+  // 2. put sim.exe (a shell script standing in for the simulation).
+  const std::string sim =
+      "#!/bin/sh\necho simulation-output > out.dat\necho done\n";
+  ASSERT_TRUE(fred->put_file("/work/sim.exe", sim, 0755).ok());
+
+  // 3. exec sim.exe in an identity box named by Fred's principal.
+  auto result = fred->exec({"./sim.exe"}, "/work");
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  EXPECT_EQ(result->exit_code, 0);
+  EXPECT_EQ(result->out, "done\n");
+
+  // 4. get out.dat.
+  auto out = fred->get_file("/work/out.dat");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "simulation-output\n");
+
+  // George cannot enter Fred's reserved namespace...
+  GsiCredential george_cred(george_cred_);
+  auto george =
+      ChirpClient::Connect("localhost", (*server)->port(), {&george_cred});
+  ASSERT_TRUE(george.ok());
+  EXPECT_EQ((*george)->get_file("/work/out.dat").error_code(), EACCES);
+  EXPECT_EQ((*george)->readdir("/work").error_code(), EACCES);
+
+  // ...until Fred, holding the A right, grants him access (section 4).
+  ASSERT_TRUE(
+      fred->setacl("/work", "globus:/O=UnivNowhere/CN=George", "rl").ok());
+  auto shared = (*george)->get_file("/work/out.dat");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(*shared, "simulation-output\n");
+}
+
+TEST_F(ChirpTest, ExecDeniedWithoutExecuteRight) {
+  auto options = base_options();
+  options.root_acl_text = "globus:/O=UnivNowhere/* rwl\n";  // no x
+  auto server = ChirpServer::Start(options);
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+  ASSERT_TRUE(fred->put_file("/prog.sh", "#!/bin/sh\necho hi\n", 0755).ok());
+  auto result = fred->exec({"./prog.sh"}, "/");
+  EXPECT_EQ(result.error_code(), EACCES);
+}
+
+TEST_F(ChirpTest, FileIoThroughHandles) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+  ASSERT_TRUE(fred->mkdir("/work").ok());
+
+  auto handle = fred->open("/work/io.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+  auto wrote = fred->pwrite(*handle, "remote bytes", 0);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 12u);
+  auto data = fred->pread(*handle, 6, 7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "bytes");
+  auto st = fred->fstat(*handle);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 12u);
+  ASSERT_TRUE(fred->ftruncate(*handle, 6).ok());
+  ASSERT_TRUE(fred->fsync(*handle).ok());
+  ASSERT_TRUE(fred->close(*handle).ok());
+  EXPECT_EQ(fred->close(*handle).error_code(), EBADF);
+
+  // Path-level ops.
+  auto stat2 = fred->stat("/work/io.bin");
+  ASSERT_TRUE(stat2.ok());
+  EXPECT_EQ(stat2->size, 6u);
+  ASSERT_TRUE(fred->rename("/work/io.bin", "/work/moved.bin").ok());
+  auto entries = fred->readdir("/work");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "moved.bin");
+  ASSERT_TRUE(fred->chmod("/work/moved.bin", 0600).ok());
+  ASSERT_TRUE(fred->utime("/work/moved.bin", 1111, 2222).ok());
+  ASSERT_TRUE(fred->truncate("/work/moved.bin", 0).ok());
+  ASSERT_TRUE(fred->symlink("moved.bin", "/work/ln").ok());
+  auto target = fred->readlink("/work/ln");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "moved.bin");
+  ASSERT_TRUE(fred->link("/work/moved.bin", "/work/hard").ok());
+  ASSERT_TRUE(fred->unlink("/work/hard").ok());
+  ASSERT_TRUE(fred->unlink("/work/ln").ok());
+  ASSERT_TRUE(fred->unlink("/work/moved.bin").ok());
+  // Deleting /work itself needs the d right in "/", which the reserve-only
+  // root ACL deliberately withholds: the reservation grants rights INSIDE
+  // the new namespace, not over the parent.
+  EXPECT_EQ(fred->rmdir("/work").error_code(), EACCES);
+}
+
+TEST_F(ChirpTest, AccessProbes) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+  ASSERT_TRUE(fred->mkdir("/work").ok());
+  ASSERT_TRUE(fred->put_file("/work/f", "x").ok());
+  EXPECT_TRUE(fred->access("/work/f", Access::kRead).ok());
+  EXPECT_TRUE(fred->access("/work/f", Access::kWrite).ok());
+  GsiCredential george_cred(george_cred_);
+  auto george =
+      ChirpClient::Connect("localhost", (*server)->port(), {&george_cred});
+  ASSERT_TRUE(george.ok());
+  EXPECT_EQ((*george)->access("/work/f", Access::kRead).error_code(),
+            EACCES);
+}
+
+TEST_F(ChirpTest, MultiMethodNegotiation) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  // A client with only unix credentials also gets in (method 2).
+  UnixCredential unix_cred(current_unix_username());
+  auto client =
+      ChirpClient::Connect("localhost", (*server)->port(), {&unix_cred});
+  ASSERT_TRUE(client.ok());
+  auto who = (*client)->whoami();
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(*who, "unix:" + current_unix_username());
+}
+
+TEST_F(ChirpTest, ChirpDriverAdaptsClient) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+  ASSERT_TRUE(fred->mkdir("/work").ok());
+
+  auto conn = connect_as_fred(**server);
+  ASSERT_TRUE(conn);
+  ChirpDriver driver(std::move(conn));
+  const Identity unused = *Identity::Parse("ignored");
+
+  auto handle = driver.open(unused, "/work/via-driver", O_WRONLY | O_CREAT,
+                            0644);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE((*handle)->pwrite("driver data", 11, 0).ok());
+  auto st = driver.stat(unused, "/work/via-driver");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 11u);
+  auto entries = driver.readdir(unused, "/work");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+  EXPECT_EQ(driver.scheme(), "chirp");
+}
+
+TEST_F(ChirpTest, StatsAccumulate) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+  ASSERT_TRUE(fred->mkdir("/work").ok());
+  ASSERT_TRUE(fred->put_file("/work/f", "0123456789").ok());
+  (void)fred->get_file("/work/f");
+  const auto& stats = (*server)->stats();
+  EXPECT_GE(stats.connections.load(), 1u);
+  EXPECT_GE(stats.requests.load(), 3u);
+  EXPECT_GE(stats.bytes_written.load(), 10u);
+  EXPECT_GE(stats.bytes_read.load(), 10u);
+}
+
+TEST_F(ChirpTest, StatfsReportsSpace) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto fred = connect_as_fred(**server);
+  ASSERT_TRUE(fred);
+  auto space = fred->statfs();
+  ASSERT_TRUE(space.ok());
+  EXPECT_GT(space->block_size, 0u);
+  EXPECT_GT(space->total_blocks, 0u);
+  EXPECT_LE(space->free_blocks, space->total_blocks);
+}
+
+TEST_F(ChirpTest, ConcurrentRemoteExecs) {
+  // Several connections exec simultaneously: each connection thread runs
+  // its own ptrace supervisor, which must only reap its own tracees
+  // (__WNOTHREAD) — cross-thread reaping would corrupt exit statuses.
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto setup = connect_as_fred(**server);
+  ASSERT_TRUE(setup);
+  ASSERT_TRUE(setup->mkdir("/work").ok());
+  ASSERT_TRUE(setup->put_file("/work/job.sh",
+                              "#!/bin/sh\necho job-$1-done\nexit $1\n",
+                              0755)
+                  .ok());
+
+  constexpr int kJobs = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> exit_codes(kJobs, -1);
+  std::vector<std::string> outputs(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    threads.emplace_back([&, i] {
+      GsiCredential cred(fred_cred_);
+      auto client =
+          ChirpClient::Connect("localhost", (*server)->port(), {&cred});
+      if (!client.ok()) return;
+      auto result =
+          (*client)->exec({"./job.sh", std::to_string(i)}, "/work");
+      if (result.ok()) {
+        exit_codes[i] = result->exit_code;
+        outputs[i] = result->out;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(exit_codes[i], i) << "job " << i;
+    EXPECT_EQ(outputs[i], "job-" + std::to_string(i) + "-done\n");
+  }
+}
+
+// ----------------------------------------------------------- catalog -----
+
+TEST(Catalog, UpdateAndList) {
+  auto catalog = CatalogServer::Start(0);
+  ASSERT_TRUE(catalog.ok());
+
+  CatalogEntry entry;
+  entry.name = "storage-7";
+  entry.host = "localhost";
+  entry.port = 9123;
+  entry.owner = "dthain";
+  ASSERT_TRUE(catalog_update("localhost", (*catalog)->port(), entry).ok());
+  entry.name = "storage-8";
+  ASSERT_TRUE(catalog_update("localhost", (*catalog)->port(), entry).ok());
+
+  auto list = catalog_list("localhost", (*catalog)->port());
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].name, "storage-7");
+  EXPECT_EQ((*list)[1].owner, "dthain");
+  EXPECT_EQ((*catalog)->live_entries(), 2u);
+
+  // Refresh is idempotent on the key.
+  ASSERT_TRUE(catalog_update("localhost", (*catalog)->port(), entry).ok());
+  EXPECT_EQ((*catalog)->live_entries(), 2u);
+}
+
+TEST(Catalog, ServerRegistersItselfOnStart) {
+  auto catalog = CatalogServer::Start(0);
+  ASSERT_TRUE(catalog.ok());
+  TempDir export_dir("chirp-cat");
+  ChirpServerOptions options;
+  options.export_root = export_dir.path();
+  options.enable_unix = true;
+  options.server_name = "personal-server";
+  options.catalog_port = (*catalog)->port();
+  auto server = ChirpServer::Start(options);
+  ASSERT_TRUE(server.ok());
+  auto list = catalog_list("localhost", (*catalog)->port());
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].name, "personal-server");
+  EXPECT_EQ((*list)[0].port, (*server)->port());
+}
+
+}  // namespace
+}  // namespace ibox

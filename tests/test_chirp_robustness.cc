@@ -1,0 +1,178 @@
+// Hostile-input robustness: the Chirp server decodes untrusted bytes; a
+// malformed or malicious client must get clean errors, never crash the
+// server or corrupt other sessions.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "auth/simple.h"
+#include "chirp/client.h"
+#include "chirp/net.h"
+#include "chirp/protocol.h"
+#include "chirp/server.h"
+#include "util/fs.h"
+#include "util/rand.h"
+
+namespace ibox {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest() : export_("robust-export"), state_("robust-state") {
+    ChirpServerOptions options;
+    options.export_root = export_.path();
+    options.state_dir = state_.path();
+    options.enable_unix = true;
+    options.root_acl_text = "unix:* rwlax\n";
+    auto server = ChirpServer::Start(options);
+    EXPECT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  // Authenticated raw channel for crafting arbitrary frames.
+  Result<FrameChannel> raw_session() {
+    auto channel = tcp_connect("localhost", server_->port());
+    if (!channel.ok()) return channel.error();
+    FrameAuthChannel auth_channel(*channel);
+    UnixCredential cred(current_unix_username());
+    IBOX_RETURN_IF_ERROR(authenticate_client(auth_channel, {&cred}));
+    return std::move(*channel);
+  }
+
+  // Sends one raw request; returns the status from the reply frame.
+  int64_t roundtrip(FrameChannel& channel, const std::string& payload) {
+    EXPECT_TRUE(channel.send_frame(payload).ok());
+    auto reply = channel.recv_frame();
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) return INT64_MIN;
+    BufReader reader(*reply);
+    auto status = reader.get_i64();
+    return status.ok() ? *status : INT64_MIN;
+  }
+
+  // The server must still serve a well-behaved client.
+  void expect_server_alive() {
+    UnixCredential cred(current_unix_username());
+    auto client = ChirpClient::Connect("localhost", server_->port(), {&cred});
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE((*client)->whoami().ok());
+  }
+
+  TempDir export_;
+  TempDir state_;
+  std::unique_ptr<ChirpServer> server_;
+};
+
+TEST_F(RobustnessTest, UnknownOpcodeIsEnosys) {
+  auto session = raw_session();
+  ASSERT_TRUE(session.ok());
+  BufWriter request;
+  request.put_u8(250);
+  EXPECT_EQ(roundtrip(*session, request.data()), -ENOSYS);
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, EmptyAndTruncatedRequests) {
+  auto session = raw_session();
+  ASSERT_TRUE(session.ok());
+  // Truncated open (opcode only).
+  BufWriter open_request;
+  open_request.put_u8(static_cast<uint8_t>(ChirpOp::kOpen));
+  EXPECT_EQ(roundtrip(*session, open_request.data()), -EBADMSG);
+  // Length prefix claiming more bytes than present.
+  BufWriter lying;
+  lying.put_u8(static_cast<uint8_t>(ChirpOp::kStat));
+  lying.put_u32(1000000);
+  lying.put_raw("short");
+  EXPECT_EQ(roundtrip(*session, lying.data()), -EBADMSG);
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, RandomGarbageFrames) {
+  Rng rng(0xBADF00D);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto session = raw_session();
+    ASSERT_TRUE(session.ok());
+    std::string junk;
+    const size_t len = rng.below(200);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.below(256)));
+    }
+    // Any reply (or clean disconnect on an empty frame) is acceptable;
+    // crashing or hanging is not. An empty frame has no opcode at all.
+    EXPECT_TRUE(session->send_frame(junk).ok());
+    (void)session->recv_frame();
+  }
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, BogusHandleIdsAreEbadf) {
+  auto session = raw_session();
+  ASSERT_TRUE(session.ok());
+  for (int64_t handle : {int64_t{0}, int64_t{-1}, int64_t{999999}}) {
+    BufWriter request;
+    request.put_u8(static_cast<uint8_t>(ChirpOp::kPread));
+    request.put_i64(handle);
+    request.put_u32(16);
+    request.put_u64(0);
+    EXPECT_EQ(roundtrip(*session, request.data()), -EBADF) << handle;
+  }
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, HandlesAreSessionScoped) {
+  // A handle opened on one connection is invisible to another.
+  UnixCredential cred(current_unix_username());
+  auto first = ChirpClient::Connect("localhost", server_->port(), {&cred});
+  ASSERT_TRUE(first.ok());
+  auto handle = (*first)->open("/scoped.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+
+  auto second = ChirpClient::Connect("localhost", server_->port(), {&cred});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->pread(*handle, 4, 0).error_code(), EBADF);
+}
+
+TEST_F(RobustnessTest, PathTraversalStaysInExport) {
+  UnixCredential cred(current_unix_username());
+  auto client = ChirpClient::Connect("localhost", server_->port(), {&cred});
+  ASSERT_TRUE(client.ok());
+  // "../../etc/passwd" must resolve within the export (and not exist).
+  auto outside = (*client)->stat("/../../etc/passwd");
+  EXPECT_EQ(outside.error_code(), ENOENT);
+  // Planting a file at <export>/etc/passwd must make THAT reachable,
+  // proving the traversal was clamped rather than rejected by luck.
+  ASSERT_TRUE((*client)->mkdir("/etc").ok());
+  ASSERT_TRUE((*client)->put_file("/etc/passwd", "fake").ok());
+  auto clamped = (*client)->get_file("/../../etc/passwd");
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(*clamped, "fake");
+}
+
+TEST_F(RobustnessTest, OversizedFrameRefusedClientSide) {
+  auto channel = tcp_connect("localhost", server_->port());
+  ASSERT_TRUE(channel.ok());
+  std::string huge(FrameChannel::kMaxFrame + 1, 'x');
+  EXPECT_EQ(channel->send_frame(huge).error_code(), EMSGSIZE);
+}
+
+TEST_F(RobustnessTest, DisconnectMidRequestLeavesServerHealthy) {
+  for (int i = 0; i < 10; ++i) {
+    auto session = raw_session();
+    ASSERT_TRUE(session.ok());
+    BufWriter request;
+    request.put_u8(static_cast<uint8_t>(ChirpOp::kOpen));
+    // Send the frame header for a large payload, then vanish.
+    // (send only a partial frame by using the raw socket semantics:
+    // send_frame sends atomically, so instead just drop the connection
+    // right after a valid request without reading the reply.)
+    request.put_bytes("/some/file");
+    request.put_u32(O_RDONLY);
+    request.put_u32(0);
+    ASSERT_TRUE(session->send_frame(request.data()).ok());
+    // Destructor closes the socket with the reply unread.
+  }
+  expect_server_alive();
+}
+
+}  // namespace
+}  // namespace ibox

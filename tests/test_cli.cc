@@ -1,0 +1,150 @@
+// Black-box tests of the installed command-line tools: identity_box and
+// the chirp client against a chirp_server, driven exactly as a user would.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "auth/simple.h"
+#include "box/audit.h"
+#include "chirp/server.h"
+#include "util/fs.h"
+#include "util/path.h"
+#include "util/spawn.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+std::string example_bin(const std::string& name) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  buf[n > 0 ? n : 0] = '\0';
+  return path_join(path_dirname(path_dirname(buf)), "examples/" + name);
+}
+
+TEST(CliIdentityBox, UsageErrors) {
+  auto no_args = run_capture({example_bin("identity_box")});
+  ASSERT_TRUE(no_args.ok());
+  EXPECT_EQ(no_args->exit_code, 2);
+  EXPECT_NE(no_args->err.find("usage:"), std::string::npos);
+
+  auto bad_identity =
+      run_capture({example_bin("identity_box"), "has space", "/bin/true"});
+  ASSERT_TRUE(bad_identity.ok());
+  EXPECT_EQ(bad_identity->exit_code, 2);
+}
+
+TEST(CliIdentityBox, RunsCommandUnderIdentity) {
+  auto result = run_capture(
+      {example_bin("identity_box"), "CliUser", "/bin/sh", "-c", "whoami"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exit_code, 0) << result->err;
+  EXPECT_EQ(result->out, "CliUser\n");
+}
+
+TEST(CliIdentityBox, ExitCodeAndStatsFlag) {
+  auto result = run_capture({example_bin("identity_box"), "--stats",
+                             "CliUser", "/bin/sh", "-c", "exit 5"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exit_code, 5);
+  EXPECT_NE(result->err.find("identity_box stats:"), std::string::npos);
+  EXPECT_NE(result->err.find("trapped="), std::string::npos);
+}
+
+TEST(CliIdentityBox, AuditFlagWritesLog) {
+  TempDir tmp("cli-audit");
+  auto result = run_capture({example_bin("identity_box"), "--audit",
+                             tmp.sub("log"), "CliUser", "/bin/true"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exit_code, 0);
+  auto records = AuditLog::Load(tmp.sub("log"));
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(records->empty());
+}
+
+class CliChirpTest : public ::testing::Test {
+ protected:
+  CliChirpTest() : export_("cli-export"), state_("cli-state") {
+    ChirpServerOptions options;
+    options.export_root = export_.path();
+    options.state_dir = state_.path();
+    options.enable_unix = true;
+    options.root_acl_text = "unix:* rwlax\n";
+    auto server = ChirpServer::Start(options);
+    EXPECT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  std::vector<std::string> chirp(std::initializer_list<std::string> args) {
+    std::vector<std::string> argv = {example_bin("chirp"), "--unix",
+                                     "localhost",
+                                     std::to_string(server_->port())};
+    argv.insert(argv.end(), args);
+    return argv;
+  }
+
+  TempDir export_;
+  TempDir state_;
+  std::unique_ptr<ChirpServer> server_;
+};
+
+TEST_F(CliChirpTest, WhoamiPutGetLsAcl) {
+  auto who = run_capture(chirp({"whoami"}));
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(who->exit_code, 0) << who->err;
+  EXPECT_EQ(trim(who->out), "unix:" + current_unix_username());
+
+  TempDir local("cli-local");
+  ASSERT_TRUE(write_file(local.sub("up.txt"), "uploaded-via-cli").ok());
+  auto put = run_capture(chirp({"put", local.sub("up.txt"), "/up.txt"}));
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put->exit_code, 0) << put->err;
+
+  auto ls = run_capture(chirp({"ls", "/"}));
+  ASSERT_TRUE(ls.ok());
+  EXPECT_NE(ls->out.find("up.txt"), std::string::npos);
+
+  auto cat = run_capture(chirp({"cat", "/up.txt"}));
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->out, "uploaded-via-cli");
+
+  auto get = run_capture(chirp({"get", "/up.txt", local.sub("down.txt")}));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->exit_code, 0);
+  EXPECT_EQ(read_file(local.sub("down.txt")).value(), "uploaded-via-cli");
+
+  auto setacl = run_capture(chirp({"setacl", "/", "Collaborator", "rl"}));
+  ASSERT_TRUE(setacl.ok());
+  EXPECT_EQ(setacl->exit_code, 0) << setacl->err;
+  auto getacl = run_capture(chirp({"getacl", "/"}));
+  ASSERT_TRUE(getacl.ok());
+  EXPECT_NE(getacl->out.find("Collaborator rl"), std::string::npos);
+}
+
+TEST_F(CliChirpTest, RemoteExecViaCli) {
+  TempDir local("cli-exec");
+  ASSERT_TRUE(
+      write_file(local.sub("job.sh"), "#!/bin/sh\necho cli-exec-ran\n").ok());
+  auto put =
+      run_capture(chirp({"put", local.sub("job.sh"), "/job.sh", "493"}));
+  ASSERT_TRUE(put.ok());
+  ASSERT_EQ(put->exit_code, 0) << put->err;
+  auto exec = run_capture(chirp({"exec", "/", "./job.sh"}));
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->exit_code, 0) << exec->err;
+  EXPECT_EQ(exec->out, "cli-exec-ran\n");
+}
+
+TEST_F(CliChirpTest, FailuresSurfaceCleanly) {
+  auto missing = run_capture(chirp({"cat", "/does-not-exist"}));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->exit_code, 0);
+  EXPECT_NE(missing->err.find("chirp:"), std::string::npos);
+  auto unknown = run_capture(chirp({"frobnicate", "/x"}));
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->exit_code, 2);
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,110 @@
+#include "util/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rand.h"
+
+namespace ibox {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  BufWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i64(-42);
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.get_u8().value(), 0xab);
+  EXPECT_EQ(r.get_u16().value(), 0x1234);
+  EXPECT_EQ(r.get_u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i64().value(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, BytesRoundTrip) {
+  BufWriter w;
+  w.put_bytes("hello");
+  w.put_bytes("");
+  w.put_bytes(std::string("\x00\x01\x02", 3));
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.get_bytes().value(), "hello");
+  EXPECT_EQ(r.get_bytes().value(), "");
+  EXPECT_EQ(r.get_bytes().value(), std::string("\x00\x01\x02", 3));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  BufWriter w;
+  w.put_u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(w.data()[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(w.data()[3]), 0x01);
+}
+
+TEST(Codec, UnderrunReportsEbadmsg) {
+  BufReader r("ab");
+  EXPECT_EQ(r.get_u32().error_code(), EBADMSG);
+  // Position unchanged after failure: the two bytes are still readable.
+  EXPECT_EQ(r.get_u16().value(), static_cast<uint16_t>('a' | ('b' << 8)));
+}
+
+TEST(Codec, TruncatedBytesDoesNotAdvance) {
+  BufWriter w;
+  w.put_u32(100);  // claims 100 bytes follow
+  w.put_raw("short");
+  BufReader r(w.data());
+  EXPECT_EQ(r.get_bytes().error_code(), EBADMSG);
+  // Reader rolled back to before the length prefix.
+  EXPECT_EQ(r.remaining(), w.size());
+}
+
+TEST(Codec, EmptyReader) {
+  BufReader r("");
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.get_u8().error_code(), EBADMSG);
+}
+
+// Property: any sequence of writes reads back identically.
+TEST(Codec, RandomizedRoundTrip) {
+  Rng rng(20050512);
+  for (int trial = 0; trial < 200; ++trial) {
+    BufWriter w;
+    struct Field {
+      int kind;
+      uint64_t num;
+      std::string bytes;
+    };
+    std::vector<Field> fields;
+    const int count = static_cast<int>(rng.range(0, 20));
+    for (int i = 0; i < count; ++i) {
+      Field f;
+      f.kind = static_cast<int>(rng.below(5));
+      switch (f.kind) {
+        case 0: f.num = rng.below(256); w.put_u8(static_cast<uint8_t>(f.num)); break;
+        case 1: f.num = rng.below(65536); w.put_u16(static_cast<uint16_t>(f.num)); break;
+        case 2: f.num = rng.next() & 0xffffffffu; w.put_u32(static_cast<uint32_t>(f.num)); break;
+        case 3: f.num = rng.next(); w.put_u64(f.num); break;
+        case 4: f.bytes = rng.ident(rng.below(64)); w.put_bytes(f.bytes); break;
+      }
+      fields.push_back(f);
+    }
+    BufReader r(w.data());
+    for (const auto& f : fields) {
+      switch (f.kind) {
+        case 0: ASSERT_EQ(r.get_u8().value(), f.num); break;
+        case 1: ASSERT_EQ(r.get_u16().value(), f.num); break;
+        case 2: ASSERT_EQ(r.get_u32().value(), f.num); break;
+        case 3: ASSERT_EQ(r.get_u64().value(), f.num); break;
+        case 4: ASSERT_EQ(r.get_bytes().value(), f.bytes); break;
+      }
+    }
+    ASSERT_TRUE(r.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace ibox

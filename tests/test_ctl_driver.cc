@@ -1,0 +1,161 @@
+// The /ibox control namespace: unit tests against the driver through the
+// box Vfs, plus end-to-end use from a boxed shell (cat + echo managing
+// ACLs, the paper's sharing workflow driven from inside the box).
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+class CtlDriverTest : public ::testing::Test {
+ protected:
+  CtlDriverTest() : state_("ctltest") {
+    BoxOptions options;
+    options.state_dir = state_.path();
+    auto box = BoxContext::Create(id("Freddy"), options);
+    EXPECT_TRUE(box.ok());
+    box_ = std::move(*box);
+  }
+
+  std::string read_path(const std::string& path) {
+    auto handle = box_->vfs().open(path, O_RDONLY, 0);
+    if (!handle.ok()) return "<" + std::to_string(handle.error_code()) + ">";
+    std::string out;
+    char buf[512];
+    uint64_t off = 0;
+    while (true) {
+      auto got = (*handle)->pread(buf, sizeof(buf), off);
+      if (!got.ok() || *got == 0) break;
+      out.append(buf, *got);
+      off += *got;
+    }
+    return out;
+  }
+
+  Status write_path(const std::string& path, const std::string& text) {
+    auto handle = box_->vfs().open(path, O_WRONLY, 0);
+    if (!handle.ok()) return handle.error();
+    auto wrote = (*handle)->pwrite(text.data(), text.size(), 0);
+    if (!wrote.ok()) return wrote.error();
+    return Status::Ok();
+  }
+
+  TempDir state_;
+  std::unique_ptr<BoxContext> box_;
+};
+
+TEST_F(CtlDriverTest, UsernameReadsIdentity) {
+  EXPECT_EQ(read_path("/ibox/username"), "Freddy\n");
+  // Not writable.
+  EXPECT_EQ(box_->vfs().open("/ibox/username", O_WRONLY, 0).error_code(),
+            EACCES);
+}
+
+TEST_F(CtlDriverTest, AclReadReflectsGoverningAcl) {
+  const std::string home = box_->home_dir();
+  std::string acl = read_path("/ibox/acl" + home);
+  EXPECT_NE(acl.find("Freddy rwldax"), std::string::npos);
+  // Ungoverned directories have no ACL to show.
+  EXPECT_EQ(read_path("/ibox/acl/usr"), "<2>");  // ENOENT
+}
+
+TEST_F(CtlDriverTest, AclWriteGrantsAndRevokes) {
+  const std::string home = box_->home_dir();
+  // Freddy holds A in his home: he can grant George read+list...
+  ASSERT_TRUE(write_path("/ibox/acl" + home, "George rl\n").ok());
+  EXPECT_NE(read_path("/ibox/acl" + home).find("George rl"),
+            std::string::npos);
+  // ...and revoke with "-".
+  ASSERT_TRUE(write_path("/ibox/acl" + home, "George -\n").ok());
+  EXPECT_EQ(read_path("/ibox/acl" + home).find("George"),
+            std::string::npos);
+}
+
+TEST_F(CtlDriverTest, AclWriteNeedsAdminRight) {
+  // A second box for George over the same filesystem.
+  TempDir george_state("ctl-george");
+  BoxOptions options;
+  options.state_dir = george_state.path();
+  auto george_box = BoxContext::Create(id("George"), options);
+  ASSERT_TRUE(george_box.ok());
+  // George tries to grant himself rights in Freddy's home: no A right.
+  const std::string home = box_->home_dir();
+  auto handle =
+      (*george_box)->vfs().open("/ibox/acl" + home, O_WRONLY, 0);
+  ASSERT_TRUE(handle.ok());  // opening is free; the write is judged
+  auto wrote = (*handle)->pwrite("George rwlax\n", 13, 0);
+  EXPECT_EQ(wrote.error_code(), EACCES);
+}
+
+TEST_F(CtlDriverTest, MalformedEditRejected) {
+  const std::string home = box_->home_dir();
+  EXPECT_EQ(write_path("/ibox/acl" + home, "too many fields here\n")
+                .error_code(),
+            EINVAL);
+  EXPECT_EQ(write_path("/ibox/acl" + home, "George zz\n").error_code(),
+            EINVAL);
+  // Comments and blanks are fine (no-ops).
+  EXPECT_TRUE(write_path("/ibox/acl" + home, "# comment\n\n").ok());
+}
+
+TEST_F(CtlDriverTest, ListingAndStat) {
+  auto entries = box_->vfs().readdir("/ibox");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "acl");
+  EXPECT_EQ((*entries)[1].name, "username");
+  auto st = box_->vfs().stat("/ibox/username");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_regular());
+  EXPECT_EQ(st->size, 7u);  // "Freddy\n"
+  EXPECT_TRUE(box_->vfs().stat("/ibox").ok());
+  EXPECT_EQ(box_->vfs().stat("/ibox/nope").error_code(), ENOENT);
+  // Mutations are refused.
+  EXPECT_EQ(box_->vfs().mkdir("/ibox/x", 0755).error_code(), EPERM);
+  EXPECT_EQ(box_->vfs().unlink("/ibox/username").error_code(), EPERM);
+}
+
+// --------------------------- end to end, from a boxed shell --------------
+
+TEST_F(CtlDriverTest, BoxedShellManagesAcls) {
+  const std::string home = box_->home_dir();
+  UniqueFd out_fd(::memfd_create("ctl-out", 0));
+  ProcessRegistry registry;
+  Supervisor supervisor(*box_, registry);
+  Supervisor::Stdio stdio{-1, out_fd.get(), -1};
+  auto exit_code = supervisor.run(
+      {"/bin/sh", "-c",
+       "cat /ibox/username; "
+       "echo 'George rl' > /ibox/acl" + home + "; "
+       "cat /ibox/acl" + home},
+      {}, stdio);
+  ASSERT_TRUE(exit_code.ok());
+  EXPECT_EQ(*exit_code, 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n = ::pread(out_fd.get(), buf, sizeof(buf), 0);
+  if (n > 0) out.assign(buf, static_cast<size_t>(n));
+  EXPECT_NE(out.find("Freddy"), std::string::npos);
+  EXPECT_NE(out.find("George rl"), std::string::npos);
+
+  // The grant is real: George's box can now read Freddy's home.
+  TempDir george_state("ctl-george2");
+  BoxOptions options;
+  options.state_dir = george_state.path();
+  auto george_box = BoxContext::Create(id("George"), options);
+  ASSERT_TRUE(george_box.ok());
+  EXPECT_TRUE((*george_box)->vfs().readdir(home).ok());
+}
+
+}  // namespace
+}  // namespace ibox

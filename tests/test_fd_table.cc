@@ -1,0 +1,95 @@
+#include "vfs/fd_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+std::shared_ptr<OpenFileDescription> make_ofd(const std::string& path) {
+  auto ofd = std::make_shared<OpenFileDescription>();
+  ofd->box_path = path;
+  return ofd;
+}
+
+TEST(FdTable, InsertAllocatesLowestFreeFromMin) {
+  FdTable table;
+  EXPECT_EQ(table.insert(make_ofd("/a"), false, 300), 300);
+  EXPECT_EQ(table.insert(make_ofd("/b"), false, 300), 301);
+  EXPECT_TRUE(table.close(300).ok());
+  EXPECT_EQ(table.insert(make_ofd("/c"), false, 300), 300);  // reuses hole
+}
+
+TEST(FdTable, GetAndClose) {
+  FdTable table;
+  int fd = table.insert(make_ofd("/x"), false, 300);
+  auto ofd = table.get(fd);
+  ASSERT_TRUE(ofd.ok());
+  EXPECT_EQ((*ofd)->box_path, "/x");
+  EXPECT_TRUE(table.close(fd).ok());
+  EXPECT_EQ(table.get(fd).error_code(), EBADF);
+  EXPECT_EQ(table.close(fd).error_code(), EBADF);
+}
+
+TEST(FdTable, DupSharesDescription) {
+  FdTable table;
+  int fd = table.insert(make_ofd("/x"), false, 300);
+  auto dup = table.dup(fd, 300);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_NE(*dup, fd);
+  // Shared offset: advancing through one slot is visible through the other.
+  (*table.get(fd))->offset = 42;
+  EXPECT_EQ((*table.get(*dup))->offset, 42u);
+  // Closing one slot keeps the description alive in the other.
+  EXPECT_TRUE(table.close(fd).ok());
+  EXPECT_EQ((*table.get(*dup))->box_path, "/x");
+}
+
+TEST(FdTable, Dup2PlacesAtExactSlot) {
+  FdTable table;
+  int fd = table.insert(make_ofd("/x"), false, 300);
+  ASSERT_TRUE(table.dup2(fd, 5).ok());
+  EXPECT_EQ((*table.get(5))->box_path, "/x");
+  // dup2 onto an occupied slot replaces it.
+  int fd2 = table.insert(make_ofd("/y"), false, 300);
+  ASSERT_TRUE(table.dup2(fd2, 5).ok());
+  EXPECT_EQ((*table.get(5))->box_path, "/y");
+  EXPECT_EQ(table.dup2(999, 5).error_code(), EBADF);
+}
+
+TEST(FdTable, CopySharesDescriptionsForkStyle) {
+  FdTable parent;
+  int fd = parent.insert(make_ofd("/x"), false, 300);
+  FdTable child(parent);
+  (*child.get(fd))->offset = 7;
+  EXPECT_EQ((*parent.get(fd))->offset, 7u);  // shared after fork
+  // But slots are independent.
+  EXPECT_TRUE(child.close(fd).ok());
+  EXPECT_TRUE(parent.get(fd).ok());
+}
+
+TEST(FdTable, CloexecLifecycle) {
+  FdTable table;
+  int keep = table.insert(make_ofd("/keep"), false, 300);
+  int drop = table.insert(make_ofd("/drop"), true, 300);
+  EXPECT_FALSE(table.cloexec(keep));
+  EXPECT_TRUE(table.cloexec(drop));
+  ASSERT_TRUE(table.set_cloexec(keep, true).ok());
+  ASSERT_TRUE(table.set_cloexec(keep, false).ok());
+  EXPECT_EQ(table.set_cloexec(12345, true).error_code(), EBADF);
+
+  table.apply_cloexec();
+  EXPECT_TRUE(table.is_open(keep));
+  EXPECT_FALSE(table.is_open(drop));
+}
+
+TEST(FdTable, PlaceReplaces) {
+  FdTable table;
+  table.place(7, make_ofd("/a"), false);
+  table.place(7, make_ofd("/b"), true);
+  EXPECT_EQ((*table.get(7))->box_path, "/b");
+  EXPECT_TRUE(table.cloexec(7));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,97 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "util/path.h"
+
+namespace ibox {
+namespace {
+
+TEST(UniqueFd, ClosesOnDestruction) {
+  int raw = -1;
+  {
+    UniqueFd fd(::open("/dev/null", O_RDONLY));
+    ASSERT_TRUE(fd.valid());
+    raw = fd.get();
+  }
+  // fd closed: fcntl on it must fail.
+  EXPECT_EQ(::fcntl(raw, F_GETFD), -1);
+}
+
+TEST(UniqueFd, MoveTransfersOwnership) {
+  UniqueFd a(::open("/dev/null", O_RDONLY));
+  int raw = a.get();
+  UniqueFd b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.get(), raw);
+}
+
+TEST(ReadWriteFile, RoundTrip) {
+  TempDir tmp("fstest");
+  const std::string path = tmp.sub("f.txt");
+  ASSERT_TRUE(write_file(path, "contents\n").ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "contents\n");
+}
+
+TEST(ReadFile, MissingIsEnoent) {
+  TempDir tmp("fstest");
+  auto r = read_file(tmp.sub("missing"));
+  EXPECT_EQ(r.error_code(), ENOENT);
+}
+
+TEST(WriteFileAtomic, ReplacesAndLeavesNoTemp) {
+  TempDir tmp("fstest");
+  const std::string path = tmp.sub("acl");
+  ASSERT_TRUE(write_file_atomic(path, "v1").ok());
+  ASSERT_TRUE(write_file_atomic(path, "v2").ok());
+  EXPECT_EQ(read_file(path).value(), "v2");
+  auto entries = list_dir(tmp.path());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);  // no .tmp leftovers
+}
+
+TEST(MakeDirs, CreatesNested) {
+  TempDir tmp("fstest");
+  const std::string deep = tmp.sub("a/b/c");
+  ASSERT_TRUE(make_dirs(deep).ok());
+  EXPECT_TRUE(dir_exists(deep));
+  // Idempotent.
+  EXPECT_TRUE(make_dirs(deep).ok());
+}
+
+TEST(RemoveAll, RecursiveAndMissingOk) {
+  TempDir tmp("fstest");
+  ASSERT_TRUE(make_dirs(tmp.sub("x/y")).ok());
+  ASSERT_TRUE(write_file(tmp.sub("x/y/f"), "data").ok());
+  EXPECT_TRUE(remove_all(tmp.sub("x")).ok());
+  EXPECT_FALSE(file_exists(tmp.sub("x")));
+  EXPECT_TRUE(remove_all(tmp.sub("x")).ok());  // already gone
+}
+
+TEST(ListDir, SortedAndFiltered) {
+  TempDir tmp("fstest");
+  ASSERT_TRUE(write_file(tmp.sub("b"), "").ok());
+  ASSERT_TRUE(write_file(tmp.sub("a"), "").ok());
+  ASSERT_TRUE(make_dirs(tmp.sub("c")).ok());
+  auto entries = list_dir(tmp.path());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TempDir, RemovedOnDestruction) {
+  std::string path;
+  {
+    TempDir tmp("fstest");
+    path = tmp.path();
+    ASSERT_TRUE(dir_exists(path));
+    ASSERT_TRUE(write_file(tmp.sub("junk"), "x").ok());
+  }
+  EXPECT_FALSE(file_exists(path));
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,23 @@
+#include "box/get_user_name.h"
+
+#include <gtest/gtest.h>
+
+#include "auth/simple.h"
+
+namespace ibox {
+namespace {
+
+TEST(GetUserName, OutsideABoxFallsBackToUnixName) {
+  // The test process is not boxed: no /ibox/username exists.
+  EXPECT_FALSE(inside_identity_box());
+  EXPECT_EQ(get_user_name(), current_unix_username());
+  EXPECT_FALSE(get_user_name().empty());
+}
+
+// The inside-a-box behavior is asserted end-to-end by
+// SandboxTest.UsernameSurface (tests/test_sandbox.cc): a boxed
+// `cat /ibox/username` observes the box identity, which is exactly the
+// file this shim reads.
+
+}  // namespace
+}  // namespace ibox

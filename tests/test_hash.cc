@@ -1,0 +1,68 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+// FIPS 180-4 / RFC 4231 known-answer vectors.
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongInput) {
+  // One million 'a' characters (FIPS 180-4 test case).
+  std::string million(1000000, 'a');
+  EXPECT_EQ(sha256_hex(million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BlockBoundaries) {
+  // Inputs straddling the 64-byte block and the 56-byte padding threshold
+  // must all produce distinct, stable digests.
+  std::string a55(55, 'x'), a56(56, 'x'), a63(63, 'x'), a64(64, 'x'),
+      a65(65, 'x');
+  EXPECT_NE(sha256_hex(a55), sha256_hex(a56));
+  EXPECT_NE(sha256_hex(a63), sha256_hex(a64));
+  EXPECT_NE(sha256_hex(a64), sha256_hex(a65));
+  EXPECT_EQ(sha256_hex(a64), sha256_hex(a64));
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(hmac_sha256_hex(key, "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256_hex("Jefe", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  std::string key(131, '\xaa');
+  EXPECT_EQ(hmac_sha256_hex(key,
+                            "Test Using Larger Than Block-Size Key - Hash "
+                            "Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDiffer) {
+  EXPECT_NE(hmac_sha256_hex("k1", "msg"), hmac_sha256_hex("k2", "msg"));
+  EXPECT_NE(hmac_sha256_hex("k", "m1"), hmac_sha256_hex("k", "m2"));
+}
+
+TEST(Fnv1a64, KnownValues) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+}  // namespace
+}  // namespace ibox

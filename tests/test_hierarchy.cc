@@ -1,0 +1,158 @@
+#include "identity/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+HierName hn(const std::string& text) { return *HierName::Parse(text); }
+
+TEST(HierName, ParseAndFormat) {
+  auto name = HierName::Parse("root:dthain:grid:anon2");
+  ASSERT_TRUE(name);
+  EXPECT_EQ(name->str(), "root:dthain:grid:anon2");
+  EXPECT_EQ(name->depth(), 4u);
+  EXPECT_EQ(name->components()[1], "dthain");
+}
+
+TEST(HierName, RejectsMalformed) {
+  EXPECT_FALSE(HierName::Parse(""));
+  EXPECT_FALSE(HierName::Parse("a::b"));   // empty component
+  EXPECT_FALSE(HierName::Parse(":a"));
+  EXPECT_FALSE(HierName::Parse("a b:c"));  // space
+}
+
+TEST(HierName, ParentChild) {
+  auto name = hn("root:dthain:grid");
+  EXPECT_EQ(name.parent()->str(), "root:dthain");
+  EXPECT_EQ(name.child("visitor").str(), "root:dthain:grid:visitor");
+  EXPECT_FALSE(hn("root").parent());
+}
+
+TEST(HierName, PrefixRelation) {
+  EXPECT_TRUE(hn("root").is_prefix_of(hn("root:dthain")));
+  EXPECT_TRUE(hn("root:dthain").is_prefix_of(hn("root:dthain")));
+  EXPECT_FALSE(hn("root:dthain").is_prefix_of(hn("root")));
+  // Component-wise, not textual: "root:dt" is not a prefix of "root:dthain".
+  EXPECT_FALSE(hn("root:dt").is_prefix_of(hn("root:dthain")));
+}
+
+class IdentityTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Build the Figure 6 tree.
+    auto root = HierName::Root();
+    ASSERT_TRUE(tree.create(root, hn("root:dthain")).ok());
+    ASSERT_TRUE(tree.create(hn("root:dthain"), hn("root:dthain:httpd")).ok());
+    ASSERT_TRUE(
+        tree.create(hn("root:dthain:httpd"), hn("root:dthain:httpd:webapp"))
+            .ok());
+    ASSERT_TRUE(tree.create(hn("root:dthain"), hn("root:dthain:grid")).ok());
+    for (const char* leaf : {"visitor", "anon2", "anon5"}) {
+      ASSERT_TRUE(tree.create(hn("root:dthain:grid"),
+                              hn("root:dthain:grid").child(leaf))
+                      .ok());
+    }
+  }
+  IdentityTree tree;
+};
+
+TEST_F(IdentityTreeTest, Figure6Shape) {
+  EXPECT_TRUE(tree.exists(hn("root:dthain:grid:anon2")));
+  EXPECT_TRUE(tree.exists(hn("root:dthain:httpd:webapp")));
+  auto kids = tree.children(hn("root:dthain:grid"));
+  ASSERT_TRUE(kids.ok());
+  EXPECT_EQ(kids->size(), 3u);
+}
+
+TEST_F(IdentityTreeTest, CreateRequiresManagingParent) {
+  // grid's visitor cannot create a sibling under httpd.
+  EXPECT_EQ(tree.create(hn("root:dthain:grid:visitor"),
+                        hn("root:dthain:httpd:evil"))
+                .error_code(),
+            EACCES);
+  // But dthain (ancestor) can create anywhere below itself.
+  EXPECT_TRUE(
+      tree.create(hn("root:dthain"), hn("root:dthain:httpd:extra")).ok());
+}
+
+TEST_F(IdentityTreeTest, CreateErrors) {
+  EXPECT_EQ(tree.create(HierName::Root(), hn("root:dthain")).error_code(),
+            EEXIST);
+  EXPECT_EQ(tree.create(HierName::Root(), hn("root:ghost:sub")).error_code(),
+            ENOENT);
+  EXPECT_EQ(
+      tree.create(hn("root:nonexistent"), hn("root:dthain:x")).error_code(),
+      EACCES);
+}
+
+TEST_F(IdentityTreeTest, DelegationCanBeDisabled) {
+  DomainInfo sealed;
+  sealed.may_create_children = false;
+  ASSERT_TRUE(
+      tree.create(hn("root:dthain"), hn("root:dthain:sealed"), sealed).ok());
+  EXPECT_EQ(tree.create(hn("root:dthain:sealed"),
+                        hn("root:dthain:sealed:child"))
+                .error_code(),
+            EACCES);
+}
+
+TEST_F(IdentityTreeTest, DestroyCascades) {
+  ASSERT_TRUE(tree.destroy(hn("root:dthain"), hn("root:dthain:grid")).ok());
+  EXPECT_FALSE(tree.exists(hn("root:dthain:grid")));
+  EXPECT_FALSE(tree.exists(hn("root:dthain:grid:anon2")));
+  EXPECT_TRUE(tree.exists(hn("root:dthain:httpd")));
+}
+
+TEST_F(IdentityTreeTest, DestroyAuthority) {
+  // A domain may not destroy its manager or an unrelated branch.
+  EXPECT_EQ(tree.destroy(hn("root:dthain:grid"), hn("root:dthain"))
+                .error_code(),
+            EACCES);
+  EXPECT_EQ(tree.destroy(hn("root:dthain:httpd"), hn("root:dthain:grid"))
+                .error_code(),
+            EACCES);
+  // Root is indestructible.
+  EXPECT_EQ(tree.destroy(HierName::Root(), HierName::Root()).error_code(),
+            EPERM);
+  // A node may destroy itself.
+  EXPECT_TRUE(tree.destroy(hn("root:dthain:grid:visitor"),
+                           hn("root:dthain:grid:visitor"))
+                  .ok());
+}
+
+TEST_F(IdentityTreeTest, ManagementRelation) {
+  EXPECT_TRUE(tree.manages(HierName::Root(), hn("root:dthain:grid:anon2")));
+  EXPECT_TRUE(tree.manages(hn("root:dthain"), hn("root:dthain:httpd")));
+  EXPECT_FALSE(tree.manages(hn("root:dthain:httpd"), hn("root:dthain:grid")));
+  EXPECT_FALSE(tree.manages(hn("root:ghost"), hn("root:dthain")));
+}
+
+TEST_F(IdentityTreeTest, BindAndFindIdentity) {
+  // Fig 6: anon2 = /O=UnivNowhere/CN=Freddy.
+  auto freddy = *Identity::Parse("/O=UnivNowhere/CN=Freddy");
+  ASSERT_TRUE(tree.bind_identity(hn("root:dthain"),
+                                 hn("root:dthain:grid:anon2"), freddy)
+                  .ok());
+  auto found = tree.find_by_identity(freddy);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->str(), "root:dthain:grid:anon2");
+  EXPECT_FALSE(tree.find_by_identity(*Identity::Parse("unknown")));
+  // Binding requires management rights.
+  EXPECT_EQ(tree.bind_identity(hn("root:dthain:httpd"),
+                               hn("root:dthain:grid:anon5"), freddy)
+                .error_code(),
+            EACCES);
+}
+
+TEST_F(IdentityTreeTest, ChildrenListsOnlyDirectDescendants) {
+  auto kids = tree.children(hn("root:dthain"));
+  ASSERT_TRUE(kids.ok());
+  ASSERT_EQ(kids->size(), 2u);
+  EXPECT_EQ((*kids)[0].str(), "root:dthain:grid");
+  EXPECT_EQ((*kids)[1].str(), "root:dthain:httpd");
+  EXPECT_EQ(tree.children(hn("root:ghost")).error_code(), ENOENT);
+}
+
+}  // namespace
+}  // namespace ibox

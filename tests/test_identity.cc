@@ -1,0 +1,84 @@
+#include "identity/identity.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+TEST(AuthMethodNames, RoundTrip) {
+  for (AuthMethod m : {AuthMethod::kGlobus, AuthMethod::kKerberos,
+                       AuthMethod::kHostname, AuthMethod::kUnix}) {
+    auto name = auth_method_name(m);
+    ASSERT_FALSE(name.empty());
+    EXPECT_EQ(auth_method_from_name(name), m);
+  }
+  EXPECT_FALSE(auth_method_from_name("ssl"));
+  EXPECT_FALSE(auth_method_from_name(""));
+}
+
+TEST(Identity, ParsePrincipals) {
+  auto fred = Identity::Parse("globus:/O=UnivNowhere/CN=Fred");
+  ASSERT_TRUE(fred);
+  EXPECT_EQ(fred->method(), AuthMethod::kGlobus);
+  EXPECT_EQ(fred->name(), "/O=UnivNowhere/CN=Fred");
+  EXPECT_EQ(fred->str(), "globus:/O=UnivNowhere/CN=Fred");
+
+  auto krb = Identity::Parse("kerberos:fred@nowhere.edu");
+  ASSERT_TRUE(krb);
+  EXPECT_EQ(krb->method(), AuthMethod::kKerberos);
+  EXPECT_EQ(krb->name(), "fred@nowhere.edu");
+
+  auto host = Identity::Parse("hostname:laptop.cs.nowhere.edu");
+  ASSERT_TRUE(host);
+  EXPECT_EQ(host->method(), AuthMethod::kHostname);
+}
+
+TEST(Identity, FreeformNames) {
+  // "The supervising user can choose absolutely any name for the visitor."
+  for (const char* name : {"MyFriend", "JohnQPublic", "Anonymous429",
+                           "Freddy", "JoeHacker", "BigSoftwareCorp"}) {
+    auto id = Identity::Parse(name);
+    ASSERT_TRUE(id) << name;
+    EXPECT_EQ(id->method(), AuthMethod::kFreeform);
+    EXPECT_EQ(id->name(), name);
+  }
+}
+
+TEST(Identity, UnknownPrefixIsFreeform) {
+  auto id = Identity::Parse("https:example.com");
+  ASSERT_TRUE(id);
+  EXPECT_EQ(id->method(), AuthMethod::kFreeform);
+  EXPECT_EQ(id->name(), "https:example.com");
+}
+
+TEST(Identity, RejectsInvalidText) {
+  EXPECT_FALSE(Identity::Parse(""));
+  EXPECT_FALSE(Identity::Parse("has space"));
+  EXPECT_FALSE(Identity::Parse("has\ttab"));
+  EXPECT_FALSE(Identity::Parse("has\nnewline"));
+  EXPECT_FALSE(Identity::Parse("#comment-like"));
+  EXPECT_FALSE(Identity::Parse(std::string("nul\0byte", 8)));
+}
+
+TEST(Identity, MakeWithMethod) {
+  Identity id = Identity::Make(AuthMethod::kKerberos, "fred@nowhere.edu");
+  EXPECT_EQ(id.str(), "kerberos:fred@nowhere.edu");
+  Identity bare = Identity::Make(AuthMethod::kFreeform, "Freddy");
+  EXPECT_EQ(bare.str(), "Freddy");
+}
+
+TEST(Identity, Nobody) {
+  EXPECT_EQ(Identity::Nobody().str(), "nobody");
+  EXPECT_TRUE(Identity::Nobody().is_nobody());
+  EXPECT_FALSE(Identity::Parse("somebody")->is_nobody());
+}
+
+TEST(Identity, Ordering) {
+  auto a = *Identity::Parse("alpha");
+  auto b = *Identity::Parse("beta");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, *Identity::Parse("alpha"));
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,370 @@
+// The reference-monitor tests: every rule from paper sections 3 and 6.
+#include "vfs/local_driver.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fs.h"
+#include "util/path.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+class LocalDriverTest : public ::testing::Test {
+ protected:
+  LocalDriverTest() : tmp_("driver"), driver_(tmp_.path()) {}
+
+  // Creates a governed directory with the given ACL text.
+  void governed(const std::string& box_dir, const std::string& acl_text) {
+    ASSERT_TRUE(make_dirs(tmp_.path() + box_dir).ok());
+    auto acl = Acl::Parse(acl_text);
+    ASSERT_TRUE(acl.ok());
+    ASSERT_TRUE(driver_.stamp_acl(box_dir, *acl).ok());
+  }
+
+  void host_file(const std::string& box_path, const std::string& contents,
+                 int mode = 0644) {
+    ASSERT_TRUE(make_dirs(path_dirname(tmp_.path() + box_path)).ok());
+    ASSERT_TRUE(write_file(tmp_.path() + box_path, contents, mode).ok());
+  }
+
+  std::string read_via(const Identity& who, const std::string& path) {
+    auto handle = driver_.open(who, path, O_RDONLY, 0);
+    if (!handle.ok()) return "<" + std::to_string(handle.error_code()) + ">";
+    char buf[256];
+    auto got = (*handle)->pread(buf, sizeof(buf), 0);
+    if (!got.ok()) return "<read-error>";
+    return std::string(buf, *got);
+  }
+
+  TempDir tmp_;
+  LocalDriver driver_;
+  const Identity fred_ = id("globus:/O=UnivNowhere/CN=Fred");
+  const Identity george_ = id("globus:/O=UnivNowhere/CN=George");
+  const Identity eve_ = id("Eve");
+};
+
+// ---------------------------------------------------------- open / read --
+
+TEST_F(LocalDriverTest, GovernedOpenRespectsAcl) {
+  governed("/work", "globus:/O=UnivNowhere/CN=Fred rwlax\n"
+                    "globus:/O=UnivNowhere/* rl\n");
+  host_file("/work/data.txt", "payload");
+
+  EXPECT_EQ(read_via(fred_, "/work/data.txt"), "payload");
+  EXPECT_EQ(read_via(george_, "/work/data.txt"), "payload");  // wildcard rl
+  EXPECT_EQ(read_via(eve_, "/work/data.txt"), "<13>");        // EACCES
+
+  // Write requires w: George (rl) may not create or modify.
+  EXPECT_EQ(driver_.open(george_, "/work/new.txt", O_WRONLY | O_CREAT, 0644)
+                .error_code(),
+            EACCES);
+  EXPECT_EQ(
+      driver_.open(george_, "/work/data.txt", O_WRONLY, 0).error_code(),
+      EACCES);
+  EXPECT_TRUE(
+      driver_.open(fred_, "/work/new.txt", O_WRONLY | O_CREAT, 0644).ok());
+}
+
+TEST_F(LocalDriverTest, RdwrNeedsBothRights) {
+  governed("/w", "Alice rl\nBob rwl\n");
+  host_file("/w/f", "x");
+  EXPECT_EQ(driver_.open(id("Alice"), "/w/f", O_RDWR, 0).error_code(),
+            EACCES);
+  EXPECT_TRUE(driver_.open(id("Bob"), "/w/f", O_RDWR, 0).ok());
+}
+
+TEST_F(LocalDriverTest, TruncAndAppendCountAsWrites) {
+  governed("/w", "Reader rl\n");
+  host_file("/w/f", "x");
+  EXPECT_EQ(
+      driver_.open(id("Reader"), "/w/f", O_RDONLY | O_TRUNC, 0).error_code(),
+      EACCES);
+}
+
+TEST_F(LocalDriverTest, NobodyFallbackProtectsOwner) {
+  // Ungoverned directory: Unix "other" bits decide (Figure 2's `secret`).
+  host_file("/plain/secret", "top secret", 0600);
+  host_file("/plain/public", "open data", 0644);
+  EXPECT_EQ(read_via(fred_, "/plain/secret"), "<13>");
+  EXPECT_EQ(read_via(fred_, "/plain/public"), "open data");
+  // Creating in a non-world-writable ungoverned dir is denied.
+  EXPECT_EQ(driver_.open(fred_, "/plain/new", O_WRONLY | O_CREAT, 0644)
+                .error_code(),
+            EACCES);
+}
+
+TEST_F(LocalDriverTest, OpenErrors) {
+  governed("/w", "Fred rwlax\n");
+  EXPECT_EQ(driver_.open(id("Fred"), "/w/none", O_RDONLY, 0).error_code(),
+            ENOENT);
+  host_file("/w/f", "x");
+  EXPECT_EQ(driver_.open(id("Fred"), "/w/f", O_CREAT | O_EXCL | O_WRONLY,
+                         0644)
+                .error_code(),
+            EEXIST);
+  EXPECT_EQ(driver_.open(id("Fred"), "/w", O_WRONLY, 0).error_code(),
+            EISDIR);
+}
+
+TEST_F(LocalDriverTest, AclFileIsUnreachable) {
+  governed("/w", "Fred rwlax\n");
+  EXPECT_EQ(driver_.open(id("Fred"), "/w/.__acl", O_RDONLY, 0).error_code(),
+            EACCES);
+  EXPECT_EQ(driver_.unlink(id("Fred"), "/w/.__acl").error_code(), EACCES);
+  EXPECT_EQ(
+      driver_.rename(id("Fred"), "/w/.__acl", "/w/stolen").error_code(),
+      EACCES);
+  EXPECT_EQ(driver_.link(id("Fred"), "/w/.__acl", "/w/alias").error_code(),
+            EACCES);
+}
+
+// ------------------------------------------------------------- symlinks --
+
+TEST_F(LocalDriverTest, SymlinkCheckedAtTargetDirectory) {
+  // Garfinkel pitfall 2: permissions belong to the target's directory.
+  governed("/open", "Fred rwlax\n");
+  governed("/closed", "Admin rwlax\n");
+  host_file("/closed/secret.txt", "hidden");
+  // Box-absolute target: resolved within the export namespace.
+  ASSERT_EQ(::symlink("/closed/secret.txt",
+                      (tmp_.path() + "/open/alias").c_str()),
+            0);
+  // Fred has full rights in /open, but the *target* lives in /closed.
+  EXPECT_EQ(read_via(id("Fred"), "/open/alias"), "<13>");
+  EXPECT_EQ(read_via(id("Admin"), "/open/alias"), "hidden");
+}
+
+TEST_F(LocalDriverTest, SymlinkTargetsResolveInsideExport) {
+  // An absolute symlink target is interpreted within the box namespace, so
+  // links cannot escape the export root.
+  governed("/w", "Fred rwlax\n");
+  host_file("/w/inside.txt", "inside");
+  ASSERT_EQ(::symlink("/w/inside.txt",
+                      (tmp_.path() + "/w/abs-link").c_str()),
+            0);
+  EXPECT_EQ(read_via(id("Fred"), "/w/abs-link"), "inside");
+  // "/etc/passwd" as a target resolves to <export>/etc/passwd (absent).
+  ASSERT_EQ(::symlink("/etc/passwd",
+                      (tmp_.path() + "/w/escape").c_str()),
+            0);
+  EXPECT_EQ(driver_.open(id("Fred"), "/w/escape", O_RDONLY, 0).error_code(),
+            ENOENT);
+}
+
+TEST_F(LocalDriverTest, SymlinkLoopsReportEloop) {
+  governed("/w", "Fred rwlax\n");
+  ASSERT_EQ(::symlink("/w/loop-b", (tmp_.path() + "/w/loop-a").c_str()), 0);
+  ASSERT_EQ(::symlink("/w/loop-a", (tmp_.path() + "/w/loop-b").c_str()), 0);
+  EXPECT_EQ(driver_.open(id("Fred"), "/w/loop-a", O_RDONLY, 0).error_code(),
+            ELOOP);
+}
+
+TEST_F(LocalDriverTest, LstatAndReadlinkDoNotFollow) {
+  governed("/w", "Fred rwlax\n");
+  host_file("/w/real", "data");
+  ASSERT_EQ(::symlink("/w/real", (tmp_.path() + "/w/ln").c_str()), 0);
+  auto st = driver_.lstat(id("Fred"), "/w/ln");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_symlink());
+  auto followed = driver_.stat(id("Fred"), "/w/ln");
+  ASSERT_TRUE(followed.ok());
+  EXPECT_TRUE(followed->is_regular());
+  auto target = driver_.readlink(id("Fred"), "/w/ln");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/w/real");
+}
+
+TEST_F(LocalDriverTest, SymlinkCreationNeedsWrite) {
+  governed("/w", "Fred rwlax\nGeorge rl\n");
+  EXPECT_TRUE(driver_.symlink(id("Fred"), "target", "/w/l1").ok());
+  EXPECT_EQ(driver_.symlink(id("George"), "target", "/w/l2").error_code(),
+            EACCES);
+}
+
+// ------------------------------------------------------------ hard links --
+
+TEST_F(LocalDriverTest, HardLinkToUnreadableFileRefused) {
+  // "Parrot is obliged to prevent hard links to files that the user cannot
+  // access."
+  governed("/mine", "Fred rwlax\n");
+  governed("/theirs", "Admin rwlax\n");
+  host_file("/theirs/private.txt", "private");
+  EXPECT_EQ(driver_.link(id("Fred"), "/theirs/private.txt", "/mine/steal")
+                .error_code(),
+            EACCES);
+  // Linking one's own readable file works.
+  host_file("/mine/own.txt", "own");
+  EXPECT_TRUE(driver_.link(id("Fred"), "/mine/own.txt", "/mine/alias").ok());
+  EXPECT_EQ(read_via(id("Fred"), "/mine/alias"), "own");
+}
+
+// ------------------------------------------------------ directory ops ----
+
+TEST_F(LocalDriverTest, MkdirInheritAndReserve) {
+  governed("/", "Fred wv(rwlax)\nGeorge v(rl)\n");
+  // Fred holds w: inheriting mkdir.
+  ASSERT_TRUE(driver_.mkdir(id("Fred"), "/byfred", 0755).ok());
+  auto inherited = driver_.acl_store().load(tmp_.path() + "/byfred");
+  ASSERT_TRUE(inherited.ok() && inherited->has_value());
+  EXPECT_EQ((*inherited)->size(), 2u);  // copy of parent
+
+  // George holds only v(rl): reserved mkdir with a fresh single-entry ACL.
+  ASSERT_TRUE(driver_.mkdir(id("George"), "/bygeorge", 0755).ok());
+  auto fresh = driver_.acl_store().load(tmp_.path() + "/bygeorge");
+  ASSERT_TRUE(fresh.ok() && fresh->has_value());
+  ASSERT_EQ((*fresh)->size(), 1u);
+  EXPECT_TRUE((*fresh)->rights_for(id("George")).can_list());
+  EXPECT_FALSE((*fresh)->rights_for(id("George")).can_write());
+}
+
+TEST_F(LocalDriverTest, MkdirUngovernedFallback) {
+  ASSERT_TRUE(make_dirs(tmp_.path() + "/world", 0777).ok());
+  ASSERT_EQ(::chmod((tmp_.path() + "/world").c_str(), 0777), 0);  // vs umask
+  EXPECT_TRUE(driver_.mkdir(id("Fred"), "/world/sub", 0755).ok());
+  ASSERT_TRUE(make_dirs(tmp_.path() + "/locked", 0755).ok());
+  EXPECT_EQ(driver_.mkdir(id("Fred"), "/locked/sub", 0755).error_code(), EACCES);
+}
+
+TEST_F(LocalDriverTest, RmdirRemovesAclFileImplicitly) {
+  governed("/", "Fred rwlax\n");
+  ASSERT_TRUE(driver_.mkdir(id("Fred"), "/d", 0755).ok());
+  // The governed child contains .__acl; rmdir must treat it as empty.
+  EXPECT_TRUE(driver_.rmdir(id("Fred"), "/d").ok());
+  EXPECT_FALSE(dir_exists(tmp_.path() + "/d"));
+}
+
+TEST_F(LocalDriverTest, RmdirNonEmptyFails) {
+  governed("/", "Fred rwlax\n");
+  ASSERT_TRUE(driver_.mkdir(id("Fred"), "/d", 0755).ok());
+  host_file("/d/keep", "x");
+  EXPECT_EQ(driver_.rmdir(id("Fred"), "/d").error_code(), ENOTEMPTY);
+}
+
+TEST_F(LocalDriverTest, UnlinkRules) {
+  governed("/w", "Fred rwlax\nGeorge rl\n");
+  host_file("/w/f", "x");
+  EXPECT_EQ(driver_.unlink(id("George"), "/w/f").error_code(), EACCES);
+  EXPECT_TRUE(driver_.unlink(id("Fred"), "/w/f").ok());
+  EXPECT_EQ(driver_.unlink(id("Fred"), "/w/f").error_code(), ENOENT);
+  ASSERT_TRUE(driver_.mkdir(id("Fred"), "/w/d", 0755).ok());
+  EXPECT_EQ(driver_.unlink(id("Fred"), "/w/d").error_code(), EISDIR);
+}
+
+TEST_F(LocalDriverTest, DeleteRightWithoutWrite) {
+  governed("/w", "Janitor rld\n");
+  host_file("/w/trash", "x");
+  EXPECT_TRUE(driver_.unlink(id("Janitor"), "/w/trash").ok());
+  EXPECT_EQ(driver_.open(id("Janitor"), "/w/new", O_WRONLY | O_CREAT, 0644)
+                .error_code(),
+            EACCES);
+}
+
+TEST_F(LocalDriverTest, RenameNeedsDeleteAndWrite) {
+  governed("/a", "Fred rwlax\n");
+  governed("/b", "Fred rl\n");
+  host_file("/a/f", "x");
+  // Target dir grants no w.
+  EXPECT_EQ(driver_.rename(id("Fred"), "/a/f", "/b/f").error_code(), EACCES);
+  governed("/c", "Fred rwlax\n");
+  EXPECT_TRUE(driver_.rename(id("Fred"), "/a/f", "/c/f").ok());
+  EXPECT_EQ(read_via(id("Fred"), "/c/f"), "x");
+}
+
+TEST_F(LocalDriverTest, ReaddirHidesAclAndNeedsList) {
+  governed("/w", "Fred rwlax\nNoList x\n");
+  host_file("/w/visible.txt", "x");
+  auto entries = driver_.readdir(id("Fred"), "/w");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "visible.txt");
+  EXPECT_EQ(driver_.readdir(id("NoList"), "/w").error_code(), EACCES);
+}
+
+TEST_F(LocalDriverTest, StatRequiresListInContainingDir) {
+  governed("/w", "Fred rwlax\nBlind x\n");
+  host_file("/w/f", "x");
+  EXPECT_TRUE(driver_.stat(id("Fred"), "/w/f").ok());
+  EXPECT_EQ(driver_.stat(id("Blind"), "/w/f").error_code(), EACCES);
+}
+
+// ------------------------------------------------------------- the rest --
+
+TEST_F(LocalDriverTest, TruncateChmodUtimeNeedWrite) {
+  governed("/w", "Fred rwlax\nGeorge rl\n");
+  host_file("/w/f", "0123456789");
+  EXPECT_TRUE(driver_.truncate(id("Fred"), "/w/f", 4).ok());
+  EXPECT_EQ(read_via(id("Fred"), "/w/f"), "0123");
+  EXPECT_EQ(driver_.truncate(id("George"), "/w/f", 1).error_code(), EACCES);
+  EXPECT_TRUE(driver_.chmod(id("Fred"), "/w/f", 0755).ok());
+  EXPECT_EQ(driver_.chmod(id("George"), "/w/f", 0777).error_code(), EACCES);
+  EXPECT_TRUE(driver_.utime(id("Fred"), "/w/f", 1000, 2000).ok());
+  auto st = driver_.stat(id("Fred"), "/w/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mtime_sec, 2000u);
+}
+
+TEST_F(LocalDriverTest, AccessProbes) {
+  governed("/w", "Fred rwlax\nGeorge rlx\n");
+  host_file("/w/prog", "#!/bin/sh\n", 0755);
+  EXPECT_TRUE(driver_.access(id("Fred"), "/w/prog", Access::kExecute).ok());
+  EXPECT_TRUE(driver_.access(id("George"), "/w/prog", Access::kExecute).ok());
+  EXPECT_EQ(driver_.access(id("George"), "/w/prog", Access::kWrite)
+                .error_code(),
+            EACCES);
+  EXPECT_EQ(driver_.access(eve_, "/w/prog", Access::kRead).error_code(),
+            EACCES);
+}
+
+TEST_F(LocalDriverTest, GetSetAcl) {
+  governed("/w", "Fred rwlax\nGeorge rl\n");
+  auto text = driver_.getacl(id("Fred"), "/w");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Fred"), std::string::npos);
+
+  // Fred (admin) grants Eve write access — the sharing story.
+  ASSERT_TRUE(driver_.setacl(id("Fred"), "/w", "Eve", "rwl").ok());
+  host_file("/w/f", "shared");
+  EXPECT_EQ(read_via(eve_, "/w/f"), "shared");
+
+  // George (no admin right) may not.
+  EXPECT_EQ(driver_.setacl(id("George"), "/w", "George", "rwlax")
+                .error_code(),
+            EACCES);
+  // Malformed rights are EINVAL.
+  EXPECT_EQ(driver_.setacl(id("Fred"), "/w", "X", "zz").error_code(), EINVAL);
+}
+
+TEST_F(LocalDriverTest, PathsCannotClimbOutOfExport) {
+  governed("/", "Fred rwlax\n");
+  // ".." components are cleaned lexically before translation.
+  auto st = driver_.stat(fred_, "/../../etc/passwd");
+  // Resolves to <export>/etc/passwd which does not exist.
+  EXPECT_EQ(st.error_code(), ENOENT);
+}
+
+TEST_F(LocalDriverTest, FileHandleIo) {
+  governed("/w", "Fred rwlax\n");
+  auto handle = driver_.open(id("Fred"), "/w/io.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+  auto wrote = (*handle)->pwrite("hello world", 11, 0);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 11u);
+  char buf[16] = {0};
+  auto got = (*handle)->pread(buf, sizeof(buf), 6);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, *got), "world");
+  ASSERT_TRUE((*handle)->ftruncate(5).ok());
+  auto st = (*handle)->fstat();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 5u);
+  EXPECT_TRUE((*handle)->fsync().ok());
+  EXPECT_GE((*handle)->native_fd(), 0);
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,53 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  // Unknown text falls back to the default (warn).
+  EXPECT_EQ(parse_log_level("chatty"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGet) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(original);
+}
+
+TEST(Log, SuppressedLevelsDoNotEvaluate) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  IBOX_DEBUG << expensive();
+  IBOX_ERROR << expensive();
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits below the level
+  set_log_level(original);
+}
+
+TEST(Log, EmitDoesNotCrash) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  IBOX_DEBUG << "debug " << 42 << " mixed " << 3.5;
+  IBOX_INFO << "info line";
+  IBOX_WARN << "warn line";
+  IBOX_ERROR << "error line";
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,72 @@
+#include "vfs/mount_table.h"
+
+#include <gtest/gtest.h>
+
+#include "vfs/local_driver.h"
+#include "vfs/vfs.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+std::unique_ptr<Driver> local(const std::string& root) {
+  return std::make_unique<LocalDriver>(root);
+}
+
+TEST(MountTable, RootDriverServesEverythingByDefault) {
+  MountTable table(local("/"));
+  auto at = table.resolve("/some/path");
+  EXPECT_EQ(at.driver, table.root_driver());
+  EXPECT_EQ(at.driver_path, "/some/path");
+  EXPECT_EQ(at.mount_point, "/");
+}
+
+TEST(MountTable, LongestPrefixWins) {
+  MountTable table(local("/"));
+  ASSERT_TRUE(table.mount("/chirp", local("/tmp")).ok());
+  ASSERT_TRUE(table.mount("/chirp/special", local("/var")).ok());
+
+  auto shallow = table.resolve("/chirp/host/file");
+  EXPECT_EQ(shallow.mount_point, "/chirp");
+  EXPECT_EQ(shallow.driver_path, "/host/file");
+
+  auto deep = table.resolve("/chirp/special/file");
+  EXPECT_EQ(deep.mount_point, "/chirp/special");
+  EXPECT_EQ(deep.driver_path, "/file");
+
+  auto exact = table.resolve("/chirp/special");
+  EXPECT_EQ(exact.driver_path, "/");
+}
+
+TEST(MountTable, PrefixBoundaryIsComponentWise) {
+  MountTable table(local("/"));
+  ASSERT_TRUE(table.mount("/chirp", local("/tmp")).ok());
+  // "/chirpy" is NOT under the "/chirp" mount.
+  auto at = table.resolve("/chirpy/file");
+  EXPECT_EQ(at.mount_point, "/");
+}
+
+TEST(MountTable, MountValidation) {
+  MountTable table(local("/"));
+  EXPECT_EQ(table.mount("relative", local("/tmp")).error_code(), EINVAL);
+  EXPECT_EQ(table.mount("/", local("/tmp")).error_code(), EINVAL);
+  ASSERT_TRUE(table.mount("/m", local("/tmp")).ok());
+  EXPECT_EQ(table.mount("/m", local("/tmp")).error_code(), EEXIST);
+  EXPECT_EQ(table.mount_points(), (std::vector<std::string>{"/m"}));
+}
+
+TEST(VfsRedirect, ExactPathOnly) {
+  TempDir tmp("vfsredir");
+  ASSERT_TRUE(write_file(tmp.sub("replacement"), "boxed passwd").ok());
+  Vfs vfs(*Identity::Parse("Freddy"),
+          std::make_unique<MountTable>(local("/")));
+  vfs.add_redirect("/etc/passwd", tmp.sub("replacement"));
+
+  EXPECT_EQ(vfs.apply_redirects("/etc/passwd"), tmp.sub("replacement"));
+  EXPECT_EQ(vfs.apply_redirects("/etc/passwd2"), "/etc/passwd2");
+  EXPECT_EQ(vfs.apply_redirects("/etc/./passwd"), tmp.sub("replacement"));
+  EXPECT_EQ(vfs.apply_redirects("/etc"), "/etc");
+}
+
+}  // namespace
+}  // namespace ibox

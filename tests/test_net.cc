@@ -1,0 +1,123 @@
+// FrameChannel / TcpListener transport tests over loopback.
+#include "chirp/net.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/rand.h"
+
+namespace ibox {
+namespace {
+
+struct Pair {
+  FrameChannel client;
+  FrameChannel server;
+};
+
+Pair make_pair() {
+  auto listener = TcpListener::Bind(0);
+  EXPECT_TRUE(listener.ok());
+  auto client = tcp_connect("localhost", listener->port());
+  EXPECT_TRUE(client.ok());
+  auto server = listener->accept();
+  EXPECT_TRUE(server.ok());
+  return Pair{std::move(*client), std::move(*server)};
+}
+
+TEST(Net, FrameRoundTrip) {
+  auto pair = make_pair();
+  ASSERT_TRUE(pair.client.send_frame("hello frames").ok());
+  auto got = pair.server.recv_frame();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello frames");
+  // And the other direction.
+  ASSERT_TRUE(pair.server.send_frame("reply").ok());
+  EXPECT_EQ(pair.client.recv_frame().value(), "reply");
+}
+
+TEST(Net, EmptyAndBinaryFrames) {
+  auto pair = make_pair();
+  ASSERT_TRUE(pair.client.send_frame("").ok());
+  EXPECT_EQ(pair.server.recv_frame().value(), "");
+  std::string binary("\x00\x01\xff\x00zz", 6);
+  ASSERT_TRUE(pair.client.send_frame(binary).ok());
+  EXPECT_EQ(pair.server.recv_frame().value(), binary);
+}
+
+TEST(Net, ManyFramesPreserveBoundaries) {
+  auto pair = make_pair();
+  Rng rng(88);
+  std::vector<std::string> sent;
+  std::thread sender([&] {
+    Rng thread_rng(88);
+    for (int i = 0; i < 200; ++i) {
+      std::string frame = thread_rng.ident(thread_rng.below(2000));
+      (void)pair.client.send_frame(frame);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    std::string expect = rng.ident(rng.below(2000));
+    auto got = pair.server.recv_frame();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, expect) << "frame " << i;
+  }
+  sender.join();
+}
+
+TEST(Net, LargeFrame) {
+  auto pair = make_pair();
+  std::string big(4u << 20, 'B');
+  std::thread sender([&] { (void)pair.client.send_frame(big); });
+  auto got = pair.server.recv_frame();
+  sender.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), big.size());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(Net, OversizeRefused) {
+  auto pair = make_pair();
+  std::string too_big(FrameChannel::kMaxFrame + 1, 'x');
+  EXPECT_EQ(pair.client.send_frame(too_big).error_code(), EMSGSIZE);
+}
+
+TEST(Net, DisconnectYieldsEpipe) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = tcp_connect("localhost", listener->port());
+  ASSERT_TRUE(client.ok());
+  {
+    auto server = listener->accept();
+    ASSERT_TRUE(server.ok());
+    // server connection drops here
+  }
+  EXPECT_EQ(client->recv_frame().error_code(), EPIPE);
+}
+
+TEST(Net, PeerAddressIsLoopback) {
+  auto pair = make_pair();
+  EXPECT_EQ(pair.server.peer_ip(), "127.0.0.1");
+  EXPECT_NE(pair.server.peer_address().find("127.0.0.1:"),
+            std::string::npos);
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  // Bind then immediately drop a listener to find a (probably) free port.
+  uint16_t port;
+  {
+    auto listener = TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok());
+    port = listener->port();
+  }
+  auto client = tcp_connect("localhost", port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(Net, BadHostname) {
+  EXPECT_EQ(tcp_connect("not-an-ip-or-localhost", 80).error_code(),
+            EHOSTUNREACH);
+}
+
+}  // namespace
+}  // namespace ibox

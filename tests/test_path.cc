@@ -1,0 +1,106 @@
+#include "util/path.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+TEST(PathClean, Basics) {
+  EXPECT_EQ(path_clean("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(path_clean("/a//b///c"), "/a/b/c");
+  EXPECT_EQ(path_clean("/a/./b/."), "/a/b");
+  EXPECT_EQ(path_clean("/"), "/");
+  EXPECT_EQ(path_clean(""), ".");
+  EXPECT_EQ(path_clean("."), ".");
+  EXPECT_EQ(path_clean("a/b"), "a/b");
+}
+
+TEST(PathClean, DotDot) {
+  EXPECT_EQ(path_clean("/a/b/../c"), "/a/c");
+  EXPECT_EQ(path_clean("/a/../../b"), "/b");  // cannot escape root
+  EXPECT_EQ(path_clean("/.."), "/");
+  EXPECT_EQ(path_clean("a/../b"), "b");
+  EXPECT_EQ(path_clean("../a"), "../a");     // relative may escape upward
+  EXPECT_EQ(path_clean("a/../../b"), "../b");
+  EXPECT_EQ(path_clean("a/.."), ".");
+}
+
+TEST(PathClean, TrailingSlash) {
+  EXPECT_EQ(path_clean("/a/b/"), "/a/b");
+  EXPECT_EQ(path_clean("a/"), "a");
+}
+
+TEST(PathJoin, Basics) {
+  EXPECT_EQ(path_join("/a", "b"), "/a/b");
+  EXPECT_EQ(path_join("/a/", "b/c"), "/a/b/c");
+  EXPECT_EQ(path_join("/a", "/b"), "/b");  // absolute rel replaces base
+  EXPECT_EQ(path_join("/a", ""), "/a");
+  EXPECT_EQ(path_join("", "b"), "b");
+  EXPECT_EQ(path_join("/a", "../b"), "/b");
+}
+
+TEST(PathDirname, Basics) {
+  EXPECT_EQ(path_dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(path_dirname("/a"), "/");
+  EXPECT_EQ(path_dirname("/"), "/");
+  EXPECT_EQ(path_dirname("a"), ".");
+  EXPECT_EQ(path_dirname("a/b"), "a");
+}
+
+TEST(PathBasename, Basics) {
+  EXPECT_EQ(path_basename("/a/b/c"), "c");
+  EXPECT_EQ(path_basename("/"), "/");
+  EXPECT_EQ(path_basename("a"), "a");
+  EXPECT_EQ(path_basename("/a/b/"), "b");
+}
+
+TEST(PathComponents, Basics) {
+  EXPECT_EQ(path_components("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(path_components("/").empty());
+  EXPECT_EQ(path_components("a//b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PathIsWithin, Basics) {
+  EXPECT_TRUE(path_is_within("/a/b", "/a/b"));
+  EXPECT_TRUE(path_is_within("/a/b", "/a/b/c"));
+  EXPECT_FALSE(path_is_within("/a/b", "/a/bc"));  // prefix but not subpath
+  EXPECT_FALSE(path_is_within("/a/b", "/a"));
+  EXPECT_TRUE(path_is_within("/", "/anything"));
+  EXPECT_TRUE(path_is_within("/", "/"));
+  EXPECT_TRUE(path_is_within("/a/b", "/a/b/../b/c"));  // cleaned first
+  EXPECT_FALSE(path_is_within("/a/b", "/a/b/../c"));   // escapes after clean
+}
+
+TEST(PathIsAbsolute, Basics) {
+  EXPECT_TRUE(path_is_absolute("/a"));
+  EXPECT_FALSE(path_is_absolute("a"));
+  EXPECT_FALSE(path_is_absolute(""));
+}
+
+// Property sweep: cleaning is idempotent and never emits "//", "/./" or a
+// trailing slash (except the root itself).
+class PathCleanProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PathCleanProperty, IdempotentAndCanonical) {
+  std::string once = path_clean(GetParam());
+  EXPECT_EQ(path_clean(once), once);
+  EXPECT_EQ(once.find("//"), std::string::npos) << once;
+  EXPECT_EQ(once.find("/./"), std::string::npos) << once;
+  if (once != "/") {
+    EXPECT_FALSE(!once.empty() && once.back() == '/') << once;
+  }
+  // Absolute inputs stay absolute.
+  if (GetParam()[0] == '/') {
+    EXPECT_EQ(once[0], '/');
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PathCleanProperty,
+    ::testing::Values("/", "//", "///x//y//", "/a/b/../../../..", "a/./b/..",
+                      "./..", "../../..", "/x/./y/./z/..", "x//..//y",
+                      "/work/./sim.exe", "a/b/c/d/../../../../e", ".."));
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,97 @@
+#include "identity/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+TEST(SubjectPattern, ExactMatch) {
+  auto p = SubjectPattern::Parse("globus:/O=UnivNowhere/CN=Fred");
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->is_wildcard());
+  EXPECT_TRUE(p->matches(id("globus:/O=UnivNowhere/CN=Fred")));
+  EXPECT_FALSE(p->matches(id("globus:/O=UnivNowhere/CN=George")));
+}
+
+TEST(SubjectPattern, PaperWildcards) {
+  // "/O=UnivNowhere/*  rl" — any user at UnivNowhere (paper section 3).
+  auto org = SubjectPattern::Parse("/O=UnivNowhere/*");
+  ASSERT_TRUE(org);
+  EXPECT_TRUE(org->is_wildcard());
+  EXPECT_TRUE(org->matches(id("/O=UnivNowhere/CN=Fred")));
+  EXPECT_TRUE(org->matches(id("/O=UnivNowhere/OU=Phys/CN=Sue")));
+  EXPECT_FALSE(org->matches(id("/O=NotreDame/CN=Doug")));
+
+  // "hostname:*.nowhere.edu  rlx" (paper section 4).
+  auto domain = SubjectPattern::Parse("hostname:*.nowhere.edu");
+  ASSERT_TRUE(domain);
+  EXPECT_TRUE(domain->matches(id("hostname:laptop.cs.nowhere.edu")));
+  EXPECT_FALSE(domain->matches(id("hostname:laptop.cs.elsewhere.edu")));
+  EXPECT_FALSE(domain->matches(id("kerberos:x.nowhere.edu")));
+}
+
+TEST(SubjectPattern, MethodPrefixIsPartOfMatch) {
+  auto p = SubjectPattern::Parse("globus:*");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->matches(id("globus:/O=X/CN=Y")));
+  EXPECT_FALSE(p->matches(id("kerberos:y@x")));
+}
+
+TEST(SubjectPattern, ExactFactory) {
+  auto p = SubjectPattern::Exact(id("Freddy"));
+  EXPECT_EQ(p.str(), "Freddy");
+  EXPECT_FALSE(p.is_wildcard());
+  EXPECT_TRUE(p.matches(id("Freddy")));
+}
+
+TEST(SubjectPattern, StarInIdentityIsNotWildcardWhenExact) {
+  // An identity can't contain '*' legitimately matching: Exact() patterns
+  // built from identities never match other identities.
+  auto p = SubjectPattern::Parse("*");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->matches(id("anyone")));
+  EXPECT_TRUE(p->matches(id("nobody")));
+}
+
+TEST(SubjectPattern, RejectsInvalidText) {
+  EXPECT_FALSE(SubjectPattern::Parse(""));
+  EXPECT_FALSE(SubjectPattern::Parse("a b"));
+  EXPECT_FALSE(SubjectPattern::Parse("#x"));
+}
+
+TEST(SubjectPattern, QuestionMark) {
+  auto p = SubjectPattern::Parse("grid?");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->matches(id("grid1")));
+  EXPECT_FALSE(p->matches(id("grid10")));
+  EXPECT_FALSE(p->matches(id("grid")));
+}
+
+// Property sweep: a pattern equal to the identity text always matches, and
+// appending a suffix breaks an exact pattern but not a trailing-star one.
+class PatternProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PatternProperty, ExactAndStarLaws) {
+  const std::string text = GetParam();
+  auto exact = SubjectPattern::Parse(text);
+  ASSERT_TRUE(exact);
+  if (!exact->is_wildcard()) {
+    EXPECT_TRUE(exact->matches(id(text)));
+    EXPECT_FALSE(exact->matches(id(text + "x")));
+  }
+  auto star = SubjectPattern::Parse(text + "*");
+  ASSERT_TRUE(star);
+  EXPECT_TRUE(star->matches(id(text)));
+  EXPECT_TRUE(star->matches(id(text + "xyz")));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PatternProperty,
+    ::testing::Values("globus:/O=UnivNowhere/CN=Fred",
+                      "kerberos:fred@nowhere.edu", "unix:dthain", "Freddy",
+                      "hostname:a.b.c", "x", "A-very_long.name+with~chars"));
+
+}  // namespace
+}  // namespace ibox

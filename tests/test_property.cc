@@ -1,0 +1,220 @@
+// Randomized property tests over the core invariants: the glob matcher
+// against a reference implementation, ACL text round-trips, rights-union
+// laws under ACL evaluation, and path algebra.
+#include <gtest/gtest.h>
+
+#include "acl/acl.h"
+#include "util/path.h"
+#include "util/rand.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+// ------------------------------------------------- glob vs. reference ----
+
+// Obviously-correct exponential reference matcher.
+bool ref_match(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '*') {
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (ref_match(pattern.substr(1), text.substr(i))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern[0] != '?' && pattern[0] != text[0]) return false;
+  return ref_match(pattern.substr(1), text.substr(1));
+}
+
+TEST(GlobProperty, AgreesWithReferenceOnRandomInputs) {
+  Rng rng(0x61625);
+  const char alphabet[] = {'a', 'b', '*', '?', '/'};
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::string pattern, text;
+    const size_t plen = rng.below(8), tlen = rng.below(10);
+    for (size_t i = 0; i < plen; ++i) {
+      pattern.push_back(alphabet[rng.below(5)]);
+    }
+    for (size_t i = 0; i < tlen; ++i) {
+      text.push_back(alphabet[rng.below(2)]);  // text: only 'a','b'
+    }
+    ASSERT_EQ(glob_match(pattern, text), ref_match(pattern, text))
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+}
+
+TEST(GlobProperty, EveryTextMatchesItselfAndStar) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = rng.ident(rng.below(20));
+    EXPECT_TRUE(glob_match(text, text));
+    EXPECT_TRUE(glob_match("*", text));
+    EXPECT_TRUE(glob_match(text + "*", text));
+    EXPECT_TRUE(glob_match("*" + text, text));
+  }
+}
+
+// ------------------------------------------------------ ACL round trip ---
+
+std::string random_subject(Rng& rng) {
+  static const char* kPrefixes[] = {"globus:/O=", "kerberos:", "hostname:",
+                                    "unix:", ""};
+  std::string subject = kPrefixes[rng.below(5)];
+  subject += rng.ident(1 + rng.below(12));
+  if (rng.chance(0.3)) subject += "*";
+  return subject;
+}
+
+Rights random_rights(Rng& rng) {
+  uint8_t bits = static_cast<uint8_t>(rng.range(1, 127));
+  uint8_t reserve = 0;
+  if (bits & kRightReserve) reserve = static_cast<uint8_t>(rng.below(128));
+  return Rights(bits, reserve);
+}
+
+TEST(AclProperty, RandomAclsRoundTripThroughText) {
+  Rng rng(20051113);
+  for (int trial = 0; trial < 500; ++trial) {
+    Acl acl;
+    const int entries = static_cast<int>(rng.below(12));
+    for (int i = 0; i < entries; ++i) {
+      auto subject = SubjectPattern::Parse(random_subject(rng));
+      if (!subject) continue;
+      acl.set_entry(*subject, random_rights(rng));
+    }
+    auto parsed = Acl::Parse(acl.str());
+    ASSERT_TRUE(parsed.ok()) << acl.str();
+    EXPECT_EQ(*parsed, acl) << acl.str();
+  }
+}
+
+TEST(AclProperty, RightsForIsUnionOfMatchingEntries) {
+  Rng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    Acl acl;
+    std::vector<std::pair<SubjectPattern, Rights>> entries;
+    const int count = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < count; ++i) {
+      auto subject = SubjectPattern::Parse(random_subject(rng));
+      if (!subject) continue;
+      Rights rights = random_rights(rng);
+      acl.set_entry(*subject, rights);
+      entries.emplace_back(*subject, rights);
+    }
+    auto identity = Identity::Parse("globus:/O=" + rng.ident(4));
+    ASSERT_TRUE(identity);
+    Rights expected;
+    // Reference: manual union honoring last-set-wins per subject text.
+    for (const auto& [subject, rights] : entries) {
+      auto current = acl.entry_for_subject(subject.str());
+      if (current && subject.matches(*identity)) expected |= *current;
+    }
+    EXPECT_EQ(acl.rights_for(*identity), expected);
+  }
+}
+
+TEST(AclProperty, GrantingNeverShrinksRights) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    Acl acl;
+    auto alice = *Identity::Parse("alice" + rng.ident(3));
+    acl.set_entry(SubjectPattern::Exact(alice), random_rights(rng));
+    Rights before = acl.rights_for(alice);
+    // Adding an entry for a DIFFERENT subject cannot shrink Alice's rights.
+    auto other = SubjectPattern::Parse("other" + rng.ident(4));
+    acl.set_entry(*other, random_rights(rng));
+    EXPECT_TRUE(acl.rights_for(alice).covers(before));
+  }
+}
+
+// ------------------------------------------ parser fuzz (never crash) ----
+
+TEST(ParserFuzz, RightsParseOnRandomBytes) {
+  Rng rng(0xF122);
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::string text;
+    const size_t len = rng.below(12);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.below(128)));
+    }
+    auto parsed = Rights::Parse(text);  // must not crash or hang
+    if (parsed) {
+      // Whatever parsed must round-trip.
+      auto again = Rights::Parse(parsed->str());
+      ASSERT_TRUE(again) << text;
+      EXPECT_EQ(*again, *parsed) << text;
+    }
+  }
+}
+
+TEST(ParserFuzz, AclParseOnRandomText) {
+  Rng rng(0xF123);
+  const char alphabet[] = "abz* #\n\t:/rwldaxv()0";
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::string text;
+    const size_t len = rng.below(60);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    auto parsed = Acl::Parse(text);  // EBADMSG or a valid ACL; no crash
+    if (parsed.ok()) {
+      auto again = Acl::Parse(parsed->str());
+      ASSERT_TRUE(again.ok()) << text;
+      EXPECT_EQ(*again, *parsed) << text;
+    } else {
+      EXPECT_EQ(parsed.error_code(), EBADMSG);
+    }
+  }
+}
+
+// ----------------------------------------------------------- paths -------
+
+TEST(PathProperty, JoinThenCleanStaysWithinAbsoluteBase) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 5000; ++trial) {
+    // Relative fragments without ".." stay within the base.
+    std::string rel;
+    const int parts = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < parts; ++i) {
+      if (i) rel += "/";
+      rel += rng.chance(0.2) ? "." : rng.ident(1 + rng.below(5));
+    }
+    std::string joined = path_join("/base/dir", rel);
+    EXPECT_TRUE(path_is_within("/base/dir", joined))
+        << rel << " -> " << joined;
+  }
+}
+
+TEST(PathProperty, CleanNeverEscapesRootForAbsolutePaths) {
+  Rng rng(515);
+  const char* parts[] = {"a", "b", "..", ".", "..", "cd"};
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string path = "/";
+    const int count = static_cast<int>(rng.below(8));
+    for (int i = 0; i < count; ++i) {
+      path += std::string(parts[rng.below(6)]) + "/";
+    }
+    std::string clean = path_clean(path);
+    EXPECT_TRUE(path_is_absolute(clean)) << path;
+    EXPECT_EQ(clean.find(".."), std::string::npos) << path << " -> " << clean;
+  }
+}
+
+TEST(PathProperty, DirnameBasenameRecompose) {
+  Rng rng(616);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string path = "/";
+    const int count = 1 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < count; ++i) {
+      if (i) path += "/";
+      path += rng.ident(1 + rng.below(6));
+    }
+    std::string recomposed =
+        path_join(path_dirname(path), path_basename(path));
+    EXPECT_EQ(recomposed, path_clean(path)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace ibox

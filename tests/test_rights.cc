@@ -1,0 +1,128 @@
+#include "acl/rights.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+Rights rp(const std::string& text) { return *Rights::Parse(text); }
+
+TEST(Rights, ParseBasicSets) {
+  Rights fred = rp("rwlax");
+  EXPECT_TRUE(fred.can_read());
+  EXPECT_TRUE(fred.can_write());
+  EXPECT_TRUE(fred.can_list());
+  EXPECT_TRUE(fred.can_admin());
+  EXPECT_TRUE(fred.can_execute());
+  EXPECT_FALSE(fred.can_reserve());
+
+  Rights rl = rp("rl");
+  EXPECT_TRUE(rl.can_read());
+  EXPECT_TRUE(rl.can_list());
+  EXPECT_FALSE(rl.can_write());
+}
+
+TEST(Rights, ParseReserve) {
+  // "v(rwlax)" from the paper's root ACL example.
+  Rights v = rp("v(rwlax)");
+  EXPECT_TRUE(v.can_reserve());
+  EXPECT_FALSE(v.can_read());
+  Rights grant = v.reserve_grant();
+  EXPECT_TRUE(grant.can_read());
+  EXPECT_TRUE(grant.can_write());
+  EXPECT_TRUE(grant.can_admin());
+  EXPECT_FALSE(grant.can_reserve());
+}
+
+TEST(Rights, ParseMixedPlainAndReserve) {
+  Rights mixed = rp("rlv(rwla)");
+  EXPECT_TRUE(mixed.can_read());
+  EXPECT_TRUE(mixed.can_list());
+  EXPECT_TRUE(mixed.can_reserve());
+  EXPECT_FALSE(mixed.can_write());
+  EXPECT_TRUE(mixed.reserve_grant().can_admin());
+}
+
+TEST(Rights, RecursiveReserve) {
+  // v inside the parenthesized set: children may reserve grandchildren
+  // with the same grant.
+  Rights v = rp("v(rwlaxv)");
+  Rights grant = v.reserve_grant();
+  EXPECT_TRUE(grant.can_reserve());
+  Rights grandchild = grant.reserve_grant();
+  EXPECT_TRUE(grandchild.can_write());
+  EXPECT_TRUE(grandchild.can_reserve());  // carries forward indefinitely
+}
+
+TEST(Rights, ParseRejectsGarbage) {
+  EXPECT_FALSE(Rights::Parse(""));
+  EXPECT_FALSE(Rights::Parse("rz"));
+  EXPECT_FALSE(Rights::Parse("v(r"));     // unterminated
+  EXPECT_FALSE(Rights::Parse("v(q)"));    // bad letter inside
+  EXPECT_FALSE(Rights::Parse("RW"));      // case-sensitive
+}
+
+TEST(Rights, EmptyIsDash) {
+  Rights none = rp("-");
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.str(), "-");
+}
+
+TEST(Rights, FormatRoundTrip) {
+  for (const char* text :
+       {"r", "rw", "rwl", "rwlax", "rwldax", "rl", "x", "v", "v(rwlax)",
+        "rlv(rwla)", "wv(r)", "v(rwlaxv)", "-"}) {
+    Rights parsed = rp(text);
+    Rights again = rp(parsed.str());
+    EXPECT_EQ(parsed, again) << text << " -> " << parsed.str();
+  }
+}
+
+TEST(Rights, WriteImpliesDelete) {
+  EXPECT_TRUE(rp("w").can_delete());
+  EXPECT_TRUE(rp("d").can_delete());
+  EXPECT_FALSE(rp("r").can_delete());
+  // covers() honors the implication.
+  EXPECT_TRUE(rp("w").covers(rp("d")));
+  EXPECT_FALSE(rp("r").covers(rp("d")));
+}
+
+TEST(Rights, UnionMergesBothParts) {
+  Rights merged = rp("rl") | rp("wv(ra)");
+  EXPECT_TRUE(merged.can_read());
+  EXPECT_TRUE(merged.can_write());
+  EXPECT_TRUE(merged.can_reserve());
+  EXPECT_TRUE(merged.reserve_grant().can_admin());
+}
+
+TEST(Rights, CoversIsReflexiveAndMonotone) {
+  for (const char* text : {"r", "rwlax", "v(rw)", "rlv(rwla)", "-"}) {
+    Rights set = rp(text);
+    EXPECT_TRUE(set.covers(set)) << text;
+    EXPECT_TRUE(set.covers(Rights())) << text;
+    EXPECT_TRUE(Rights::Full().covers(Rights(set.bits() & kAllPlainRights)))
+        << text;
+  }
+  EXPECT_FALSE(rp("rl").covers(rp("rwl")));
+}
+
+// Property sweep over all 2^7 bit patterns: union is commutative,
+// associative, idempotent; covers agrees with bit subset (mod w=>d).
+class RightsAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(RightsAlgebra, UnionLaws) {
+  Rights a(static_cast<uint8_t>(GetParam() & 0x7f),
+           static_cast<uint8_t>((GetParam() * 37) & 0x7f));
+  Rights b(static_cast<uint8_t>((GetParam() * 13) & 0x7f),
+           static_cast<uint8_t>((GetParam() * 91) & 0x7f));
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ(a | a, a);
+  EXPECT_EQ((a | b) | a, a | b);
+  EXPECT_TRUE((a | b).covers(Rights(a.bits())));
+  EXPECT_TRUE((a | b).covers(Rights(b.bits())));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, RightsAlgebra, ::testing::Range(0, 128));
+
+}  // namespace
+}  // namespace ibox

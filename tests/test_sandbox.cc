@@ -1,0 +1,333 @@
+// End-to-end identity-box tests: real processes under the ptrace
+// supervisor, exercising the paper's semantics (sections 3, 5, 6).
+#include "sandbox/supervisor.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "box/box_context.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+// Runs a /bin/sh command inside a fresh box and captures stdout.
+struct BoxRun {
+  int exit_code = -1;
+  std::string out;
+  SupervisorStats stats;
+};
+
+class SandboxTest : public ::testing::Test {
+ protected:
+  SandboxTest() : state_("sandboxtest") {}
+
+  BoxRun run_in_box(const Identity& who, const std::string& command,
+                    SandboxConfig config = {},
+                    BoxOptions options = BoxOptions{}) {
+    BoxRun result;
+    if (options.state_dir.empty()) {
+      options.state_dir = state_.sub("box-" + std::to_string(counter_++));
+      (void)make_dirs(options.state_dir);
+    }
+    auto box = BoxContext::Create(who, options);
+    if (!box.ok()) {
+      ADD_FAILURE() << "box creation failed: " << box.error().message();
+      return result;
+    }
+    UniqueFd out_fd(::memfd_create("test-out", 0));
+    ProcessRegistry registry;
+    Supervisor supervisor(**box, registry, config);
+    Supervisor::Stdio stdio{-1, out_fd.get(), -1};
+    auto exit_code =
+        supervisor.run({"/bin/sh", "-c", command}, {}, stdio);
+    if (!exit_code.ok()) {
+      ADD_FAILURE() << "run failed: " << exit_code.error().message();
+      return result;
+    }
+    result.exit_code = *exit_code;
+    result.stats = supervisor.stats();
+    char buf[1 << 16];
+    off_t off = 0;
+    while (true) {
+      ssize_t n = ::pread(out_fd.get(), buf, sizeof(buf), off);
+      if (n <= 0) break;
+      result.out.append(buf, static_cast<size_t>(n));
+      off += n;
+    }
+    return result;
+  }
+
+  TempDir state_;
+  int counter_ = 0;
+};
+
+TEST_F(SandboxTest, ExitCodePropagates) {
+  EXPECT_EQ(run_in_box(id("Freddy"), "exit 7").exit_code, 7);
+  EXPECT_EQ(run_in_box(id("Freddy"), "true").exit_code, 0);
+}
+
+TEST_F(SandboxTest, StdoutCaptured) {
+  auto run = run_in_box(id("Freddy"), "echo boxed-hello");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "boxed-hello\n");
+}
+
+TEST_F(SandboxTest, WhoamiSeesIdentity) {
+  // Figure 2: "the identity box causes the Unix account name to correspond
+  // to that of the identity string."
+  auto run = run_in_box(id("Freddy"), "whoami");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "Freddy\n");
+}
+
+TEST_F(SandboxTest, UsernameSurface) {
+  auto run = run_in_box(id("globus:/O=X/CN=Fred"), "cat /ibox/username");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "globus:/O=X/CN=Fred\n");
+}
+
+TEST_F(SandboxTest, Figure2SecretDeniedHomeWritable) {
+  const std::string outside = state_.sub("outside");
+  ASSERT_TRUE(make_dirs(outside).ok());
+  ASSERT_TRUE(write_file(outside + "/secret", "classified", 0600).ok());
+
+  auto denied = run_in_box(id("Freddy"), "cat " + outside + "/secret");
+  EXPECT_NE(denied.exit_code, 0);
+  EXPECT_EQ(denied.out.find("classified"), std::string::npos);
+  EXPECT_GT(denied.stats.denials, 0u);
+
+  auto allowed = run_in_box(
+      id("Freddy"), "echo mydata > $HOME/mydata && cat $HOME/mydata");
+  EXPECT_EQ(allowed.exit_code, 0);
+  EXPECT_EQ(allowed.out, "mydata\n");
+}
+
+TEST_F(SandboxTest, AclGovernedSharing) {
+  const std::string shared = state_.sub("shared");
+  ASSERT_TRUE(make_dirs(shared).ok());
+  ASSERT_TRUE(write_file(shared + "/.__acl",
+                         "Freddy rwlax\nGeorge rl\n")
+                  .ok());
+  ASSERT_TRUE(write_file(shared + "/data", "common knowledge", 0600).ok());
+
+  // George may read (ACL rl) although the Unix mode is 0600.
+  auto george = run_in_box(id("George"), "cat " + shared + "/data");
+  EXPECT_EQ(george.exit_code, 0);
+  EXPECT_EQ(george.out, "common knowledge");
+  // But not write.
+  auto george_w =
+      run_in_box(id("George"), "echo x >> " + shared + "/data");
+  EXPECT_NE(george_w.exit_code, 0);
+  // Freddy may write.
+  auto freddy =
+      run_in_box(id("Freddy"), "echo more >> " + shared + "/data");
+  EXPECT_EQ(freddy.exit_code, 0);
+}
+
+TEST_F(SandboxTest, ListingHidesAclFile) {
+  const std::string dir = state_.sub("listing");
+  ASSERT_TRUE(make_dirs(dir).ok());
+  ASSERT_TRUE(write_file(dir + "/.__acl", "Freddy rwlax\n").ok());
+  ASSERT_TRUE(write_file(dir + "/visible.txt", "x").ok());
+  auto run = run_in_box(id("Freddy"), "ls " + dir);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("visible.txt"), std::string::npos);
+  EXPECT_EQ(run.out.find(".__acl"), std::string::npos);
+}
+
+TEST_F(SandboxTest, LsLongFormatWorks) {
+  // `ls -l` exercises statx, getdents64, readlink and localtime.
+  const std::string dir = state_.sub("lslong");
+  ASSERT_TRUE(make_dirs(dir).ok());
+  ASSERT_TRUE(write_file(dir + "/.__acl", "Freddy rwlax\n").ok());
+  ASSERT_TRUE(write_file(dir + "/file.bin", std::string(1234, 'x')).ok());
+  auto run = run_in_box(id("Freddy"), "ls -l " + dir);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("file.bin"), std::string::npos);
+  EXPECT_NE(run.out.find("1234"), std::string::npos);
+}
+
+TEST_F(SandboxTest, MkdirReserveCreatesPrivateNamespace) {
+  // Section 4's /work example, driven through real mkdir(1).
+  const std::string root = state_.sub("grid");
+  ASSERT_TRUE(make_dirs(root).ok());
+  ASSERT_TRUE(
+      write_file(root + "/.__acl", "globus:* v(rwlax)\n").ok());
+
+  auto fred = run_in_box(id("globus:/O=U/CN=Fred"),
+                         "mkdir " + root + "/work && echo made");
+  EXPECT_EQ(fred.exit_code, 0);
+  EXPECT_EQ(fred.out, "made\n");
+
+  // The fresh ACL names only Fred: George cannot enter.
+  auto george = run_in_box(id("globus:/O=U/CN=George"),
+                           "ls " + root + "/work");
+  EXPECT_NE(george.exit_code, 0);
+  // And Fred has full rights there.
+  auto fred2 = run_in_box(id("globus:/O=U/CN=Fred"),
+                          "echo out > " + root + "/work/out.dat && cat " +
+                              root + "/work/out.dat");
+  EXPECT_EQ(fred2.exit_code, 0);
+  EXPECT_EQ(fred2.out, "out\n");
+}
+
+TEST_F(SandboxTest, SignalsToOutsideWorldDenied) {
+  // kill -0 1: probing init. Inside a box, signals may only target
+  // processes with the same identity.
+  auto run = run_in_box(id("Freddy"), "kill -0 1 2>/dev/null; echo $?");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "1\n");  // kill failed
+}
+
+TEST_F(SandboxTest, SignalsToSelfAllowed) {
+  auto run = run_in_box(id("Freddy"), "kill -0 $$ && echo self-ok");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "self-ok\n");
+}
+
+TEST_F(SandboxTest, SetuidRefused) {
+  // No low-level identity changes inside the box. sh has no setuid
+  // builtin; use a child that tries chown (refused with EPERM).
+  const std::string dir = state_.sub("chowntest");
+  ASSERT_TRUE(make_dirs(dir, 0777).ok());
+  ASSERT_TRUE(write_file(dir + "/f", "x", 0666).ok());
+  auto run = run_in_box(id("Freddy"),
+                        "chown 0:0 " + dir + "/f 2>/dev/null; echo $?");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "1\n");
+}
+
+TEST_F(SandboxTest, PipelinesAndRedirections) {
+  auto run = run_in_box(
+      id("Freddy"),
+      "echo alpha beta | tr a-z A-Z | sed s/BETA/GAMMA/ > $HOME/o && "
+      "cat $HOME/o");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "ALPHA GAMMA\n");
+}
+
+TEST_F(SandboxTest, ProcessTreeCounted) {
+  auto run = run_in_box(id("Freddy"), "(true); (true); true");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_GE(run.stats.processes_seen, 3u);
+}
+
+TEST_F(SandboxTest, HardLinkTheftDenied) {
+  const std::string closed = state_.sub("closed");
+  ASSERT_TRUE(make_dirs(closed).ok());
+  ASSERT_TRUE(write_file(closed + "/.__acl", "Admin rwlax\n").ok());
+  ASSERT_TRUE(write_file(closed + "/private", "sensitive", 0600).ok());
+  auto run = run_in_box(
+      id("Freddy"),
+      "ln " + closed + "/private $HOME/steal 2>/dev/null; echo $?");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "1\n");
+}
+
+TEST_F(SandboxTest, CwdTracking) {
+  const std::string dir = state_.sub("cwd/inner");
+  ASSERT_TRUE(make_dirs(dir).ok());
+  SandboxConfig config;
+  config.initial_cwd = state_.sub("cwd");
+  auto run = run_in_box(id("Freddy"), "cd inner && pwd", config);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, dir + "\n");
+}
+
+TEST_F(SandboxTest, ExecDeniedWithoutXRight) {
+  const std::string dir = state_.sub("noexec");
+  ASSERT_TRUE(make_dirs(dir).ok());
+  ASSERT_TRUE(write_file(dir + "/.__acl", "Freddy rwl\n").ok());
+  ASSERT_TRUE(
+      write_file(dir + "/prog.sh", "#!/bin/sh\necho ran\n", 0755).ok());
+  auto run = run_in_box(id("Freddy"), dir + "/prog.sh; echo rc=$?");
+  EXPECT_EQ(run.out.find("ran"), std::string::npos);
+  // With the x right added, it runs.
+  ASSERT_TRUE(write_file(dir + "/.__acl", "Freddy rwlx\n").ok());
+  auto run2 = run_in_box(id("Freddy"), dir + "/prog.sh");
+  EXPECT_EQ(run2.exit_code, 0);
+  EXPECT_EQ(run2.out, "ran\n");
+}
+
+TEST_F(SandboxTest, AuditLogRecordsDenials) {
+  BoxOptions options;
+  options.state_dir = state_.sub("audited");
+  ASSERT_TRUE(make_dirs(options.state_dir).ok());
+  options.audit_log_path = state_.sub("audited/audit.log");
+  const std::string outside = state_.sub("aud-secret");
+  ASSERT_TRUE(make_dirs(outside).ok());
+  ASSERT_TRUE(write_file(outside + "/s", "x", 0600).ok());
+
+  auto run = run_in_box(id("JoeHacker"), "cat " + outside + "/s",
+                        SandboxConfig{}, options);
+  EXPECT_NE(run.exit_code, 0);
+
+  auto records = AuditLog::Load(options.audit_log_path);
+  ASSERT_TRUE(records.ok());
+  bool found_denial = false;
+  for (const auto& record : *records) {
+    if (record.operation == "open" && record.errno_code == EACCES &&
+        record.object == outside + "/s") {
+      found_denial = true;
+    }
+  }
+  EXPECT_TRUE(found_denial);
+}
+
+// Data-path sweep: the same workload must behave identically through
+// peek/poke, process_vm, the channel, and the paper's mixed mode.
+class DataPathTest : public SandboxTest,
+                     public ::testing::WithParamInterface<DataPath> {};
+
+TEST_P(DataPathTest, ReadWriteRoundTrip) {
+  SandboxConfig config;
+  config.data_path = GetParam();
+  const std::string dir = state_.sub("dp");
+  (void)make_dirs(dir);
+  ASSERT_TRUE(write_file(dir + "/.__acl", "Freddy rwlax\n").ok());
+  // 200 KB of data: large enough to exercise the bulk path.
+  std::string data;
+  for (int i = 0; i < 200000; ++i) data += std::to_string(i % 10);
+  ASSERT_TRUE(write_file(dir + "/in.bin", data).ok());
+
+  auto run = run_in_box(
+      id("Freddy"),
+      "cat " + dir + "/in.bin > " + dir + "/out.bin && cmp -s " + dir +
+          "/in.bin " + dir + "/out.bin && wc -c < " + dir + "/out.bin",
+      config);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(trim(run.out), "200000");
+
+  if (GetParam() == DataPath::kChannel) {
+    EXPECT_GT(run.stats.bytes_via_channel, 0u);
+  }
+  if (GetParam() == DataPath::kProcessVm) {
+    // File IO moves by process_vm; the channel still serves mmap (libc).
+    EXPECT_GT(run.stats.bytes_via_processvm, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaths, DataPathTest,
+                         ::testing::Values(DataPath::kPaper,
+                                           DataPath::kPeekPoke,
+                                           DataPath::kProcessVm,
+                                           DataPath::kChannel),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case DataPath::kPaper: return "Paper";
+                             case DataPath::kPeekPoke: return "PeekPoke";
+                             case DataPath::kProcessVm: return "ProcessVm";
+                             case DataPath::kChannel: return "Channel";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace ibox

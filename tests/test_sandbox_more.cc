@@ -1,0 +1,220 @@
+// Further end-to-end supervisor coverage: recursive directory tools,
+// per-process cwd isolation, signal self-termination, interpreter scripts,
+// environment propagation, channel-descriptor protection, and audit of
+// multi-process pipelines.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+class SandboxMoreTest : public ::testing::Test {
+ protected:
+  SandboxMoreTest() : state_("sbmore") {}
+
+  struct Run {
+    int exit_code = -1;
+    std::string out;
+    SupervisorStats stats;
+  };
+
+  Run run_in_box(const std::string& command,
+                 const std::vector<std::string>& extra_env = {}) {
+    Run result;
+    BoxOptions options;
+    options.state_dir = state_.sub("box-" + std::to_string(counter_++));
+    (void)make_dirs(options.state_dir);
+    auto box = BoxContext::Create(id("Tester"), options);
+    if (!box.ok()) {
+      ADD_FAILURE() << box.error().message();
+      return result;
+    }
+    UniqueFd out_fd(::memfd_create("sbmore-out", 0));
+    ProcessRegistry registry;
+    Supervisor supervisor(**box, registry);
+    Supervisor::Stdio stdio{-1, out_fd.get(), -1};
+    auto exit_code =
+        supervisor.run({"/bin/sh", "-c", command}, extra_env, stdio);
+    if (!exit_code.ok()) {
+      ADD_FAILURE() << exit_code.error().message();
+      return result;
+    }
+    result.exit_code = *exit_code;
+    result.stats = supervisor.stats();
+    char buf[1 << 15];
+    ssize_t n = ::pread(out_fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) result.out.assign(buf, static_cast<size_t>(n));
+    return result;
+  }
+
+  std::string governed_tree() {
+    const std::string root = state_.sub("tree-" + std::to_string(counter_));
+    (void)make_dirs(root + "/a/b");
+    (void)make_dirs(root + "/c");
+    for (const char* dir : {"", "/a", "/a/b", "/c"}) {
+      (void)write_file(root + dir + "/.__acl", "Tester rwldax\n");
+    }
+    (void)write_file(root + "/f1", "one");
+    (void)write_file(root + "/a/f2", "two");
+    (void)write_file(root + "/a/b/f3", "three");
+    (void)write_file(root + "/c/f4", "four");
+    return root;
+  }
+
+  TempDir state_;
+  int counter_ = 0;
+};
+
+TEST_F(SandboxMoreTest, FindRecursesGovernedTree) {
+  const std::string root = governed_tree();
+  auto run = run_in_box("find " + root + " -type f | sort");
+  EXPECT_EQ(run.exit_code, 0);
+  // All four files, no ACL files.
+  EXPECT_EQ(static_cast<int>(split_ws(run.out).size()), 4);
+  EXPECT_NE(run.out.find("f3"), std::string::npos);
+  EXPECT_EQ(run.out.find(".__acl"), std::string::npos);
+}
+
+TEST_F(SandboxMoreTest, DuAndGrepWork) {
+  const std::string root = governed_tree();
+  auto run = run_in_box("grep -r three " + root + " | wc -l");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(trim(run.out), "1");
+}
+
+TEST_F(SandboxMoreTest, SubshellCwdIsolated) {
+  const std::string root = governed_tree();
+  auto run = run_in_box("cd " + root + " && (cd a && pwd) && pwd");
+  EXPECT_EQ(run.exit_code, 0);
+  auto lines = split_ws(run.out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], root + "/a");  // the subshell
+  EXPECT_EQ(lines[1], root);         // parent unaffected (per-process cwd)
+}
+
+TEST_F(SandboxMoreTest, SelfSignalTerminates) {
+  auto run = run_in_box("kill -TERM $$; echo unreachable");
+  EXPECT_EQ(run.exit_code, 128 + SIGTERM);
+  EXPECT_EQ(run.out.find("unreachable"), std::string::npos);
+  EXPECT_GT(run.stats.signals_forwarded, 0u);
+}
+
+TEST_F(SandboxMoreTest, InterpreterScriptReopensThroughBox) {
+  const std::string dir = state_.sub("scripts");
+  (void)make_dirs(dir);
+  (void)write_file(dir + "/.__acl", "Tester rwlx\n");
+  (void)write_file(dir + "/tool.sh", "#!/bin/sh\necho tool-ran-as $(whoami)\n",
+                   0755);
+  auto run = run_in_box(dir + "/tool.sh");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "tool-ran-as Tester\n");
+}
+
+TEST_F(SandboxMoreTest, EnvironmentOverridesVisible) {
+  auto run = run_in_box("echo $USER; echo $CUSTOM", {"CUSTOM=injected"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "Tester\ninjected\n");
+}
+
+TEST_F(SandboxMoreTest, ChannelDescriptorIsProtected) {
+  // Closing fd 1000 claims success but the channel survives; claiming its
+  // number via dup2 is refused; bulk reads still flow afterwards.
+  // (Driven by helper_syscalls: shells cannot name multi-digit fds.)
+  char self[4096];
+  ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  self[n > 0 ? n : 0] = '\0';
+  const std::string helper =
+      path_dirname(self) + std::string("/helper_syscalls");
+  const std::string dir = governed_tree();
+  auto run = run_in_box(helper + " channel-guard " + dir);
+  EXPECT_EQ(run.exit_code, 0) << run.out;
+  EXPECT_NE(run.out.find("channel-guard ok"), std::string::npos);
+}
+
+TEST_F(SandboxMoreTest, ManyProcessPipelineAudited) {
+  BoxOptions options;
+  options.state_dir = state_.sub("auditbox");
+  (void)make_dirs(options.state_dir);
+  options.audit_log_path = options.state_dir + "/log";
+  auto box = BoxContext::Create(id("Tester"), options);
+  ASSERT_TRUE(box.ok());
+  ProcessRegistry registry;
+  Supervisor supervisor(**box, registry);
+  auto exit_code = supervisor.run(
+      {"/bin/sh", "-c", "echo a | cat | cat | tr a-z A-Z > /dev/null"});
+  ASSERT_TRUE(exit_code.ok());
+  EXPECT_EQ(*exit_code, 0);
+  EXPECT_GE(supervisor.stats().processes_seen, 4u);
+  EXPECT_GE(supervisor.stats().execs, 3u);
+  auto records = AuditLog::Load(options.audit_log_path);
+  ASSERT_TRUE(records.ok());
+  int exec_records = 0;
+  for (const auto& record : *records) {
+    if (record.operation == "execve") ++exec_records;
+  }
+  EXPECT_GE(exec_records, 3);
+}
+
+TEST_F(SandboxMoreTest, ReadOnlyOpenCannotWrite) {
+  const std::string root = governed_tree();
+  // dd with conv=notrunc opens O_WRONLY — allowed; but a reader fd used
+  // for writing must fail inside the box exactly as natively.
+  auto run = run_in_box(
+      "exec 5<" + root + "/f1; echo nope >&5 2>/dev/null; echo rc=$?");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(trim(run.out), "rc=1");
+}
+
+TEST_F(SandboxMoreTest, ReturnToStoredDataAcrossBoxLifetimes) {
+  // Figure 1's "Allow Return?" column: a visitor stores data, the box is
+  // destroyed, and a NEW box for the same identity can come back to it —
+  // because the protection state lives in on-disk ACLs keyed by the global
+  // name, not in any account database or box instance.
+  const std::string dir = governed_tree();
+  {
+    auto first_visit =
+        run_in_box("echo persistent-results > " + dir + "/results.txt");
+    ASSERT_EQ(first_visit.exit_code, 0);
+  }
+  // Everything about the first box is gone; only the identity string
+  // returns.
+  auto second_visit = run_in_box("cat " + dir + "/results.txt");
+  EXPECT_EQ(second_visit.exit_code, 0);
+  EXPECT_EQ(second_visit.out, "persistent-results\n");
+
+  // And an unrelated identity still cannot get in.
+  BoxOptions options;
+  options.state_dir = state_.sub("stranger");
+  (void)make_dirs(options.state_dir);
+  auto stranger_box = BoxContext::Create(id("Stranger"), options);
+  ASSERT_TRUE(stranger_box.ok());
+  auto handle =
+      (*stranger_box)->vfs().open(dir + "/results.txt", O_RDONLY, 0);
+  EXPECT_EQ(handle.error_code(), EACCES);
+}
+
+TEST_F(SandboxMoreTest, HeadTailSortPipeline) {
+  const std::string dir = state_.sub("data");
+  (void)make_dirs(dir);
+  (void)write_file(dir + "/.__acl", "Tester rwldax\n");
+  std::string lines;
+  for (int i = 30; i >= 1; --i) lines += std::to_string(i) + "\n";
+  (void)write_file(dir + "/nums", lines);
+  auto run = run_in_box("sort -n " + dir + "/nums | head -5 | tail -1");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(trim(run.out), "5");
+}
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,121 @@
+// Drives helper_syscalls inside identity boxes: each scenario exercises a
+// cluster of supervisor handlers (descriptor sharing, vectored IO, dup
+// placement, the mmap channel, directory ops, cwd tracking, fork
+// inheritance, umask) and checks kernel-accurate results both NATIVE and
+// BOXED — the box must be behaviorally invisible to correct programs.
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/path.h"
+#include "util/spawn.h"
+#include "util/strings.h"
+
+namespace ibox {
+namespace {
+
+std::string helper_path() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  buf[n > 0 ? n : 0] = '\0';
+  return path_join(path_dirname(buf), "helper_syscalls");
+}
+
+struct Outcome {
+  int exit_code = -1;
+  std::string out;
+};
+
+Outcome run_native(const std::string& scenario, const std::string& dir) {
+  Outcome outcome;
+  auto result = run_capture({helper_path(), scenario, dir});
+  if (result.ok()) {
+    outcome.exit_code = result->exit_code;
+    outcome.out = result->out;
+  }
+  return outcome;
+}
+
+Outcome run_boxed(const std::string& scenario, const std::string& dir,
+                  DataPath data_path) {
+  Outcome outcome;
+  TempDir state("sbsys");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.provision_home = false;
+  auto box = BoxContext::Create(*Identity::Parse("Tester"), options);
+  if (!box.ok()) return outcome;
+  UniqueFd out_fd(::memfd_create("sbsys-out", 0));
+  ProcessRegistry registry;
+  SandboxConfig config;
+  config.data_path = data_path;
+  Supervisor supervisor(**box, registry, config);
+  Supervisor::Stdio stdio{-1, out_fd.get(), -1};
+  auto exit_code = supervisor.run({helper_path(), scenario, dir}, {}, stdio);
+  if (!exit_code.ok()) return outcome;
+  outcome.exit_code = *exit_code;
+  char buf[1 << 14];
+  off_t off = 0;
+  while (true) {
+    ssize_t n = ::pread(out_fd.get(), buf, sizeof(buf), off);
+    if (n <= 0) break;
+    outcome.out.append(buf, static_cast<size_t>(n));
+    off += n;
+  }
+  return outcome;
+}
+
+// The scenarios under every data path: boxed output must be byte-identical
+// to native output (cwd scenario outputs are path-dependent and compared
+// as-is since both run against the same directory).
+class ScenarioTest
+    : public ::testing::TestWithParam<std::tuple<const char*, DataPath>> {};
+
+TEST_P(ScenarioTest, BoxedMatchesNative) {
+  const std::string scenario = std::get<0>(GetParam());
+  const DataPath data_path = std::get<1>(GetParam());
+
+  TempDir work_native("scn-native"), work_boxed("scn-boxed");
+  ASSERT_TRUE(
+      write_file(work_native.sub(".__acl"), "Tester rwldax\n").ok());
+  ASSERT_TRUE(write_file(work_boxed.sub(".__acl"), "Tester rwldax\n").ok());
+
+  Outcome native = run_native(scenario, work_native.path());
+  Outcome boxed = run_boxed(scenario, work_boxed.path(), data_path);
+
+  ASSERT_EQ(native.exit_code, 0) << native.out;
+  ASSERT_EQ(boxed.exit_code, 0) << boxed.out;
+  // Normalize the differing temp-dir names out of the outputs.
+  std::string native_out =
+      replace_all(native.out, work_native.path(), "<dir>");
+  std::string boxed_out = replace_all(boxed.out, work_boxed.path(), "<dir>");
+  EXPECT_EQ(boxed_out, native_out);
+  EXPECT_NE(boxed_out.find("ok"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenariosAllPaths, ScenarioTest,
+    ::testing::Combine(::testing::Values("rw", "vectored", "dup", "mmap",
+                                         "dir", "cwd", "fork", "umask",
+                                         "spawn", "poll"),
+                       ::testing::Values(DataPath::kPaper,
+                                         DataPath::kPeekPoke,
+                                         DataPath::kProcessVm,
+                                         DataPath::kChannel)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      switch (std::get<1>(info.param)) {
+        case DataPath::kPaper: name += "_Paper"; break;
+        case DataPath::kPeekPoke: name += "_PeekPoke"; break;
+        case DataPath::kProcessVm: name += "_ProcessVm"; break;
+        case DataPath::kChannel: name += "_Channel"; break;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ibox

@@ -1,0 +1,183 @@
+// Workload profiles (Fig 5(b) inputs) and the account-scheme model (Fig 1).
+#include <gtest/gtest.h>
+
+#include "sim/account_model.h"
+#include "sim/app_profile.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+// ------------------------------------------------------- app profiles ----
+
+TEST(AppProfiles, AllSixApplicationsPresent) {
+  auto profiles = figure5b_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  const char* expected[] = {"amanda", "blast", "cms", "hf", "ibis", "make"};
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(profiles[i].name, expected[i]);
+}
+
+TEST(AppProfiles, PaperOverheadsTranscribed) {
+  EXPECT_DOUBLE_EQ(profile_by_name("amanda")->paper_overhead_pct, 1.1);
+  EXPECT_DOUBLE_EQ(profile_by_name("blast")->paper_overhead_pct, 5.2);
+  EXPECT_DOUBLE_EQ(profile_by_name("cms")->paper_overhead_pct, 2.1);
+  EXPECT_DOUBLE_EQ(profile_by_name("hf")->paper_overhead_pct, 6.5);
+  EXPECT_DOUBLE_EQ(profile_by_name("ibis")->paper_overhead_pct, 0.7);
+  EXPECT_DOUBLE_EQ(profile_by_name("make")->paper_overhead_pct, 35.0);
+  EXPECT_EQ(profile_by_name("quake").error_code(), ENOENT);
+}
+
+TEST(AppProfiles, MakeIsTheMetadataOutlier) {
+  // The shape that produces Figure 5(b): make's profile is dominated by
+  // metadata operations, the scientific codes by large-block IO.
+  auto make_profile = *profile_by_name("make");
+  for (const auto& profile : figure5b_profiles()) {
+    if (profile.name == "make") continue;
+    EXPECT_GT(make_profile.metadata_ops, 5 * profile.metadata_ops)
+        << profile.name;
+    EXPECT_LT(make_profile.file_size, profile.file_size) << profile.name;
+  }
+  EXPECT_GT(make_profile.spawn_count, 0);
+}
+
+TEST(AppProfiles, PrepareAndRunDeterministic) {
+  TempDir tmp("appsim");
+  auto profile = *profile_by_name("hf");
+  // Shrink for test speed.
+  profile.file_size = 1 << 16;
+  profile.metadata_ops = 10;
+  profile.small_io_ops = 10;
+  ASSERT_TRUE(prepare_profile(profile, tmp.sub("w"), 42).ok());
+  auto first = run_profile(profile, tmp.sub("w"), 42, "");
+  auto second = run_profile(profile, tmp.sub("w"), 42, "");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // same seed, same work, same checksum
+}
+
+TEST(AppProfiles, RunWithoutPrepareFails) {
+  TempDir tmp("appsim");
+  auto profile = *profile_by_name("ibis");
+  EXPECT_FALSE(run_profile(profile, tmp.sub("missing"), 1, "").ok());
+}
+
+// -------------------------------------------------------- Figure 1 -------
+
+TEST(AccountModel, Figure1PropertiesTranscribed) {
+  // Spot-check the table against the paper.
+  auto single = properties_of(AccountScheme::kSingle);
+  EXPECT_TRUE(single.requires_root);
+  EXPECT_FALSE(single.protects_owner);
+  EXPECT_EQ(single.allows_sharing, Tri::kYes);
+
+  auto priv = properties_of(AccountScheme::kPrivate);
+  EXPECT_EQ(priv.allows_privacy, Tri::kYes);
+  EXPECT_EQ(priv.allows_sharing, Tri::kNo);
+  EXPECT_EQ(priv.admin_burden, "per user");
+
+  auto group = properties_of(AccountScheme::kGroup);
+  EXPECT_EQ(group.allows_privacy, Tri::kFixed);
+  EXPECT_EQ(group.allows_sharing, Tri::kFixed);
+
+  auto pool = properties_of(AccountScheme::kPool);
+  EXPECT_FALSE(pool.allows_return);
+
+  auto box = properties_of(AccountScheme::kIdentityBox);
+  EXPECT_FALSE(box.requires_root);
+  EXPECT_TRUE(box.protects_owner);
+  EXPECT_EQ(box.allows_privacy, Tri::kYes);
+  EXPECT_EQ(box.allows_sharing, Tri::kYes);
+  EXPECT_TRUE(box.allows_return);
+  EXPECT_EQ(box.admin_burden, "-");
+}
+
+TEST(AccountModel, IdentityBoxDominatesSimulation) {
+  AccountSimParams params;
+  params.users = 50;
+  params.sites = 8;
+  params.jobs_per_user = 10;
+  auto box = simulate_scheme(AccountScheme::kIdentityBox, params);
+  EXPECT_EQ(box.admin_interventions, 0);
+  EXPECT_EQ(box.failed_shares, 0);
+  EXPECT_EQ(box.failed_returns, 0);
+  EXPECT_EQ(box.privacy_violations, 0);
+  EXPECT_EQ(box.owner_exposures, 0);
+  EXPECT_EQ(box.jobs_run, 50 * 10);
+
+  for (AccountScheme scheme : all_schemes()) {
+    if (scheme == AccountScheme::kIdentityBox) continue;
+    auto outcome = simulate_scheme(scheme, params);
+    const int64_t box_total = 0;
+    const int64_t other_total =
+        outcome.admin_interventions + outcome.failed_shares +
+        outcome.failed_returns + outcome.privacy_violations +
+        outcome.owner_exposures;
+    EXPECT_GT(other_total, box_total)
+        << properties_of(scheme).name << " should have some cost";
+  }
+}
+
+TEST(AccountModel, PrivateAccountsScaleAdminWithUsersTimesSites) {
+  AccountSimParams params;
+  params.users = 30;
+  params.sites = 5;
+  params.jobs_per_user = 40;  // enough rounds to touch every site
+  auto outcome = simulate_scheme(AccountScheme::kPrivate, params);
+  EXPECT_EQ(outcome.admin_interventions, 30 * 5);
+  EXPECT_EQ(outcome.failed_returns, 0);  // private accounts persist
+  EXPECT_GT(outcome.failed_shares, 0);   // but cannot share
+}
+
+TEST(AccountModel, PoolDeniesReturn) {
+  AccountSimParams params;
+  params.users = 20;
+  params.sites = 4;
+  params.jobs_per_user = 30;
+  auto outcome = simulate_scheme(AccountScheme::kPool, params);
+  EXPECT_GT(outcome.failed_returns, 0);       // grid9 today, grid33 tomorrow
+  EXPECT_LE(outcome.admin_interventions, 4);  // one pool per site
+}
+
+TEST(AccountModel, SingleAccountExposesOwnerEveryJob) {
+  AccountSimParams params;
+  params.users = 10;
+  params.sites = 2;
+  params.jobs_per_user = 5;
+  auto outcome = simulate_scheme(AccountScheme::kSingle, params);
+  EXPECT_EQ(outcome.owner_exposures, outcome.jobs_run);
+  EXPECT_EQ(outcome.failed_shares, 0);  // everyone shares one account
+  EXPECT_EQ(outcome.admin_interventions, 0);
+}
+
+TEST(AccountModel, GroupSharingWorksOnlyWithinGroup) {
+  AccountSimParams params;
+  params.users = 40;
+  params.group_size = 10;
+  params.sites = 3;
+  params.jobs_per_user = 20;
+  params.share_prob = 1.0;  // every job tries to share
+  auto outcome = simulate_scheme(AccountScheme::kGroup, params);
+  EXPECT_GT(outcome.failed_shares, 0);             // cross-group blocked
+  EXPECT_LT(outcome.failed_shares, outcome.jobs_run);  // in-group ok
+  EXPECT_LE(outcome.admin_interventions, 4 * 3);   // per group per site
+}
+
+TEST(AccountModel, SimulationIsDeterministic) {
+  AccountSimParams params;
+  auto a = simulate_scheme(AccountScheme::kGroup, params);
+  auto b = simulate_scheme(AccountScheme::kGroup, params);
+  EXPECT_EQ(a.failed_shares, b.failed_shares);
+  EXPECT_EQ(a.admin_interventions, b.admin_interventions);
+}
+
+TEST(AccountModel, RenderedTableContainsAllSchemes) {
+  std::string table = render_figure1_table();
+  for (AccountScheme scheme : all_schemes()) {
+    EXPECT_NE(table.find(properties_of(scheme).name), std::string::npos);
+  }
+  EXPECT_NE(table.find("Parrot"), std::string::npos);
+  EXPECT_NE(table.find("Grid3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibox

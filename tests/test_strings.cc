@@ -1,0 +1,122 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ibox {
+namespace {
+
+using namespace std::literals;
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWs, DropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("globus:/O=X", "globus:"));
+  EXPECT_FALSE(starts_with("glob", "globus:"));
+  EXPECT_TRUE(ends_with("file.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", ".txt"));
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(ParseU64, Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(parse_u64("42"), 42u);
+}
+
+TEST(ParseU64, Invalid) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(ParseI64, Valid) {
+  EXPECT_EQ(parse_i64("-1"), -1);
+  EXPECT_EQ(parse_i64("+7"), 7);
+  EXPECT_EQ(parse_i64("-9223372036854775808"), INT64_MIN);
+  EXPECT_EQ(parse_i64("9223372036854775807"), INT64_MAX);
+}
+
+TEST(ParseI64, Invalid) {
+  EXPECT_FALSE(parse_i64("9223372036854775808"));
+  EXPECT_FALSE(parse_i64("-9223372036854775809"));
+  EXPECT_FALSE(parse_i64("-"));
+}
+
+TEST(Hex, RoundTrip) {
+  EXPECT_EQ(hex_encode("\x00\xff\x10"sv), "00ff10");
+  EXPECT_EQ(hex_decode("00ff10"), "\x00\xff\x10"sv);
+  EXPECT_EQ(hex_decode("ABCD"), "\xab\xcd"sv);
+}
+
+TEST(Hex, Invalid) {
+  EXPECT_FALSE(hex_decode("abc"));   // odd length
+  EXPECT_FALSE(hex_decode("zz"));    // bad digit
+}
+
+TEST(GlobMatch, Literal) {
+  EXPECT_TRUE(glob_match("abc", "abc"));
+  EXPECT_FALSE(glob_match("abc", "abd"));
+  EXPECT_FALSE(glob_match("abc", "ab"));
+  EXPECT_FALSE(glob_match("ab", "abc"));
+}
+
+TEST(GlobMatch, Star) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("/O=UnivNowhere/*", "/O=UnivNowhere/CN=Fred"));
+  EXPECT_FALSE(glob_match("/O=UnivNowhere/*", "/O=Elsewhere/CN=Fred"));
+  EXPECT_TRUE(glob_match("*.nowhere.edu", "laptop.cs.nowhere.edu"));
+  EXPECT_FALSE(glob_match("*.nowhere.edu", "laptop.cs.nowhere.com"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_TRUE(glob_match("a*b*c", "abc"));
+  EXPECT_FALSE(glob_match("a*b*c", "acb"));
+}
+
+TEST(GlobMatch, Question) {
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("??", "ab"));
+}
+
+TEST(GlobMatch, StarCrossesSlashes) {
+  // Identity wildcards span path-like separators (DN components).
+  EXPECT_TRUE(glob_match("globus:*", "globus:/O=X/CN=Y"));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("a|b|c", "|", "%7c"), "a%7cb%7cc");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("xyz", "q", "r"), "xyz");
+}
+
+}  // namespace
+}  // namespace ibox

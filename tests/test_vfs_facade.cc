@@ -1,0 +1,115 @@
+// Vfs facade semantics: cross-mount operations, redirect interaction with
+// mounts, and directory probing.
+#include "vfs/vfs.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "util/fs.h"
+#include "vfs/local_driver.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+class VfsFacadeTest : public ::testing::Test {
+ protected:
+  VfsFacadeTest() : root_("vfs-root"), other_("vfs-other") {
+    // Root mount exports root_; a second local driver is mounted at /mnt.
+    (void)write_file(root_.sub(".__acl"), "Visitor rwldax\n");
+    (void)write_file(other_.sub(".__acl"), "Visitor rwldax\n");
+    auto mounts =
+        std::make_unique<MountTable>(std::make_unique<LocalDriver>(root_.path()));
+    (void)mounts->mount("/mnt", std::make_unique<LocalDriver>(other_.path()));
+    vfs_ = std::make_unique<Vfs>(id("Visitor"), std::move(mounts));
+  }
+
+  void put(const std::string& box_path, const std::string& text) {
+    auto handle = vfs_->open(box_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_TRUE(handle.ok()) << box_path;
+    ASSERT_TRUE((*handle)->pwrite(text.data(), text.size(), 0).ok());
+  }
+
+  std::string get(const std::string& box_path) {
+    auto handle = vfs_->open(box_path, O_RDONLY, 0);
+    if (!handle.ok()) return "<" + std::to_string(handle.error_code()) + ">";
+    char buf[256];
+    auto got = (*handle)->pread(buf, sizeof(buf), 0);
+    return got.ok() ? std::string(buf, *got) : "<read-err>";
+  }
+
+  TempDir root_;
+  TempDir other_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(VfsFacadeTest, MountRoutesToSecondDriver) {
+  put("/on-root.txt", "root data");
+  put("/mnt/on-mount.txt", "mount data");
+  // Each file landed on its own backing directory.
+  EXPECT_TRUE(file_exists(root_.sub("on-root.txt")));
+  EXPECT_TRUE(file_exists(other_.sub("on-mount.txt")));
+  EXPECT_FALSE(file_exists(root_.sub("mnt")));
+  EXPECT_EQ(get("/mnt/on-mount.txt"), "mount data");
+}
+
+TEST_F(VfsFacadeTest, CrossMountRenameAndLinkAreExdev) {
+  put("/file.txt", "x");
+  EXPECT_EQ(vfs_->rename("/file.txt", "/mnt/file.txt").error_code(), EXDEV);
+  EXPECT_EQ(vfs_->link("/file.txt", "/mnt/alias").error_code(), EXDEV);
+  // Within one mount both work.
+  EXPECT_TRUE(vfs_->rename("/file.txt", "/renamed.txt").ok());
+  EXPECT_TRUE(vfs_->link("/renamed.txt", "/alias").ok());
+}
+
+TEST_F(VfsFacadeTest, RedirectBeatsMountResolution) {
+  put("/mnt/real.txt", "behind the mount");
+  put("/substitute.txt", "redirected");
+  vfs_->add_redirect("/mnt/real.txt", "/substitute.txt");
+  EXPECT_EQ(get("/mnt/real.txt"), "redirected");
+  // Other paths on the mount are unaffected.
+  put("/mnt/untouched.txt", "plain");
+  EXPECT_EQ(get("/mnt/untouched.txt"), "plain");
+}
+
+TEST_F(VfsFacadeTest, IsDirectoryAndResolveMount) {
+  ASSERT_TRUE(vfs_->mkdir("/adir", 0755).ok());
+  EXPECT_TRUE(vfs_->is_directory("/adir"));
+  EXPECT_TRUE(vfs_->is_directory("/mnt"));
+  put("/afile", "x");
+  EXPECT_FALSE(vfs_->is_directory("/afile"));
+  EXPECT_FALSE(vfs_->is_directory("/ghost"));
+
+  auto at_mount = vfs_->resolve_mount("/mnt/sub/f");
+  EXPECT_EQ(at_mount.mount_point, "/mnt");
+  EXPECT_EQ(at_mount.driver_path, "/sub/f");
+  auto at_root = vfs_->resolve_mount("/sub/f");
+  EXPECT_EQ(at_root.mount_point, "/");
+}
+
+TEST_F(VfsFacadeTest, AclOpsRouteThroughMounts) {
+  ASSERT_TRUE(vfs_->mkdir("/mnt/shared", 0755).ok());
+  ASSERT_TRUE(vfs_->setacl("/mnt/shared", "Friend", "rl").ok());
+  auto acl = vfs_->getacl("/mnt/shared");
+  ASSERT_TRUE(acl.ok());
+  EXPECT_NE(acl->find("Friend rl"), std::string::npos);
+  // The ACL file physically lives under the second export.
+  EXPECT_TRUE(file_exists(other_.sub("shared/.__acl")));
+}
+
+TEST_F(VfsFacadeTest, ReaddirAndStatOnMounts) {
+  put("/mnt/a.txt", "1");
+  put("/mnt/b.txt", "2");
+  auto entries = vfs_->readdir("/mnt");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  auto st = vfs_->stat("/mnt/a.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1u);
+  EXPECT_TRUE(vfs_->unlink("/mnt/a.txt").ok());
+  EXPECT_EQ(vfs_->stat("/mnt/a.txt").error_code(), ENOENT);
+}
+
+}  // namespace
+}  // namespace ibox
