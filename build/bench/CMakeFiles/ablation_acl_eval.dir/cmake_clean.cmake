@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_acl_eval.dir/ablation_acl_eval.cpp.o"
+  "CMakeFiles/ablation_acl_eval.dir/ablation_acl_eval.cpp.o.d"
+  "ablation_acl_eval"
+  "ablation_acl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_acl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

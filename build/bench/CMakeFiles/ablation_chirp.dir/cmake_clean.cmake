@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chirp.dir/ablation_chirp.cpp.o"
+  "CMakeFiles/ablation_chirp.dir/ablation_chirp.cpp.o.d"
+  "ablation_chirp"
+  "ablation_chirp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_path.dir/ablation_data_path.cpp.o"
+  "CMakeFiles/ablation_data_path.dir/ablation_data_path.cpp.o.d"
+  "ablation_data_path"
+  "ablation_data_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

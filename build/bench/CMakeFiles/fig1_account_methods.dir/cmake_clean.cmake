@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_account_methods.dir/fig1_account_methods.cpp.o"
+  "CMakeFiles/fig1_account_methods.dir/fig1_account_methods.cpp.o.d"
+  "fig1_account_methods"
+  "fig1_account_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_account_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

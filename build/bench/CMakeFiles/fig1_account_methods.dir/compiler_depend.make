@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_account_methods.
+# This may be replaced when dependencies are built.

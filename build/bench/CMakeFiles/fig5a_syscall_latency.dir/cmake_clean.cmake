@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_syscall_latency.dir/fig5a_syscall_latency.cpp.o"
+  "CMakeFiles/fig5a_syscall_latency.dir/fig5a_syscall_latency.cpp.o.d"
+  "fig5a_syscall_latency"
+  "fig5a_syscall_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_syscall_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_syscall_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_applications.dir/fig5b_applications.cpp.o"
+  "CMakeFiles/fig5b_applications.dir/fig5b_applications.cpp.o.d"
+  "fig5b_applications"
+  "fig5b_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

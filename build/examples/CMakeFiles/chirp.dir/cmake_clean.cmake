@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp.dir/chirp.cpp.o"
+  "CMakeFiles/chirp.dir/chirp.cpp.o.d"
+  "chirp"
+  "chirp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_catalog.dir/chirp_catalog.cpp.o"
+  "CMakeFiles/chirp_catalog.dir/chirp_catalog.cpp.o.d"
+  "chirp_catalog"
+  "chirp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_server.dir/chirp_server.cpp.o"
+  "CMakeFiles/chirp_server.dir/chirp_server.cpp.o.d"
+  "chirp_server"
+  "chirp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_admission.dir/community_admission.cpp.o"
+  "CMakeFiles/community_admission.dir/community_admission.cpp.o.d"
+  "community_admission"
+  "community_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_exec.dir/distributed_exec.cpp.o"
+  "CMakeFiles/distributed_exec.dir/distributed_exec.cpp.o.d"
+  "distributed_exec"
+  "distributed_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_shell.dir/grid_shell.cpp.o"
+  "CMakeFiles/grid_shell.dir/grid_shell.cpp.o.d"
+  "grid_shell"
+  "grid_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

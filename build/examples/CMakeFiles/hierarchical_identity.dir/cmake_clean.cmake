@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_identity.dir/hierarchical_identity.cpp.o"
+  "CMakeFiles/hierarchical_identity.dir/hierarchical_identity.cpp.o.d"
+  "hierarchical_identity"
+  "hierarchical_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

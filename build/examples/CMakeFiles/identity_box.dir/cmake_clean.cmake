@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_box.dir/identity_box.cpp.o"
+  "CMakeFiles/identity_box.dir/identity_box.cpp.o.d"
+  "identity_box"
+  "identity_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

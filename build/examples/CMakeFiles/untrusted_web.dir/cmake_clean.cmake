@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untrusted_web.dir/untrusted_web.cpp.o"
+  "CMakeFiles/untrusted_web.dir/untrusted_web.cpp.o.d"
+  "untrusted_web"
+  "untrusted_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untrusted_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acl/acl.cc" "src/acl/CMakeFiles/ibox_acl.dir/acl.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/acl.cc.o.d"
+  "/root/repo/src/acl/acl_store.cc" "src/acl/CMakeFiles/ibox_acl.dir/acl_store.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/acl_store.cc.o.d"
+  "/root/repo/src/acl/rights.cc" "src/acl/CMakeFiles/ibox_acl.dir/rights.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/rights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/identity/CMakeFiles/ibox_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_acl.dir/acl.cc.o"
+  "CMakeFiles/ibox_acl.dir/acl.cc.o.d"
+  "CMakeFiles/ibox_acl.dir/acl_store.cc.o"
+  "CMakeFiles/ibox_acl.dir/acl_store.cc.o.d"
+  "CMakeFiles/ibox_acl.dir/rights.cc.o"
+  "CMakeFiles/ibox_acl.dir/rights.cc.o.d"
+  "libibox_acl.a"
+  "libibox_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

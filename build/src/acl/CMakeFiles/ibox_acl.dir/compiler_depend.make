@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ibox_acl.
+# This may be replaced when dependencies are built.

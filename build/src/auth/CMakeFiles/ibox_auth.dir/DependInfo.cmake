@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/auth.cc" "src/auth/CMakeFiles/ibox_auth.dir/auth.cc.o" "gcc" "src/auth/CMakeFiles/ibox_auth.dir/auth.cc.o.d"
+  "/root/repo/src/auth/cas.cc" "src/auth/CMakeFiles/ibox_auth.dir/cas.cc.o" "gcc" "src/auth/CMakeFiles/ibox_auth.dir/cas.cc.o.d"
+  "/root/repo/src/auth/sim_gsi.cc" "src/auth/CMakeFiles/ibox_auth.dir/sim_gsi.cc.o" "gcc" "src/auth/CMakeFiles/ibox_auth.dir/sim_gsi.cc.o.d"
+  "/root/repo/src/auth/sim_kerberos.cc" "src/auth/CMakeFiles/ibox_auth.dir/sim_kerberos.cc.o" "gcc" "src/auth/CMakeFiles/ibox_auth.dir/sim_kerberos.cc.o.d"
+  "/root/repo/src/auth/simple.cc" "src/auth/CMakeFiles/ibox_auth.dir/simple.cc.o" "gcc" "src/auth/CMakeFiles/ibox_auth.dir/simple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/identity/CMakeFiles/ibox_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

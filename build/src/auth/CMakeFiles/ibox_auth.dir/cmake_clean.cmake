@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_auth.dir/auth.cc.o"
+  "CMakeFiles/ibox_auth.dir/auth.cc.o.d"
+  "CMakeFiles/ibox_auth.dir/cas.cc.o"
+  "CMakeFiles/ibox_auth.dir/cas.cc.o.d"
+  "CMakeFiles/ibox_auth.dir/sim_gsi.cc.o"
+  "CMakeFiles/ibox_auth.dir/sim_gsi.cc.o.d"
+  "CMakeFiles/ibox_auth.dir/sim_kerberos.cc.o"
+  "CMakeFiles/ibox_auth.dir/sim_kerberos.cc.o.d"
+  "CMakeFiles/ibox_auth.dir/simple.cc.o"
+  "CMakeFiles/ibox_auth.dir/simple.cc.o.d"
+  "libibox_auth.a"
+  "libibox_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

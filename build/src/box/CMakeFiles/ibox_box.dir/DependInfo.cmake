@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/box/audit.cc" "src/box/CMakeFiles/ibox_box.dir/audit.cc.o" "gcc" "src/box/CMakeFiles/ibox_box.dir/audit.cc.o.d"
+  "/root/repo/src/box/box_context.cc" "src/box/CMakeFiles/ibox_box.dir/box_context.cc.o" "gcc" "src/box/CMakeFiles/ibox_box.dir/box_context.cc.o.d"
+  "/root/repo/src/box/ctl_driver.cc" "src/box/CMakeFiles/ibox_box.dir/ctl_driver.cc.o" "gcc" "src/box/CMakeFiles/ibox_box.dir/ctl_driver.cc.o.d"
+  "/root/repo/src/box/get_user_name.cc" "src/box/CMakeFiles/ibox_box.dir/get_user_name.cc.o" "gcc" "src/box/CMakeFiles/ibox_box.dir/get_user_name.cc.o.d"
+  "/root/repo/src/box/passwd.cc" "src/box/CMakeFiles/ibox_box.dir/passwd.cc.o" "gcc" "src/box/CMakeFiles/ibox_box.dir/passwd.cc.o.d"
+  "/root/repo/src/box/process_registry.cc" "src/box/CMakeFiles/ibox_box.dir/process_registry.cc.o" "gcc" "src/box/CMakeFiles/ibox_box.dir/process_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vfs/CMakeFiles/ibox_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/ibox_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/ibox_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/ibox_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

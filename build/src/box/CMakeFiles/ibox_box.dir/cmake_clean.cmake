@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_box.dir/audit.cc.o"
+  "CMakeFiles/ibox_box.dir/audit.cc.o.d"
+  "CMakeFiles/ibox_box.dir/box_context.cc.o"
+  "CMakeFiles/ibox_box.dir/box_context.cc.o.d"
+  "CMakeFiles/ibox_box.dir/ctl_driver.cc.o"
+  "CMakeFiles/ibox_box.dir/ctl_driver.cc.o.d"
+  "CMakeFiles/ibox_box.dir/get_user_name.cc.o"
+  "CMakeFiles/ibox_box.dir/get_user_name.cc.o.d"
+  "CMakeFiles/ibox_box.dir/passwd.cc.o"
+  "CMakeFiles/ibox_box.dir/passwd.cc.o.d"
+  "CMakeFiles/ibox_box.dir/process_registry.cc.o"
+  "CMakeFiles/ibox_box.dir/process_registry.cc.o.d"
+  "libibox_box.a"
+  "libibox_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_chirp.dir/catalog.cc.o"
+  "CMakeFiles/ibox_chirp.dir/catalog.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/chirp_driver.cc.o"
+  "CMakeFiles/ibox_chirp.dir/chirp_driver.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/client.cc.o"
+  "CMakeFiles/ibox_chirp.dir/client.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/net.cc.o"
+  "CMakeFiles/ibox_chirp.dir/net.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/protocol.cc.o"
+  "CMakeFiles/ibox_chirp.dir/protocol.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/server.cc.o"
+  "CMakeFiles/ibox_chirp.dir/server.cc.o.d"
+  "libibox_chirp.a"
+  "libibox_chirp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/identity/hierarchy.cc" "src/identity/CMakeFiles/ibox_identity.dir/hierarchy.cc.o" "gcc" "src/identity/CMakeFiles/ibox_identity.dir/hierarchy.cc.o.d"
+  "/root/repo/src/identity/identity.cc" "src/identity/CMakeFiles/ibox_identity.dir/identity.cc.o" "gcc" "src/identity/CMakeFiles/ibox_identity.dir/identity.cc.o.d"
+  "/root/repo/src/identity/pattern.cc" "src/identity/CMakeFiles/ibox_identity.dir/pattern.cc.o" "gcc" "src/identity/CMakeFiles/ibox_identity.dir/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_identity.dir/hierarchy.cc.o"
+  "CMakeFiles/ibox_identity.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ibox_identity.dir/identity.cc.o"
+  "CMakeFiles/ibox_identity.dir/identity.cc.o.d"
+  "CMakeFiles/ibox_identity.dir/pattern.cc.o"
+  "CMakeFiles/ibox_identity.dir/pattern.cc.o.d"
+  "libibox_identity.a"
+  "libibox_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

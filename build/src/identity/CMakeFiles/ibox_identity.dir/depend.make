@@ -1,0 +1,2 @@
+# Empty dependencies file for ibox_identity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sandbox/child_mem.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/child_mem.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/child_mem.cc.o.d"
+  "/root/repo/src/sandbox/handlers_fd.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/handlers_fd.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/handlers_fd.cc.o.d"
+  "/root/repo/src/sandbox/handlers_path.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/handlers_path.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/handlers_path.cc.o.d"
+  "/root/repo/src/sandbox/handlers_proc.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/handlers_proc.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/handlers_proc.cc.o.d"
+  "/root/repo/src/sandbox/io_channel.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/io_channel.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/io_channel.cc.o.d"
+  "/root/repo/src/sandbox/regs.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/regs.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/regs.cc.o.d"
+  "/root/repo/src/sandbox/supervisor.cc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/supervisor.cc.o" "gcc" "src/sandbox/CMakeFiles/ibox_sandbox.dir/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/box/CMakeFiles/ibox_box.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ibox_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/ibox_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/ibox_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/ibox_identity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

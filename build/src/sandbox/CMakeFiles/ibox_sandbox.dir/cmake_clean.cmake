@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_sandbox.dir/child_mem.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/child_mem.cc.o.d"
+  "CMakeFiles/ibox_sandbox.dir/handlers_fd.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/handlers_fd.cc.o.d"
+  "CMakeFiles/ibox_sandbox.dir/handlers_path.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/handlers_path.cc.o.d"
+  "CMakeFiles/ibox_sandbox.dir/handlers_proc.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/handlers_proc.cc.o.d"
+  "CMakeFiles/ibox_sandbox.dir/io_channel.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/io_channel.cc.o.d"
+  "CMakeFiles/ibox_sandbox.dir/regs.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/regs.cc.o.d"
+  "CMakeFiles/ibox_sandbox.dir/supervisor.cc.o"
+  "CMakeFiles/ibox_sandbox.dir/supervisor.cc.o.d"
+  "libibox_sandbox.a"
+  "libibox_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/account_model.cc" "src/sim/CMakeFiles/ibox_sim.dir/account_model.cc.o" "gcc" "src/sim/CMakeFiles/ibox_sim.dir/account_model.cc.o.d"
+  "/root/repo/src/sim/app_profile.cc" "src/sim/CMakeFiles/ibox_sim.dir/app_profile.cc.o" "gcc" "src/sim/CMakeFiles/ibox_sim.dir/app_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_sim.dir/account_model.cc.o"
+  "CMakeFiles/ibox_sim.dir/account_model.cc.o.d"
+  "CMakeFiles/ibox_sim.dir/app_profile.cc.o"
+  "CMakeFiles/ibox_sim.dir/app_profile.cc.o.d"
+  "libibox_sim.a"
+  "libibox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibox_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/codec.cc" "src/util/CMakeFiles/ibox_util.dir/codec.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/codec.cc.o.d"
+  "/root/repo/src/util/fs.cc" "src/util/CMakeFiles/ibox_util.dir/fs.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/fs.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/util/CMakeFiles/ibox_util.dir/hash.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/hash.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/ibox_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/log.cc.o.d"
+  "/root/repo/src/util/path.cc" "src/util/CMakeFiles/ibox_util.dir/path.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/path.cc.o.d"
+  "/root/repo/src/util/rand.cc" "src/util/CMakeFiles/ibox_util.dir/rand.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/rand.cc.o.d"
+  "/root/repo/src/util/spawn.cc" "src/util/CMakeFiles/ibox_util.dir/spawn.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/spawn.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/ibox_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

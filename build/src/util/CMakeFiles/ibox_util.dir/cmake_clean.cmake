@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_util.dir/codec.cc.o"
+  "CMakeFiles/ibox_util.dir/codec.cc.o.d"
+  "CMakeFiles/ibox_util.dir/fs.cc.o"
+  "CMakeFiles/ibox_util.dir/fs.cc.o.d"
+  "CMakeFiles/ibox_util.dir/hash.cc.o"
+  "CMakeFiles/ibox_util.dir/hash.cc.o.d"
+  "CMakeFiles/ibox_util.dir/log.cc.o"
+  "CMakeFiles/ibox_util.dir/log.cc.o.d"
+  "CMakeFiles/ibox_util.dir/path.cc.o"
+  "CMakeFiles/ibox_util.dir/path.cc.o.d"
+  "CMakeFiles/ibox_util.dir/rand.cc.o"
+  "CMakeFiles/ibox_util.dir/rand.cc.o.d"
+  "CMakeFiles/ibox_util.dir/spawn.cc.o"
+  "CMakeFiles/ibox_util.dir/spawn.cc.o.d"
+  "CMakeFiles/ibox_util.dir/strings.cc.o"
+  "CMakeFiles/ibox_util.dir/strings.cc.o.d"
+  "libibox_util.a"
+  "libibox_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

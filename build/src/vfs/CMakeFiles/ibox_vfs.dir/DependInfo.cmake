@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/fd_table.cc" "src/vfs/CMakeFiles/ibox_vfs.dir/fd_table.cc.o" "gcc" "src/vfs/CMakeFiles/ibox_vfs.dir/fd_table.cc.o.d"
+  "/root/repo/src/vfs/local_driver.cc" "src/vfs/CMakeFiles/ibox_vfs.dir/local_driver.cc.o" "gcc" "src/vfs/CMakeFiles/ibox_vfs.dir/local_driver.cc.o.d"
+  "/root/repo/src/vfs/mount_table.cc" "src/vfs/CMakeFiles/ibox_vfs.dir/mount_table.cc.o" "gcc" "src/vfs/CMakeFiles/ibox_vfs.dir/mount_table.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/vfs/CMakeFiles/ibox_vfs.dir/vfs.cc.o" "gcc" "src/vfs/CMakeFiles/ibox_vfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acl/CMakeFiles/ibox_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/ibox_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

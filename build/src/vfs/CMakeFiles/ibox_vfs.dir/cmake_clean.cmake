@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibox_vfs.dir/fd_table.cc.o"
+  "CMakeFiles/ibox_vfs.dir/fd_table.cc.o.d"
+  "CMakeFiles/ibox_vfs.dir/local_driver.cc.o"
+  "CMakeFiles/ibox_vfs.dir/local_driver.cc.o.d"
+  "CMakeFiles/ibox_vfs.dir/mount_table.cc.o"
+  "CMakeFiles/ibox_vfs.dir/mount_table.cc.o.d"
+  "CMakeFiles/ibox_vfs.dir/vfs.cc.o"
+  "CMakeFiles/ibox_vfs.dir/vfs.cc.o.d"
+  "libibox_vfs.a"
+  "libibox_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibox_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

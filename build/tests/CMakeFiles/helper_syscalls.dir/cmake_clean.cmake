@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_syscalls.dir/helper_syscalls.cc.o"
+  "CMakeFiles/helper_syscalls.dir/helper_syscalls.cc.o.d"
+  "helper_syscalls"
+  "helper_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_threads.dir/helper_threads.cc.o"
+  "CMakeFiles/helper_threads.dir/helper_threads.cc.o.d"
+  "helper_threads"
+  "helper_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acl.dir/test_acl.cc.o"
+  "CMakeFiles/test_acl.dir/test_acl.cc.o.d"
+  "test_acl"
+  "test_acl.pdb"
+  "test_acl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

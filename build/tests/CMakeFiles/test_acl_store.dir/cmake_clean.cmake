@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acl_store.dir/test_acl_store.cc.o"
+  "CMakeFiles/test_acl_store.dir/test_acl_store.cc.o.d"
+  "test_acl_store"
+  "test_acl_store.pdb"
+  "test_acl_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acl_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auth_matrix.dir/test_auth_matrix.cc.o"
+  "CMakeFiles/test_auth_matrix.dir/test_auth_matrix.cc.o.d"
+  "test_auth_matrix"
+  "test_auth_matrix.pdb"
+  "test_auth_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auth_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box.dir/test_box.cc.o"
+  "CMakeFiles/test_box.dir/test_box.cc.o.d"
+  "test_box"
+  "test_box.pdb"
+  "test_box[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cas.dir/test_cas.cc.o"
+  "CMakeFiles/test_cas.dir/test_cas.cc.o.d"
+  "test_cas"
+  "test_cas.pdb"
+  "test_cas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_child_mem.dir/test_child_mem.cc.o"
+  "CMakeFiles/test_child_mem.dir/test_child_mem.cc.o.d"
+  "test_child_mem"
+  "test_child_mem.pdb"
+  "test_child_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_child_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

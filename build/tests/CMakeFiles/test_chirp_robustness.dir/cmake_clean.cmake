@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chirp_robustness.dir/test_chirp_robustness.cc.o"
+  "CMakeFiles/test_chirp_robustness.dir/test_chirp_robustness.cc.o.d"
+  "test_chirp_robustness"
+  "test_chirp_robustness.pdb"
+  "test_chirp_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chirp_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

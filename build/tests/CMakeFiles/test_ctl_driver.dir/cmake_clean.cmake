@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctl_driver.dir/test_ctl_driver.cc.o"
+  "CMakeFiles/test_ctl_driver.dir/test_ctl_driver.cc.o.d"
+  "test_ctl_driver"
+  "test_ctl_driver.pdb"
+  "test_ctl_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctl_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

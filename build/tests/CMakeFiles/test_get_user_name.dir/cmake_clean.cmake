@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_get_user_name.dir/test_get_user_name.cc.o"
+  "CMakeFiles/test_get_user_name.dir/test_get_user_name.cc.o.d"
+  "test_get_user_name"
+  "test_get_user_name.pdb"
+  "test_get_user_name[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_get_user_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_identity.dir/test_identity.cc.o"
+  "CMakeFiles/test_identity.dir/test_identity.cc.o.d"
+  "test_identity"
+  "test_identity.pdb"
+  "test_identity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_driver.dir/test_local_driver.cc.o"
+  "CMakeFiles/test_local_driver.dir/test_local_driver.cc.o.d"
+  "test_local_driver"
+  "test_local_driver.pdb"
+  "test_local_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mount_table.dir/test_mount_table.cc.o"
+  "CMakeFiles/test_mount_table.dir/test_mount_table.cc.o.d"
+  "test_mount_table"
+  "test_mount_table.pdb"
+  "test_mount_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mount_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path.dir/test_path.cc.o"
+  "CMakeFiles/test_path.dir/test_path.cc.o.d"
+  "test_path"
+  "test_path.pdb"
+  "test_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

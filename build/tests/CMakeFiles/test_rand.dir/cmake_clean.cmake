@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rand.dir/test_rand.cc.o"
+  "CMakeFiles/test_rand.dir/test_rand.cc.o.d"
+  "test_rand"
+  "test_rand.pdb"
+  "test_rand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rights.dir/test_rights.cc.o"
+  "CMakeFiles/test_rights.dir/test_rights.cc.o.d"
+  "test_rights"
+  "test_rights.pdb"
+  "test_rights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

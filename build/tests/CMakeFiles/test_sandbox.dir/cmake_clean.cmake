@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sandbox.dir/test_sandbox.cc.o"
+  "CMakeFiles/test_sandbox.dir/test_sandbox.cc.o.d"
+  "test_sandbox"
+  "test_sandbox.pdb"
+  "test_sandbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

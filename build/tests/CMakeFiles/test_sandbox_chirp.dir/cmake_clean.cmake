@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sandbox_chirp.dir/test_sandbox_chirp.cc.o"
+  "CMakeFiles/test_sandbox_chirp.dir/test_sandbox_chirp.cc.o.d"
+  "test_sandbox_chirp"
+  "test_sandbox_chirp.pdb"
+  "test_sandbox_chirp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sandbox_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

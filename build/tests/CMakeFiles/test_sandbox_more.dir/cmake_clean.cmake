@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sandbox_more.dir/test_sandbox_more.cc.o"
+  "CMakeFiles/test_sandbox_more.dir/test_sandbox_more.cc.o.d"
+  "test_sandbox_more"
+  "test_sandbox_more.pdb"
+  "test_sandbox_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sandbox_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sandbox_syscalls.dir/test_sandbox_syscalls.cc.o"
+  "CMakeFiles/test_sandbox_syscalls.dir/test_sandbox_syscalls.cc.o.d"
+  "test_sandbox_syscalls"
+  "test_sandbox_syscalls.pdb"
+  "test_sandbox_syscalls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sandbox_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

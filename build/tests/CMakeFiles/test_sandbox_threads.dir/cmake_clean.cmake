@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sandbox_threads.dir/test_sandbox_threads.cc.o"
+  "CMakeFiles/test_sandbox_threads.dir/test_sandbox_threads.cc.o.d"
+  "test_sandbox_threads"
+  "test_sandbox_threads.pdb"
+  "test_sandbox_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sandbox_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

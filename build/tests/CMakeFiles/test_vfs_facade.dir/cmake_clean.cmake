@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vfs_facade.dir/test_vfs_facade.cc.o"
+  "CMakeFiles/test_vfs_facade.dir/test_vfs_facade.cc.o.d"
+  "test_vfs_facade"
+  "test_vfs_facade.pdb"
+  "test_vfs_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vfs_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[GetUserName.OutsideABoxFallsBackToUnixName]=]  /root/repo/build/tests/test_get_user_name [==[--gtest_filter=GetUserName.OutsideABoxFallsBackToUnixName]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GetUserName.OutsideABoxFallsBackToUnixName]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_get_user_name_TESTS GetUserName.OutsideABoxFallsBackToUnixName)

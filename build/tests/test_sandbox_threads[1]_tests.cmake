@@ -1,0 +1,3 @@
+add_test([=[SandboxThreads.FourWritersShareTheBoxedTable]=]  /root/repo/build/tests/test_sandbox_threads [==[--gtest_filter=SandboxThreads.FourWritersShareTheBoxedTable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SandboxThreads.FourWritersShareTheBoxedTable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_sandbox_threads_TESTS SandboxThreads.FourWritersShareTheBoxedTable)
