@@ -75,7 +75,10 @@ void BM_AclParse(benchmark::State& state) {
 }
 BENCHMARK(BM_AclParse)->Range(1, 256);
 
-void BM_AclStoreLoad(benchmark::State& state) {
+// The mtime-validated cache turns a load into one lstat; the uncached arm
+// (capacity 0) pays open+read+parse+close every time. The pair isolates
+// what the Chirp server's hot path gains from AclCache.
+void BM_AclStoreLoadCached(benchmark::State& state) {
   TempDir tmp("aclbench");
   AclStore store(tmp.path());
   Rng rng(7);
@@ -84,8 +87,41 @@ void BM_AclStoreLoad(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(store.rights_in(tmp.path(), identity));
   }
+  state.counters["hits"] =
+      static_cast<double>(store.cache().stats().hits.load());
 }
-BENCHMARK(BM_AclStoreLoad);
+BENCHMARK(BM_AclStoreLoadCached);
+
+void BM_AclStoreLoadUncached(benchmark::State& state) {
+  TempDir tmp("aclbench");
+  AclStore store(tmp.path(), /*cache_capacity=*/0);
+  Rng rng(7);
+  (void)store.store(tmp.path(), make_acl(16, 0.25, rng));
+  auto identity = *Identity::Parse("globus:/O=Org3/CN=User3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.rights_in(tmp.path(), identity));
+  }
+}
+BENCHMARK(BM_AclStoreLoadUncached);
+
+// Stale-entry turnover: every iteration edits the ACL file externally, so
+// each lookup revalidates, misses, and reloads — the worst case for the
+// cache (validator check + full reload).
+void BM_AclStoreLoadInvalidated(benchmark::State& state) {
+  TempDir tmp("aclbench");
+  AclStore store(tmp.path());
+  Rng rng(7);
+  Acl a = make_acl(16, 0.25, rng);
+  Acl b = make_acl(17, 0.25, rng);
+  auto identity = *Identity::Parse("globus:/O=Org3/CN=User3");
+  bool flip = false;
+  for (auto _ : state) {
+    (void)store.store(tmp.path(), flip ? a : b);
+    flip = !flip;
+    benchmark::DoNotOptimize(store.rights_in(tmp.path(), identity));
+  }
+}
+BENCHMARK(BM_AclStoreLoadInvalidated);
 
 void BM_PathClean(benchmark::State& state) {
   for (auto _ : state) {

@@ -5,9 +5,17 @@
 // read/write throughput as a function of request size.
 //
 //   ablation_chirp [--quick]
+//
+// The concurrency section ablates the serving model (epoll reactor +
+// worker pool vs. the original thread-per-connection) against the parsed-
+// ACL cache (on vs. off) at 1/8/32 concurrent clients, emitting one JSON
+// line per cell with the server's cache hit/miss counters.
 #include <fcntl.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "auth/sim_gsi.h"
 #include "auth/sim_kerberos.h"
@@ -36,12 +44,12 @@ int main(int argc, char** argv) {
   ChirpServerOptions options;
   options.export_root = export_dir.path();
   options.state_dir = state_dir.path();
-  options.enable_gsi = true;
-  options.gsi_trust.trust(ca.name(), ca.verification_secret());
-  options.enable_kerberos = true;
-  options.kerberos_realm = "BENCH.REALM";
-  options.kerberos_service_secret = "service-secret";
-  options.enable_unix = true;
+  GsiTrustStore trust;
+  trust.trust(ca.name(), ca.verification_secret());
+  options.auth_methods.push_back(AuthMethodConfig::Gsi(std::move(trust)));
+  options.auth_methods.push_back(
+      AuthMethodConfig::Kerberos("BENCH.REALM", "service-secret"));
+  options.auth_methods.push_back(AuthMethodConfig::Unix());
   options.root_acl_text = "globus:/O=Bench/* rwlax\nkerberos:* rwlax\nunix:* rwlax\n";
   auto server = ChirpServer::Start(options);
   if (!server.ok()) return 1;
@@ -118,5 +126,118 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.requests.load()),
               static_cast<unsigned long long>(stats.bytes_read.load() >> 20),
               static_cast<unsigned long long>(stats.bytes_written.load() >> 20));
+
+  // --- concurrency: serving model x ACL cache ---
+  // Fixed-duration stat hammering; every request authorizes against the
+  // governing directory's ACL, so the cache ablation isolates the per-
+  // request open+read+parse the seed paid.
+  const double seconds_per_cell = quick ? 0.25 : 1.0;
+  struct Arm {
+    const char* mode;
+    ChirpServerOptions::ServeMode serve;
+    size_t cache_capacity;
+  };
+  const Arm arms[] = {
+      {"reactor", ChirpServerOptions::ServeMode::kReactor,
+       AclStore::kDefaultCacheCapacity},
+      {"reactor", ChirpServerOptions::ServeMode::kReactor, 0},
+      {"thread", ChirpServerOptions::ServeMode::kThreadPerConnection, 0},
+      {"thread", ChirpServerOptions::ServeMode::kThreadPerConnection,
+       AclStore::kDefaultCacheCapacity},
+  };
+  std::printf("\nconcurrency ablation (stat RPCs, %.2fs per cell):\n",
+              seconds_per_cell);
+  std::printf("  %-8s %6s %8s %12s %12s %12s\n", "mode", "cache", "clients",
+              "ops/sec", "cache_hits", "cache_miss");
+  for (const auto& arm : arms) {
+    for (int clients : {1, 8, 32}) {
+      TempDir arm_export("chirp-bench-conc");
+      TempDir arm_state("chirp-bench-conc-state");
+      ChirpServerOptions arm_options;
+      arm_options.export_root = arm_export.path();
+      arm_options.state_dir = arm_state.path();
+      GsiTrustStore arm_trust;
+      arm_trust.trust(ca.name(), ca.verification_secret());
+      arm_options.auth_methods.push_back(
+          AuthMethodConfig::Gsi(std::move(arm_trust)));
+      // A community-account ACL: one wildcard grant for the bench client
+      // plus the member roster a real community directory carries. The
+      // uncached arms re-parse all of it on every request.
+      std::string community_acl = "globus:/O=Bench/* rwlax\n";
+      for (int member = 0; member < 96; ++member) {
+        community_acl += "globus:/O=Community" + std::to_string(member % 8) +
+                         "/CN=Member" + std::to_string(member) + " rl\n";
+      }
+      arm_options.root_acl_text = community_acl;
+      arm_options.serve_mode = arm.serve;
+      arm_options.acl_cache_capacity = arm.cache_capacity;
+      auto arm_server = ChirpServer::Start(std::move(arm_options));
+      if (!arm_server.ok()) return 1;
+      {
+        auto seeder = ChirpClient::Connect("localhost",
+                                           (*arm_server)->port(),
+                                           {&gsi_cred});
+        if (!seeder.ok()) return 1;
+        if (!(*seeder)->mkdir("/dir").ok()) return 1;
+        if (!(*seeder)->put_file("/dir/probe", "x").ok()) return 1;
+      }
+
+      std::atomic<int> ready{0};
+      std::atomic<bool> go{false};
+      std::atomic<bool> stop{false};
+      std::atomic<uint64_t> ops{0};
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          auto worker = ChirpClient::Connect(
+              "localhost", (*arm_server)->port(), {&gsi_cred});
+          if (!worker.ok()) {
+            ready++;
+            return;
+          }
+          ready++;
+          while (!go.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+          }
+          uint64_t local = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (!(*worker)->stat("/dir/probe").ok()) break;
+            ++local;
+          }
+          ops += local;
+        });
+      }
+      while (ready.load() < clients) std::this_thread::yield();
+      Stopwatch timer;
+      go = true;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          seconds_per_cell));
+      stop = true;
+      for (auto& thread : threads) thread.join();
+      const double elapsed = timer.seconds();
+
+      const auto snap = (*arm_server)->snapshot_stats();
+      const double rate = static_cast<double>(ops.load()) / elapsed;
+      std::printf("  %-8s %6zu %8d %12.0f %12llu %12llu\n", arm.mode,
+                  arm.cache_capacity, clients, rate,
+                  static_cast<unsigned long long>(snap.acl_cache_hits),
+                  static_cast<unsigned long long>(snap.acl_cache_misses));
+      std::printf(
+          "{\"bench\":\"chirp_concurrency\",\"mode\":\"%s\","
+          "\"acl_cache_capacity\":%zu,\"clients\":%d,\"ops\":%llu,"
+          "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"requests\":%llu,"
+          "\"acl_cache_hits\":%llu,\"acl_cache_misses\":%llu,"
+          "\"peak_queue_depth\":%llu,\"worker_batches\":%llu}\n",
+          arm.mode, arm.cache_capacity, clients,
+          static_cast<unsigned long long>(ops.load()), elapsed, rate,
+          static_cast<unsigned long long>(snap.requests),
+          static_cast<unsigned long long>(snap.acl_cache_hits),
+          static_cast<unsigned long long>(snap.acl_cache_misses),
+          static_cast<unsigned long long>(snap.peak_queue_depth),
+          static_cast<unsigned long long>(snap.worker_batches));
+      (*arm_server)->stop();
+    }
+  }
   return 0;
 }

@@ -236,13 +236,20 @@ bench/CMakeFiles/ablation_data_path.dir/ablation_data_path.cpp.o: \
  /usr/include/c++/12/variant /root/repo/src/vfs/local_driver.h \
  /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
  /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/types.h \
- /root/repo/src/vfs/vfs.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/vfs/mount_table.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vfs/types.h \
+ /root/repo/src/vfs/vfs.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vfs/mount_table.h \
  /root/repo/src/box/process_registry.h \
  /root/repo/src/sandbox/supervisor.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
@@ -250,7 +257,4 @@ bench/CMakeFiles/ablation_data_path.dir/ablation_data_path.cpp.o: \
  /root/repo/src/sandbox/child_mem.h /root/repo/src/sandbox/io_channel.h \
  /root/repo/src/sandbox/regs.h /usr/include/x86_64-linux-gnu/sys/user.h \
  /root/repo/src/vfs/fd_table.h /root/repo/src/util/spawn.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/strings.h
+ /root/repo/src/util/stopwatch.h /root/repo/src/util/strings.h

@@ -218,6 +218,8 @@ examples/CMakeFiles/chirp.dir/chirp.cpp.o: /root/repo/examples/chirp.cpp \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/chirp/client.h /root/repo/src/chirp/net.h \
- /root/repo/src/util/fs.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
- /root/repo/src/util/path.h /root/repo/src/util/strings.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/fs.h \
+ /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
+ /root/repo/src/vfs/types.h /root/repo/src/util/path.h \
+ /root/repo/src/util/strings.h

@@ -235,8 +235,9 @@ examples/CMakeFiles/chirp_catalog.dir/chirp_catalog.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/chirp/net.h \
- /root/repo/src/auth/auth.h /root/repo/src/identity/identity.h \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/auth/auth.h \
+ /root/repo/src/identity/identity.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/result.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \

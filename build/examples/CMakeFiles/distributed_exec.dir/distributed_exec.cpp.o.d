@@ -218,10 +218,12 @@ examples/CMakeFiles/distributed_exec.dir/distributed_exec.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/chirp/net.h /root/repo/src/util/fs.h \
- /root/repo/src/chirp/client.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
- /root/repo/src/chirp/server.h /usr/include/c++/12/functional \
+ /root/repo/src/chirp/net.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/fs.h /root/repo/src/chirp/client.h \
+ /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
+ /root/repo/src/vfs/types.h /root/repo/src/chirp/server.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -234,4 +236,9 @@ examples/CMakeFiles/distributed_exec.dir/distributed_exec.cpp.o: \
  /root/repo/src/auth/simple.h /root/repo/src/box/process_registry.h \
  /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
  /root/repo/src/acl/acl.h /root/repo/src/acl/rights.h \
- /root/repo/src/vfs/driver.h
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/vfs/driver.h /root/repo/src/vfs/request_context.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -215,30 +215,37 @@ examples/CMakeFiles/grid_shell.dir/grid_shell.cpp.o: \
  /root/repo/src/util/fs.h /root/repo/src/vfs/local_driver.h \
  /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
  /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/types.h \
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vfs/types.h \
  /root/repo/src/vfs/vfs.h /root/repo/src/vfs/mount_table.h \
  /root/repo/src/box/process_registry.h \
  /root/repo/src/chirp/chirp_driver.h /root/repo/src/chirp/client.h \
- /root/repo/src/chirp/net.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/chirp/server.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /root/repo/src/chirp/net.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
+ /root/repo/src/chirp/server.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /root/repo/src/auth/cas.h \
- /root/repo/src/auth/sim_kerberos.h /root/repo/src/auth/simple.h \
- /root/repo/src/sandbox/supervisor.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /root/repo/src/auth/cas.h /root/repo/src/auth/sim_kerberos.h \
+ /root/repo/src/auth/simple.h /root/repo/src/sandbox/supervisor.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/sandbox/child_mem.h /root/repo/src/sandbox/io_channel.h \
  /root/repo/src/sandbox/regs.h /usr/include/x86_64-linux-gnu/sys/user.h \

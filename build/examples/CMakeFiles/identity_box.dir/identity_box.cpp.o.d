@@ -225,13 +225,21 @@ examples/CMakeFiles/identity_box.dir/identity_box.cpp.o: \
  /root/repo/src/util/fs.h /root/repo/src/vfs/local_driver.h \
  /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
  /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/types.h \
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vfs/types.h \
  /root/repo/src/vfs/vfs.h /root/repo/src/vfs/mount_table.h \
  /root/repo/src/box/process_registry.h \
  /root/repo/src/chirp/chirp_driver.h /root/repo/src/chirp/client.h \
- /root/repo/src/chirp/net.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/sandbox/supervisor.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/chirp/net.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
+ /root/repo/src/sandbox/supervisor.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/sandbox/child_mem.h /root/repo/src/sandbox/io_channel.h \
  /root/repo/src/sandbox/regs.h /usr/include/x86_64-linux-gnu/sys/user.h \

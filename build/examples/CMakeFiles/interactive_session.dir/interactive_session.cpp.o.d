@@ -224,7 +224,13 @@ examples/CMakeFiles/interactive_session.dir/interactive_session.cpp.o: \
  /root/repo/src/util/fs.h /root/repo/src/vfs/local_driver.h \
  /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
  /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/types.h \
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vfs/types.h \
  /root/repo/src/vfs/vfs.h /root/repo/src/vfs/mount_table.h \
  /root/repo/src/box/process_registry.h \
  /root/repo/src/sandbox/supervisor.h /usr/include/c++/12/set \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/acl/acl.cc" "src/acl/CMakeFiles/ibox_acl.dir/acl.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/acl.cc.o.d"
+  "/root/repo/src/acl/acl_cache.cc" "src/acl/CMakeFiles/ibox_acl.dir/acl_cache.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/acl_cache.cc.o.d"
   "/root/repo/src/acl/acl_store.cc" "src/acl/CMakeFiles/ibox_acl.dir/acl_store.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/acl_store.cc.o.d"
   "/root/repo/src/acl/rights.cc" "src/acl/CMakeFiles/ibox_acl.dir/rights.cc.o" "gcc" "src/acl/CMakeFiles/ibox_acl.dir/rights.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ibox_acl.dir/acl.cc.o"
   "CMakeFiles/ibox_acl.dir/acl.cc.o.d"
+  "CMakeFiles/ibox_acl.dir/acl_cache.cc.o"
+  "CMakeFiles/ibox_acl.dir/acl_cache.cc.o.d"
   "CMakeFiles/ibox_acl.dir/acl_store.cc.o"
   "CMakeFiles/ibox_acl.dir/acl_store.cc.o.d"
   "CMakeFiles/ibox_acl.dir/rights.cc.o"

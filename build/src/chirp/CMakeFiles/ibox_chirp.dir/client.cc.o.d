@@ -204,5 +204,7 @@ src/chirp/CMakeFiles/ibox_chirp.dir/client.cc.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/chirp/net.h \
- /root/repo/src/util/fs.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/vfs/types.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/fs.h \
+ /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
+ /root/repo/src/vfs/types.h

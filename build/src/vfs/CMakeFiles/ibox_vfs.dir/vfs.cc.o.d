@@ -208,4 +208,10 @@ src/vfs/CMakeFiles/ibox_vfs.dir/vfs.cc.o: /root/repo/src/vfs/vfs.cc \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/vfs/driver.h \
- /root/repo/src/vfs/types.h /root/repo/src/util/path.h
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vfs/types.h \
+ /root/repo/src/util/path.h

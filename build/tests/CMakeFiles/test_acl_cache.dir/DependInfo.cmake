@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acl_cache.cc" "tests/CMakeFiles/test_acl_cache.dir/test_acl_cache.cc.o" "gcc" "tests/CMakeFiles/test_acl_cache.dir/test_acl_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chirp/CMakeFiles/ibox_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/ibox_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/box/CMakeFiles/ibox_box.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/ibox_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ibox_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/ibox_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/ibox_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

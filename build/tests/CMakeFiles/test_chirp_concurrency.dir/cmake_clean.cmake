@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chirp_concurrency.dir/test_chirp_concurrency.cc.o"
+  "CMakeFiles/test_chirp_concurrency.dir/test_chirp_concurrency.cc.o.d"
+  "test_chirp_concurrency"
+  "test_chirp_concurrency.pdb"
+  "test_chirp_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chirp_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -311,7 +311,10 @@ tests/CMakeFiles/test_ctl_driver.dir/test_ctl_driver.cc.o: \
  /root/repo/src/util/result.h /usr/include/c++/12/cstring \
  /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
  /root/repo/src/acl/acl.h /root/repo/src/acl/rights.h \
- /root/repo/src/identity/pattern.h /root/repo/src/vfs/driver.h \
+ /root/repo/src/identity/pattern.h /root/repo/src/acl/acl_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
  /root/repo/src/vfs/types.h /root/repo/src/vfs/vfs.h \
  /root/repo/src/vfs/mount_table.h /root/repo/src/box/process_registry.h \
  /root/repo/src/sandbox/supervisor.h /root/repo/src/sandbox/child_mem.h \

@@ -217,7 +217,16 @@ tests/CMakeFiles/test_sandbox.dir/test_sandbox.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/vfs/local_driver.h \
  /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
  /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/types.h \
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vfs/types.h \
  /root/repo/src/vfs/vfs.h /root/repo/src/vfs/mount_table.h \
  /root/repo/src/box/process_registry.h /root/repo/src/sandbox/child_mem.h \
  /root/repo/src/sandbox/io_channel.h /root/repo/src/sandbox/regs.h \
@@ -243,8 +252,7 @@ tests/CMakeFiles/test_sandbox.dir/test_sandbox.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/statx-generic.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
+ /usr/include/c++/12/iostream /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -279,7 +287,6 @@ tests/CMakeFiles/test_sandbox.dir/test_sandbox.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \
@@ -289,13 +296,9 @@ tests/CMakeFiles/test_sandbox.dir/test_sandbox.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

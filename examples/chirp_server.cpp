@@ -41,31 +41,32 @@ int main(int argc, char** argv) {
     } else if (arg == "--root-acl") {
       root_acl_file = next();
     } else if (arg == "--unix") {
-      options.enable_unix = true;
+      options.auth_methods.push_back(AuthMethodConfig::Unix());
     } else if (arg == "--gsi") {
       auto fields = split(next(), ':');
       if (fields.size() != 2) {
         std::fprintf(stderr, "--gsi wants CA_NAME:CA_SECRET\n");
         return 2;
       }
-      options.enable_gsi = true;
-      options.gsi_trust.trust(fields[0], fields[1]);
+      GsiTrustStore trust;
+      trust.trust(fields[0], fields[1]);
+      options.auth_methods.push_back(
+          AuthMethodConfig::Gsi(std::move(trust)));
     } else if (arg == "--kerberos") {
       auto fields = split(next(), ':');
       if (fields.size() != 2) {
         std::fprintf(stderr, "--kerberos wants REALM:SERVICE_SECRET\n");
         return 2;
       }
-      options.enable_kerberos = true;
-      options.kerberos_realm = fields[0];
-      options.kerberos_service_secret = fields[1];
+      options.auth_methods.push_back(
+          AuthMethodConfig::Kerberos(fields[0], fields[1]));
     } else if (arg == "--hostname") {
-      options.enable_hostname = true;
-      options.host_resolver = [](const std::string& addr) {
-        // Loopback deployments resolve to the local host name.
-        return std::optional<std::string>(addr == "127.0.0.1" ? "localhost"
-                                                              : addr);
-      };
+      options.auth_methods.push_back(
+          AuthMethodConfig::Hostname([](const std::string& addr) {
+            // Loopback deployments resolve to the local host name.
+            return std::optional<std::string>(
+                addr == "127.0.0.1" ? "localhost" : addr);
+          }));
     } else if (arg == "--catalog") {
       options.catalog_port = static_cast<uint16_t>(
           parse_u64(next()).value_or(0));
@@ -82,9 +83,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "chirp_server: --export DIR is required\n");
     return 2;
   }
-  if (!options.enable_gsi && !options.enable_kerberos &&
-      !options.enable_hostname && !options.enable_unix) {
-    options.enable_unix = true;  // sensible default for a personal server
+  if (options.auth_methods.empty()) {
+    // Sensible default for a personal server.
+    options.auth_methods.push_back(AuthMethodConfig::Unix());
   }
   if (!root_acl_file.empty()) {
     auto text = read_file(root_acl_file);

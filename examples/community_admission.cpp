@@ -40,8 +40,9 @@ int main() {
   TempDir export_dir("cas-demo");
   ChirpServerOptions options;
   options.export_root = export_dir.path();
-  options.enable_gsi = true;
-  options.gsi_trust.trust(ca.name(), ca.verification_secret());
+  GsiTrustStore trust;
+  trust.trust(ca.name(), ca.verification_secret());
+  options.auth_methods.push_back(AuthMethodConfig::Gsi(std::move(trust)));
   options.admission = make_admission_policy(cas, "cms-experiment");
   options.root_acl_text = "globus:* rlv(rwlax)\n";
   auto server = ChirpServer::Start(options);

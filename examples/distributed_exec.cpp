@@ -37,8 +37,7 @@ int main() {
   ChirpServerOptions options;
   options.export_root = export_dir.path();
   options.state_dir = state_dir.path();
-  options.enable_gsi = true;
-  options.gsi_trust = trust;
+  options.auth_methods.push_back(AuthMethodConfig::Gsi(trust));
   options.server_name = "storage.nowhere.edu";
   options.catalog_port = (*catalog)->port();
   // The paper's root ACL: cert holders may reserve a private namespace.

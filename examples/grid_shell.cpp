@@ -27,8 +27,9 @@ int main() {
   ChirpServerOptions options;
   options.export_root = export_dir.path();
   options.state_dir = state_dir.path();
-  options.enable_gsi = true;
-  options.gsi_trust.trust(ca.name(), ca.verification_secret());
+  GsiTrustStore trust;
+  trust.trust(ca.name(), ca.verification_secret());
+  options.auth_methods.push_back(AuthMethodConfig::Gsi(std::move(trust)));
   options.root_acl_text = "globus:/O=UnivNowhere/* rlv(rwlax)\n";
   auto server = ChirpServer::Start(options);
   if (!server.ok()) return 1;

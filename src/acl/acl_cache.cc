@@ -1,0 +1,106 @@
+#include "acl/acl_cache.h"
+
+#include <sys/stat.h>
+
+#include "util/hash.h"
+
+namespace ibox {
+
+Result<AclCache::Validator> AclCache::probe(
+    const std::string& acl_file_path) {
+  struct stat st;
+  if (::lstat(acl_file_path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Validator{};
+    return Error::FromErrno();
+  }
+  Validator v;
+  v.present = true;
+  v.mtime_ns = static_cast<uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+               static_cast<uint64_t>(st.st_mtim.tv_nsec);
+  v.size = static_cast<uint64_t>(st.st_size);
+  v.inode = static_cast<uint64_t>(st.st_ino);
+  return v;
+}
+
+AclCache::AclCache(size_t capacity)
+    : capacity_(capacity),
+      shard_capacity_(capacity ? std::max<size_t>(1, capacity / kShards)
+                               : 0) {}
+
+AclCache::Shard& AclCache::shard_for(const std::string& dir) {
+  return shards_[fnv1a64(dir) % kShards];
+}
+
+std::optional<std::shared_ptr<const Acl>> AclCache::lookup(
+    const std::string& dir, const Validator& current) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = shard_for(dir);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(dir);
+  if (it == shard.entries.end()) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second.validator != current) {
+    // Stale: the on-disk file changed under us. Drop rather than serve.
+    shard.lru.erase(it->second.lru_it);
+    shard.entries.erase(it);
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second.acl;
+}
+
+void AclCache::insert(const std::string& dir, const Validator& validator,
+                      std::shared_ptr<const Acl> acl) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(dir);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(dir);
+  if (it != shard.entries.end()) {
+    it->second.validator = validator;
+    it->second.acl = std::move(acl);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  while (shard.entries.size() >= shard_capacity_ && !shard.lru.empty()) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(dir);
+  shard.entries.emplace(
+      dir, Entry{validator, std::move(acl), shard.lru.begin()});
+}
+
+void AclCache::invalidate(const std::string& dir) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(dir);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(dir);
+  if (it == shard.entries.end()) return;
+  shard.lru.erase(it->second.lru_it);
+  shard.entries.erase(it);
+  stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AclCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+size_t AclCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace ibox

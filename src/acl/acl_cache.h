@@ -1,0 +1,113 @@
+// AclCache: a sharded, mtime-validated cache of parsed directory ACLs.
+//
+// Every authorized operation in an identity box consults the governing
+// directory's ".__acl" file. Re-reading and re-parsing that file from disk
+// on each check is the dominant cost of the hot path once the data itself
+// is warm. The cache keeps the *parsed* Acl keyed by directory and
+// validates each hit against the ACL file's current (mtime_ns, size,
+// inode): a lookup costs one lstat(2) instead of open+read+parse+close.
+//
+// Coherence rule: an entry is served only while the on-disk validator is
+// byte-identical to the one captured before the cached read. Any external
+// edit bumps mtime (or, for atomic rename replacement, the inode) and the
+// next lookup reloads. Writers inside the process (AclStore::store,
+// make_dir, set_entry) additionally invalidate explicitly, so a same-
+// nanosecond rewrite can never be served stale. Absent ACL files
+// (ungoverned directories — the common case for host trees) are cached
+// negatively and revalidated the same way.
+//
+// The map is sharded by directory-path hash; each shard holds its own
+// mutex and LRU list, bounding both contention and memory (capacity is
+// split evenly across shards).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "acl/acl.h"
+
+namespace ibox {
+
+struct AclCacheStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> invalidations{0};
+};
+
+class AclCache {
+ public:
+  // Identity of one on-disk ACL file state. `present == false` encodes the
+  // (cacheable) absence of an ACL file; the other fields are then zero.
+  struct Validator {
+    bool present = false;
+    uint64_t mtime_ns = 0;
+    uint64_t size = 0;
+    uint64_t inode = 0;
+
+    bool operator==(const Validator&) const = default;
+  };
+
+  // lstat(2)s an ACL file into a Validator. ENOENT is not an error (the
+  // file's absence is itself cacheable state); other stat failures are.
+  static Result<Validator> probe(const std::string& acl_file_path);
+
+  // `capacity` bounds the total entry count across shards; 0 disables the
+  // cache entirely (every lookup misses, nothing is stored).
+  explicit AclCache(size_t capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  // Returns shared ownership of the cached parse (inner nullptr =
+  // directory is ungoverned) when `dir` is present AND its stored
+  // validator equals `current`; otherwise nullopt (miss or stale, stale
+  // entries are dropped). Hits hand out the same immutable Acl object —
+  // no per-lookup copy; holders keep the snapshot they validated even if
+  // the entry is dropped a moment later.
+  std::optional<std::shared_ptr<const Acl>> lookup(const std::string& dir,
+                                                   const Validator& current);
+
+  // Stores/overwrites the entry for `dir` (nullptr = ungoverned),
+  // evicting the least recently used entry of the shard when over budget.
+  void insert(const std::string& dir, const Validator& validator,
+              std::shared_ptr<const Acl> acl);
+
+  // Drops `dir` if cached (called by in-process ACL writers).
+  void invalidate(const std::string& dir);
+
+  void clear();
+
+  size_t size() const;
+  const AclCacheStats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct Entry {
+    Validator validator;
+    std::shared_ptr<const Acl> acl;  // nullptr = ungoverned directory
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    std::list<std::string> lru;  // front = most recently used
+  };
+
+  Shard& shard_for(const std::string& dir);
+
+  size_t capacity_ = 0;
+  size_t shard_capacity_ = 0;
+  Shard shards_[kShards];
+  mutable AclCacheStats stats_;
+};
+
+}  // namespace ibox

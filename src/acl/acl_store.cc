@@ -8,7 +8,8 @@
 
 namespace ibox {
 
-AclStore::AclStore(std::string root) : root_(path_clean(root)) {}
+AclStore::AclStore(std::string root, size_t cache_capacity)
+    : root_(path_clean(root)), cache_(cache_capacity) {}
 
 std::string AclStore::acl_file_path(const std::string& dir) const {
   return path_join(dir, kAclFileName);
@@ -19,28 +20,60 @@ Status AclStore::check_within_root(const std::string& dir) const {
   return Status::Ok();
 }
 
-Result<std::optional<Acl>> AclStore::load(const std::string& dir) const {
+Result<std::shared_ptr<const Acl>> AclStore::load_shared(
+    const std::string& dir) const {
   IBOX_RETURN_IF_ERROR(check_within_root(dir));
-  auto text = read_file(acl_file_path(dir));
+  const std::string acl_path = acl_file_path(dir);
+
+  // Fast path: one lstat validates the cached parse (both the governed
+  // and the ungoverned/absent case) against the file's current identity.
+  // A hit shares the immutable parsed Acl — no per-request copy.
+  AclCache::Validator validator;
+  if (cache_.enabled()) {
+    auto probed = AclCache::probe(acl_path);
+    if (!probed.ok()) return probed.error();
+    validator = *probed;
+    if (auto cached = cache_.lookup(dir, validator)) return *cached;
+  }
+
+  auto text = read_file(acl_path);
   if (!text.ok()) {
-    if (text.error_code() == ENOENT) return std::optional<Acl>();
+    if (text.error_code() == ENOENT) {
+      cache_.insert(dir, AclCache::Validator{}, nullptr);
+      return std::shared_ptr<const Acl>();
+    }
     return text.error();
   }
   auto acl = Acl::Parse(*text);
+  if (!acl.ok()) return acl.error();  // malformed ACLs are never cached
+  auto parsed = std::make_shared<const Acl>(std::move(*acl));
+  // The pre-read validator is stored: if the file changed between probe
+  // and read, the stored validator mismatches the newer file and the next
+  // lookup reloads — staleness is bounded by one racing write.
+  cache_.insert(dir, validator, parsed);
+  return parsed;
+}
+
+Result<std::optional<Acl>> AclStore::load(const std::string& dir) const {
+  auto acl = load_shared(dir);
   if (!acl.ok()) return acl.error();
-  return std::optional<Acl>(std::move(*acl));
+  if (!*acl) return std::optional<Acl>();
+  return std::optional<Acl>(**acl);
 }
 
 Status AclStore::store(const std::string& dir, const Acl& acl) const {
   IBOX_RETURN_IF_ERROR(check_within_root(dir));
-  return write_file_atomic(acl_file_path(dir), acl.str(), 0644);
+  Status written = write_file_atomic(acl_file_path(dir), acl.str(), 0644);
+  // Invalidate even on failure: a half-replaced file must not be served.
+  cache_.invalidate(dir);
+  return written;
 }
 
 Result<std::optional<Rights>> AclStore::rights_in(const std::string& dir,
                                                   const Identity& id) const {
-  auto acl = load(dir);
+  auto acl = load_shared(dir);
   if (!acl.ok()) return acl.error();
-  if (!acl->has_value()) return std::optional<Rights>();
+  if (!*acl) return std::optional<Rights>();
   return std::optional<Rights>((*acl)->rights_for(id));
 }
 

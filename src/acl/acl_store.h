@@ -12,10 +12,12 @@
 // admin-gated ACL edits) live in exactly one place.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "acl/acl.h"
+#include "acl/acl_cache.h"
 #include "identity/identity.h"
 #include "util/result.h"
 
@@ -28,9 +30,17 @@ class AclStore {
   // filters it).
   static constexpr const char* kAclFileName = ".__acl";
 
+  // Default bound on cached parsed ACLs (see AclCache). Sized so that a
+  // busy server's working set of governed directories fits; entries are a
+  // few hundred bytes each.
+  static constexpr size_t kDefaultCacheCapacity = 1024;
+
   // `root` is the host directory under which all governed paths live. Paths
   // passed to the other methods are host-absolute and must be within root.
-  explicit AclStore(std::string root);
+  // `cache_capacity` bounds the mtime-validated ACL cache; 0 disables
+  // caching (every load re-reads and re-parses the ACL file).
+  explicit AclStore(std::string root,
+                    size_t cache_capacity = kDefaultCacheCapacity);
 
   const std::string& root() const { return root_; }
 
@@ -41,6 +51,11 @@ class AclStore {
   // file (fallback territory); EBADMSG when the file exists but is
   // malformed (fails closed).
   Result<std::optional<Acl>> load(const std::string& dir) const;
+
+  // Zero-copy variant: shared ownership of the (cached) immutable parse,
+  // nullptr when the directory has no ACL file. The per-request hot path
+  // (rights_in) uses this; load() copies out of it.
+  Result<std::shared_ptr<const Acl>> load_shared(const std::string& dir) const;
 
   // Writes the ACL atomically.
   Status store(const std::string& dir, const Acl& acl) const;
@@ -67,9 +82,14 @@ class AclStore {
   // refuse direct reads/writes by boxed processes).
   static bool is_acl_file_name(std::string_view name);
 
+  // The parsed-ACL cache (disabled when constructed with capacity 0).
+  // Mutable so that the logically-const read path can fill it.
+  AclCache& cache() const { return cache_; }
+
  private:
   Status check_within_root(const std::string& dir) const;
   std::string root_;
+  mutable AclCache cache_;
 };
 
 // Rights implied by a Unix mode's "other" bits for the fallback case, for a

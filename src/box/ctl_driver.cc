@@ -91,9 +91,10 @@ class AclEditHandle : public FileHandle {
 
 }  // namespace
 
-Result<std::unique_ptr<FileHandle>> CtlDriver::open(const Identity& id,
+Result<std::unique_ptr<FileHandle>> CtlDriver::open(const RequestContext& ctx,
                                                     const std::string& path,
                                                     int flags, int) {
+  const Identity& id = ctx.identity();
   const std::string clean = path_clean(path);
   const int accmode = flags & O_ACCMODE;
 
@@ -120,7 +121,9 @@ Result<std::unique_ptr<FileHandle>> CtlDriver::open(const Identity& id,
   return Error(ENOENT);
 }
 
-Result<VfsStat> CtlDriver::stat(const Identity& id, const std::string& path) {
+Result<VfsStat> CtlDriver::stat(const RequestContext& ctx,
+                                const std::string& path) {
+  const Identity& id = ctx.identity();
   const std::string clean = path_clean(path);
   VfsStat st;
   if (clean == "/" || clean == "/acl") {
@@ -142,12 +145,12 @@ Result<VfsStat> CtlDriver::stat(const Identity& id, const std::string& path) {
   return Error(ENOENT);
 }
 
-Result<VfsStat> CtlDriver::lstat(const Identity& id,
+Result<VfsStat> CtlDriver::lstat(const RequestContext& ctx,
                                  const std::string& path) {
-  return stat(id, path);
+  return stat(ctx, path);
 }
 
-Result<std::vector<DirEntry>> CtlDriver::readdir(const Identity&,
+Result<std::vector<DirEntry>> CtlDriver::readdir(const RequestContext&,
                                                  const std::string& path) {
   const std::string clean = path_clean(path);
   if (clean == "/") {
@@ -157,9 +160,9 @@ Result<std::vector<DirEntry>> CtlDriver::readdir(const Identity&,
   return Error(ENOTDIR);
 }
 
-Status CtlDriver::access(const Identity& id, const std::string& path,
+Status CtlDriver::access(const RequestContext& ctx, const std::string& path,
                          Access wanted) {
-  auto st = stat(id, path);
+  auto st = stat(ctx, path);
   if (!st.ok()) return st.error();
   if (wanted == Access::kWrite &&
       !starts_with(path_clean(path), "/acl/")) {

@@ -39,50 +39,50 @@ class CtlDriver : public Driver {
 
   std::string_view scheme() const override { return "ibox-ctl"; }
 
-  Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+  Result<std::unique_ptr<FileHandle>> open(const RequestContext& ctx,
                                            const std::string& path, int flags,
                                            int mode) override;
-  Result<VfsStat> stat(const Identity& id, const std::string& path) override;
-  Result<VfsStat> lstat(const Identity& id, const std::string& path) override;
-  Result<std::vector<DirEntry>> readdir(const Identity& id,
+  Result<VfsStat> stat(const RequestContext& ctx, const std::string& path) override;
+  Result<VfsStat> lstat(const RequestContext& ctx, const std::string& path) override;
+  Result<std::vector<DirEntry>> readdir(const RequestContext& ctx,
                                         const std::string& path) override;
 
   // Everything mutating is rejected: the control files are not real files.
-  Status mkdir(const Identity&, const std::string&, int) override {
+  Status mkdir(const RequestContext&, const std::string&, int) override {
     return Status::Errno(EPERM);
   }
-  Status rmdir(const Identity&, const std::string&) override {
+  Status rmdir(const RequestContext&, const std::string&) override {
     return Status::Errno(EPERM);
   }
-  Status unlink(const Identity&, const std::string&) override {
+  Status unlink(const RequestContext&, const std::string&) override {
     return Status::Errno(EPERM);
   }
-  Status rename(const Identity&, const std::string&,
+  Status rename(const RequestContext&, const std::string&,
                 const std::string&) override {
     return Status::Errno(EPERM);
   }
-  Status symlink(const Identity&, const std::string&,
+  Status symlink(const RequestContext&, const std::string&,
                  const std::string&) override {
     return Status::Errno(EPERM);
   }
-  Result<std::string> readlink(const Identity&, const std::string&) override {
+  Result<std::string> readlink(const RequestContext&, const std::string&) override {
     return Error(EINVAL);
   }
-  Status link(const Identity&, const std::string&,
+  Status link(const RequestContext&, const std::string&,
               const std::string&) override {
     return Status::Errno(EPERM);
   }
-  Status truncate(const Identity&, const std::string&, uint64_t) override {
+  Status truncate(const RequestContext&, const std::string&, uint64_t) override {
     return Status::Ok();  // shells O_TRUNC before writing; harmless here
   }
-  Status utime(const Identity&, const std::string&, uint64_t,
+  Status utime(const RequestContext&, const std::string&, uint64_t,
                uint64_t) override {
     return Status::Errno(EPERM);
   }
-  Status chmod(const Identity&, const std::string&, int) override {
+  Status chmod(const RequestContext&, const std::string&, int) override {
     return Status::Errno(EPERM);
   }
-  Status access(const Identity& id, const std::string& path,
+  Status access(const RequestContext& ctx, const std::string& path,
                 Access wanted) override;
 
  private:

@@ -54,7 +54,7 @@ class ChirpFileHandle : public FileHandle {
 
 }  // namespace
 
-Result<std::unique_ptr<FileHandle>> ChirpDriver::open(const Identity&,
+Result<std::unique_ptr<FileHandle>> ChirpDriver::open(const RequestContext&,
                                                       const std::string& path,
                                                       int flags, int mode) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -64,93 +64,93 @@ Result<std::unique_ptr<FileHandle>> ChirpDriver::open(const Identity&,
       new ChirpFileHandle(*client_, mutex_, *handle));
 }
 
-Result<VfsStat> ChirpDriver::stat(const Identity&, const std::string& path) {
+Result<VfsStat> ChirpDriver::stat(const RequestContext&, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->stat(path);
 }
 
-Result<VfsStat> ChirpDriver::lstat(const Identity&, const std::string& path) {
+Result<VfsStat> ChirpDriver::lstat(const RequestContext&, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->lstat(path);
 }
 
-Status ChirpDriver::mkdir(const Identity&, const std::string& path,
+Status ChirpDriver::mkdir(const RequestContext&, const std::string& path,
                           int mode) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->mkdir(path, mode);
 }
 
-Status ChirpDriver::rmdir(const Identity&, const std::string& path) {
+Status ChirpDriver::rmdir(const RequestContext&, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->rmdir(path);
 }
 
-Status ChirpDriver::unlink(const Identity&, const std::string& path) {
+Status ChirpDriver::unlink(const RequestContext&, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->unlink(path);
 }
 
-Status ChirpDriver::rename(const Identity&, const std::string& from,
+Status ChirpDriver::rename(const RequestContext&, const std::string& from,
                            const std::string& to) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->rename(from, to);
 }
 
-Result<std::vector<DirEntry>> ChirpDriver::readdir(const Identity&,
+Result<std::vector<DirEntry>> ChirpDriver::readdir(const RequestContext&,
                                                    const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->readdir(path);
 }
 
-Status ChirpDriver::symlink(const Identity&, const std::string& target,
+Status ChirpDriver::symlink(const RequestContext&, const std::string& target,
                             const std::string& linkpath) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->symlink(target, linkpath);
 }
 
-Result<std::string> ChirpDriver::readlink(const Identity&,
+Result<std::string> ChirpDriver::readlink(const RequestContext&,
                                           const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->readlink(path);
 }
 
-Status ChirpDriver::link(const Identity&, const std::string& oldpath,
+Status ChirpDriver::link(const RequestContext&, const std::string& oldpath,
                          const std::string& newpath) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->link(oldpath, newpath);
 }
 
-Status ChirpDriver::truncate(const Identity&, const std::string& path,
+Status ChirpDriver::truncate(const RequestContext&, const std::string& path,
                              uint64_t length) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->truncate(path, length);
 }
 
-Status ChirpDriver::utime(const Identity&, const std::string& path,
+Status ChirpDriver::utime(const RequestContext&, const std::string& path,
                           uint64_t atime, uint64_t mtime) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->utime(path, atime, mtime);
 }
 
-Status ChirpDriver::chmod(const Identity&, const std::string& path,
+Status ChirpDriver::chmod(const RequestContext&, const std::string& path,
                           int mode) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->chmod(path, mode);
 }
 
-Status ChirpDriver::access(const Identity&, const std::string& path,
+Status ChirpDriver::access(const RequestContext&, const std::string& path,
                            Access wanted) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->access(path, wanted);
 }
 
-Result<std::string> ChirpDriver::getacl(const Identity&,
+Result<std::string> ChirpDriver::getacl(const RequestContext&,
                                         const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   return client_->getacl(path);
 }
 
-Status ChirpDriver::setacl(const Identity&, const std::string& path,
+Status ChirpDriver::setacl(const RequestContext&, const std::string& path,
                            const std::string& subject,
                            const std::string& rights) {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -23,34 +23,34 @@ class ChirpDriver : public Driver {
 
   std::string_view scheme() const override { return "chirp"; }
 
-  Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+  Result<std::unique_ptr<FileHandle>> open(const RequestContext& ctx,
                                            const std::string& path, int flags,
                                            int mode) override;
-  Result<VfsStat> stat(const Identity& id, const std::string& path) override;
-  Result<VfsStat> lstat(const Identity& id, const std::string& path) override;
-  Status mkdir(const Identity& id, const std::string& path, int mode) override;
-  Status rmdir(const Identity& id, const std::string& path) override;
-  Status unlink(const Identity& id, const std::string& path) override;
-  Status rename(const Identity& id, const std::string& from,
+  Result<VfsStat> stat(const RequestContext& ctx, const std::string& path) override;
+  Result<VfsStat> lstat(const RequestContext& ctx, const std::string& path) override;
+  Status mkdir(const RequestContext& ctx, const std::string& path, int mode) override;
+  Status rmdir(const RequestContext& ctx, const std::string& path) override;
+  Status unlink(const RequestContext& ctx, const std::string& path) override;
+  Status rename(const RequestContext& ctx, const std::string& from,
                 const std::string& to) override;
-  Result<std::vector<DirEntry>> readdir(const Identity& id,
+  Result<std::vector<DirEntry>> readdir(const RequestContext& ctx,
                                         const std::string& path) override;
-  Status symlink(const Identity& id, const std::string& target,
+  Status symlink(const RequestContext& ctx, const std::string& target,
                  const std::string& linkpath) override;
-  Result<std::string> readlink(const Identity& id,
+  Result<std::string> readlink(const RequestContext& ctx,
                                const std::string& path) override;
-  Status link(const Identity& id, const std::string& oldpath,
+  Status link(const RequestContext& ctx, const std::string& oldpath,
               const std::string& newpath) override;
-  Status truncate(const Identity& id, const std::string& path,
+  Status truncate(const RequestContext& ctx, const std::string& path,
                   uint64_t length) override;
-  Status utime(const Identity& id, const std::string& path, uint64_t atime,
+  Status utime(const RequestContext& ctx, const std::string& path, uint64_t atime,
                uint64_t mtime) override;
-  Status chmod(const Identity& id, const std::string& path, int mode) override;
-  Status access(const Identity& id, const std::string& path,
+  Status chmod(const RequestContext& ctx, const std::string& path, int mode) override;
+  Status access(const RequestContext& ctx, const std::string& path,
                 Access wanted) override;
-  Result<std::string> getacl(const Identity& id,
+  Result<std::string> getacl(const RequestContext& ctx,
                              const std::string& path) override;
-  Status setacl(const Identity& id, const std::string& path,
+  Status setacl(const RequestContext& ctx, const std::string& path,
                 const std::string& subject,
                 const std::string& rights) override;
 

@@ -1,9 +1,12 @@
 #include "chirp/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -11,20 +14,6 @@
 namespace ibox {
 
 namespace {
-Status send_all(int fd, const void* data, size_t size) {
-  const auto* in = static_cast<const char*>(data);
-  size_t done = 0;
-  while (done < size) {
-    ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Error::FromErrno();
-    }
-    done += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
 Status recv_all(int fd, void* data, size_t size) {
   auto* out = static_cast<char*>(data);
   size_t done = 0;
@@ -39,6 +28,34 @@ Status recv_all(int fd, void* data, size_t size) {
   }
   return Status::Ok();
 }
+
+// Gathered write of header+payload: one syscall in the common case, with
+// the iov advanced across short writes and EINTR so a frame is never
+// interleaved or truncated. sendmsg rather than writev for MSG_NOSIGNAL.
+Status sendv_all(int fd, struct iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::FromErrno();
+    }
+    size_t left = static_cast<size_t>(n);
+    while (iovcnt > 0 && left >= iov[0].iov_len) {
+      left -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + left;
+      iov[0].iov_len -= left;
+    }
+  }
+  return Status::Ok();
+}
 }  // namespace
 
 Status FrameChannel::send_frame(std::string_view payload) {
@@ -46,8 +63,12 @@ Status FrameChannel::send_frame(std::string_view payload) {
   uint32_t len = static_cast<uint32_t>(payload.size());
   char header[4];
   std::memcpy(header, &len, 4);
-  IBOX_RETURN_IF_ERROR(send_all(fd_.get(), header, 4));
-  return send_all(fd_.get(), payload.data(), payload.size());
+  struct iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = 4;
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  return sendv_all(fd_.get(), iov, payload.empty() ? 1 : 2);
 }
 
 Result<std::string> FrameChannel::recv_frame() {
@@ -55,7 +76,20 @@ Result<std::string> FrameChannel::recv_frame() {
   IBOX_RETURN_IF_ERROR(recv_all(fd_.get(), header, 4));
   uint32_t len = 0;
   std::memcpy(&len, header, 4);
-  if (len > kMaxFrame) return Error(EMSGSIZE);
+  if (len > kMaxFrame) {
+    // Drain the announced payload in bounded chunks so the stream stays
+    // framed; the oversized frame itself is reported as a clean error.
+    char sink[4096];
+    uint64_t remaining = len;
+    while (remaining > 0) {
+      size_t chunk = remaining < sizeof(sink)
+                         ? static_cast<size_t>(remaining)
+                         : sizeof(sink);
+      IBOX_RETURN_IF_ERROR(recv_all(fd_.get(), sink, chunk));
+      remaining -= chunk;
+    }
+    return Error(EMSGSIZE);
+  }
   std::string payload(len, '\0');
   IBOX_RETURN_IF_ERROR(recv_all(fd_.get(), payload.data(), len));
   return payload;
@@ -77,6 +111,80 @@ std::string FrameChannel::peer_ip() const {
   std::string full = peer_address();
   size_t colon = full.rfind(':');
   return colon == std::string::npos ? full : full.substr(0, colon);
+}
+
+Status FrameChannel::set_nonblocking(bool nonblocking) {
+  int flags = ::fcntl(fd_.get(), F_GETFL);
+  if (flags < 0) return Error::FromErrno();
+  int updated = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.get(), F_SETFL, updated) != 0) return Error::FromErrno();
+  return Status::Ok();
+}
+
+Status FrameChannel::set_recv_timeout_ms(int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    return Error::FromErrno();
+  }
+  return Status::Ok();
+}
+
+void FrameReader::feed(const char* data, size_t size,
+                       std::deque<Event>& out) {
+  size_t pos = 0;
+  while (pos < size) {
+    if (skip_remaining_ > 0) {
+      size_t take = std::min<uint64_t>(skip_remaining_, size - pos);
+      skip_remaining_ -= take;
+      pos += take;
+      if (skip_remaining_ == 0) {
+        Event ev;
+        ev.kind = Event::Kind::kOversized;
+        out.push_back(std::move(ev));
+      }
+      continue;
+    }
+    if (!in_payload_) {
+      size_t take = std::min(size - pos, 4 - header_filled_);
+      std::memcpy(header_ + header_filled_, data + pos, take);
+      header_filled_ += take;
+      pos += take;
+      if (header_filled_ < 4) return;
+      uint32_t len = 0;
+      std::memcpy(&len, header_, 4);
+      header_filled_ = 0;
+      if (len > max_frame_) {
+        // Skip the payload as it streams in; emit kOversized once it is
+        // fully consumed so ordering relative to later frames holds.
+        skip_remaining_ = len;
+        if (skip_remaining_ == 0) {
+          Event ev;
+          ev.kind = Event::Kind::kOversized;
+          out.push_back(std::move(ev));
+        }
+        continue;
+      }
+      payload_wanted_ = len;
+      payload_.clear();
+      payload_.reserve(len);
+      in_payload_ = true;
+    }
+    size_t take = std::min(size - pos, payload_wanted_ - payload_.size());
+    payload_.append(data + pos, take);
+    pos += take;
+    if (payload_.size() == payload_wanted_) {
+      Event ev;
+      ev.kind = Event::Kind::kFrame;
+      ev.payload = std::move(payload_);
+      out.push_back(std::move(ev));
+      payload_ = std::string();
+      payload_wanted_ = 0;
+      in_payload_ = false;
+    }
+  }
 }
 
 Result<TcpListener> TcpListener::Bind(uint16_t port) {

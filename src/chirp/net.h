@@ -1,8 +1,15 @@
 // TCP transport for the Chirp protocol: length-prefixed frames over a
 // stream socket, plus an AuthChannel adapter so the auth handshakes from
 // src/auth run unchanged over the wire.
+//
+// Two consumption styles share the same wire format:
+//   * FrameChannel — blocking send/recv for clients, handshakes, and the
+//     legacy thread-per-connection server mode;
+//   * FrameReader — an incremental parser fed by the event-driven server's
+//     non-blocking reads (short reads are the normal case there).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -21,7 +28,15 @@ class FrameChannel {
 
   explicit FrameChannel(UniqueFd fd) : fd_(std::move(fd)) {}
 
+  // Writes header+payload as one gathered write; restarts on EINTR and
+  // short writes.
   Status send_frame(std::string_view payload);
+
+  // Reads one frame; restarts on EINTR and short reads. When the peer
+  // announces a frame above kMaxFrame the payload is drained (bounded
+  // chunks, never buffered whole) and EMSGSIZE is returned with the stream
+  // left positioned at the next frame — an oversized frame is a clean
+  // per-request error, not a torn connection.
   Result<std::string> recv_frame();
 
   int fd() const { return fd_.get(); }
@@ -29,8 +44,53 @@ class FrameChannel {
   std::string peer_address() const;
   std::string peer_ip() const;
 
+  // O_NONBLOCK toggle (the reactor flips accepted sockets to non-blocking
+  // after the handshake).
+  Status set_nonblocking(bool nonblocking);
+  // SO_RCVTIMEO, so a handshake against a silent peer cannot wedge a
+  // worker forever. 0 clears the timeout.
+  Status set_recv_timeout_ms(int timeout_ms);
+
+  // Releases ownership of the descriptor (used when a connection is handed
+  // from the blocking handshake to the reactor).
+  UniqueFd release_fd() { return std::move(fd_); }
+
  private:
   UniqueFd fd_;
+};
+
+// Incremental decoder of the frame stream for non-blocking readers. Feed
+// whatever bytes arrived; complete frames come out as events, in order.
+// An announced length above kMaxFrame produces one kOversized event and
+// the payload bytes are skipped as they stream in, keeping the connection
+// synchronized without ever buffering the oversized payload.
+class FrameReader {
+ public:
+  struct Event {
+    enum class Kind { kFrame, kOversized };
+    Kind kind = Kind::kFrame;
+    std::string payload;  // empty for kOversized
+  };
+
+  explicit FrameReader(size_t max_frame = FrameChannel::kMaxFrame)
+      : max_frame_(max_frame) {}
+
+  // Consumes `size` bytes, appending decoded events to `out`.
+  void feed(const char* data, size_t size, std::deque<Event>& out);
+
+  // Bytes of an incomplete frame currently buffered (diagnostics/tests).
+  size_t pending_bytes() const { return header_filled_ + payload_.size(); }
+
+ private:
+  size_t max_frame_;
+  // Decoder state: filling the 4-byte header, then the payload (or
+  // skipping `skip_remaining_` bytes of an oversized payload).
+  unsigned char header_[4] = {0};
+  size_t header_filled_ = 0;
+  size_t payload_wanted_ = 0;
+  bool in_payload_ = false;
+  uint64_t skip_remaining_ = 0;
+  std::string payload_;
 };
 
 // AuthChannel over frames: one auth message per frame.
@@ -55,6 +115,7 @@ class TcpListener {
   TcpListener& operator=(TcpListener&&) = default;
 
   uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
   Result<FrameChannel> accept();
   // Unblocks pending accepts (used at server shutdown).
   void shutdown();

@@ -1,11 +1,15 @@
 #include "chirp/server.h"
 
 #include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/statfs.h>
 #include <unistd.h>
 
-#include <map>
+#include <chrono>
+#include <cstring>
 
 #include "box/box_context.h"
 #include "chirp/catalog.h"
@@ -16,15 +20,44 @@
 
 namespace ibox {
 
-struct ChirpServer::Session {
-  Identity identity;
-  FrameChannel* channel = nullptr;
-  std::map<int64_t, std::unique_ptr<FileHandle>> handles;
-  int64_t next_handle = 1;
+namespace {
+// Reply flow control: when a connection's unsent replies exceed the high
+// watermark the reactor stops reading from it (the client must drain
+// before sending more requests); reading resumes below the low watermark.
+// Workers never block on the socket either way — replies only ever append
+// to the buffer.
+constexpr size_t kOutboundHighWater = 8u << 20;
+constexpr size_t kOutboundLowWater = 1u << 20;
+constexpr size_t kReadChunk = 64u << 10;
+}  // namespace
+
+// Per-connection state shared between the reactor (socket I/O) and the
+// worker pool (request execution). `mutex` guards the queues and flags;
+// the epoll bookkeeping at the bottom is touched by the reactor only.
+struct ChirpServer::Connection {
+  UniqueFd fd;
+  Session session;
+  FrameReader reader;
+
+  std::mutex mutex;
+  std::deque<FrameReader::Event> requests;  // complete inbound frames
+  std::string outbound;                     // framed replies not yet sent
+  size_t outbound_offset = 0;               // sent prefix of `outbound`
+  bool scheduled = false;   // a worker owns the request queue right now
+  bool want_write = false;  // EPOLLOUT armed: the reactor owns flushing
+  bool closing = false;     // EOF or error seen; close once drained
+  bool dead = false;        // fatal socket error; drop buffered replies
+
+  size_t unsent() const { return outbound.size() - outbound_offset; }
+
+  // Reactor-thread-only epoll bookkeeping.
+  bool reading_paused = false;
+  uint32_t armed_events = 0;
 };
 
 ChirpServer::ChirpServer(ChirpServerOptions options)
-    : options_(std::move(options)), driver_(options_.export_root) {}
+    : options_(std::move(options)),
+      driver_(options_.export_root, options_.acl_cache_capacity) {}
 
 Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
     ChirpServerOptions options) {
@@ -32,10 +65,7 @@ Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
     return Error(ENOENT);
   }
   if (options.state_dir.empty()) options.state_dir = options.export_root;
-  if (!options.enable_gsi && !options.enable_kerberos &&
-      !options.enable_hostname && !options.enable_unix) {
-    return Error(EINVAL);
-  }
+  if (options.auth_methods.empty()) return Error(EINVAL);
 
   std::unique_ptr<ChirpServer> server(new ChirpServer(std::move(options)));
 
@@ -58,9 +88,14 @@ Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
     (void)catalog_update("localhost", server->options_.catalog_port, entry);
   }
 
-  server->accept_thread_ = std::thread([raw = server.get()] {
-    raw->accept_loop();
-  });
+  if (server->options_.serve_mode ==
+      ChirpServerOptions::ServeMode::kReactor) {
+    IBOX_RETURN_IF_ERROR(server->start_reactor());
+  } else {
+    server->accept_thread_ = std::thread([raw = server.get()] {
+      raw->accept_loop();
+    });
+  }
   IBOX_INFO << "chirp server listening on port " << server->port()
             << " exporting " << server->options_.export_root;
   return server;
@@ -72,48 +107,84 @@ void ChirpServer::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   listener_.shutdown();
+
+  // Legacy mode.
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (auto& thread : connection_threads_) {
-    if (thread.joinable()) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (auto& thread : connection_threads_) {
+      if (thread.joinable()) thread.join();
+    }
   }
+
+  // Reactor mode: wake the reactor out of epoll_wait, then drain workers.
+  if (wake_fd_.valid()) {
+    uint64_t one = 1;
+    (void)!::write(wake_fd_.get(), &one, sizeof(one));
+  }
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  connections_.clear();
 }
 
-void ChirpServer::accept_loop() {
-  while (!stopping_.load()) {
-    auto channel = listener_.accept();
-    if (!channel.ok()) {
-      if (stopping_.load()) return;
-      continue;
-    }
-    stats_.connections++;
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, moved = std::make_shared<FrameChannel>(std::move(*channel))] {
-          serve_connection(std::move(*moved));
-        });
-  }
+ChirpStatsSnapshot ChirpServer::snapshot_stats() const {
+  ChirpStatsSnapshot snap;
+  snap.connections = stats_.connections.load();
+  snap.auth_failures = stats_.auth_failures.load();
+  snap.requests = stats_.requests.load();
+  snap.denials = stats_.denials.load();
+  snap.execs = stats_.execs.load();
+  snap.bytes_read = stats_.bytes_read.load();
+  snap.bytes_written = stats_.bytes_written.load();
+  snap.oversized_frames = stats_.oversized_frames.load();
+  snap.queue_depth = stats_.queue_depth.load();
+  snap.peak_queue_depth = stats_.peak_queue_depth.load();
+  snap.worker_batches = stats_.worker_batches.load();
+  snap.worker_busy_micros = stats_.worker_busy_micros.load();
+  snap.request_timeouts = driver_sink_.timeouts.load();
+  const AclCacheStats& cache = driver_.acl_store().cache().stats();
+  snap.acl_cache_hits = cache.hits.load();
+  snap.acl_cache_misses = cache.misses.load();
+  snap.acl_cache_evictions = cache.evictions.load();
+  snap.acl_cache_invalidations = cache.invalidations.load();
+  return snap;
 }
+
+// ---------------------------------------------------------------- auth --
 
 Result<Identity> ChirpServer::authenticate(FrameChannel& channel) {
   FrameAuthChannel auth_channel(channel);
 
+  // Verifiers in configured order: the vector order is the server's
+  // negotiation preference among methods the client offers equally.
   std::vector<std::unique_ptr<ServerVerifier>> owned;
-  if (options_.enable_gsi) {
-    owned.push_back(
-        std::make_unique<GsiVerifier>(options_.gsi_trust, options_.clock));
-  }
-  if (options_.enable_kerberos) {
-    owned.push_back(std::make_unique<KerberosVerifier>(
-        options_.kerberos_realm, options_.kerberos_service_secret,
-        options_.clock));
-  }
-  if (options_.enable_hostname && options_.host_resolver) {
-    owned.push_back(std::make_unique<HostnameVerifier>(
-        channel.peer_ip(), options_.host_resolver));
-  }
-  if (options_.enable_unix) {
-    owned.push_back(std::make_unique<UnixVerifier>(options_.state_dir));
+  for (const auto& method : options_.auth_methods) {
+    switch (method.method) {
+      case AuthMethod::kGlobus:
+        owned.push_back(std::make_unique<GsiVerifier>(method.gsi_trust,
+                                                      options_.clock));
+        break;
+      case AuthMethod::kKerberos:
+        owned.push_back(std::make_unique<KerberosVerifier>(
+            method.kerberos_realm, method.kerberos_service_secret,
+            options_.clock));
+        break;
+      case AuthMethod::kHostname:
+        if (method.host_resolver) {
+          owned.push_back(std::make_unique<HostnameVerifier>(
+              channel.peer_ip(), method.host_resolver));
+        }
+        break;
+      case AuthMethod::kUnix:
+        owned.push_back(
+            std::make_unique<UnixVerifier>(options_.state_dir));
+        break;
+      case AuthMethod::kFreeform:
+        break;  // supervisor-internal; not negotiable over the wire
+    }
   }
   // Admission (wildcard lists, community authorization) wraps every
   // method so a rejected identity fails within the handshake itself.
@@ -132,6 +203,33 @@ Result<Identity> ChirpServer::authenticate(FrameChannel& channel) {
   return authenticate_server(auth_channel, verifiers);
 }
 
+RequestContext ChirpServer::make_context(const Identity& id) const {
+  RequestContext::Clock::time_point deadline{};  // epoch: no deadline
+  if (options_.request_timeout_ms != 0) {
+    deadline = RequestContext::Clock::now() +
+               std::chrono::milliseconds(options_.request_timeout_ms);
+  }
+  return RequestContext(id, deadline, &driver_sink_);
+}
+
+// -------------------------------------------- legacy (ablation) mode --
+
+void ChirpServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto channel = listener_.accept();
+    if (!channel.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    stats_.connections++;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, moved = std::make_shared<FrameChannel>(std::move(*channel))] {
+          serve_connection(std::move(*moved));
+        });
+  }
+}
+
 void ChirpServer::serve_connection(FrameChannel channel) {
   auto identity = authenticate(channel);
   if (!identity.ok()) {
@@ -142,11 +240,21 @@ void ChirpServer::serve_connection(FrameChannel channel) {
 
   Session session;
   session.identity = *identity;
-  session.channel = &channel;
 
   while (!stopping_.load()) {
     auto frame = channel.recv_frame();
-    if (!frame.ok()) return;  // disconnect
+    if (!frame.ok()) {
+      // An oversized frame was drained by recv_frame, so the stream is
+      // still in sync: answer with a protocol error and keep serving.
+      if (frame.error_code() == EMSGSIZE) {
+        stats_.oversized_frames++;
+        BufWriter reply;
+        reply.put_i64(-EMSGSIZE);
+        if (!channel.send_frame(reply.data()).ok()) return;
+        continue;
+      }
+      return;  // disconnect
+    }
     BufReader reader(*frame);
     auto op = reader.get_u8();
     if (!op.ok()) return;
@@ -156,6 +264,390 @@ void ChirpServer::serve_connection(FrameChannel channel) {
     if (!channel.send_frame(reply.data()).ok()) return;
   }
 }
+
+// ------------------------------------------------------- reactor mode --
+
+Status ChirpServer::start_reactor() {
+  epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) return Error::FromErrno();
+  wake_fd_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_.valid()) return Error::FromErrno();
+
+  // The reactor accepts in a loop until EAGAIN, so the listener must be
+  // non-blocking.
+  int flags = ::fcntl(listener_.fd(), F_GETFL);
+  if (flags < 0 ||
+      ::fcntl(listener_.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Error::FromErrno();
+  }
+
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.fd();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listener_.fd(), &ev) !=
+      0) {
+    return Error::FromErrno();
+  }
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) !=
+      0) {
+    return Error::FromErrno();
+  }
+
+  size_t workers = options_.worker_threads;
+  if (workers == 0) {
+    workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
+  return Status::Ok();
+}
+
+void ChirpServer::post_to_reactor(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(reactor_jobs_mutex_);
+    reactor_jobs_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  (void)!::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void ChirpServer::enqueue_job(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    work_queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ChirpServer::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_.load() || !work_queue_.empty();
+      });
+      // Drain remaining jobs even when stopping, so buffered requests
+      // finish before shutdown.
+      if (work_queue_.empty()) return;
+      job = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ChirpServer::reactor_loop() {
+  struct epoll_event events[64];
+  while (!stopping_.load()) {
+    int n = ::epoll_wait(epoll_fd_.get(), events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        uint64_t drained;
+        (void)!::read(wake_fd_.get(), &drained, sizeof(drained));
+        std::vector<std::function<void()>> jobs;
+        {
+          std::lock_guard<std::mutex> lock(reactor_jobs_mutex_);
+          jobs.swap(reactor_jobs_);
+        }
+        for (auto& job : jobs) job();
+        continue;
+      }
+      if (fd == listener_.fd()) {
+        handle_accept();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      // Hold a reference: a handler may erase the map entry.
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        handle_readable(conn);
+      }
+      if ((events[i].events & EPOLLOUT) &&
+          connections_.count(conn->fd.get())) {
+        handle_writable(conn);
+      }
+    }
+  }
+}
+
+void ChirpServer::handle_accept() {
+  while (!stopping_.load()) {
+    auto channel = listener_.accept();
+    if (!channel.ok()) return;  // EAGAIN or shutdown
+    stats_.connections++;
+    // The handshake is blocking (guarded by a receive timeout), so it
+    // runs on the worker pool, not the reactor.
+    auto shared = std::make_shared<FrameChannel>(std::move(*channel));
+    enqueue_job([this, shared] { handshake_job(shared); });
+  }
+}
+
+void ChirpServer::handshake_job(std::shared_ptr<FrameChannel> channel) {
+  if (options_.auth_timeout_ms != 0) {
+    (void)channel->set_recv_timeout_ms(
+        static_cast<int>(options_.auth_timeout_ms));
+  }
+  auto identity = authenticate(*channel);
+  if (!identity.ok()) {
+    stats_.auth_failures++;
+    return;
+  }
+  IBOX_INFO << "chirp connection authenticated as " << identity->str();
+  if (!channel->set_recv_timeout_ms(0).ok() ||
+      !channel->set_nonblocking(true).ok()) {
+    return;
+  }
+
+  auto conn = std::make_shared<Connection>();
+  conn->fd = channel->release_fd();
+  conn->session.identity = *identity;
+
+  post_to_reactor([this, conn] {
+    if (stopping_.load()) return;  // dropped; fd closes with `conn`
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd.get();
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) !=
+        0) {
+      return;
+    }
+    conn->armed_events = EPOLLIN;
+    connections_[conn->fd.get()] = conn;
+  });
+}
+
+// Recomputes and applies this connection's epoll interest. Reactor thread
+// only; caller must NOT hold conn.mutex (want_write is sampled briefly).
+void ChirpServer::update_epoll(Connection& conn) {
+  uint32_t wanted = 0;
+  if (!conn.reading_paused && !conn.closing) wanted |= EPOLLIN;
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    if (conn.want_write) wanted |= EPOLLOUT;
+  }
+  if (wanted == conn.armed_events) return;
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = wanted;
+  ev.data.fd = conn.fd.get();
+  // ENOENT (already finalized) is harmless: the connection is on its way
+  // out and the posted update raced the close.
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev) ==
+      0) {
+    conn.armed_events = wanted;
+  }
+}
+
+void ChirpServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[kReadChunk];
+  std::deque<FrameReader::Event> events;
+  bool closed = false;
+  bool failed = false;
+  while (true) {
+    ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->reader.feed(buf, static_cast<size_t>(n), events);
+      continue;
+    }
+    if (n == 0) {
+      closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    failed = true;
+    break;
+  }
+
+  bool need_schedule = false;
+  size_t unsent = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    for (auto& event : events) conn->requests.push_back(std::move(event));
+    if (!events.empty()) {
+      uint64_t depth =
+          stats_.queue_depth.fetch_add(events.size()) + events.size();
+      uint64_t peak = stats_.peak_queue_depth.load();
+      while (depth > peak &&
+             !stats_.peak_queue_depth.compare_exchange_weak(peak, depth)) {
+      }
+    }
+    if (closed || failed) {
+      conn->closing = true;
+      if (failed) {
+        conn->dead = true;
+        conn->outbound.clear();
+        conn->outbound_offset = 0;
+      }
+    }
+    if (!conn->scheduled && !conn->requests.empty()) {
+      conn->scheduled = true;
+      need_schedule = true;
+    }
+    unsent = conn->unsent();
+  }
+
+  if (need_schedule) {
+    enqueue_job([this, conn] { connection_job(conn); });
+  }
+  if (unsent > kOutboundHighWater && !conn->reading_paused) {
+    // Flow control: stop reading until the client drains its replies.
+    // The reactor takes over flushing so progress is guaranteed even if
+    // no worker touches this connection again.
+    conn->reading_paused = true;
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->want_write = true;
+  }
+  update_epoll(*conn);
+  maybe_finalize(conn);
+}
+
+void ChirpServer::handle_writable(const std::shared_ptr<Connection>& conn) {
+  bool below_low_water = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->dead) (void)flush_outbound(*conn);
+    if (conn->unsent() == 0) conn->want_write = false;
+    below_low_water = conn->unsent() < kOutboundLowWater;
+  }
+  if (conn->reading_paused && below_low_water) {
+    conn->reading_paused = false;
+  }
+  update_epoll(*conn);
+  maybe_finalize(conn);
+}
+
+// Reactor thread: closes the connection once nothing references its work.
+void ChirpServer::maybe_finalize(const std::shared_ptr<Connection>& conn) {
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    done = conn->closing && !conn->scheduled && conn->requests.empty() &&
+           (conn->dead || conn->unsent() == 0);
+  }
+  if (done) finalize_close(conn->fd.get());
+}
+
+void ChirpServer::finalize_close(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  // The fd itself closes when the last shared_ptr drops (a posted reactor
+  // job may still hold one briefly; it guards against the missing map
+  // entry).
+  connections_.erase(it);
+}
+
+bool ChirpServer::flush_outbound(Connection& conn) {
+  while (conn.outbound_offset < conn.outbound.size()) {
+    ssize_t n = ::send(conn.fd.get(),
+                       conn.outbound.data() + conn.outbound_offset,
+                       conn.outbound.size() - conn.outbound_offset,
+                       MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.outbound_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;
+    conn.closing = true;
+    conn.outbound.clear();
+    conn.outbound_offset = 0;
+    return false;
+  }
+  if (conn.outbound_offset == conn.outbound.size()) {
+    conn.outbound.clear();
+    conn.outbound_offset = 0;
+  } else if (conn.outbound_offset > kOutboundLowWater) {
+    conn.outbound.erase(0, conn.outbound_offset);
+    conn.outbound_offset = 0;
+  }
+  return true;
+}
+
+void ChirpServer::connection_job(std::shared_ptr<Connection> conn) {
+  const auto started = std::chrono::steady_clock::now();
+  bool ask_finalize = false;
+  while (true) {
+    FrameReader::Event event;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->requests.empty() || conn->dead) {
+        // Release ownership before the reactor can reschedule us.
+        conn->scheduled = false;
+        ask_finalize = conn->closing;
+        break;
+      }
+      event = std::move(conn->requests.front());
+      conn->requests.pop_front();
+      stats_.queue_depth--;
+    }
+
+    std::string reply = serve_frame(conn->session, event);
+
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->dead) continue;
+    conn->outbound.append(reply);
+    // Opportunistic flush — but only while the reactor has not armed
+    // EPOLLOUT, so exactly one side writes the socket at a time.
+    if (!conn->want_write) {
+      if (flush_outbound(*conn) && conn->unsent() > 0) {
+        conn->want_write = true;
+        std::shared_ptr<Connection> ref = conn;
+        post_to_reactor([this, ref] { update_epoll(*ref); });
+      }
+    }
+  }
+  stats_.worker_batches++;
+  stats_.worker_busy_micros +=
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  if (ask_finalize) {
+    post_to_reactor([this, conn] { maybe_finalize(conn); });
+  }
+}
+
+std::string ChirpServer::serve_frame(Session& session,
+                                     FrameReader::Event& event) {
+  BufWriter reply;
+  if (event.kind == FrameReader::Event::Kind::kOversized) {
+    stats_.oversized_frames++;
+    reply.put_i64(-EMSGSIZE);
+  } else {
+    BufReader reader(event.payload);
+    auto op = reader.get_u8();
+    if (!op.ok()) {
+      reply.put_i64(-EBADMSG);
+    } else {
+      stats_.requests++;
+      dispatch(session, static_cast<ChirpOp>(*op), reader, reply);
+    }
+  }
+  const std::string& payload = reply.data();
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string framed;
+  framed.reserve(4 + payload.size());
+  framed.append(reinterpret_cast<const char*>(&len), 4);
+  framed.append(payload);
+  return framed;
+}
+
+// ------------------------------------------------------------ protocol --
 
 namespace {
 // Writes just a status (no payload).
@@ -168,13 +660,13 @@ int64_t status_of(const Status& st) {
 
 void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
                            BufWriter& reply) {
-  const Identity& id = session.identity;
+  const RequestContext ctx = make_context(session.identity);
   auto bad = [&reply] { put_status(reply, -EBADMSG); };
 
   switch (op) {
     case ChirpOp::kWhoami: {
       put_status(reply, 0);
-      reply.put_bytes(id.str());
+      reply.put_bytes(session.identity.str());
       return;
     }
     case ChirpOp::kOpen: {
@@ -182,7 +674,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto flags = reader.get_u32();
       auto mode = reader.get_u32();
       if (!path.ok() || !flags.ok() || !mode.ok()) return bad();
-      auto handle = driver_.open(id, *path, static_cast<int>(*flags),
+      auto handle = driver_.open(ctx, *path, static_cast<int>(*flags),
                                  static_cast<int>(*mode));
       if (!handle.ok()) {
         if (handle.error_code() == EACCES) stats_.denials++;
@@ -284,8 +776,8 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
     case ChirpOp::kLstat: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      auto st = (op == ChirpOp::kStat) ? driver_.stat(id, *path)
-                                       : driver_.lstat(id, *path);
+      auto st = (op == ChirpOp::kStat) ? driver_.stat(ctx, *path)
+                                       : driver_.lstat(ctx, *path);
       if (!st.ok()) {
         put_status(reply, -st.error_code());
         return;
@@ -298,7 +790,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto path = reader.get_bytes();
       auto mode = reader.get_u32();
       if (!path.ok() || !mode.ok()) return bad();
-      Status st = driver_.mkdir(id, *path, static_cast<int>(*mode));
+      Status st = driver_.mkdir(ctx, *path, static_cast<int>(*mode));
       if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
       put_status(reply, status_of(st));
       return;
@@ -306,26 +798,26 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
     case ChirpOp::kRmdir: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      put_status(reply, status_of(driver_.rmdir(id, *path)));
+      put_status(reply, status_of(driver_.rmdir(ctx, *path)));
       return;
     }
     case ChirpOp::kUnlink: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      put_status(reply, status_of(driver_.unlink(id, *path)));
+      put_status(reply, status_of(driver_.unlink(ctx, *path)));
       return;
     }
     case ChirpOp::kRename: {
       auto from = reader.get_bytes();
       auto to = reader.get_bytes();
       if (!from.ok() || !to.ok()) return bad();
-      put_status(reply, status_of(driver_.rename(id, *from, *to)));
+      put_status(reply, status_of(driver_.rename(ctx, *from, *to)));
       return;
     }
     case ChirpOp::kReaddir: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      auto entries = driver_.readdir(id, *path);
+      auto entries = driver_.readdir(ctx, *path);
       if (!entries.ok()) {
         put_status(reply, -entries.error_code());
         return;
@@ -338,13 +830,14 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto target = reader.get_bytes();
       auto linkpath = reader.get_bytes();
       if (!target.ok() || !linkpath.ok()) return bad();
-      put_status(reply, status_of(driver_.symlink(id, *target, *linkpath)));
+      put_status(reply,
+                 status_of(driver_.symlink(ctx, *target, *linkpath)));
       return;
     }
     case ChirpOp::kReadlink: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      auto target = driver_.readlink(id, *path);
+      auto target = driver_.readlink(ctx, *path);
       if (!target.ok()) {
         put_status(reply, -target.error_code());
         return;
@@ -357,22 +850,22 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto from = reader.get_bytes();
       auto to = reader.get_bytes();
       if (!from.ok() || !to.ok()) return bad();
-      put_status(reply, status_of(driver_.link(id, *from, *to)));
+      put_status(reply, status_of(driver_.link(ctx, *from, *to)));
       return;
     }
     case ChirpOp::kChmod: {
       auto path = reader.get_bytes();
       auto mode = reader.get_u32();
       if (!path.ok() || !mode.ok()) return bad();
-      put_status(reply,
-                 status_of(driver_.chmod(id, *path, static_cast<int>(*mode))));
+      put_status(reply, status_of(driver_.chmod(ctx, *path,
+                                                static_cast<int>(*mode))));
       return;
     }
     case ChirpOp::kTruncate: {
       auto path = reader.get_bytes();
       auto length = reader.get_u64();
       if (!path.ok() || !length.ok()) return bad();
-      put_status(reply, status_of(driver_.truncate(id, *path, *length)));
+      put_status(reply, status_of(driver_.truncate(ctx, *path, *length)));
       return;
     }
     case ChirpOp::kUtime: {
@@ -380,14 +873,15 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto atime = reader.get_u64();
       auto mtime = reader.get_u64();
       if (!path.ok() || !atime.ok() || !mtime.ok()) return bad();
-      put_status(reply, status_of(driver_.utime(id, *path, *atime, *mtime)));
+      put_status(reply,
+                 status_of(driver_.utime(ctx, *path, *atime, *mtime)));
       return;
     }
     case ChirpOp::kAccess: {
       auto path = reader.get_bytes();
       auto kind = reader.get_u8();
       if (!path.ok() || !kind.ok()) return bad();
-      Status st = driver_.access(id, *path, static_cast<Access>(*kind));
+      Status st = driver_.access(ctx, *path, static_cast<Access>(*kind));
       if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
       put_status(reply, status_of(st));
       return;
@@ -395,7 +889,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
     case ChirpOp::kGetAcl: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      auto acl = driver_.getacl(id, *path);
+      auto acl = driver_.getacl(ctx, *path);
       if (!acl.ok()) {
         put_status(reply, -acl.error_code());
         return;
@@ -409,7 +903,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto subject = reader.get_bytes();
       auto rights = reader.get_bytes();
       if (!path.ok() || !subject.ok() || !rights.ok()) return bad();
-      Status st = driver_.setacl(id, *path, *subject, *rights);
+      Status st = driver_.setacl(ctx, *path, *subject, *rights);
       if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
       put_status(reply, status_of(st));
       return;
@@ -417,7 +911,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
     case ChirpOp::kGetFile: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      auto handle = driver_.open(id, *path, O_RDONLY, 0);
+      auto handle = driver_.open(ctx, *path, O_RDONLY, 0);
       if (!handle.ok()) {
         put_status(reply, -handle.error_code());
         return;
@@ -449,7 +943,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto mode = reader.get_u32();
       auto data = reader.get_bytes();
       if (!path.ok() || !mode.ok() || !data.ok()) return bad();
-      auto handle = driver_.open(id, *path, O_WRONLY | O_CREAT | O_TRUNC,
+      auto handle = driver_.open(ctx, *path, O_WRONLY | O_CREAT | O_TRUNC,
                                  static_cast<int>(*mode));
       if (!handle.ok()) {
         if (handle.error_code() == EACCES) stats_.denials++;

@@ -12,10 +12,23 @@
 // enforced by the same ACL-checking LocalDriver the sandbox uses. The
 // `exec` RPC runs a program inside a ptrace identity box named by the
 // connection's principal — the paper's Figure 3 flow.
+//
+// Two serving modes share the protocol logic:
+//   * kReactor (default) — one epoll reactor thread performs all socket
+//     I/O non-blocking; complete frames are queued per connection and a
+//     fixed worker pool drains the queues. One worker serves a connection
+//     at a time (per-connection FIFO order), different connections are
+//     served in parallel, and replies buffer in an outbound queue so a
+//     slow reader never stalls a worker. See DESIGN.md.
+//   * kThreadPerConnection — the original one-thread-per-socket loop,
+//     kept as the ablation baseline.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +46,44 @@
 
 namespace ibox {
 
+// One authentication method the server offers, with its method-specific
+// configuration bundled alongside. The server constructs verifiers in
+// vector order, so the configured order *is* the server's negotiation
+// preference (the protocol still honors the client's offer order first;
+// among equal offers the earlier-configured verifier is tried first).
+struct AuthMethodConfig {
+  AuthMethod method = AuthMethod::kUnix;
+  GsiTrustStore gsi_trust;                // kGsi
+  std::string kerberos_realm;             // kKerberos
+  std::string kerberos_service_secret;    // kKerberos
+  HostResolver host_resolver;             // kHostname: peer IP -> hostname
+
+  static AuthMethodConfig Gsi(GsiTrustStore trust) {
+    AuthMethodConfig config;
+    config.method = AuthMethod::kGlobus;
+    config.gsi_trust = std::move(trust);
+    return config;
+  }
+  static AuthMethodConfig Kerberos(std::string realm, std::string secret) {
+    AuthMethodConfig config;
+    config.method = AuthMethod::kKerberos;
+    config.kerberos_realm = std::move(realm);
+    config.kerberos_service_secret = std::move(secret);
+    return config;
+  }
+  static AuthMethodConfig Hostname(HostResolver resolver) {
+    AuthMethodConfig config;
+    config.method = AuthMethod::kHostname;
+    config.host_resolver = std::move(resolver);
+    return config;
+  }
+  static AuthMethodConfig Unix() {
+    AuthMethodConfig config;
+    config.method = AuthMethod::kUnix;
+    return config;
+  }
+};
+
 struct ChirpServerOptions {
   uint16_t port = 0;          // 0: kernel-assigned (read back via port())
   std::string export_root;    // host directory exported as "/"
@@ -41,15 +92,9 @@ struct ChirpServerOptions {
 
   bool enable_exec = true;
 
-  // Authentication methods offered. At least one must be enabled.
-  bool enable_gsi = false;
-  GsiTrustStore gsi_trust;
-  bool enable_kerberos = false;
-  std::string kerberos_realm;
-  std::string kerberos_service_secret;
-  bool enable_hostname = false;
-  HostResolver host_resolver;  // maps peer IP -> hostname
-  bool enable_unix = false;
+  // Authentication methods offered, in server preference order. At least
+  // one must be configured.
+  std::vector<AuthMethodConfig> auth_methods;
 
   AuthClock clock = &wall_clock_seconds;
 
@@ -63,6 +108,18 @@ struct ChirpServerOptions {
   // themselves to a catalog"). Zero port disables.
   std::string server_name = "chirp";
   uint16_t catalog_port = 0;
+
+  enum class ServeMode { kReactor, kThreadPerConnection };
+  ServeMode serve_mode = ServeMode::kReactor;
+  // Worker pool size for kReactor; 0 picks max(2, hardware_concurrency).
+  size_t worker_threads = 0;
+  // Parsed-ACL cache bound passed to the LocalDriver (0 disables caching;
+  // the ablation harness uses that arm to isolate the cache's effect).
+  size_t acl_cache_capacity = AclStore::kDefaultCacheCapacity;
+  // Per-request deadline threaded through the RequestContext; 0 disables.
+  uint32_t request_timeout_ms = 0;
+  // Handshake guard: a silent peer is disconnected after this long.
+  uint32_t auth_timeout_ms = 10000;
 };
 
 struct ChirpServerStats {
@@ -73,12 +130,41 @@ struct ChirpServerStats {
   std::atomic<uint64_t> execs{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  // Reactor-mode surface: frames rejected for size, depth of the pending
+  // request queues, and worker activity (batches drained / busy time).
+  std::atomic<uint64_t> oversized_frames{0};
+  std::atomic<uint64_t> queue_depth{0};
+  std::atomic<uint64_t> peak_queue_depth{0};
+  std::atomic<uint64_t> worker_batches{0};
+  std::atomic<uint64_t> worker_busy_micros{0};
+};
+
+// Plain-value copy of the counters (plus the driver-side surfaces: ACL
+// cache effectiveness and deadline expiries), for benches and tests.
+struct ChirpStatsSnapshot {
+  uint64_t connections = 0;
+  uint64_t auth_failures = 0;
+  uint64_t requests = 0;
+  uint64_t denials = 0;
+  uint64_t execs = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t oversized_frames = 0;
+  uint64_t queue_depth = 0;
+  uint64_t peak_queue_depth = 0;
+  uint64_t worker_batches = 0;
+  uint64_t worker_busy_micros = 0;
+  uint64_t request_timeouts = 0;
+  uint64_t acl_cache_hits = 0;
+  uint64_t acl_cache_misses = 0;
+  uint64_t acl_cache_evictions = 0;
+  uint64_t acl_cache_invalidations = 0;
 };
 
 class ChirpServer {
  public:
   // Binds, stamps the root ACL, registers with the catalog, and starts the
-  // accept thread.
+  // serving threads (reactor + workers, or the accept loop).
   static Result<std::unique_ptr<ChirpServer>> Start(
       ChirpServerOptions options);
   ~ChirpServer();
@@ -87,33 +173,81 @@ class ChirpServer {
 
   uint16_t port() const { return listener_.port(); }
   const ChirpServerStats& stats() const { return stats_; }
+  ChirpStatsSnapshot snapshot_stats() const;
 
-  // Stops accepting and joins all connection threads.
+  // Stops accepting, drains workers, and joins all threads.
   void stop();
 
  private:
   explicit ChirpServer(ChirpServerOptions options);
 
-  void accept_loop();
-  void serve_connection(FrameChannel channel);
+  // ----- protocol (mode-independent) -----
+  // Per-connection protocol state: the proven identity and open handles.
+  struct Session {
+    Identity identity;
+    std::map<int64_t, std::unique_ptr<FileHandle>> handles;
+    int64_t next_handle = 1;
+  };
   Result<Identity> authenticate(FrameChannel& channel);
-
-  // One connection's request dispatcher.
-  struct Session;
+  RequestContext make_context(const Identity& id) const;
   void dispatch(Session& session, ChirpOp op, BufReader& reader,
                 BufWriter& reply);
   void handle_exec(Session& session, BufReader& reader, BufWriter& reply);
+  // Decodes one inbound frame event, runs it, and returns the reply frame
+  // (header + payload) ready to append to an outbound buffer.
+  std::string serve_frame(Session& session, FrameReader::Event& event);
+
+  // ----- legacy thread-per-connection mode -----
+  void accept_loop();
+  void serve_connection(FrameChannel channel);
+
+  // ----- reactor mode -----
+  struct Connection;
+  Status start_reactor();
+  void reactor_loop();
+  void post_to_reactor(std::function<void()> fn);
+  void handle_accept();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void handle_writable(const std::shared_ptr<Connection>& conn);
+  void update_epoll(Connection& conn);
+  void finalize_close(int fd);
+  void maybe_finalize(const std::shared_ptr<Connection>& conn);
+
+  void worker_loop();
+  void enqueue_job(std::function<void()> job);
+  void handshake_job(std::shared_ptr<FrameChannel> channel);
+  void connection_job(std::shared_ptr<Connection> conn);
+  // Flushes conn->outbound with non-blocking sends; caller holds the
+  // connection mutex. Returns false on a fatal socket error.
+  bool flush_outbound(Connection& conn);
 
   ChirpServerOptions options_;
   TcpListener listener_;
   LocalDriver driver_;
   ProcessRegistry registry_;
   ChirpServerStats stats_;
+  // Deadline expiries / driver-op counters fed via the RequestContext.
+  mutable DriverStatsSink driver_sink_;
 
   std::atomic<bool> stopping_{false};
+
+  // Legacy mode.
   std::thread accept_thread_;
   std::mutex threads_mutex_;
   std::vector<std::thread> connection_threads_;
+
+  // Reactor mode.
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;  // eventfd: workers nudge the reactor
+  std::thread reactor_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex reactor_jobs_mutex_;
+  std::vector<std::function<void()>> reactor_jobs_;
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> work_queue_;
+  // Reactor-thread-only: registered connections by fd.
+  std::map<int, std::shared_ptr<Connection>> connections_;
 };
 
 }  // namespace ibox

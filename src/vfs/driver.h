@@ -1,10 +1,11 @@
 // Driver: the service interface behind the VFS (paper section 3/5).
 //
 // Parrot "directs system calls to device drivers"; each driver exports a
-// filesystem-like namespace. The identity of the calling user accompanies
-// every operation, because drivers — not the caller — decide what that
-// identity may do (the local driver consults .__acl files; the Chirp driver
-// defers to the remote server's ACLs).
+// filesystem-like namespace. Every operation carries a RequestContext —
+// the visiting identity plus an optional deadline and stats sink — because
+// drivers, not the caller, decide what that identity may do (the local
+// driver consults .__acl files; the Chirp driver defers to the remote
+// server's ACLs) and enforce how long the attempt may run.
 #pragma once
 
 #include <memory>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "identity/identity.h"
+#include "vfs/request_context.h"
 #include "util/result.h"
 #include "vfs/types.h"
 
@@ -43,54 +45,54 @@ class Driver {
   // Human-readable scheme name ("local", "chirp").
   virtual std::string_view scheme() const = 0;
 
-  virtual Result<std::unique_ptr<FileHandle>> open(const Identity& id,
+  virtual Result<std::unique_ptr<FileHandle>> open(const RequestContext& ctx,
                                                    const std::string& path,
                                                    int flags, int mode) = 0;
 
-  virtual Result<VfsStat> stat(const Identity& id,
+  virtual Result<VfsStat> stat(const RequestContext& ctx,
                                const std::string& path) = 0;
-  virtual Result<VfsStat> lstat(const Identity& id,
+  virtual Result<VfsStat> lstat(const RequestContext& ctx,
                                 const std::string& path) = 0;
 
-  virtual Status mkdir(const Identity& id, const std::string& path,
+  virtual Status mkdir(const RequestContext& ctx, const std::string& path,
                        int mode) = 0;
-  virtual Status rmdir(const Identity& id, const std::string& path) = 0;
-  virtual Status unlink(const Identity& id, const std::string& path) = 0;
-  virtual Status rename(const Identity& id, const std::string& from,
+  virtual Status rmdir(const RequestContext& ctx, const std::string& path) = 0;
+  virtual Status unlink(const RequestContext& ctx, const std::string& path) = 0;
+  virtual Status rename(const RequestContext& ctx, const std::string& from,
                         const std::string& to) = 0;
 
-  virtual Result<std::vector<DirEntry>> readdir(const Identity& id,
+  virtual Result<std::vector<DirEntry>> readdir(const RequestContext& ctx,
                                                 const std::string& path) = 0;
 
-  virtual Status symlink(const Identity& id, const std::string& target,
+  virtual Status symlink(const RequestContext& ctx, const std::string& target,
                          const std::string& linkpath) = 0;
-  virtual Result<std::string> readlink(const Identity& id,
+  virtual Result<std::string> readlink(const RequestContext& ctx,
                                        const std::string& path) = 0;
-  virtual Status link(const Identity& id, const std::string& oldpath,
+  virtual Status link(const RequestContext& ctx, const std::string& oldpath,
                       const std::string& newpath) = 0;
 
-  virtual Status truncate(const Identity& id, const std::string& path,
+  virtual Status truncate(const RequestContext& ctx, const std::string& path,
                           uint64_t length) = 0;
-  virtual Status utime(const Identity& id, const std::string& path,
+  virtual Status utime(const RequestContext& ctx, const std::string& path,
                        uint64_t atime, uint64_t mtime) = 0;
-  virtual Status chmod(const Identity& id, const std::string& path,
+  virtual Status chmod(const RequestContext& ctx, const std::string& path,
                        int mode) = 0;
 
   // access(2)-style probe expressed in ACL terms.
-  virtual Status access(const Identity& id, const std::string& path,
+  virtual Status access(const RequestContext& ctx, const std::string& path,
                         Access wanted) = 0;
 
   // ACL management (EOPNOTSUPP for drivers without ACLs).
-  virtual Result<std::string> getacl(const Identity& id,
+  virtual Result<std::string> getacl(const RequestContext& ctx,
                                      const std::string& path) {
-    (void)id;
+    (void)ctx;
     (void)path;
     return Error(EOPNOTSUPP);
   }
-  virtual Status setacl(const Identity& id, const std::string& path,
+  virtual Status setacl(const RequestContext& ctx, const std::string& path,
                         const std::string& subject,
                         const std::string& rights) {
-    (void)id;
+    (void)ctx;
     (void)path;
     (void)subject;
     (void)rights;

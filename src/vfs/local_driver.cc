@@ -89,8 +89,8 @@ Rights needed_rights(Access wanted) {
 
 }  // namespace
 
-LocalDriver::LocalDriver(std::string export_root)
-    : root_(path_clean(export_root)), acls_(root_) {}
+LocalDriver::LocalDriver(std::string export_root, size_t acl_cache_capacity)
+    : root_(path_clean(export_root)), acls_(root_, acl_cache_capacity) {}
 
 std::string LocalDriver::host_path(const std::string& box_path) const {
   // Clean first so ".." cannot climb out of the export root.
@@ -202,8 +202,10 @@ Status LocalDriver::fallback_check(const std::string& box_path, Access wanted,
   return Status::Errno(EACCES);
 }
 
-Status LocalDriver::authorize(const Identity& id, const std::string& box_path,
-                              Access wanted, bool must_exist) const {
+Status LocalDriver::authorize(const RequestContext& ctx,
+                              const std::string& box_path, Access wanted,
+                              bool must_exist) const {
+  const Identity& id = ctx.identity();
   // List and Admin of a directory are judged by the directory's own ACL;
   // everything else by the containing directory's.
   std::string governing_dir;
@@ -220,26 +222,35 @@ Status LocalDriver::authorize(const Identity& id, const std::string& box_path,
 
   auto rights = governed_rights(governing_dir, id);
   if (!rights.ok()) return rights.error();
+  Status verdict = Status::Ok();
   if (rights->has_value()) {
-    if ((*rights)->covers(needed_rights(wanted))) return Status::Ok();
-    return Status::Errno(EACCES);
-  }
-  if (wanted == Access::kList || wanted == Access::kAdmin) {
+    verdict = (*rights)->covers(needed_rights(wanted))
+                  ? Status::Ok()
+                  : Status::Errno(EACCES);
+  } else if (wanted == Access::kList || wanted == Access::kAdmin) {
     // Ungoverned directory: list falls back to the dir's other-r bit.
     struct stat st;
     if (::stat(host_path(governing_dir).c_str(), &st) != 0) {
       return Error::FromErrno();
     }
-    if (wanted == Access::kAdmin) return Status::Errno(EACCES);
-    return unix_other_file_allows(st.st_mode, 'r') ? Status::Ok()
-                                                   : Status::Errno(EACCES);
+    verdict = (wanted != Access::kAdmin &&
+               unix_other_file_allows(st.st_mode, 'r'))
+                  ? Status::Ok()
+                  : Status::Errno(EACCES);
+  } else {
+    verdict = fallback_check(box_path, wanted, must_exist);
   }
-  return fallback_check(box_path, wanted, must_exist);
+  if (verdict.error_code() == EACCES) ctx.count_denial();
+  return verdict;
 }
 
-Result<std::unique_ptr<FileHandle>> LocalDriver::open(const Identity& id,
+Result<std::unique_ptr<FileHandle>> LocalDriver::open(const RequestContext& ctx,
                                                       const std::string& path,
                                                       int flags, int mode) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   // The ACL file is not part of the box's namespace.
   if (AclStore::is_acl_file_name(path_basename(path))) return Error(EACCES);
 
@@ -263,13 +274,13 @@ Result<std::unique_ptr<FileHandle>> LocalDriver::open(const Identity& id,
 
   if (exists && S_ISDIR(st.st_mode)) {
     // Opening a directory for reading = the right to list it.
-    IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+    IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kList, true));
   } else {
     if (wants_read) {
-      IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kRead, exists));
+      IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kRead, exists));
     }
     if (wants_write) {
-      IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, exists));
+      IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kWrite, exists));
     }
   }
 
@@ -282,11 +293,15 @@ Result<std::unique_ptr<FileHandle>> LocalDriver::open(const Identity& id,
   return std::unique_ptr<FileHandle>(new LocalFileHandle(std::move(fd)));
 }
 
-Result<VfsStat> LocalDriver::stat(const Identity& id,
+Result<VfsStat> LocalDriver::stat(const RequestContext& ctx,
                                   const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kList, true));
   struct stat st;
   if (::stat(host_path(*resolved).c_str(), &st) != 0) {
     return Error::FromErrno();
@@ -294,11 +309,15 @@ Result<VfsStat> LocalDriver::stat(const Identity& id,
   return to_vfs_stat(st);
 }
 
-Result<VfsStat> LocalDriver::lstat(const Identity& id,
+Result<VfsStat> LocalDriver::lstat(const RequestContext& ctx,
                                    const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/false);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kList, true));
   struct stat st;
   if (::lstat(host_path(*resolved).c_str(), &st) != 0) {
     return Error::FromErrno();
@@ -306,8 +325,12 @@ Result<VfsStat> LocalDriver::lstat(const Identity& id,
   return to_vfs_stat(st);
 }
 
-Status LocalDriver::mkdir(const Identity& id, const std::string& path,
+Status LocalDriver::mkdir(const RequestContext& ctx, const std::string& path,
                           int mode) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto parent = resolve(path_dirname(path_clean(path)), true);
   if (!parent.ok()) return parent.error();
   const std::string name = path_basename(path_clean(path));
@@ -315,24 +338,33 @@ Status LocalDriver::mkdir(const Identity& id, const std::string& path,
   auto rights = governed_rights(*parent, id);
   if (!rights.ok()) return rights.error();
   if (rights->has_value()) {
-    return acls_.make_dir(host_path(*parent), name, id);
+    Status made = acls_.make_dir(host_path(*parent), name, id);
+    if (made.error_code() == EACCES) ctx.count_denial();
+    return made;
   }
   // Ungoverned parent: Unix-nobody fallback; the new directory remains
   // ungoverned.
   struct stat st;
   if (::stat(host_path(*parent).c_str(), &st) != 0) return Error::FromErrno();
-  if (!unix_other_file_allows(st.st_mode, 'w')) return Status::Errno(EACCES);
+  if (!unix_other_file_allows(st.st_mode, 'w')) {
+    ctx.count_denial();
+    return Status::Errno(EACCES);
+  }
   if (::mkdir(host_path(path_join(*parent, name)).c_str(), mode) != 0) {
     return Error::FromErrno();
   }
   return Status::Ok();
 }
 
-Status LocalDriver::rmdir(const Identity& id, const std::string& path) {
+Status LocalDriver::rmdir(const RequestContext& ctx, const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/false);
   if (!resolved.ok()) return resolved.error();
   if (*resolved == "/") return Status::Errno(EBUSY);
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kDelete, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kDelete, true));
 
   // A governed directory legitimately contains its ACL file; remove it iff
   // it is the only remaining entry (so rmdir keeps POSIX ENOTEMPTY
@@ -351,13 +383,17 @@ Status LocalDriver::rmdir(const Identity& id, const std::string& path) {
   return Status::Ok();
 }
 
-Status LocalDriver::unlink(const Identity& id, const std::string& path) {
+Status LocalDriver::unlink(const RequestContext& ctx, const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   if (AclStore::is_acl_file_name(path_basename(path))) {
     return Status::Errno(EACCES);
   }
   auto resolved = resolve(path, /*follow_final=*/false);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kDelete, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kDelete, true));
   struct stat st;
   if (::lstat(host_path(*resolved).c_str(), &st) != 0) {
     return Error::FromErrno();
@@ -367,8 +403,12 @@ Status LocalDriver::unlink(const Identity& id, const std::string& path) {
   return Status::Ok();
 }
 
-Status LocalDriver::rename(const Identity& id, const std::string& from,
+Status LocalDriver::rename(const RequestContext& ctx, const std::string& from,
                            const std::string& to) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   if (AclStore::is_acl_file_name(path_basename(from)) ||
       AclStore::is_acl_file_name(path_basename(to))) {
     return Status::Errno(EACCES);
@@ -377,19 +417,23 @@ Status LocalDriver::rename(const Identity& id, const std::string& from,
   if (!rfrom.ok()) return rfrom.error();
   auto rto = resolve(to, /*follow_final=*/false);
   if (!rto.ok()) return rto.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *rfrom, Access::kDelete, true));
-  IBOX_RETURN_IF_ERROR(authorize(id, *rto, Access::kWrite, false));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *rfrom, Access::kDelete, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *rto, Access::kWrite, false));
   if (::rename(host_path(*rfrom).c_str(), host_path(*rto).c_str()) != 0) {
     return Error::FromErrno();
   }
   return Status::Ok();
 }
 
-Result<std::vector<DirEntry>> LocalDriver::readdir(const Identity& id,
+Result<std::vector<DirEntry>> LocalDriver::readdir(const RequestContext& ctx,
                                                    const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kList, true));
   auto names = list_dir(host_path(*resolved));
   if (!names.ok()) return names.error();
   std::vector<DirEntry> out;
@@ -407,25 +451,33 @@ Result<std::vector<DirEntry>> LocalDriver::readdir(const Identity& id,
   return out;
 }
 
-Status LocalDriver::symlink(const Identity& id, const std::string& target,
+Status LocalDriver::symlink(const RequestContext& ctx, const std::string& target,
                             const std::string& linkpath) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   if (AclStore::is_acl_file_name(path_basename(linkpath))) {
     return Status::Errno(EACCES);
   }
   auto resolved = resolve(linkpath, /*follow_final=*/false);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, false));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kWrite, false));
   if (::symlink(target.c_str(), host_path(*resolved).c_str()) != 0) {
     return Error::FromErrno();
   }
   return Status::Ok();
 }
 
-Result<std::string> LocalDriver::readlink(const Identity& id,
+Result<std::string> LocalDriver::readlink(const RequestContext& ctx,
                                           const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/false);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kList, true));
   char target[PATH_MAX];
   ssize_t len =
       ::readlink(host_path(*resolved).c_str(), target, sizeof(target) - 1);
@@ -433,8 +485,12 @@ Result<std::string> LocalDriver::readlink(const Identity& id,
   return std::string(target, static_cast<size_t>(len));
 }
 
-Status LocalDriver::link(const Identity& id, const std::string& oldpath,
+Status LocalDriver::link(const RequestContext& ctx, const std::string& oldpath,
                          const std::string& newpath) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   if (AclStore::is_acl_file_name(path_basename(oldpath)) ||
       AclStore::is_acl_file_name(path_basename(newpath))) {
     return Status::Errno(EACCES);
@@ -446,19 +502,23 @@ Status LocalDriver::link(const Identity& id, const std::string& oldpath,
   // "Parrot is obliged to prevent hard links to files that the user cannot
   // access": the identity must already be able to read the target, since
   // after linking the target directory's ACL can no longer be consulted.
-  IBOX_RETURN_IF_ERROR(authorize(id, *rold, Access::kRead, true));
-  IBOX_RETURN_IF_ERROR(authorize(id, *rnew, Access::kWrite, false));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *rold, Access::kRead, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *rnew, Access::kWrite, false));
   if (::link(host_path(*rold).c_str(), host_path(*rnew).c_str()) != 0) {
     return Error::FromErrno();
   }
   return Status::Ok();
 }
 
-Status LocalDriver::truncate(const Identity& id, const std::string& path,
+Status LocalDriver::truncate(const RequestContext& ctx, const std::string& path,
                              uint64_t length) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kWrite, true));
   if (::truncate(host_path(*resolved).c_str(),
                  static_cast<off_t>(length)) != 0) {
     return Error::FromErrno();
@@ -466,11 +526,15 @@ Status LocalDriver::truncate(const Identity& id, const std::string& path,
   return Status::Ok();
 }
 
-Status LocalDriver::utime(const Identity& id, const std::string& path,
+Status LocalDriver::utime(const RequestContext& ctx, const std::string& path,
                           uint64_t atime, uint64_t mtime) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kWrite, true));
   struct utimbuf times;
   times.actime = static_cast<time_t>(atime);
   times.modtime = static_cast<time_t>(mtime);
@@ -480,11 +544,15 @@ Status LocalDriver::utime(const Identity& id, const std::string& path,
   return Status::Ok();
 }
 
-Status LocalDriver::chmod(const Identity& id, const std::string& path,
+Status LocalDriver::chmod(const RequestContext& ctx, const std::string& path,
                           int mode) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kWrite, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kWrite, true));
   if (::chmod(host_path(*resolved).c_str(),
               static_cast<mode_t>(mode)) != 0) {
     return Error::FromErrno();
@@ -492,31 +560,43 @@ Status LocalDriver::chmod(const Identity& id, const std::string& path,
   return Status::Ok();
 }
 
-Status LocalDriver::access(const Identity& id, const std::string& path,
+Status LocalDriver::access(const RequestContext& ctx, const std::string& path,
                            Access wanted) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
   struct stat st;
   if (::stat(host_path(*resolved).c_str(), &st) != 0) {
     return Error::FromErrno();
   }
-  return authorize(id, *resolved, wanted, true);
+  return authorize(ctx, *resolved, wanted, true);
 }
 
-Result<std::string> LocalDriver::getacl(const Identity& id,
+Result<std::string> LocalDriver::getacl(const RequestContext& ctx,
                                         const std::string& path) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
-  IBOX_RETURN_IF_ERROR(authorize(id, *resolved, Access::kList, true));
+  IBOX_RETURN_IF_ERROR(authorize(ctx, *resolved, Access::kList, true));
   auto acl = acls_.load(host_path(*resolved));
   if (!acl.ok()) return acl.error();
   if (!acl->has_value()) return Error(ENOENT);
   return (*acl)->str();
 }
 
-Status LocalDriver::setacl(const Identity& id, const std::string& path,
+Status LocalDriver::setacl(const RequestContext& ctx, const std::string& path,
                            const std::string& subject,
                            const std::string& rights) {
+  IBOX_RETURN_IF_ERROR(ctx.check_deadline());
+  ctx.count_op();
+  const Identity& id = ctx.identity();
+  (void)id;
   auto resolved = resolve(path, /*follow_final=*/true);
   if (!resolved.ok()) return resolved.error();
   auto pattern = SubjectPattern::Parse(subject);
@@ -528,7 +608,9 @@ Status LocalDriver::setacl(const Identity& id, const std::string& path,
     parsed = Rights::Parse(rights);
   }
   if (!parsed) return Status::Errno(EINVAL);
-  return acls_.set_entry(host_path(*resolved), id, *pattern, *parsed);
+  Status set = acls_.set_entry(host_path(*resolved), id, *pattern, *parsed);
+  if (set.error_code() == EACCES) ctx.count_denial();
+  return set;
 }
 
 }  // namespace ibox

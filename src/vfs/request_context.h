@@ -1,0 +1,82 @@
+// RequestContext: per-operation context threaded through every Driver call.
+//
+// The drivers are reference monitors; historically each entry point took the
+// bare visiting Identity. A server fielding thousands of concurrent requests
+// needs two more things on that path: a deadline (so a request stuck behind
+// slow storage cannot occupy a worker forever) and a stats sink (so
+// operation and denial counts can be attributed to the serving context
+// without globals). RequestContext bundles all three.
+//
+// It converts implicitly from Identity, so callers that only have an
+// identity — the Vfs facade, tests, examples — keep their call shape:
+//
+//   driver.open(identity, path, flags, mode);          // no deadline/stats
+//   driver.open({identity, deadline, &sink}, path, ...);  // server hot path
+//
+// The context is non-owning: the identity, and the sink when present, must
+// outlive the driver call (both are owned by the session/server).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "identity/identity.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// Counters a driver increments on behalf of whoever constructed the
+// context. All atomics: one sink is typically shared by many workers.
+struct DriverStatsSink {
+  std::atomic<uint64_t> ops{0};       // operations attempted
+  std::atomic<uint64_t> denials{0};   // EACCES results
+  std::atomic<uint64_t> timeouts{0};  // requests refused for missed deadline
+};
+
+class RequestContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Implicit by design: an Identity alone is a complete (deadline-free,
+  // unmetered) context, which keeps every legacy call site valid.
+  RequestContext(const Identity& id)  // NOLINT: implicit by design
+      : identity_(&id) {}
+
+  RequestContext(const Identity& id, Clock::time_point deadline,
+                 DriverStatsSink* stats)
+      : identity_(&id), deadline_(deadline), stats_(stats) {}
+
+  const Identity& identity() const { return *identity_; }
+
+  bool has_deadline() const {
+    return deadline_ != Clock::time_point();
+  }
+  bool expired() const {
+    return has_deadline() && Clock::now() >= deadline_;
+  }
+
+  // Gate for driver entry points: Ok, or ETIMEDOUT once the deadline has
+  // passed (counted against the sink).
+  Status check_deadline() const {
+    if (!expired()) return Status::Ok();
+    if (stats_) stats_->timeouts.fetch_add(1, std::memory_order_relaxed);
+    return Status::Errno(ETIMEDOUT);
+  }
+
+  void count_op() const {
+    if (stats_) stats_->ops.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_denial() const {
+    if (stats_) stats_->denials.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  DriverStatsSink* stats() const { return stats_; }
+
+ private:
+  const Identity* identity_;
+  Clock::time_point deadline_{};  // epoch value means "no deadline"
+  DriverStatsSink* stats_ = nullptr;
+};
+
+}  // namespace ibox

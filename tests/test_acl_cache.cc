@@ -1,0 +1,180 @@
+// AclCache coherence: mtime validation against external edits, explicit
+// invalidation by in-process writers, negative caching of ungoverned
+// directories, and the LRU capacity bound.
+#include "acl/acl_cache.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include "acl/acl_store.h"
+#include "util/fs.h"
+#include "util/path.h"
+
+namespace ibox {
+namespace {
+
+Identity id(const std::string& text) { return *Identity::Parse(text); }
+
+class AclCacheTest : public ::testing::Test {
+ protected:
+  AclCacheTest() : tmp_("aclcache"), store_(tmp_.path()) {}
+
+  // Writes the ACL file directly (an "external" edit: no in-process
+  // invalidation happens, only the validator can catch it).
+  void write_acl_externally(const std::string& dir,
+                            const std::string& text) {
+    ASSERT_TRUE(write_file(store_.acl_file_path(dir), text).ok());
+  }
+
+  uint64_t hits() const { return store_.cache().stats().hits.load(); }
+  uint64_t misses() const { return store_.cache().stats().misses.load(); }
+
+  TempDir tmp_;
+  AclStore store_;
+};
+
+TEST_F(AclCacheTest, RepeatedLoadHitsCache) {
+  write_acl_externally(tmp_.path(), "Freddy rwlax\n");
+  auto first = store_.load(tmp_.path());
+  ASSERT_TRUE(first.ok());
+  const uint64_t hits_before = hits();
+  for (int i = 0; i < 3; ++i) {
+    auto again = store_.load(tmp_.path());
+    ASSERT_TRUE(again.ok());
+    ASSERT_TRUE(again->has_value());
+    EXPECT_TRUE((*again)->rights_for(id("Freddy")).can_admin());
+  }
+  EXPECT_EQ(hits(), hits_before + 3);
+}
+
+TEST_F(AclCacheTest, ExternalEditDetectedByValidator) {
+  write_acl_externally(tmp_.path(), "Freddy rl\n");
+  auto before = store_.load(tmp_.path());
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE((*before)->rights_for(id("Freddy")).can_write());
+
+  // Simulate another process editing the file behind the store's back
+  // (different length, so the validator differs even on a filesystem with
+  // coarse mtime granularity).
+  write_acl_externally(tmp_.path(), "Freddy rwlax\nGeorge rl\n");
+
+  auto after = store_.load(tmp_.path());
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->has_value());
+  EXPECT_TRUE((*after)->rights_for(id("Freddy")).can_write());
+  EXPECT_TRUE((*after)->rights_for(id("George")).can_list());
+}
+
+TEST_F(AclCacheTest, StoreInvalidatesExplicitly) {
+  write_acl_externally(tmp_.path(), "Freddy rl\n");
+  ASSERT_TRUE(store_.load(tmp_.path()).ok());  // warm the cache
+
+  auto updated = Acl::Parse("Freddy rwlax\n");
+  ASSERT_TRUE(updated.ok());
+  ASSERT_TRUE(store_.store(tmp_.path(), *updated).ok());
+  EXPECT_GE(store_.cache().stats().invalidations.load(), 1u);
+
+  auto after = store_.load(tmp_.path());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE((*after)->rights_for(id("Freddy")).can_admin());
+}
+
+TEST_F(AclCacheTest, SetEntryNeverServedStale) {
+  write_acl_externally(tmp_.path(), "Freddy rwlax\n");
+  ASSERT_TRUE(store_.load(tmp_.path()).ok());
+  ASSERT_TRUE(store_
+                  .set_entry(tmp_.path(), id("Freddy"),
+                             *SubjectPattern::Parse("George"),
+                             *Rights::Parse("rl"))
+                  .ok());
+  auto rights = store_.rights_in(tmp_.path(), id("George"));
+  ASSERT_TRUE(rights.ok());
+  ASSERT_TRUE(rights->has_value());
+  EXPECT_TRUE((*rights)->can_list());
+}
+
+TEST_F(AclCacheTest, AbsentAclCachedNegatively) {
+  const std::string sub = path_join(tmp_.path(), "sub");
+  ASSERT_EQ(::mkdir(sub.c_str(), 0755), 0);
+
+  auto ungoverned = store_.load(sub);
+  ASSERT_TRUE(ungoverned.ok());
+  EXPECT_FALSE(ungoverned->has_value());
+
+  const uint64_t hits_before = hits();
+  auto again = store_.load(sub);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->has_value());
+  EXPECT_EQ(hits(), hits_before + 1);  // the absence itself was cached
+
+  // Governing the directory is an external edit of the absent state: the
+  // validator (present flag) flips and the next load sees the new ACL.
+  write_acl_externally(sub, "Freddy rl\n");
+  auto governed = store_.load(sub);
+  ASSERT_TRUE(governed.ok());
+  ASSERT_TRUE(governed->has_value());
+  EXPECT_TRUE((*governed)->rights_for(id("Freddy")).can_list());
+}
+
+TEST_F(AclCacheTest, MakeDirChildVisibleImmediately) {
+  write_acl_externally(tmp_.path(), "Freddy rwlax\n");
+  // Warm the (negative) entry for the yet-to-exist child path's ACL state
+  // is irrelevant; what matters is the child's freshly stamped ACL must be
+  // served after make_dir, not any cached absence.
+  ASSERT_TRUE(store_.make_dir(tmp_.path(), "child", id("Freddy")).ok());
+  auto child = store_.load(path_join(tmp_.path(), "child"));
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(child->has_value());
+  EXPECT_TRUE((*child)->rights_for(id("Freddy")).can_write());
+}
+
+TEST_F(AclCacheTest, LruEvictionBoundsEntries) {
+  AclStore small(tmp_.path(), 8);  // one entry per shard
+  for (int i = 0; i < 32; ++i) {
+    const std::string dir =
+        path_join(tmp_.path(), "d" + std::to_string(i));
+    ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    ASSERT_TRUE(write_file(small.acl_file_path(dir), "Freddy rl\n").ok());
+    auto acl = small.load(dir);
+    ASSERT_TRUE(acl.ok());
+    ASSERT_TRUE(acl->has_value());
+  }
+  EXPECT_LE(small.cache().size(), 8u);
+  EXPECT_GE(small.cache().stats().evictions.load(), 1u);
+}
+
+TEST_F(AclCacheTest, ZeroCapacityDisablesCaching) {
+  AclStore uncached(tmp_.path(), 0);
+  write_acl_externally(tmp_.path(), "Freddy rl\n");
+  for (int i = 0; i < 3; ++i) {
+    auto acl = uncached.load(tmp_.path());
+    ASSERT_TRUE(acl.ok());
+    ASSERT_TRUE(acl->has_value());
+  }
+  EXPECT_FALSE(uncached.cache().enabled());
+  EXPECT_EQ(uncached.cache().stats().hits.load(), 0u);
+  EXPECT_EQ(uncached.cache().size(), 0u);
+}
+
+TEST(AclCacheProbe, ValidatorTracksFileState) {
+  TempDir tmp("aclprobe");
+  const std::string path = path_join(tmp.path(), ".__acl");
+
+  auto absent = AclCache::probe(path);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_FALSE(absent->present);
+
+  ASSERT_TRUE(write_file(path, "Freddy rl\n").ok());
+  auto present = AclCache::probe(path);
+  ASSERT_TRUE(present.ok());
+  EXPECT_TRUE(present->present);
+  EXPECT_NE(*present, *absent);
+
+  ASSERT_TRUE(write_file(path, "Freddy rwlax\n").ok());
+  auto edited = AclCache::probe(path);
+  ASSERT_TRUE(edited.ok());
+  EXPECT_NE(*edited, *present);  // size differs even if mtime is coarse
+}
+
+}  // namespace
+}  // namespace ibox

@@ -77,8 +77,9 @@ TEST(Cas, ChirpServerAdmission) {
   TempDir export_dir("cas-export");
   ChirpServerOptions options;
   options.export_root = export_dir.path();
-  options.enable_gsi = true;
-  options.gsi_trust.trust("CA", "s");
+  GsiTrustStore trust;
+  trust.trust("CA", "s");
+  options.auth_methods.push_back(AuthMethodConfig::Gsi(std::move(trust)));
   options.clock = [] { return kNow; };
   options.admission = make_admission_policy(cas, "experiment");
   options.root_acl_text = "globus:/O=U/* rwlax\n";

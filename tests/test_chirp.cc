@@ -37,9 +37,8 @@ class ChirpTest : public ::testing::Test {
     ChirpServerOptions options;
     options.export_root = export_.path();
     options.state_dir = state_.path();
-    options.enable_gsi = true;
-    options.gsi_trust = trust_;
-    options.enable_unix = true;
+    options.auth_methods.push_back(AuthMethodConfig::Gsi(trust_));
+    options.auth_methods.push_back(AuthMethodConfig::Unix());
     options.clock = &fixed_clock;
     // The paper's root ACL: hosts may browse, cert holders may reserve.
     options.root_acl_text =
@@ -66,10 +65,10 @@ class ChirpTest : public ::testing::Test {
 TEST_F(ChirpTest, StartValidation) {
   ChirpServerOptions options;
   options.export_root = "/nonexistent-xyz";
-  options.enable_unix = true;
+  options.auth_methods.push_back(AuthMethodConfig::Unix());
   EXPECT_EQ(ChirpServer::Start(options).error_code(), ENOENT);
   options.export_root = export_.path();
-  options.enable_unix = false;  // no method at all
+  options.auth_methods.clear();  // no method at all
   EXPECT_EQ(ChirpServer::Start(options).error_code(), EINVAL);
 }
 
@@ -356,7 +355,7 @@ TEST(Catalog, ServerRegistersItselfOnStart) {
   TempDir export_dir("chirp-cat");
   ChirpServerOptions options;
   options.export_root = export_dir.path();
-  options.enable_unix = true;
+  options.auth_methods.push_back(AuthMethodConfig::Unix());
   options.server_name = "personal-server";
   options.catalog_port = (*catalog)->port();
   auto server = ChirpServer::Start(options);

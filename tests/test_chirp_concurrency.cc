@@ -1,0 +1,254 @@
+// Reactor-mode concurrency: pipelined requests on one connection keep
+// their order, many clients make progress in parallel, an oversized frame
+// is a per-request error rather than a torn connection, and the server's
+// queue/worker/cache counters surface what happened.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <thread>
+
+#include "auth/sim_gsi.h"
+#include "chirp/client.h"
+#include "chirp/server.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+constexpr int64_t kNow = 1800000000;
+int64_t fixed_clock() { return kNow; }
+
+class ChirpConcurrencyTest : public ::testing::Test {
+ protected:
+  ChirpConcurrencyTest()
+      : export_("chirpconc-export"),
+        state_("chirpconc-state"),
+        ca_("UnivNowhereCA", "ca-secret") {
+    trust_.trust(ca_.name(), ca_.verification_secret());
+    fred_cred_ = ca_.issue("/O=UnivNowhere/CN=Fred", 3600, kNow);
+  }
+
+  ChirpServerOptions base_options() {
+    ChirpServerOptions options;
+    options.export_root = export_.path();
+    options.state_dir = state_.path();
+    options.auth_methods.push_back(AuthMethodConfig::Gsi(trust_));
+    options.clock = &fixed_clock;
+    options.root_acl_text = "globus:/O=UnivNowhere/* rwlax\n";
+    return options;
+  }
+
+  std::unique_ptr<ChirpClient> connect(ChirpServer& server) {
+    GsiCredential cred(fred_cred_);
+    auto client = ChirpClient::Connect("localhost", server.port(), {&cred});
+    EXPECT_TRUE(client.ok());
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  // Authenticated raw frame channel, for pipelining and malformed input
+  // (ChirpClient is strictly one RPC in flight).
+  Result<FrameChannel> connect_raw(ChirpServer& server) {
+    auto channel = tcp_connect("localhost", server.port());
+    if (!channel.ok()) return channel.error();
+    GsiCredential cred(fred_cred_);
+    FrameAuthChannel auth(*channel);
+    IBOX_RETURN_IF_ERROR(authenticate_client(auth, {&cred}));
+    return channel;
+  }
+
+  TempDir export_;
+  TempDir state_;
+  CertificateAuthority ca_;
+  GsiTrustStore trust_;
+  GsiUserCredentialData fred_cred_;
+};
+
+TEST_F(ChirpConcurrencyTest, PipelinedRequestsAnswerInOrder) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto client = connect(**server);
+  ASSERT_TRUE(client);
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "/f" + std::to_string(i);
+    ASSERT_TRUE(
+        client->put_file(path, "contents-" + std::to_string(i)).ok());
+  }
+
+  auto raw = connect_raw(**server);
+  ASSERT_TRUE(raw.ok());
+
+  // Fire the whole mixed batch before reading a single reply: gets of the
+  // ten files interleaved with misses. Replies must come back 1:1, in
+  // request order.
+  for (int i = 0; i < 10; ++i) {
+    BufWriter get;
+    get.put_u8(static_cast<uint8_t>(ChirpOp::kGetFile));
+    get.put_bytes("/f" + std::to_string(i));
+    ASSERT_TRUE(raw->send_frame(get.data()).ok());
+    BufWriter miss;
+    miss.put_u8(static_cast<uint8_t>(ChirpOp::kStat));
+    miss.put_bytes("/missing-" + std::to_string(i));
+    ASSERT_TRUE(raw->send_frame(miss.data()).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto reply = raw->recv_frame();
+    ASSERT_TRUE(reply.ok());
+    BufReader reader(*reply);
+    const std::string expect = "contents-" + std::to_string(i);
+    ASSERT_EQ(reader.get_i64().value(),
+              static_cast<int64_t>(expect.size()));
+    EXPECT_EQ(reader.get_bytes().value(), expect);
+
+    auto miss_reply = raw->recv_frame();
+    ASSERT_TRUE(miss_reply.ok());
+    BufReader miss_reader(*miss_reply);
+    EXPECT_EQ(miss_reader.get_i64().value(), -ENOENT);
+  }
+
+  auto snap = (*server)->snapshot_stats();
+  EXPECT_GE(snap.peak_queue_depth, 1u);
+  EXPECT_GE(snap.worker_batches, 1u);
+}
+
+TEST_F(ChirpConcurrencyTest, ThirtyTwoClientsMixedOps) {
+  auto options = base_options();
+  options.worker_threads = 4;
+  auto server = ChirpServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kClients = 32;
+  constexpr int kRounds = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = connect(**server);
+      if (!client) {
+        failures++;
+        return;
+      }
+      const std::string dir = "/client-" + std::to_string(c);
+      if (!client->mkdir(dir).ok()) failures++;
+      for (int round = 0; round < kRounds; ++round) {
+        const std::string file =
+            dir + "/file-" + std::to_string(round);
+        const std::string body =
+            "payload-" + std::to_string(c) + "-" + std::to_string(round);
+        if (!client->put_file(file, body).ok()) failures++;
+        auto read_back = client->get_file(file);
+        if (!read_back.ok() || *read_back != body) failures++;
+        if (!client->stat(file).ok()) failures++;
+        auto listing = client->readdir(dir);
+        if (!listing.ok() || listing->size() < 1) failures++;
+        if (!client->whoami().ok()) failures++;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto snap = (*server)->snapshot_stats();
+  EXPECT_EQ(snap.connections, static_cast<uint64_t>(kClients));
+  // mkdir + rounds * (put, get, stat, readdir, whoami)
+  EXPECT_GE(snap.requests, static_cast<uint64_t>(kClients * (1 + kRounds * 5)));
+  // Every operation consults ACLs along the path; with 32 clients hammering
+  // a handful of directories the parsed-ACL cache must be doing the work.
+  EXPECT_GT(snap.acl_cache_hits, snap.acl_cache_misses);
+}
+
+TEST_F(ChirpConcurrencyTest, OversizedFrameIsAPerRequestError) {
+  auto server = ChirpServer::Start(base_options());
+  ASSERT_TRUE(server.ok());
+  auto raw = connect_raw(**server);
+  ASSERT_TRUE(raw.ok());
+
+  // Hand-craft a frame announcing kMaxFrame+1 bytes (send_frame refuses to
+  // build one) and stream the whole payload.
+  const uint32_t huge = static_cast<uint32_t>(FrameChannel::kMaxFrame) + 1;
+  std::string blob(1u << 20, 'x');
+  std::string header(reinterpret_cast<const char*>(&huge), 4);
+  auto send_raw = [&](const char* data, size_t size) {
+    size_t done = 0;
+    while (done < size) {
+      ssize_t n =
+          ::send(raw->fd(), data + done, size - done, MSG_NOSIGNAL);
+      if (n <= 0 && errno != EINTR) return false;
+      if (n > 0) done += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  ASSERT_TRUE(send_raw(header.data(), header.size()));
+  uint64_t remaining = huge;
+  while (remaining > 0) {
+    const size_t chunk = std::min<uint64_t>(remaining, blob.size());
+    ASSERT_TRUE(send_raw(blob.data(), chunk));
+    remaining -= chunk;
+  }
+
+  // The server skips the payload, answers EMSGSIZE, and keeps serving the
+  // same connection.
+  auto reply = raw->recv_frame();
+  ASSERT_TRUE(reply.ok());
+  BufReader reader(*reply);
+  EXPECT_EQ(reader.get_i64().value(), -EMSGSIZE);
+
+  BufWriter whoami;
+  whoami.put_u8(static_cast<uint8_t>(ChirpOp::kWhoami));
+  ASSERT_TRUE(raw->send_frame(whoami.data()).ok());
+  auto alive = raw->recv_frame();
+  ASSERT_TRUE(alive.ok());
+  BufReader alive_reader(*alive);
+  EXPECT_EQ(alive_reader.get_i64().value(), 0);
+  EXPECT_EQ(alive_reader.get_bytes().value(),
+            "globus:/O=UnivNowhere/CN=Fred");
+
+  EXPECT_GE((*server)->snapshot_stats().oversized_frames, 1u);
+}
+
+TEST_F(ChirpConcurrencyTest, LegacyModeStillServes) {
+  auto options = base_options();
+  options.serve_mode = ChirpServerOptions::ServeMode::kThreadPerConnection;
+  auto server = ChirpServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok());
+  auto client = connect(**server);
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->put_file("/legacy.txt", "old path").ok());
+  EXPECT_EQ(client->get_file("/legacy.txt").value(), "old path");
+  EXPECT_EQ(client->whoami().value(), "globus:/O=UnivNowhere/CN=Fred");
+}
+
+TEST_F(ChirpConcurrencyTest, CacheOffServesCorrectlyWithZeroHits) {
+  auto options = base_options();
+  options.acl_cache_capacity = 0;
+  auto server = ChirpServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok());
+  auto client = connect(**server);
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->put_file("/nc.txt", "uncached").ok());
+  EXPECT_EQ(client->get_file("/nc.txt").value(), "uncached");
+  auto snap = (*server)->snapshot_stats();
+  EXPECT_EQ(snap.acl_cache_hits, 0u);
+}
+
+TEST_F(ChirpConcurrencyTest, ExpiredDeadlineRefusesRequests) {
+  auto options = base_options();
+  // A 0ms-deadline cannot be configured (0 disables); instead exercise the
+  // driver path directly: a context whose deadline already passed is
+  // refused with ETIMEDOUT before any work happens.
+  auto server = ChirpServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok());
+  LocalDriver driver(export_.path());
+  Identity fred = *Identity::Parse("globus:/O=UnivNowhere/CN=Fred");
+  DriverStatsSink sink;
+  RequestContext expired(
+      fred, RequestContext::Clock::now() - std::chrono::seconds(1), &sink);
+  EXPECT_EQ(driver.stat(expired, "/").error_code(), ETIMEDOUT);
+  EXPECT_EQ(sink.timeouts.load(), 1u);
+  EXPECT_EQ(sink.ops.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ibox

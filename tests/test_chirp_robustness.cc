@@ -21,7 +21,7 @@ class RobustnessTest : public ::testing::Test {
     ChirpServerOptions options;
     options.export_root = export_.path();
     options.state_dir = state_.path();
-    options.enable_unix = true;
+    options.auth_methods.push_back(AuthMethodConfig::Unix());
     options.root_acl_text = "unix:* rwlax\n";
     auto server = ChirpServer::Start(options);
     EXPECT_TRUE(server.ok());

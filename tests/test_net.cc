@@ -2,6 +2,7 @@
 #include "chirp/net.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <thread>
 
@@ -117,6 +118,101 @@ TEST(Net, ConnectToClosedPortFails) {
 TEST(Net, BadHostname) {
   EXPECT_EQ(tcp_connect("not-an-ip-or-localhost", 80).error_code(),
             EHOSTUNREACH);
+}
+
+TEST(Net, OversizedInboundFrameDrainsAndResyncs) {
+  auto pair = make_pair();
+  // Hand-craft an over-limit header (send_frame refuses to build one),
+  // stream the announced payload, then a normal frame behind it.
+  const uint32_t huge = static_cast<uint32_t>(FrameChannel::kMaxFrame) + 1;
+  std::thread sender([&] {
+    std::string header(reinterpret_cast<const char*>(&huge), 4);
+    std::string blob(1u << 20, 'x');
+    auto raw_send = [&](const char* data, size_t size) {
+      size_t done = 0;
+      while (done < size) {
+        ssize_t n = ::send(pair.client.fd(), data + done, size - done,
+                           MSG_NOSIGNAL);
+        if (n <= 0 && errno != EINTR) return;
+        if (n > 0) done += static_cast<size_t>(n);
+      }
+    };
+    raw_send(header.data(), header.size());
+    uint64_t remaining = huge;
+    while (remaining > 0) {
+      size_t chunk = std::min<uint64_t>(remaining, blob.size());
+      raw_send(blob.data(), chunk);
+      remaining -= chunk;
+    }
+    (void)pair.client.send_frame("still in sync");
+  });
+  EXPECT_EQ(pair.server.recv_frame().error_code(), EMSGSIZE);
+  EXPECT_EQ(pair.server.recv_frame().value(), "still in sync");
+  sender.join();
+}
+
+// ------------------------------------------------------- FrameReader --
+
+std::string framed(std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out(reinterpret_cast<const char*>(&len), 4);
+  out.append(payload);
+  return out;
+}
+
+TEST(FrameReader, ReassemblesByteByByte) {
+  FrameReader reader;
+  std::deque<FrameReader::Event> events;
+  std::string wire = framed("ab") + framed("") + framed("xyz");
+  for (char byte : wire) reader.feed(&byte, 1, events);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].payload, "ab");
+  EXPECT_EQ(events[1].payload, "");
+  EXPECT_EQ(events[2].payload, "xyz");
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameReader, ManyFramesInOneFeed) {
+  FrameReader reader;
+  std::deque<FrameReader::Event> events;
+  std::string wire;
+  for (int i = 0; i < 50; ++i) wire += framed("frame" + std::to_string(i));
+  reader.feed(wire.data(), wire.size(), events);
+  ASSERT_EQ(events.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(events[i].kind, FrameReader::Event::Kind::kFrame);
+    EXPECT_EQ(events[i].payload, "frame" + std::to_string(i));
+  }
+}
+
+TEST(FrameReader, OversizedEmittedInOrderWithoutBuffering) {
+  FrameReader reader(/*max_frame=*/8);
+  std::deque<FrameReader::Event> events;
+  std::string wire = framed("ok") + framed("way too big..") + framed("ok2");
+  // Feed in awkward chunk sizes to cross the skip boundary mid-buffer.
+  for (size_t i = 0; i < wire.size(); i += 3) {
+    reader.feed(wire.data() + i, std::min<size_t>(3, wire.size() - i),
+                events);
+  }
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].payload, "ok");
+  EXPECT_EQ(events[1].kind, FrameReader::Event::Kind::kOversized);
+  EXPECT_TRUE(events[1].payload.empty());
+  EXPECT_EQ(events[2].kind, FrameReader::Event::Kind::kFrame);
+  EXPECT_EQ(events[2].payload, "ok2");
+  // The oversized payload was skipped, never stored.
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameReader, PartialHeaderAcrossFeeds) {
+  FrameReader reader;
+  std::deque<FrameReader::Event> events;
+  std::string wire = framed("split-header");
+  reader.feed(wire.data(), 2, events);
+  EXPECT_TRUE(events.empty());
+  reader.feed(wire.data() + 2, wire.size() - 2, events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].payload, "split-header");
 }
 
 }  // namespace

@@ -32,8 +32,9 @@ class SandboxChirpTest : public ::testing::Test {
     ChirpServerOptions options;
     options.export_root = export_.path();
     options.state_dir = state_.path();
-    options.enable_gsi = true;
-    options.gsi_trust.trust(ca_.name(), ca_.verification_secret());
+    GsiTrustStore trust;
+    trust.trust(ca_.name(), ca_.verification_secret());
+    options.auth_methods.push_back(AuthMethodConfig::Gsi(std::move(trust)));
     options.clock = &fixed_clock;
     options.root_acl_text = "globus:/O=U/* rlv(rwlax)\n";
     auto server = ChirpServer::Start(options);
