@@ -21,7 +21,9 @@
 #include "auth/sim_kerberos.h"
 #include "auth/simple.h"
 #include "chirp/client.h"
+#include "chirp/fault_injector.h"
 #include "chirp/server.h"
+#include "chirp/session.h"
 #include "util/fs.h"
 #include "util/stopwatch.h"
 
@@ -73,8 +75,10 @@ int main(int argc, char** argv) {
   for (const auto& method : methods) {
     Stopwatch timer;
     for (int i = 0; i < auth_rounds; ++i) {
-      auto client =
-          ChirpClient::Connect("localhost", (*server)->port(), {method.cred});
+      ChirpClientOptions handshake_options;
+      handshake_options.port = (*server)->port();
+      handshake_options.credentials = {method.cred};
+      auto client = ChirpClient::Connect(handshake_options);
       if (!client.ok()) return 1;
     }
     std::printf("  %-10s %8.1f us/handshake\n", method.name,
@@ -82,8 +86,10 @@ int main(int argc, char** argv) {
   }
 
   // --- small-RPC latency ---
-  auto client =
-      ChirpClient::Connect("localhost", (*server)->port(), {&gsi_cred});
+  ChirpClientOptions rpc_options;
+  rpc_options.port = (*server)->port();
+  rpc_options.credentials = {&gsi_cred};
+  auto client = ChirpClient::Connect(rpc_options);
   if (!client.ok()) return 1;
   if (!(*client)->put_file("/probe", "x").ok()) return 1;
   {
@@ -174,9 +180,10 @@ int main(int argc, char** argv) {
       auto arm_server = ChirpServer::Start(std::move(arm_options));
       if (!arm_server.ok()) return 1;
       {
-        auto seeder = ChirpClient::Connect("localhost",
-                                           (*arm_server)->port(),
-                                           {&gsi_cred});
+        ChirpClientOptions seeder_options;
+        seeder_options.port = (*arm_server)->port();
+        seeder_options.credentials = {&gsi_cred};
+        auto seeder = ChirpClient::Connect(seeder_options);
         if (!seeder.ok()) return 1;
         if (!(*seeder)->mkdir("/dir").ok()) return 1;
         if (!(*seeder)->put_file("/dir/probe", "x").ok()) return 1;
@@ -190,8 +197,10 @@ int main(int argc, char** argv) {
       threads.reserve(clients);
       for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&] {
-          auto worker = ChirpClient::Connect(
-              "localhost", (*arm_server)->port(), {&gsi_cred});
+          ChirpClientOptions worker_options;
+          worker_options.port = (*arm_server)->port();
+          worker_options.credentials = {&gsi_cred};
+          auto worker = ChirpClient::Connect(worker_options);
           if (!worker.ok()) {
             ready++;
             return;
@@ -238,6 +247,211 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(snap.worker_batches));
       (*arm_server)->stop();
     }
+  }
+
+  // --- resilience: ChirpSession vs. bare ChirpClient under injected ---
+  // --- connection drops                                             ---
+  // Every client thread runs a fixed op mix (512 KB put_file / 512 KB
+  // pread through a replayed handle — all retry-safe, sized like the file
+  // staging a grid node actually does) while a shared FaultInjector severs
+  // connections at the configured per-frame rate. The session arm must
+  // complete every op by retrying and reconnecting; the bare-client arm
+  // shows the contrast: its first torn frame poisons the connection and
+  // every subsequent op fails with EIO.
+  const int fault_clients = 8;
+  const int fault_ops = quick ? 150 : 600;
+  const size_t fault_block = 512 * 1024;
+  std::printf("\nresilience (%d clients x %d ops of %zu KB, injected drops):\n",
+              fault_clients, fault_ops, fault_block / 1024);
+  std::printf("  %-8s %6s %10s %10s %9s %11s %8s\n", "arm", "drop%",
+              "completed", "ops/sec", "retries", "reconnects", "replays");
+
+  // Unix auth keeps the re-auth handshake cheap, so the measured fault
+  // overhead is the reconnect/replay protocol work itself rather than
+  // repeated public-key operations.
+  auto fault_server_options = [&](TempDir& fault_export,
+                                  TempDir& fault_state) {
+    ChirpServerOptions fault_options;
+    fault_options.export_root = fault_export.path();
+    fault_options.state_dir = fault_state.path();
+    fault_options.auth_methods.push_back(AuthMethodConfig::Unix());
+    fault_options.root_acl_text = "unix:* rwlax\n";
+    return fault_options;
+  };
+
+  double fault_baseline_rate = 0.0;
+  for (int drop_pct : {0, 1, 5, 10}) {
+    TempDir fault_export("chirp-bench-fault");
+    TempDir fault_state("chirp-bench-fault-state");
+    auto fault_server =
+        ChirpServer::Start(fault_server_options(fault_export, fault_state));
+    if (!fault_server.ok()) return 1;
+
+    FaultInjectorConfig fault_config;
+    fault_config.drop_probability = drop_pct / 100.0;
+    fault_config.seed = 0xFA017 + static_cast<uint64_t>(drop_pct);
+    FaultInjector injector(fault_config);
+
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+    std::vector<ChirpSessionStats> session_stats(fault_clients);
+    std::vector<std::thread> threads;
+    threads.reserve(fault_clients);
+    Stopwatch fault_timer;
+    for (int c = 0; c < fault_clients; ++c) {
+      threads.emplace_back([&, c] {
+        ChirpSessionOptions session_options;
+        session_options.client.port = (*fault_server)->port();
+        session_options.client.credentials = {&unix_cred};
+        session_options.client.faults = &injector;
+        // The bench measures recovery WORK (reconnect + re-auth + replay),
+        // not politeness: back off with zero delay so throughput reflects
+        // the protocol cost of each fault rather than sleep time.
+        session_options.retry.max_attempts = 64;
+        session_options.retry.initial_backoff_ms = 0;
+        session_options.retry.max_backoff_ms = 0;
+        session_options.jitter_seed = 0xB0B0 + static_cast<uint64_t>(c);
+        auto session = ChirpSession::Connect(std::move(session_options));
+        if (!session.ok()) {
+          failed += static_cast<uint64_t>(fault_ops);
+          return;
+        }
+        const std::string path = "/client" + std::to_string(c) + ".dat";
+        const std::string payload(fault_block, 'r');
+        if (!(*session)->put_file(path, payload).ok()) {
+          failed += static_cast<uint64_t>(fault_ops);
+          return;
+        }
+        auto handle = (*session)->open(path, O_RDONLY, 0);
+        if (!handle.ok()) {
+          failed += static_cast<uint64_t>(fault_ops);
+          return;
+        }
+        for (int i = 0; i < fault_ops; ++i) {
+          bool op_ok = false;
+          if (i % 2 == 0) {
+            op_ok = (*session)->put_file(path, payload).ok();
+          } else {
+            op_ok = (*session)->pread(*handle, fault_block, 0).ok();
+          }
+          if (op_ok) {
+            completed++;
+          } else {
+            failed++;
+          }
+        }
+        session_stats[c] = (*session)->stats();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const double fault_elapsed = fault_timer.seconds();
+
+    ChirpSessionStats totals;
+    for (const auto& s : session_stats) {
+      totals.retries += s.retries;
+      totals.reconnects += s.reconnects;
+      totals.connect_attempts += s.connect_attempts;
+      totals.replayed_handles += s.replayed_handles;
+      totals.shed_retries += s.shed_retries;
+      totals.giveups += s.giveups;
+    }
+    const double fault_rate =
+        static_cast<double>(completed.load()) / fault_elapsed;
+    if (drop_pct == 0) fault_baseline_rate = fault_rate;
+    const double ratio =
+        fault_baseline_rate > 0 ? fault_rate / fault_baseline_rate : 0.0;
+    std::printf("  %-8s %5d%% %10llu %10.0f %9llu %11llu %8llu\n",
+                "session", drop_pct,
+                static_cast<unsigned long long>(completed.load()),
+                fault_rate,
+                static_cast<unsigned long long>(totals.retries),
+                static_cast<unsigned long long>(totals.reconnects),
+                static_cast<unsigned long long>(totals.replayed_handles));
+    const auto injected = injector.stats();
+    std::printf(
+        "{\"bench\":\"chirp_faults\",\"arm\":\"session\",\"drop_pct\":%d,"
+        "\"clients\":%d,\"ops\":%d,\"completed\":%llu,\"failed\":%llu,"
+        "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"throughput_ratio\":%.3f,"
+        "\"retries\":%llu,\"reconnects\":%llu,\"connect_attempts\":%llu,"
+        "\"replayed_handles\":%llu,\"shed_retries\":%llu,\"giveups\":%llu,"
+        "\"injected_drops\":%llu}\n",
+        drop_pct, fault_clients, fault_ops,
+        static_cast<unsigned long long>(completed.load()),
+        static_cast<unsigned long long>(failed.load()), fault_elapsed,
+        fault_rate, ratio,
+        static_cast<unsigned long long>(totals.retries),
+        static_cast<unsigned long long>(totals.reconnects),
+        static_cast<unsigned long long>(totals.connect_attempts),
+        static_cast<unsigned long long>(totals.replayed_handles),
+        static_cast<unsigned long long>(totals.shed_retries),
+        static_cast<unsigned long long>(totals.giveups),
+        static_cast<unsigned long long>(injected.drops));
+    (*fault_server)->stop();
+  }
+
+  // Bare-client contrast arm at 5%: no retry layer, so the first injected
+  // drop poisons each connection for good.
+  {
+    TempDir fault_export("chirp-bench-bare");
+    TempDir fault_state("chirp-bench-bare-state");
+    auto fault_server =
+        ChirpServer::Start(fault_server_options(fault_export, fault_state));
+    if (!fault_server.ok()) return 1;
+
+    FaultInjectorConfig fault_config;
+    fault_config.drop_probability = 0.05;
+    fault_config.seed = 0xFA017;
+    FaultInjector injector(fault_config);
+
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(fault_clients);
+    Stopwatch fault_timer;
+    for (int c = 0; c < fault_clients; ++c) {
+      threads.emplace_back([&, c] {
+        ChirpClientOptions bare_options;
+        bare_options.port = (*fault_server)->port();
+        bare_options.credentials = {&unix_cred};
+        bare_options.faults = &injector;
+        auto bare = ChirpClient::Connect(bare_options);
+        if (!bare.ok()) {
+          failed += static_cast<uint64_t>(fault_ops);
+          return;
+        }
+        const std::string path = "/bare" + std::to_string(c) + ".dat";
+        const std::string payload(fault_block, 'r');
+        for (int i = 0; i < fault_ops; ++i) {
+          bool op_ok = false;
+          if (i % 2 == 0) {
+            op_ok = (*bare)->put_file(path, payload).ok();
+          } else {
+            op_ok = (*bare)->get_file(path).ok();
+          }
+          if (op_ok) {
+            completed++;
+          } else {
+            failed++;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const double fault_elapsed = fault_timer.seconds();
+    const double fault_rate =
+        static_cast<double>(completed.load()) / fault_elapsed;
+    std::printf("  %-8s %5d%% %10llu %10.0f %9s %11s %8s\n", "bare", 5,
+                static_cast<unsigned long long>(completed.load()),
+                fault_rate, "-", "-", "-");
+    std::printf(
+        "{\"bench\":\"chirp_faults\",\"arm\":\"bare\",\"drop_pct\":5,"
+        "\"clients\":%d,\"ops\":%d,\"completed\":%llu,\"failed\":%llu,"
+        "\"seconds\":%.4f,\"ops_per_sec\":%.1f}\n",
+        fault_clients, fault_ops,
+        static_cast<unsigned long long>(completed.load()),
+        static_cast<unsigned long long>(failed.load()), fault_elapsed,
+        fault_rate);
+    (*fault_server)->stop();
   }
   return 0;
 }

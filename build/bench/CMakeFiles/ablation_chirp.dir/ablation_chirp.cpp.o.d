@@ -235,17 +235,18 @@ bench/CMakeFiles/ablation_chirp.dir/ablation_chirp.cpp.o: \
  /root/repo/src/chirp/client.h /root/repo/src/chirp/net.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/fs.h \
- /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
- /root/repo/src/vfs/types.h /root/repo/src/chirp/server.h \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
- /root/repo/src/auth/cas.h /root/repo/src/identity/pattern.h \
- /root/repo/src/box/process_registry.h /root/repo/src/vfs/local_driver.h \
- /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
- /root/repo/src/acl/rights.h /root/repo/src/acl/acl_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
- /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/stopwatch.h
+ /root/repo/src/chirp/protocol.h /root/repo/src/acl/acl.h \
+ /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
+ /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
+ /root/repo/src/chirp/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/rand.h \
+ /root/repo/src/chirp/server.h /usr/include/c++/12/condition_variable \
+ /root/repo/src/auth/cas.h /root/repo/src/box/process_registry.h \
+ /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
+ /root/repo/src/acl/acl_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/vfs/driver.h /root/repo/src/vfs/request_context.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/chirp/session.h \
+ /root/repo/src/util/retry.h /root/repo/src/util/stopwatch.h

@@ -220,6 +220,7 @@ examples/CMakeFiles/chirp.dir/chirp.cpp.o: /root/repo/examples/chirp.cpp \
  /root/repo/src/chirp/client.h /root/repo/src/chirp/net.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/fs.h \
- /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
- /root/repo/src/vfs/types.h /root/repo/src/util/path.h \
- /root/repo/src/util/strings.h
+ /root/repo/src/chirp/protocol.h /root/repo/src/acl/acl.h \
+ /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
+ /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
+ /root/repo/src/util/path.h /root/repo/src/util/strings.h

@@ -254,10 +254,10 @@ examples/CMakeFiles/chirp_server.dir/chirp_server.cpp.o: \
  /root/repo/src/auth/sim_gsi.h /root/repo/src/auth/sim_kerberos.h \
  /root/repo/src/auth/simple.h /root/repo/src/box/process_registry.h \
  /root/repo/src/chirp/net.h /root/repo/src/util/fs.h \
- /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
+ /root/repo/src/chirp/protocol.h /root/repo/src/acl/acl.h \
+ /root/repo/src/acl/rights.h /root/repo/src/util/codec.h \
  /root/repo/src/vfs/types.h /root/repo/src/vfs/local_driver.h \
- /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl.h \
- /root/repo/src/acl/rights.h /root/repo/src/acl/acl_cache.h \
+ /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
  /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \

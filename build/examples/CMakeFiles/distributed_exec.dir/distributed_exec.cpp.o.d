@@ -221,10 +221,11 @@ examples/CMakeFiles/distributed_exec.dir/distributed_exec.cpp.o: \
  /root/repo/src/chirp/net.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/util/fs.h /root/repo/src/chirp/client.h \
- /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
- /root/repo/src/vfs/types.h /root/repo/src/chirp/server.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/chirp/protocol.h /root/repo/src/acl/acl.h \
+ /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
+ /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
+ /root/repo/src/chirp/server.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -232,13 +233,12 @@ examples/CMakeFiles/distributed_exec.dir/distributed_exec.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/auth/cas.h \
- /root/repo/src/identity/pattern.h /root/repo/src/auth/sim_kerberos.h \
- /root/repo/src/auth/simple.h /root/repo/src/box/process_registry.h \
- /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
- /root/repo/src/acl/acl.h /root/repo/src/acl/rights.h \
- /root/repo/src/acl/acl_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/request_context.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/auth/sim_kerberos.h /root/repo/src/auth/simple.h \
+ /root/repo/src/box/process_registry.h /root/repo/src/vfs/local_driver.h \
+ /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -11,9 +11,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/chirp/catalog.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/catalog.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/catalog.cc.o.d"
   "/root/repo/src/chirp/chirp_driver.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/chirp_driver.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/chirp_driver.cc.o.d"
   "/root/repo/src/chirp/client.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/client.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/client.cc.o.d"
+  "/root/repo/src/chirp/fault_injector.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/fault_injector.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/fault_injector.cc.o.d"
   "/root/repo/src/chirp/net.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/net.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/net.cc.o.d"
   "/root/repo/src/chirp/protocol.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/protocol.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/protocol.cc.o.d"
   "/root/repo/src/chirp/server.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/server.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/server.cc.o.d"
+  "/root/repo/src/chirp/session.cc" "src/chirp/CMakeFiles/ibox_chirp.dir/session.cc.o" "gcc" "src/chirp/CMakeFiles/ibox_chirp.dir/session.cc.o.d"
   )
 
 # Targets to which this target links.

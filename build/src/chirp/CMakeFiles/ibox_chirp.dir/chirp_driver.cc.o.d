@@ -210,9 +210,10 @@ src/chirp/CMakeFiles/ibox_chirp.dir/chirp_driver.cc.o: \
  /root/repo/src/chirp/net.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/util/fs.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/request_context.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/acl/acl.h /root/repo/src/acl/rights.h \
+ /root/repo/src/identity/pattern.h /root/repo/src/util/codec.h \
+ /root/repo/src/vfs/types.h /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

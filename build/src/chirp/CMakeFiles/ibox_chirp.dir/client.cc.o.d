@@ -206,5 +206,10 @@ src/chirp/CMakeFiles/ibox_chirp.dir/client.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/chirp/net.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/fs.h \
- /root/repo/src/chirp/protocol.h /root/repo/src/util/codec.h \
- /root/repo/src/vfs/types.h
+ /root/repo/src/chirp/protocol.h /root/repo/src/acl/acl.h \
+ /root/repo/src/acl/rights.h /root/repo/src/identity/pattern.h \
+ /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
+ /root/repo/src/chirp/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/rand.h

@@ -5,12 +5,16 @@ file(REMOVE_RECURSE
   "CMakeFiles/ibox_chirp.dir/chirp_driver.cc.o.d"
   "CMakeFiles/ibox_chirp.dir/client.cc.o"
   "CMakeFiles/ibox_chirp.dir/client.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/fault_injector.cc.o"
+  "CMakeFiles/ibox_chirp.dir/fault_injector.cc.o.d"
   "CMakeFiles/ibox_chirp.dir/net.cc.o"
   "CMakeFiles/ibox_chirp.dir/net.cc.o.d"
   "CMakeFiles/ibox_chirp.dir/protocol.cc.o"
   "CMakeFiles/ibox_chirp.dir/protocol.cc.o.d"
   "CMakeFiles/ibox_chirp.dir/server.cc.o"
   "CMakeFiles/ibox_chirp.dir/server.cc.o.d"
+  "CMakeFiles/ibox_chirp.dir/session.cc.o"
+  "CMakeFiles/ibox_chirp.dir/session.cc.o.d"
   "libibox_chirp.a"
   "libibox_chirp.pdb"
 )

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/log.cc" "src/util/CMakeFiles/ibox_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/log.cc.o.d"
   "/root/repo/src/util/path.cc" "src/util/CMakeFiles/ibox_util.dir/path.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/path.cc.o.d"
   "/root/repo/src/util/rand.cc" "src/util/CMakeFiles/ibox_util.dir/rand.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/rand.cc.o.d"
+  "/root/repo/src/util/retry.cc" "src/util/CMakeFiles/ibox_util.dir/retry.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/retry.cc.o.d"
   "/root/repo/src/util/spawn.cc" "src/util/CMakeFiles/ibox_util.dir/spawn.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/spawn.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/ibox_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/ibox_util.dir/strings.cc.o.d"
   )

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ibox_util.dir/path.cc.o.d"
   "CMakeFiles/ibox_util.dir/rand.cc.o"
   "CMakeFiles/ibox_util.dir/rand.cc.o.d"
+  "CMakeFiles/ibox_util.dir/retry.cc.o"
+  "CMakeFiles/ibox_util.dir/retry.cc.o.d"
   "CMakeFiles/ibox_util.dir/spawn.cc.o"
   "CMakeFiles/ibox_util.dir/spawn.cc.o.d"
   "CMakeFiles/ibox_util.dir/strings.cc.o"

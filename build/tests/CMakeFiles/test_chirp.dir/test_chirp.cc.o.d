@@ -315,13 +315,13 @@ tests/CMakeFiles/test_chirp.dir/test_chirp.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/util/fs.h /root/repo/src/chirp/chirp_driver.h \
  /root/repo/src/chirp/client.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/request_context.h \
- /usr/include/c++/12/chrono /root/repo/src/chirp/server.h \
- /usr/include/c++/12/condition_variable /root/repo/src/auth/cas.h \
- /root/repo/src/identity/pattern.h /root/repo/src/box/process_registry.h \
- /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
  /root/repo/src/acl/acl.h /root/repo/src/acl/rights.h \
+ /root/repo/src/identity/pattern.h /root/repo/src/util/codec.h \
+ /root/repo/src/vfs/types.h /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /usr/include/c++/12/chrono \
+ /root/repo/src/chirp/server.h /usr/include/c++/12/condition_variable \
+ /root/repo/src/auth/cas.h /root/repo/src/box/process_registry.h \
+ /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
  /root/repo/src/acl/acl_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/util/strings.h

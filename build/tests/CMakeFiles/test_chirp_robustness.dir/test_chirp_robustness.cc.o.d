@@ -298,28 +298,30 @@ tests/CMakeFiles/test_chirp_robustness.dir/test_chirp_robustness.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/auth/simple.h /root/repo/src/auth/auth.h \
  /root/repo/src/identity/identity.h /root/repo/src/util/result.h \
  /usr/include/c++/12/cstring /root/repo/src/chirp/client.h \
  /root/repo/src/chirp/net.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/util/fs.h /root/repo/src/chirp/protocol.h \
- /root/repo/src/util/codec.h /root/repo/src/vfs/types.h \
- /root/repo/src/chirp/server.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/auth/cas.h \
- /root/repo/src/identity/pattern.h /root/repo/src/auth/sim_gsi.h \
- /root/repo/src/auth/sim_kerberos.h /root/repo/src/box/process_registry.h \
- /root/repo/src/vfs/local_driver.h /root/repo/src/acl/acl_store.h \
  /root/repo/src/acl/acl.h /root/repo/src/acl/rights.h \
- /root/repo/src/acl/acl_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/vfs/driver.h /root/repo/src/vfs/request_context.h \
- /usr/include/c++/12/chrono /root/repo/src/util/rand.h
+ /root/repo/src/identity/pattern.h /root/repo/src/util/codec.h \
+ /root/repo/src/vfs/types.h /root/repo/src/chirp/fault_injector.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/rand.h /root/repo/src/chirp/server.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/auth/cas.h \
+ /root/repo/src/auth/sim_gsi.h /root/repo/src/auth/sim_kerberos.h \
+ /root/repo/src/box/process_registry.h /root/repo/src/vfs/local_driver.h \
+ /root/repo/src/acl/acl_store.h /root/repo/src/acl/acl_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vfs/driver.h \
+ /root/repo/src/vfs/request_context.h /root/repo/src/chirp/session.h \
+ /root/repo/src/util/retry.h /root/repo/src/util/stopwatch.h

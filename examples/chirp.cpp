@@ -80,7 +80,11 @@ int main(int argc, char** argv) {
 
   std::vector<const ClientCredential*> credentials;
   for (const auto& cred : owned) credentials.push_back(cred.get());
-  auto client = ChirpClient::Connect(host, port, credentials);
+  ChirpClientOptions client_options;
+  client_options.host = host;
+  client_options.port = port;
+  client_options.credentials = credentials;
+  auto client = ChirpClient::Connect(client_options);
   if (!client.ok()) {
     std::fprintf(stderr, "chirp: connect/auth failed: %s\n",
                  client.error().message().c_str());
@@ -139,7 +143,10 @@ int main(int argc, char** argv) {
   } else if (command == "getacl" && args.size() == 1) {
     auto acl = (*client)->getacl(args[0]);
     if (!acl.ok()) return fail("getacl", acl.error());
-    std::printf("%s", acl->c_str());
+    for (const AclEntry& entry : *acl) {
+      std::printf("%s %s\n", entry.subject.str().c_str(),
+                  entry.rights.str().c_str());
+    }
   } else if (command == "setacl" && args.size() == 3) {
     Status st = (*client)->setacl(args[0], args[1], args[2]);
     if (!st.ok()) return fail("setacl", st.error());

@@ -53,8 +53,10 @@ int main() {
   auto try_connect = [&](const std::string& dn) {
     auto data = ca.issue(dn, 3600, wall_clock_seconds());
     GsiCredential cred(data);
-    auto client = ChirpClient::Connect("localhost", (*server)->port(),
-                                       {&cred});
+    ChirpClientOptions client_options;
+    client_options.port = (*server)->port();
+    client_options.credentials = {&cred};
+    auto client = ChirpClient::Connect(client_options);
     if (client.ok()) {
       auto who = (*client)->whoami();
       std::printf("  %-34s ADMITTED as %s\n", dn.c_str(),

@@ -64,8 +64,10 @@ int main() {
   std::printf("catalog lists %zu server(s); using %s:%u\n", listing->size(),
               (*listing)[0].name.c_str(), (*listing)[0].port);
 
-  auto client =
-      ChirpClient::Connect("localhost", (*listing)[0].port, {&fred_cred});
+  ChirpClientOptions client_options;
+  client_options.port = (*listing)[0].port;
+  client_options.credentials = {&fred_cred};
+  auto client = ChirpClient::Connect(client_options);
   if (!client.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
                  client.error().message().c_str());
@@ -77,8 +79,14 @@ int main() {
   // 1. mkdir /work — the reserve right mints a fresh private namespace.
   if (!(*client)->mkdir("/work").ok()) return 1;
   auto acl = (*client)->getacl("/work");
-  std::printf("1. mkdir /work -> fresh ACL:\n%s\n",
-              acl.ok() ? acl->c_str() : "?");
+  std::printf("1. mkdir /work -> fresh ACL:\n");
+  if (acl.ok()) {
+    for (const AclEntry& entry : *acl) {
+      std::printf("  %s %s\n", entry.subject.str().c_str(),
+                  entry.rights.str().c_str());
+    }
+  }
+  std::printf("\n");
 
   // 3. put sim.exe (a stand-in simulation).
   const std::string sim =

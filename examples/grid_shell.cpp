@@ -46,8 +46,10 @@ int main() {
   auto fred_cred_data =
       ca.issue("/O=UnivNowhere/CN=Fred", 3600, wall_clock_seconds());
   GsiCredential fred_cred(fred_cred_data);
-  auto connection =
-      ChirpClient::Connect("localhost", (*server)->port(), {&fred_cred});
+  ChirpClientOptions client_options;
+  client_options.port = (*server)->port();
+  client_options.credentials = {&fred_cred};
+  auto connection = ChirpClient::Connect(client_options);
   if (!connection.ok()) return 1;
   if (!(*box)
            ->mount("/chirp/grid",

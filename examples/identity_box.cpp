@@ -147,8 +147,11 @@ int main(int argc, char** argv) {
       credential =
           std::make_unique<UnixCredential>(current_unix_username());
     }
-    auto client = ChirpClient::Connect(
-        host_port[0], static_cast<uint16_t>(*port), {credential.get()});
+    ChirpClientOptions client_options;
+    client_options.host = host_port[0];
+    client_options.port = static_cast<uint16_t>(*port);
+    client_options.credentials = {credential.get()};
+    auto client = ChirpClient::Connect(client_options);
     if (!client.ok()) {
       std::fprintf(stderr, "identity_box: cannot mount %s from %s: %s\n",
                    prefix.c_str(), addr.c_str(),

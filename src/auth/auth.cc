@@ -84,6 +84,10 @@ Status authenticate_client(
 
   auto reply = channel.recv();
   if (!reply.ok()) return reply.error();
+  // Load shedding: an over-limit server answers the offer with "busy"
+  // instead of a method choice. EAGAIN (not EPROTO) so callers can tell
+  // "come back later" apart from "we will never agree".
+  if (*reply == "busy") return Status::Errno(EAGAIN);
   auto fields = split_ws(*reply);
   if (fields.size() != 2 || fields[0] != "use") return Status::Errno(EPROTO);
   auto chosen = auth_method_from_name(fields[1]);

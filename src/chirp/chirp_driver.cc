@@ -147,7 +147,9 @@ Status ChirpDriver::access(const RequestContext&, const std::string& path,
 Result<std::string> ChirpDriver::getacl(const RequestContext&,
                                         const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return client_->getacl(path);
+  // The Driver interface trades in raw ACL text (it round-trips through
+  // Acl::Parse at the consumer); the typed entries are the client surface.
+  return client_->getacl_text(path);
 }
 
 Status ChirpDriver::setacl(const RequestContext&, const std::string& path,

@@ -1,23 +1,59 @@
 #include "chirp/client.h"
 
+#include "chirp/fault_injector.h"
+
 namespace ibox {
 
 Result<std::unique_ptr<ChirpClient>> ChirpClient::Connect(
-    const std::string& host, uint16_t port,
-    const std::vector<const ClientCredential*>& credentials) {
-  auto channel = tcp_connect(host, port);
+    const ChirpClientOptions& options) {
+  auto channel =
+      tcp_connect(options.host, options.port, options.connect_timeout_ms);
   if (!channel.ok()) return channel.error();
+  channel->set_fault_injector(options.faults);
+  if (options.recv_timeout_ms > 0) {
+    IBOX_RETURN_IF_ERROR(channel->set_recv_timeout_ms(
+        static_cast<int>(options.recv_timeout_ms)));
+  }
   FrameAuthChannel auth_channel(*channel);
-  IBOX_RETURN_IF_ERROR(authenticate_client(auth_channel, credentials));
+  IBOX_RETURN_IF_ERROR(
+      authenticate_client(auth_channel, options.credentials));
   return std::unique_ptr<ChirpClient>(
       new ChirpClient(std::move(*channel)));
 }
 
+Result<std::unique_ptr<ChirpClient>> ChirpClient::Connect(
+    const std::string& host, uint16_t port,
+    const std::vector<const ClientCredential*>& credentials) {
+  ChirpClientOptions options;
+  options.host = host;
+  options.port = port;
+  options.credentials = credentials;
+  return Connect(options);
+}
+
 Result<std::pair<int64_t, std::string>> ChirpClient::rpc(
     const BufWriter& request) {
-  IBOX_RETURN_IF_ERROR(channel_.send_frame(request.data()));
+  // A prior transport failure left the frame stream out of sync: any reply
+  // read now could belong to an earlier request. Fail fast rather than
+  // return another request's answer.
+  if (poisoned_) return Error(EIO);
+  auto sent = channel_.send_frame(request.data());
+  if (!sent.ok()) {
+    poisoned_ = true;
+    failure_phase_ = FailurePhase::kSend;
+    return sent.error();
+  }
   auto reply = channel_.recv_frame();
-  if (!reply.ok()) return reply.error();
+  if (!reply.ok()) {
+    // EMSGSIZE is the one recv failure that leaves the stream positioned
+    // at the next frame (the oversized payload was drained); everything
+    // else tears the request/reply pairing.
+    if (reply.error().code() != EMSGSIZE) {
+      poisoned_ = true;
+      failure_phase_ = FailurePhase::kRecv;
+    }
+    return reply.error();
+  }
   BufReader reader(*reply);
   auto status = reader.get_i64();
   if (!status.ok()) return Error(EBADMSG);
@@ -247,7 +283,17 @@ Result<SpaceInfo> ChirpClient::statfs() {
   return info;
 }
 
-Result<std::string> ChirpClient::getacl(const std::string& path) {
+Result<std::vector<AclEntry>> ChirpClient::getacl(const std::string& path) {
+  auto text = getacl_text(path);
+  if (!text.ok()) return text.error();
+  // The wire carries the canonical ACL text; parse it into typed entries
+  // here so callers never string-match rights.
+  auto acl = Acl::Parse(*text);
+  if (!acl.ok()) return Error(EBADMSG);
+  return acl->entries();
+}
+
+Result<std::string> ChirpClient::getacl_text(const std::string& path) {
   auto result = rpc(path_request(ChirpOp::kGetAcl, path));
   if (!result.ok()) return result.error();
   BufReader reader(result->second);

@@ -17,10 +17,34 @@
 
 namespace ibox {
 
+class FaultInjector;
+
+// Connection parameters for ChirpClient::Connect. A struct rather than a
+// positional list so new knobs (timeouts, fault hooks) do not ripple
+// through every call site.
+struct ChirpClientOptions {
+  std::string host = "localhost";
+  uint16_t port = 0;
+  std::vector<const ClientCredential*> credentials;
+  // Bounds the TCP connect itself (ETIMEDOUT past it); 0 = OS default.
+  uint32_t connect_timeout_ms = 0;
+  // SO_RCVTIMEO on the connected socket, so an RPC against a silent server
+  // cannot block forever; 0 = no timeout.
+  uint32_t recv_timeout_ms = 0;
+  // Optional fault-injection hook (tests/bench; not owned, may be null).
+  // Only consulted when built with IBOX_FAULTS.
+  FaultInjector* faults = nullptr;
+};
+
 class ChirpClient {
  public:
   // Connects and runs the auth negotiation; on success the client is bound
-  // to the proven identity for its lifetime.
+  // to the proven identity for its lifetime. EAGAIN (kChirpErrBusy) means
+  // the server shed the connection under load — retry later.
+  static Result<std::unique_ptr<ChirpClient>> Connect(
+      const ChirpClientOptions& options);
+
+  [[deprecated("use Connect(const ChirpClientOptions&)")]]
   static Result<std::unique_ptr<ChirpClient>> Connect(
       const std::string& host, uint16_t port,
       const std::vector<const ClientCredential*>& credentials);
@@ -56,7 +80,12 @@ class ChirpClient {
   // Space totals of the server's export.
   Result<SpaceInfo> statfs();
 
-  Result<std::string> getacl(const std::string& path);
+  // Typed ACL listing: the server's canonical ACL text parsed into
+  // (subject pattern, rights) entries at the protocol boundary.
+  Result<std::vector<AclEntry>> getacl(const std::string& path);
+  // Raw ACL text as stored server-side (Driver plumbing and round-trip
+  // tooling that must preserve the exact bytes).
+  Result<std::string> getacl_text(const std::string& path);
   Status setacl(const std::string& path, const std::string& subject,
                 const std::string& rights);
 
@@ -69,6 +98,18 @@ class ChirpClient {
   Result<ExecResult> exec(const std::vector<std::string>& argv,
                           const std::string& cwd = "/");
 
+  // True once a transport failure has desynchronized the frame stream.
+  // Every subsequent RPC fails fast with EIO: after a torn send or recv
+  // the next reply on the wire may belong to the previous request, so the
+  // connection is unusable — reconnect (or use ChirpSession, which does).
+  bool poisoned() const { return poisoned_; }
+
+  // Where the poisoning failure happened. kSend means the request never
+  // fully left this host, so even a non-idempotent op is safe to retry on
+  // a fresh connection; kRecv means the server may have committed it.
+  enum class FailurePhase : uint8_t { kNone, kSend, kRecv };
+  FailurePhase failure_phase() const { return failure_phase_; }
+
  private:
   explicit ChirpClient(FrameChannel channel) : channel_(std::move(channel)) {}
 
@@ -79,6 +120,8 @@ class ChirpClient {
   Status rpc_status(const BufWriter& request);
 
   FrameChannel channel_;
+  bool poisoned_ = false;
+  FailurePhase failure_phase_ = FailurePhase::kNone;
 };
 
 }  // namespace ibox

@@ -1,0 +1,91 @@
+#include "chirp/fault_injector.h"
+
+namespace ibox {
+
+FaultAction FaultInjector::decide(std::deque<FaultAction>& scripted,
+                                  bool allow_truncate) {
+  FaultAction action = FaultAction::kNone;
+  if (!scripted.empty()) {
+    action = scripted.front();
+    scripted.pop_front();
+  } else {
+    // One uniform draw walks stacked probability bands, so the configured
+    // rates are exact and mutually exclusive per call.
+    const double u = rng_.uniform();
+    double band = config_.drop_probability;
+    if (u < band) {
+      action = FaultAction::kDrop;
+    } else {
+      if (allow_truncate) {
+        band += config_.truncate_probability;
+        if (u < band) action = FaultAction::kTruncate;
+      }
+      if (action == FaultAction::kNone) {
+        band += config_.delay_probability;
+        if (u < band) action = FaultAction::kDelay;
+      }
+    }
+  }
+  switch (action) {
+    case FaultAction::kDrop:
+      stats_.drops++;
+      break;
+    case FaultAction::kDelay:
+      stats_.delays++;
+      break;
+    case FaultAction::kTruncate:
+      stats_.truncates++;
+      break;
+    case FaultAction::kNone:
+      break;
+  }
+  return action;
+}
+
+FaultAction FaultInjector::on_send() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decide(scripted_send_, /*allow_truncate=*/true);
+}
+
+FaultAction FaultInjector::on_recv() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A truncated inbound frame is indistinguishable from a drop at this
+  // layer, so the recv hook only drops or delays.
+  return decide(scripted_recv_, /*allow_truncate=*/false);
+}
+
+bool FaultInjector::refuse_accept() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (scripted_refusals_ > 0) {
+    scripted_refusals_--;
+    stats_.refused_accepts++;
+    return true;
+  }
+  if (rng_.uniform() < config_.refuse_accept_probability) {
+    stats_.refused_accepts++;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::script_send(FaultAction action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_send_.push_back(action);
+}
+
+void FaultInjector::script_recv(FaultAction action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_recv_.push_back(action);
+}
+
+void FaultInjector::script_refuse_accept() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_refusals_++;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ibox

@@ -1,0 +1,93 @@
+// FaultInjector: makes the Chirp transport misbehave on purpose.
+//
+// Wide-area grid links drop connections, stall frames, and deliver
+// truncated streams; the resilience layer (ChirpSession retry/reconnect,
+// server load shedding) has to be provable against those faults without a
+// real flaky network. The injector sits at the decision points inside
+// FrameChannel::send_frame / recv_frame and TcpListener::accept and rules,
+// per call, whether the transport lies this time.
+//
+// Faults come in two flavors:
+//   * probabilistic — seeded Bernoulli draws from the config, so a bench
+//     run replays identically;
+//   * scripted — an explicit queue per hook; the next call pops one action
+//     and fires it exactly once (deterministic tests: "let two ops
+//     through, then sever the connection").
+//
+// One injector may be shared by many channels and threads (the bench wires
+// a single injector into 8 client sessions); all decision points are
+// thread-safe. The injector never touches sockets itself — it only
+// decides, and the transport applies the fault to its own fd.
+//
+// Compile-time gate: when the IBOX_FAULTS CMake option is OFF (release
+// builds) the transport hooks compile away entirely; this class still
+// exists so call sites stay valid, but nothing consults it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "util/rand.h"
+
+namespace ibox {
+
+enum class FaultAction : uint8_t {
+  kNone,
+  kDrop,      // sever the connection at a frame boundary
+  kDelay,     // stall the frame by delay_ms, then proceed
+  kTruncate,  // emit a partial frame, then sever (send side only)
+};
+
+struct FaultInjectorConfig {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  uint32_t delay_ms = 0;
+  double truncate_probability = 0.0;
+  // Server side: probability that a freshly accepted connection is killed
+  // before the handshake (a flaky accept path / mid-SYN failure).
+  double refuse_accept_probability = 0.0;
+  uint64_t seed = 0x1DB0C5;
+};
+
+struct FaultInjectorStats {
+  uint64_t drops = 0;
+  uint64_t delays = 0;
+  uint64_t truncates = 0;
+  uint64_t refused_accepts = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  // Decision points, consulted by the transport. Scripted actions take
+  // precedence over the probabilistic config.
+  FaultAction on_send();
+  FaultAction on_recv();
+  bool refuse_accept();
+
+  // Scripted faults: each call queues one action for a future hook visit,
+  // in FIFO order. Queue kNone entries to let frames pass untouched before
+  // a fault ("two clean sends, then drop").
+  void script_send(FaultAction action);
+  void script_recv(FaultAction action);
+  void script_refuse_accept();
+
+  uint32_t delay_ms() const { return config_.delay_ms; }
+  FaultInjectorStats stats() const;
+
+ private:
+  FaultAction decide(std::deque<FaultAction>& scripted, bool allow_truncate);
+
+  FaultInjectorConfig config_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::deque<FaultAction> scripted_send_;
+  std::deque<FaultAction> scripted_recv_;
+  uint64_t scripted_refusals_ = 0;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace ibox

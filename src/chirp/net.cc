@@ -4,12 +4,17 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "chirp/fault_injector.h"
 
 namespace ibox {
 
@@ -60,6 +65,38 @@ Status sendv_all(int fd, struct iovec* iov, int iovcnt) {
 
 Status FrameChannel::send_frame(std::string_view payload) {
   if (payload.size() > kMaxFrame) return Status::Errno(EMSGSIZE);
+#ifdef IBOX_FAULTS_ENABLED
+  if (faults_) {
+    switch (faults_->on_send()) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(faults_->delay_ms()));
+        break;
+      case FaultAction::kDrop:
+        // Sever at the frame boundary: nothing of this frame reaches the
+        // peer, so the caller knows no bytes were committed.
+        ::shutdown(fd_.get(), SHUT_RDWR);
+        return Status::Errno(ECONNRESET);
+      case FaultAction::kTruncate: {
+        // Half the frame escapes, then the connection dies: the peer sees
+        // a desynced stream mid-frame (the worst case a real network
+        // produces).
+        uint32_t announced = static_cast<uint32_t>(payload.size());
+        char hdr[4];
+        std::memcpy(hdr, &announced, 4);
+        (void)!::send(fd_.get(), hdr, 4, MSG_NOSIGNAL);
+        if (!payload.empty()) {
+          (void)!::send(fd_.get(), payload.data(), payload.size() / 2,
+                        MSG_NOSIGNAL);
+        }
+        ::shutdown(fd_.get(), SHUT_RDWR);
+        return Status::Errno(ECONNRESET);
+      }
+    }
+  }
+#endif
   uint32_t len = static_cast<uint32_t>(payload.size());
   char header[4];
   std::memcpy(header, &len, 4);
@@ -72,6 +109,24 @@ Status FrameChannel::send_frame(std::string_view payload) {
 }
 
 Result<std::string> FrameChannel::recv_frame() {
+#ifdef IBOX_FAULTS_ENABLED
+  if (faults_) {
+    switch (faults_->on_recv()) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(faults_->delay_ms()));
+        break;
+      case FaultAction::kDrop:
+      case FaultAction::kTruncate:
+        // The reply is lost after the request may have been processed —
+        // the ambiguous failure mode non-idempotent retries must respect.
+        ::shutdown(fd_.get(), SHUT_RDWR);
+        return Error(ECONNRESET);
+    }
+  }
+#endif
   char header[4];
   IBOX_RETURN_IF_ERROR(recv_all(fd_.get(), header, 4));
   uint32_t len = 0;
@@ -219,6 +274,12 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
 Result<FrameChannel> TcpListener::accept() {
   int fd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
   if (fd < 0) return Error::FromErrno();
+#ifdef IBOX_FAULTS_ENABLED
+  if (faults_ && faults_->refuse_accept()) {
+    ::close(fd);
+    return Error(ECONNABORTED);
+  }
+#endif
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return FrameChannel(UniqueFd(fd));
@@ -228,7 +289,8 @@ void TcpListener::shutdown() {
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
-Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port) {
+Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port,
+                                 uint32_t connect_timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error::FromErrno();
   UniqueFd owned(fd);
@@ -242,9 +304,37 @@ Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port) {
   } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return Error(EHOSTUNREACH);
   }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    return Error::FromErrno();
+  if (connect_timeout_ms == 0) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return Error::FromErrno();
+    }
+  } else {
+    // Bounded connect: go non-blocking, poll for writability, read back
+    // SO_ERROR, then restore the blocking mode the frame I/O expects.
+    int flags = ::fcntl(fd, F_GETFL);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Error::FromErrno();
+    }
+    int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0) {
+      if (errno != EINPROGRESS) return Error::FromErrno();
+      struct pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms));
+      } while (ready < 0 && errno == EINTR);
+      if (ready < 0) return Error::FromErrno();
+      if (ready == 0) return Error(ETIMEDOUT);
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+        return Error::FromErrno();
+      }
+      if (soerr != 0) return Error(soerr);
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) return Error::FromErrno();
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -19,6 +19,8 @@
 
 namespace ibox {
 
+class FaultInjector;
+
 // A connected stream socket exchanging frames: u32 little-endian length
 // followed by that many payload bytes. Frames are capped to keep a hostile
 // peer from forcing unbounded allocation.
@@ -27,6 +29,11 @@ class FrameChannel {
   static constexpr size_t kMaxFrame = 16u << 20;
 
   explicit FrameChannel(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  // Attaches a fault-injection hook (tests/bench; not owned, may be null).
+  // Consulted on every send_frame/recv_frame when the IBOX_FAULTS build
+  // option is on; a no-op otherwise.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   // Writes header+payload as one gathered write; restarts on EINTR and
   // short writes.
@@ -57,6 +64,7 @@ class FrameChannel {
 
  private:
   UniqueFd fd_;
+  FaultInjector* faults_ = nullptr;
 };
 
 // Incremental decoder of the frame stream for non-blocking readers. Feed
@@ -116,17 +124,27 @@ class TcpListener {
 
   uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }
+  // Accepts one connection. ECONNABORTED means a fault-injected refusal
+  // (the accepted socket was closed immediately); callers should treat it
+  // like a transient failure and keep accepting.
   Result<FrameChannel> accept();
   // Unblocks pending accepts (used at server shutdown).
   void shutdown();
 
+  // Accept-side fault hook (tests/bench; not owned, may be null).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   UniqueFd fd_;
   uint16_t port_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 // Connects to 127.0.0.1:<port> (the repository's deployments are
-// loopback; a production build would resolve hostnames here).
-Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port);
+// loopback; a production build would resolve hostnames here). A non-zero
+// timeout bounds the TCP connect itself (ETIMEDOUT past it); 0 keeps the
+// OS default blocking behavior.
+Result<FrameChannel> tcp_connect(const std::string& host, uint16_t port,
+                                 uint32_t connect_timeout_ms = 0);
 
 }  // namespace ibox

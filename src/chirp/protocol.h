@@ -12,10 +12,12 @@
 // corresponding to the identity negotiated at connection."
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "acl/acl.h"
 #include "util/codec.h"
 #include "vfs/types.h"
 
@@ -51,6 +53,20 @@ enum class ChirpOp : uint8_t {
   kPutFile = 27,  // path, mode, data (convenience, like chirp's putfile)
   kStatfs = 28,   // -> space totals of the export
 };
+
+// Load-shed protocol error: the server is over its connection soft limit
+// and answered the handshake offer with "busy" instead of a method choice.
+// Deliberately EAGAIN-valued — "try again" is exactly the contract — and
+// named so the session layer's retry classification reads as protocol, not
+// as a stray local errno. Distinct from every errno the drivers produce
+// for a completed request (those are definitive; this one is transient).
+inline constexpr int kChirpErrBusy = EAGAIN;
+
+// Typed ACL surface: ChirpClient::getacl returns the parsed entries
+// (AclEntry from acl/acl.h: subject pattern + Rights) rather than raw ACL
+// file text. The wire format stays the canonical text (Acl::str /
+// Acl::Parse round-trip), so old clients interoperate; the typing lives at
+// the protocol boundary where the bytes are decoded.
 
 // Space report for kStatfs (chirp's storage-allocation surface; SRM-style
 // clients size transfers from it).

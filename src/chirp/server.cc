@@ -78,6 +78,7 @@ Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
   auto listener = TcpListener::Bind(server->options_.port);
   if (!listener.ok()) return listener.error();
   server->listener_ = std::move(*listener);
+  server->listener_.set_fault_injector(server->options_.faults);
 
   if (server->options_.catalog_port != 0) {
     CatalogEntry entry;
@@ -144,6 +145,8 @@ ChirpStatsSnapshot ChirpServer::snapshot_stats() const {
   snap.peak_queue_depth = stats_.peak_queue_depth.load();
   snap.worker_batches = stats_.worker_batches.load();
   snap.worker_busy_micros = stats_.worker_busy_micros.load();
+  snap.sheds = stats_.sheds.load();
+  snap.active_connections = stats_.active_connections.load();
   snap.request_timeouts = driver_sink_.timeouts.load();
   const AclCacheStats& cache = driver_.acl_store().cache().stats();
   snap.acl_cache_hits = cache.hits.load();
@@ -212,6 +215,24 @@ RequestContext ChirpServer::make_context(const Identity& id) const {
   return RequestContext(id, deadline, &driver_sink_);
 }
 
+// ---------------------------------------------------- load shedding --
+
+bool ChirpServer::should_shed() {
+  if (options_.max_connections == 0) return false;
+  if (stats_.active_connections.load() <
+      static_cast<int64_t>(options_.max_connections)) {
+    return false;
+  }
+  stats_.sheds++;
+  return true;
+}
+
+void ChirpServer::shed_job(std::shared_ptr<FrameChannel> channel) {
+  (void)channel->set_recv_timeout_ms(1000);
+  (void)channel->recv_frame();  // the auth offer; content is irrelevant
+  (void)channel->send_frame("busy");
+}
+
 // -------------------------------------------- legacy (ablation) mode --
 
 void ChirpServer::accept_loop() {
@@ -222,11 +243,19 @@ void ChirpServer::accept_loop() {
       continue;
     }
     stats_.connections++;
+    auto shared = std::make_shared<FrameChannel>(std::move(*channel));
+    if (should_shed()) {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      connection_threads_.emplace_back(
+          [this, shared] { shed_job(shared); });
+      continue;
+    }
+    stats_.active_connections++;
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, moved = std::make_shared<FrameChannel>(std::move(*channel))] {
-          serve_connection(std::move(*moved));
-        });
+    connection_threads_.emplace_back([this, shared] {
+      serve_connection(std::move(*shared));
+      stats_.active_connections--;
+    });
   }
 }
 
@@ -385,11 +414,21 @@ void ChirpServer::reactor_loop() {
 void ChirpServer::handle_accept() {
   while (!stopping_.load()) {
     auto channel = listener_.accept();
-    if (!channel.ok()) return;  // EAGAIN or shutdown
+    if (!channel.ok()) {
+      // A fault-injected refusal closed one accepted socket; the backlog
+      // may hold more, so keep draining.
+      if (channel.error().code() == ECONNABORTED) continue;
+      return;  // EAGAIN or shutdown
+    }
     stats_.connections++;
+    auto shared = std::make_shared<FrameChannel>(std::move(*channel));
+    if (should_shed()) {
+      enqueue_job([this, shared] { shed_job(shared); });
+      continue;
+    }
+    stats_.active_connections++;
     // The handshake is blocking (guarded by a receive timeout), so it
     // runs on the worker pool, not the reactor.
-    auto shared = std::make_shared<FrameChannel>(std::move(*channel));
     enqueue_job([this, shared] { handshake_job(shared); });
   }
 }
@@ -402,11 +441,13 @@ void ChirpServer::handshake_job(std::shared_ptr<FrameChannel> channel) {
   auto identity = authenticate(*channel);
   if (!identity.ok()) {
     stats_.auth_failures++;
+    stats_.active_connections--;
     return;
   }
   IBOX_INFO << "chirp connection authenticated as " << identity->str();
   if (!channel->set_recv_timeout_ms(0).ok() ||
       !channel->set_nonblocking(true).ok()) {
+    stats_.active_connections--;
     return;
   }
 
@@ -415,13 +456,16 @@ void ChirpServer::handshake_job(std::shared_ptr<FrameChannel> channel) {
   conn->session.identity = *identity;
 
   post_to_reactor([this, conn] {
-    if (stopping_.load()) return;  // dropped; fd closes with `conn`
     struct epoll_event ev;
     std::memset(&ev, 0, sizeof(ev));
     ev.events = EPOLLIN;
     ev.data.fd = conn->fd.get();
-    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) !=
-        0) {
+    if (stopping_.load() ||
+        ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) !=
+            0) {
+      // Dropped (shutdown race or registration failure); the fd closes
+      // with `conn` and its admission slot frees here.
+      stats_.active_connections--;
       return;
     }
     conn->armed_events = EPOLLIN;
@@ -549,6 +593,7 @@ void ChirpServer::finalize_close(int fd) {
   // job may still hold one briefly; it guards against the missing map
   // entry).
   connections_.erase(it);
+  stats_.active_connections--;
 }
 
 bool ChirpServer::flush_outbound(Connection& conn) {

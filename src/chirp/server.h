@@ -120,6 +120,14 @@ struct ChirpServerOptions {
   uint32_t request_timeout_ms = 0;
   // Handshake guard: a silent peer is disconnected after this long.
   uint32_t auth_timeout_ms = 10000;
+  // Graceful degradation: above this many live authenticated connections
+  // the server sheds new arrivals with a "busy" handshake reply (EAGAIN at
+  // the client — explicitly retryable, unlike a refused or torn connect).
+  // 0 disables shedding.
+  size_t max_connections = 0;
+  // Fault-injection hook applied to the accept path (tests/bench; not
+  // owned, may be null). Only consulted when built with IBOX_FAULTS.
+  FaultInjector* faults = nullptr;
 };
 
 struct ChirpServerStats {
@@ -137,6 +145,10 @@ struct ChirpServerStats {
   std::atomic<uint64_t> peak_queue_depth{0};
   std::atomic<uint64_t> worker_batches{0};
   std::atomic<uint64_t> worker_busy_micros{0};
+  // Load shedding: connections answered "busy" over the soft limit, and
+  // the live count the limit is measured against.
+  std::atomic<uint64_t> sheds{0};
+  std::atomic<int64_t> active_connections{0};
 };
 
 // Plain-value copy of the counters (plus the driver-side surfaces: ACL
@@ -154,6 +166,8 @@ struct ChirpStatsSnapshot {
   uint64_t peak_queue_depth = 0;
   uint64_t worker_batches = 0;
   uint64_t worker_busy_micros = 0;
+  uint64_t sheds = 0;
+  int64_t active_connections = 0;
   uint64_t request_timeouts = 0;
   uint64_t acl_cache_hits = 0;
   uint64_t acl_cache_misses = 0;
@@ -216,6 +230,12 @@ class ChirpServer {
   void worker_loop();
   void enqueue_job(std::function<void()> job);
   void handshake_job(std::shared_ptr<FrameChannel> channel);
+  // True (and counts the shed) when a new arrival must be turned away.
+  bool should_shed();
+  // Reads the client's auth offer, answers "busy", and closes. Reading the
+  // offer first matters: closing with unread inbound data risks an RST
+  // that destroys the queued "busy" reply before the client sees it.
+  void shed_job(std::shared_ptr<FrameChannel> channel);
   void connection_job(std::shared_ptr<Connection> conn);
   // Flushes conn->outbound with non-blocking sends; caller holds the
   // connection mutex. Returns false on a fatal socket error.

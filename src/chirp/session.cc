@@ -1,0 +1,317 @@
+#include "chirp/session.h"
+
+#include <fcntl.h>
+
+#include <thread>
+
+namespace ibox {
+
+Result<std::unique_ptr<ChirpSession>> ChirpSession::Connect(
+    ChirpSessionOptions options) {
+  std::unique_ptr<ChirpSession> session(
+      new ChirpSession(std::move(options)));
+  // The initial dial rides the same retry schedule as every op; the no-op
+  // body means run_op only has to establish the connection.
+  auto connected = session->run_op<bool>(
+      /*idempotent=*/true, [](ChirpClient&) -> Result<bool> { return true; });
+  if (!connected.ok()) return connected.error();
+  return session;
+}
+
+Status ChirpSession::connect_once() {
+  stats_.connect_attempts++;
+  auto client = ChirpClient::Connect(options_.client);
+  if (!client.ok()) return client.error();
+  client_ = std::move(*client);
+  if (ever_connected_) stats_.reconnects++;
+  ever_connected_ = true;
+  Status replayed = replay_handles();
+  if (!replayed.ok()) {
+    // The fresh connection died mid-replay; treat the whole dial as
+    // failed so the caller's schedule reconnects again.
+    drop_connection();
+    return replayed;
+  }
+  return Status::Ok();
+}
+
+Status ChirpSession::replay_handles() {
+  for (auto& [id, info] : handles_) {
+    (void)id;
+    if (info.server_handle >= 0 || info.lost_errno != 0) continue;
+    // O_TRUNC/O_EXCL were the *original* open's side effects; replay must
+    // reattach to the file as it is now, not truncate it again.
+    auto handle = client_->open(info.path,
+                                info.flags & ~(O_TRUNC | O_EXCL), info.mode);
+    if (handle.ok()) {
+      info.server_handle = *handle;
+      stats_.replayed_handles++;
+      continue;
+    }
+    if (client_->poisoned()) return handle.error();
+    // Definitive refusal (file deleted, rights revoked): the file is gone
+    // for good but the session is fine — ops on this handle surface the
+    // errno, everything else proceeds.
+    info.lost_errno = handle.error().code();
+  }
+  return Status::Ok();
+}
+
+void ChirpSession::drop_connection() {
+  client_.reset();
+  for (auto& [id, info] : handles_) {
+    (void)id;
+    if (info.server_handle >= 0) info.server_handle = -1;
+  }
+}
+
+ChirpSession::Deadline ChirpSession::op_deadline() const {
+  if (options_.retry.op_deadline_ms == 0) return Deadline{};
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(options_.retry.op_deadline_ms);
+}
+
+Status ChirpSession::wait(uint32_t delay_ms, Deadline deadline) {
+  if (options_.retry.total_budget_ms != 0 &&
+      budget_spent_ms_ + delay_ms > options_.retry.total_budget_ms) {
+    return Status::Errno(ETIMEDOUT);
+  }
+  if (deadline != Deadline{}) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now + std::chrono::milliseconds(delay_ms) >= deadline) {
+      return Status::Errno(ETIMEDOUT);
+    }
+  }
+  if (delay_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    budget_spent_ms_ += delay_ms;
+  }
+  return Status::Ok();
+}
+
+Status ChirpSession::run_status(
+    bool idempotent, const std::function<Status(ChirpClient&)>& fn) {
+  auto result =
+      run_op<bool>(idempotent, [&fn](ChirpClient& client) -> Result<bool> {
+        Status st = fn(client);
+        if (!st.ok()) return st.error();
+        return true;
+      });
+  if (!result.ok()) return result.error();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- op surface --
+//
+// Idempotency classification (DESIGN.md section 9): reads and
+// absolute-state mutations retry freely; relative or once-only mutations
+// retry only on send-phase failures (enforced inside run_op).
+
+Result<std::string> ChirpSession::whoami() {
+  return run_op<std::string>(
+      true, [](ChirpClient& c) { return c.whoami(); });
+}
+
+Result<int64_t> ChirpSession::open(const std::string& path, int flags,
+                                   int mode) {
+  // O_EXCL means "fail if it exists": a retry after an ambiguous failure
+  // would observe our own first attempt's file and fail wrongly.
+  const bool idempotent = (flags & O_EXCL) == 0;
+  auto server_handle = run_op<int64_t>(
+      idempotent,
+      [&](ChirpClient& c) { return c.open(path, flags, mode); });
+  if (!server_handle.ok()) return server_handle.error();
+  const int64_t id = next_handle_++;
+  HandleInfo info;
+  info.path = path;
+  info.flags = flags;
+  info.mode = mode;
+  info.server_handle = *server_handle;
+  handles_[id] = std::move(info);
+  return id;
+}
+
+Status ChirpSession::close(int64_t handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status::Errno(EBADF);
+  const int64_t server_handle = it->second.server_handle;
+  handles_.erase(it);
+  // The session-side handle is gone either way; a dead connection already
+  // closed the server side, and a failed close poisons the client for the
+  // next op's reconnect to clean up.
+  if (server_handle < 0 || !client_) return Status::Ok();
+  Status st = client_->close(server_handle);
+  if (!st.ok() && client_->poisoned()) drop_connection();
+  return Status::Ok();
+}
+
+Result<std::string> ChirpSession::pread(int64_t handle, size_t length,
+                                        uint64_t offset) {
+  return run_handle_op<std::string>(
+      handle, true, [&](ChirpClient& c, int64_t server_handle) {
+        return c.pread(server_handle, length, offset);
+      });
+}
+
+Result<size_t> ChirpSession::pwrite(int64_t handle, std::string_view data,
+                                    uint64_t offset) {
+  // pwrite at an absolute offset is overwrite-idempotent in effect, but a
+  // torn reply leaves the *count* unknown — classify as non-idempotent so
+  // only send-phase failures replay it.
+  return run_handle_op<size_t>(
+      handle, false, [&](ChirpClient& c, int64_t server_handle) {
+        return c.pwrite(server_handle, data, offset);
+      });
+}
+
+Result<VfsStat> ChirpSession::fstat(int64_t handle) {
+  return run_handle_op<VfsStat>(
+      handle, true, [](ChirpClient& c, int64_t server_handle) {
+        return c.fstat(server_handle);
+      });
+}
+
+Status ChirpSession::ftruncate(int64_t handle, uint64_t length) {
+  // Absolute-state: truncating to the same length twice converges.
+  auto result = run_handle_op<bool>(
+      handle, true,
+      [&](ChirpClient& c, int64_t server_handle) -> Result<bool> {
+        Status st = c.ftruncate(server_handle, length);
+        if (!st.ok()) return st.error();
+        return true;
+      });
+  if (!result.ok()) return result.error();
+  return Status::Ok();
+}
+
+Status ChirpSession::fsync(int64_t handle) {
+  auto result = run_handle_op<bool>(
+      handle, true,
+      [](ChirpClient& c, int64_t server_handle) -> Result<bool> {
+        Status st = c.fsync(server_handle);
+        if (!st.ok()) return st.error();
+        return true;
+      });
+  if (!result.ok()) return result.error();
+  return Status::Ok();
+}
+
+Result<VfsStat> ChirpSession::stat(const std::string& path) {
+  return run_op<VfsStat>(true,
+                         [&](ChirpClient& c) { return c.stat(path); });
+}
+
+Result<VfsStat> ChirpSession::lstat(const std::string& path) {
+  return run_op<VfsStat>(true,
+                         [&](ChirpClient& c) { return c.lstat(path); });
+}
+
+Status ChirpSession::mkdir(const std::string& path, int mode) {
+  // A replayed mkdir that finds its own first attempt reports EEXIST —
+  // indistinguishable from a genuine conflict — so it does not retry
+  // after the request may have committed.
+  return run_status(false,
+                    [&](ChirpClient& c) { return c.mkdir(path, mode); });
+}
+
+Status ChirpSession::rmdir(const std::string& path) {
+  return run_status(false, [&](ChirpClient& c) { return c.rmdir(path); });
+}
+
+Status ChirpSession::unlink(const std::string& path) {
+  return run_status(false, [&](ChirpClient& c) { return c.unlink(path); });
+}
+
+Status ChirpSession::rename(const std::string& from, const std::string& to) {
+  return run_status(false,
+                    [&](ChirpClient& c) { return c.rename(from, to); });
+}
+
+Result<std::vector<DirEntry>> ChirpSession::readdir(const std::string& path) {
+  return run_op<std::vector<DirEntry>>(
+      true, [&](ChirpClient& c) { return c.readdir(path); });
+}
+
+Status ChirpSession::symlink(const std::string& target,
+                             const std::string& linkpath) {
+  return run_status(
+      false, [&](ChirpClient& c) { return c.symlink(target, linkpath); });
+}
+
+Result<std::string> ChirpSession::readlink(const std::string& path) {
+  return run_op<std::string>(
+      true, [&](ChirpClient& c) { return c.readlink(path); });
+}
+
+Status ChirpSession::link(const std::string& from, const std::string& to) {
+  return run_status(false,
+                    [&](ChirpClient& c) { return c.link(from, to); });
+}
+
+Status ChirpSession::chmod(const std::string& path, int mode) {
+  // Absolute-state: setting the same mode twice converges.
+  return run_status(true,
+                    [&](ChirpClient& c) { return c.chmod(path, mode); });
+}
+
+Status ChirpSession::truncate(const std::string& path, uint64_t length) {
+  return run_status(
+      true, [&](ChirpClient& c) { return c.truncate(path, length); });
+}
+
+Status ChirpSession::utime(const std::string& path, uint64_t atime,
+                           uint64_t mtime) {
+  return run_status(
+      true, [&](ChirpClient& c) { return c.utime(path, atime, mtime); });
+}
+
+Status ChirpSession::access(const std::string& path, Access wanted) {
+  return run_status(true,
+                    [&](ChirpClient& c) { return c.access(path, wanted); });
+}
+
+Result<SpaceInfo> ChirpSession::statfs() {
+  return run_op<SpaceInfo>(true,
+                           [](ChirpClient& c) { return c.statfs(); });
+}
+
+Result<std::vector<AclEntry>> ChirpSession::getacl(const std::string& path) {
+  return run_op<std::vector<AclEntry>>(
+      true, [&](ChirpClient& c) { return c.getacl(path); });
+}
+
+Result<std::string> ChirpSession::getacl_text(const std::string& path) {
+  return run_op<std::string>(
+      true, [&](ChirpClient& c) { return c.getacl_text(path); });
+}
+
+Status ChirpSession::setacl(const std::string& path,
+                            const std::string& subject,
+                            const std::string& rights) {
+  return run_status(false, [&](ChirpClient& c) {
+    return c.setacl(path, subject, rights);
+  });
+}
+
+Result<std::string> ChirpSession::get_file(const std::string& path) {
+  return run_op<std::string>(
+      true, [&](ChirpClient& c) { return c.get_file(path); });
+}
+
+Status ChirpSession::put_file(const std::string& path, std::string_view data,
+                              int mode) {
+  // Absolute-state: a replayed put_file rewrites the identical content.
+  return run_status(true, [&](ChirpClient& c) {
+    return c.put_file(path, data, mode);
+  });
+}
+
+Result<ExecResult> ChirpSession::exec(const std::vector<std::string>& argv,
+                                      const std::string& cwd) {
+  // Remote side effects cannot be un-run; never replay after an ambiguous
+  // failure.
+  return run_op<ExecResult>(
+      false, [&](ChirpClient& c) { return c.exec(argv, cwd); });
+}
+
+}  // namespace ibox

@@ -1,0 +1,44 @@
+#include "util/retry.h"
+
+#include <cerrno>
+
+namespace ibox {
+
+uint32_t Backoff::next_delay_ms() {
+  const int retry = retries_++;
+  int exponent = retry;
+  if (policy_->fast_first_retry) {
+    if (retry == 0) return 0;
+    exponent = retry - 1;
+  }
+  double base = static_cast<double>(policy_->initial_backoff_ms);
+  for (int i = 0; i < exponent; ++i) {
+    base *= policy_->multiplier;
+    if (base >= policy_->max_backoff_ms) break;
+  }
+  if (base > policy_->max_backoff_ms) {
+    base = static_cast<double>(policy_->max_backoff_ms);
+  }
+  const double spread = policy_->jitter * rng_->uniform();
+  return static_cast<uint32_t>(base * (1.0 - spread));
+}
+
+bool retryable_errno(int err) {
+  switch (err) {
+    case EPIPE:         // peer closed mid-exchange
+    case ECONNRESET:    // connection severed
+    case ECONNREFUSED:  // server not (yet) listening
+    case ECONNABORTED:  // accept-side failure
+    case EAGAIN:        // load shed / receive timeout
+    case ETIMEDOUT:     // transport-level timeout
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETDOWN:
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ibox

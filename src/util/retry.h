@@ -1,0 +1,81 @@
+// Retry policy and backoff schedule for clients of flaky transports.
+//
+// The paper's Chirp deployment assumes long-lived clients talking to a
+// user-level file server over wide-area links; those links drop, stall,
+// and shed load. A RetryPolicy describes how hard a caller may try again:
+// how many attempts, how the delay between them grows, how much of the
+// delay is randomized (so a thousand clients severed by the same network
+// blip do not reconnect in lockstep), and how much wall clock one
+// operation — or the whole session — may burn before giving up.
+//
+// Backoff turns a policy into a concrete delay sequence; retryable_errno
+// classifies which transport errors are worth another attempt at all.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rand.h"
+
+namespace ibox {
+
+struct RetryPolicy {
+  // Total tries per operation (the first attempt counts). 1 disables
+  // retries entirely.
+  int max_attempts = 4;
+
+  // Delay schedule: the Nth retry waits roughly
+  // initial_backoff_ms * multiplier^(N-1), capped at max_backoff_ms.
+  uint32_t initial_backoff_ms = 10;
+  uint32_t max_backoff_ms = 2000;
+  double multiplier = 2.0;
+
+  // Fraction of each delay that is randomized: the actual wait is drawn
+  // uniformly from [base * (1 - jitter), base]. 0 is fully deterministic.
+  double jitter = 0.5;
+
+  // A severed connection is not congestion: the first retry goes out
+  // immediately and the exponential schedule starts on the second.
+  bool fast_first_retry = true;
+
+  // Per-operation wall-clock budget including all retries and reconnects;
+  // exceeded attempts fail with ETIMEDOUT. 0 means no deadline.
+  uint32_t op_deadline_ms = 0;
+
+  // Cumulative backoff-sleep budget across the owning session's lifetime;
+  // once spent, further retries fail with ETIMEDOUT. 0 means unlimited.
+  uint32_t total_budget_ms = 0;
+};
+
+// One operation's delay sequence under a policy. Not thread-safe; make one
+// per operation. The Rng is borrowed (the session owns it) so jitter draws
+// advance a single deterministic stream.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, Rng& rng)
+      : policy_(&policy), rng_(&rng) {}
+
+  // Delay before the next retry, advancing the schedule. Bounds, given
+  // base(i) = min(max_backoff_ms, initial_backoff_ms * multiplier^i):
+  // the Nth call returns 0 when fast_first_retry is set and N == 1,
+  // otherwise a value in [base * (1 - jitter), base].
+  uint32_t next_delay_ms();
+
+  // Retries handed out so far.
+  int retries() const { return retries_; }
+
+  void reset() { retries_ = 0; }
+
+ private:
+  const RetryPolicy* policy_;
+  Rng* rng_;
+  int retries_ = 0;
+};
+
+// True for errno values that indicate a transient transport condition —
+// the peer vanished, the network hiccuped, or the server shed load — where
+// a fresh attempt has a real chance of succeeding. False for definitive
+// answers (EACCES, ENOENT, EBADMSG, ...) where retrying only repeats the
+// same refusal.
+bool retryable_errno(int err);
+
+}  // namespace ibox

@@ -89,22 +89,25 @@ TEST(Cas, ChirpServerAdmission) {
   // Fred: valid certificate AND community member -> admitted.
   auto fred_data = ca.issue("/O=U/CN=Fred", 3600, kNow);
   GsiCredential fred_cred(fred_data);
-  auto fred = ChirpClient::Connect("localhost", (*server)->port(),
-                                   {&fred_cred});
+  ChirpClientOptions fred_options;
+  fred_options.port = (*server)->port();
+  fred_options.credentials = {&fred_cred};
+  auto fred = ChirpClient::Connect(fred_options);
   ASSERT_TRUE(fred.ok());
   EXPECT_TRUE((*fred)->whoami().ok());
 
   // George: valid certificate but NOT a member -> the handshake denies.
   auto george_data = ca.issue("/O=U/CN=George", 3600, kNow);
   GsiCredential george_cred(george_data);
-  auto george = ChirpClient::Connect("localhost", (*server)->port(),
-                                     {&george_cred});
+  ChirpClientOptions george_options;
+  george_options.port = (*server)->port();
+  george_options.credentials = {&george_cred};
+  auto george = ChirpClient::Connect(george_options);
   EXPECT_FALSE(george.ok());
 
   // Policy updates take effect for new connections.
   ASSERT_TRUE(cas.add_member("experiment", "globus:/O=U/CN=George").ok());
-  auto george2 = ChirpClient::Connect("localhost", (*server)->port(),
-                                      {&george_cred});
+  auto george2 = ChirpClient::Connect(george_options);
   EXPECT_TRUE(george2.ok());
 }
 

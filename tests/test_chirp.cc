@@ -22,6 +22,14 @@ namespace {
 constexpr int64_t kNow = 1800000000;
 int64_t fixed_clock() { return kNow; }
 
+ChirpClientOptions client_options(uint16_t port,
+                                  const ClientCredential* cred) {
+  ChirpClientOptions options;
+  options.port = port;
+  options.credentials = {cred};
+  return options;
+}
+
 class ChirpTest : public ::testing::Test {
  protected:
   ChirpTest()
@@ -49,7 +57,7 @@ class ChirpTest : public ::testing::Test {
 
   std::unique_ptr<ChirpClient> connect_as_fred(ChirpServer& server) {
     GsiCredential cred(fred_cred_);
-    auto client = ChirpClient::Connect("localhost", server.port(), {&cred});
+    auto client = ChirpClient::Connect(client_options(server.port(), &cred));
     EXPECT_TRUE(client.ok());
     return client.ok() ? std::move(*client) : nullptr;
   }
@@ -88,7 +96,8 @@ TEST_F(ChirpTest, UntrustedCertificateRejected) {
   CertificateAuthority rogue("RogueCA", "rogue");
   auto eve = rogue.issue("/O=UnivNowhere/CN=Fred", 3600, kNow);
   GsiCredential cred(eve);
-  auto client = ChirpClient::Connect("localhost", (*server)->port(), {&cred});
+  auto client =
+      ChirpClient::Connect(client_options((*server)->port(), &cred));
   EXPECT_FALSE(client.ok());
   EXPECT_GT((*server)->stats().auth_failures.load(), 0u);
 }
@@ -105,8 +114,16 @@ TEST_F(ChirpTest, Figure3Workflow) {
   ASSERT_TRUE(fred->mkdir("/work").ok());
   auto acl = fred->getacl("/work");
   ASSERT_TRUE(acl.ok());
-  EXPECT_NE(acl->find("globus:/O=UnivNowhere/CN=Fred rwlax"),
-            std::string::npos);
+  // The reservation stamped Fred's full-rights entry; getacl hands it
+  // back as typed (subject, rights) entries, not text to string-match.
+  bool fred_has_full_rights = false;
+  for (const AclEntry& entry : *acl) {
+    if (entry.subject.str() == "globus:/O=UnivNowhere/CN=Fred" &&
+        entry.rights == *Rights::Parse("rwlax")) {
+      fred_has_full_rights = true;
+    }
+  }
+  EXPECT_TRUE(fred_has_full_rights);
 
   // 2. put sim.exe (a shell script standing in for the simulation).
   const std::string sim =
@@ -127,7 +144,7 @@ TEST_F(ChirpTest, Figure3Workflow) {
   // George cannot enter Fred's reserved namespace...
   GsiCredential george_cred(george_cred_);
   auto george =
-      ChirpClient::Connect("localhost", (*server)->port(), {&george_cred});
+      ChirpClient::Connect(client_options((*server)->port(), &george_cred));
   ASSERT_TRUE(george.ok());
   EXPECT_EQ((*george)->get_file("/work/out.dat").error_code(), EACCES);
   EXPECT_EQ((*george)->readdir("/work").error_code(), EACCES);
@@ -212,7 +229,7 @@ TEST_F(ChirpTest, AccessProbes) {
   EXPECT_TRUE(fred->access("/work/f", Access::kWrite).ok());
   GsiCredential george_cred(george_cred_);
   auto george =
-      ChirpClient::Connect("localhost", (*server)->port(), {&george_cred});
+      ChirpClient::Connect(client_options((*server)->port(), &george_cred));
   ASSERT_TRUE(george.ok());
   EXPECT_EQ((*george)->access("/work/f", Access::kRead).error_code(),
             EACCES);
@@ -224,7 +241,7 @@ TEST_F(ChirpTest, MultiMethodNegotiation) {
   // A client with only unix credentials also gets in (method 2).
   UnixCredential unix_cred(current_unix_username());
   auto client =
-      ChirpClient::Connect("localhost", (*server)->port(), {&unix_cred});
+      ChirpClient::Connect(client_options((*server)->port(), &unix_cred));
   ASSERT_TRUE(client.ok());
   auto who = (*client)->whoami();
   ASSERT_TRUE(who.ok());
@@ -305,7 +322,7 @@ TEST_F(ChirpTest, ConcurrentRemoteExecs) {
     threads.emplace_back([&, i] {
       GsiCredential cred(fred_cred_);
       auto client =
-          ChirpClient::Connect("localhost", (*server)->port(), {&cred});
+          ChirpClient::Connect(client_options((*server)->port(), &cred));
       if (!client.ok()) return;
       auto result =
           (*client)->exec({"./job.sh", std::to_string(i)}, "/work");

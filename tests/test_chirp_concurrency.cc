@@ -42,7 +42,10 @@ class ChirpConcurrencyTest : public ::testing::Test {
 
   std::unique_ptr<ChirpClient> connect(ChirpServer& server) {
     GsiCredential cred(fred_cred_);
-    auto client = ChirpClient::Connect("localhost", server.port(), {&cred});
+    ChirpClientOptions options;
+    options.port = server.port();
+    options.credentials = {&cred};
+    auto client = ChirpClient::Connect(options);
     EXPECT_TRUE(client.ok());
     return client.ok() ? std::move(*client) : nullptr;
   }

@@ -1,16 +1,26 @@
-// Hostile-input robustness: the Chirp server decodes untrusted bytes; a
-// malformed or malicious client must get clean errors, never crash the
-// server or corrupt other sessions.
+// Hostile-input and hostile-transport robustness. The Chirp server decodes
+// untrusted bytes; a malformed or malicious client must get clean errors,
+// never crash the server or corrupt other sessions. The transport drops,
+// stalls, and sheds load; ChirpSession must absorb those faults (retry,
+// reconnect, handle replay) while a bare ChirpClient fails them loudly
+// (sticky poisoned-connection EIO) rather than silently misbehaving.
 #include <fcntl.h>
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "auth/simple.h"
 #include "chirp/client.h"
+#include "chirp/fault_injector.h"
 #include "chirp/net.h"
 #include "chirp/protocol.h"
 #include "chirp/server.h"
+#include "chirp/session.h"
 #include "util/fs.h"
 #include "util/rand.h"
+#include "util/retry.h"
+#include "util/stopwatch.h"
 
 namespace ibox {
 namespace {
@@ -51,14 +61,34 @@ class RobustnessTest : public ::testing::Test {
 
   // The server must still serve a well-behaved client.
   void expect_server_alive() {
-    UnixCredential cred(current_unix_username());
-    auto client = ChirpClient::Connect("localhost", server_->port(), {&cred});
+    auto client = ChirpClient::Connect(client_options());
     ASSERT_TRUE(client.ok());
     EXPECT_TRUE((*client)->whoami().ok());
   }
 
+  ChirpClientOptions client_options(FaultInjector* faults = nullptr) {
+    ChirpClientOptions options;
+    options.port = server_->port();
+    options.credentials = {&cred_};
+    options.faults = faults;
+    return options;
+  }
+
+  // A session with tight, deterministic backoff (tests should not sleep
+  // for real-world durations).
+  ChirpSessionOptions session_options(FaultInjector* faults = nullptr) {
+    ChirpSessionOptions options;
+    options.client = client_options(faults);
+    options.retry.max_attempts = 8;
+    options.retry.initial_backoff_ms = 1;
+    options.retry.max_backoff_ms = 8;
+    options.retry.jitter = 0.0;
+    return options;
+  }
+
   TempDir export_;
   TempDir state_;
+  UnixCredential cred_{current_unix_username()};
   std::unique_ptr<ChirpServer> server_;
 };
 
@@ -121,20 +151,18 @@ TEST_F(RobustnessTest, BogusHandleIdsAreEbadf) {
 
 TEST_F(RobustnessTest, HandlesAreSessionScoped) {
   // A handle opened on one connection is invisible to another.
-  UnixCredential cred(current_unix_username());
-  auto first = ChirpClient::Connect("localhost", server_->port(), {&cred});
+  auto first = ChirpClient::Connect(client_options());
   ASSERT_TRUE(first.ok());
   auto handle = (*first)->open("/scoped.bin", O_RDWR | O_CREAT, 0644);
   ASSERT_TRUE(handle.ok());
 
-  auto second = ChirpClient::Connect("localhost", server_->port(), {&cred});
+  auto second = ChirpClient::Connect(client_options());
   ASSERT_TRUE(second.ok());
   EXPECT_EQ((*second)->pread(*handle, 4, 0).error_code(), EBADF);
 }
 
 TEST_F(RobustnessTest, PathTraversalStaysInExport) {
-  UnixCredential cred(current_unix_username());
-  auto client = ChirpClient::Connect("localhost", server_->port(), {&cred});
+  auto client = ChirpClient::Connect(client_options());
   ASSERT_TRUE(client.ok());
   // "../../etc/passwd" must resolve within the export (and not exist).
   auto outside = (*client)->stat("/../../etc/passwd");
@@ -172,6 +200,256 @@ TEST_F(RobustnessTest, DisconnectMidRequestLeavesServerHealthy) {
     // Destructor closes the socket with the reply unread.
   }
   expect_server_alive();
+}
+
+TEST_F(RobustnessTest, PoisonedConnectionIsStickyEio) {
+  auto client = ChirpClient::Connect(client_options());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->whoami().ok());
+
+  server_->stop();
+
+  // The op that hits the severed transport reports the transport errno;
+  // whether it dies on send or recv depends on kernel buffering.
+  auto severed = (*client)->whoami();
+  EXPECT_FALSE(severed.ok());
+  EXPECT_TRUE((*client)->poisoned());
+  // Every later op short-circuits with EIO: the frame stream is desynced
+  // and nothing on this connection can be trusted again.
+  EXPECT_EQ((*client)->whoami().error_code(), EIO);
+  EXPECT_EQ((*client)->stat("/").error_code(), EIO);
+}
+
+TEST_F(RobustnessTest, FaultInjectedKillMidPwrite) {
+#ifndef IBOX_FAULTS_ENABLED
+  GTEST_SKIP() << "fault hooks compiled out (IBOX_FAULTS=OFF)";
+#else
+  // Bare client: a connection killed as the pwrite goes out is fatal and
+  // sticky.
+  FaultInjector bare_faults{FaultInjectorConfig{}};
+  auto bare = ChirpClient::Connect(client_options(&bare_faults));
+  ASSERT_TRUE(bare.ok());
+  auto bare_handle = (*bare)->open("/bare.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(bare_handle.ok());
+  bare_faults.script_send(FaultAction::kDrop);
+  auto killed = (*bare)->pwrite(*bare_handle, "lost", 0);
+  EXPECT_EQ(killed.error_code(), ECONNRESET);
+  EXPECT_TRUE((*bare)->poisoned());
+  EXPECT_EQ((*bare)->failure_phase(), ChirpClient::FailurePhase::kSend);
+  EXPECT_EQ((*bare)->pwrite(*bare_handle, "lost", 0).error_code(), EIO);
+
+  // Session: the same kill is absorbed. The drop fires at the send
+  // boundary, so the request never left this host and even a mutating
+  // pwrite is safe to replay on a fresh connection.
+  FaultInjector faults{FaultInjectorConfig{}};
+  auto session = ChirpSession::Connect(session_options(&faults));
+  ASSERT_TRUE(session.ok());
+  auto handle = (*session)->open("/killed.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+  faults.script_send(FaultAction::kDrop);
+  auto written = (*session)->pwrite(*handle, "survived", 0);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, 8u);
+  auto readback = (*session)->pread(*handle, 16, 0);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(*readback, "survived");
+  EXPECT_GE((*session)->stats().retries, 1u);
+  EXPECT_GE((*session)->stats().reconnects, 1u);
+#endif
+}
+
+TEST_F(RobustnessTest, ReconnectReplaysOpenHandles) {
+#ifndef IBOX_FAULTS_ENABLED
+  GTEST_SKIP() << "fault hooks compiled out (IBOX_FAULTS=OFF)";
+#else
+  FaultInjector faults{FaultInjectorConfig{}};
+  auto session = ChirpSession::Connect(session_options(&faults));
+  ASSERT_TRUE(session.ok());
+  // O_TRUNC on the original open must NOT be replayed: reopening after a
+  // reconnect would otherwise wipe the data it is trying to recover.
+  auto handle =
+      (*session)->open("/replay.bin", O_RDWR | O_CREAT | O_TRUNC, 0644);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE((*session)->pwrite(*handle, "precious", 0).ok());
+
+  faults.script_send(FaultAction::kDrop);
+  auto readback = (*session)->pread(*handle, 16, 0);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(*readback, "precious");
+  EXPECT_GE((*session)->stats().replayed_handles, 1u);
+  EXPECT_GE((*session)->stats().reconnects, 1u);
+  EXPECT_TRUE((*session)->connected());
+#endif
+}
+
+TEST_F(RobustnessTest, RecvPhaseFailureDoesNotRetryNonIdempotent) {
+#ifndef IBOX_FAULTS_ENABLED
+  GTEST_SKIP() << "fault hooks compiled out (IBOX_FAULTS=OFF)";
+#else
+  FaultInjector faults{FaultInjectorConfig{}};
+  auto session = ChirpSession::Connect(session_options(&faults));
+  ASSERT_TRUE(session.ok());
+  auto handle = (*session)->open("/ambiguous.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+
+  // The reply is torn AFTER the request reached the server: it may have
+  // committed the write, so replaying could apply it twice. The session
+  // must surface the ambiguity as EIO instead of retrying.
+  faults.script_recv(FaultAction::kDrop);
+  auto ambiguous = (*session)->pwrite(*handle, "maybe", 0);
+  EXPECT_EQ(ambiguous.error_code(), EIO);
+  EXPECT_GE((*session)->stats().giveups, 1u);
+  EXPECT_FALSE((*session)->connected());
+
+  // The session itself is not dead: the next idempotent op reconnects and
+  // the handle is replayed.
+  auto readback = (*session)->pread(*handle, 16, 0);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(*readback, "maybe");  // the server had committed it
+  EXPECT_GE((*session)->stats().reconnects, 1u);
+#endif
+}
+
+TEST(BackoffTest, DelaysStayWithinJitterBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.max_backoff_ms = 400;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;
+  policy.fast_first_retry = true;
+  Rng rng(0xB0FF);
+  Backoff backoff(policy, rng);
+  // A severed connection is not congestion: the first retry is immediate.
+  EXPECT_EQ(backoff.next_delay_ms(), 0u);
+  // Every later draw lands in [base * (1 - jitter), base], base doubling
+  // up to the cap.
+  uint32_t expected_base = 100;
+  for (int i = 0; i < 6; ++i) {
+    const uint32_t delay = backoff.next_delay_ms();
+    EXPECT_GE(delay, expected_base / 2) << "draw " << i;
+    EXPECT_LE(delay, expected_base) << "draw " << i;
+    expected_base = std::min(expected_base * 2, 400u);
+  }
+  EXPECT_EQ(backoff.retries(), 7);
+}
+
+TEST(BackoffTest, ZeroJitterIsDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.max_backoff_ms = 400;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.fast_first_retry = true;
+  Rng rng(1);
+  Backoff backoff(policy, rng);
+  EXPECT_EQ(backoff.next_delay_ms(), 0u);
+  EXPECT_EQ(backoff.next_delay_ms(), 100u);
+  EXPECT_EQ(backoff.next_delay_ms(), 200u);
+  EXPECT_EQ(backoff.next_delay_ms(), 400u);
+  EXPECT_EQ(backoff.next_delay_ms(), 400u);  // capped
+}
+
+TEST(ChirpSessionTest, ConnectBacksOffBetweenAttempts) {
+  // Bind then immediately release a port so dials to it are refused.
+  uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+
+  ChirpSessionOptions options;
+  options.client.port = dead_port;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 40;
+  options.retry.max_backoff_ms = 400;
+  options.retry.jitter = 0.0;
+  options.retry.fast_first_retry = false;
+
+  Stopwatch timer;
+  auto session = ChirpSession::Connect(options);
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code(), ECONNREFUSED);
+  // Three attempts are separated by 40ms + 80ms of backoff (no jitter),
+  // so the wall clock has a hard lower bound.
+  EXPECT_GE(timer.seconds(), 0.12);
+}
+
+TEST(ChirpSessionTest, OpDeadlineCutsRetriesShort) {
+  uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+
+  ChirpSessionOptions options;
+  options.client.port = dead_port;
+  options.retry.max_attempts = 50;
+  options.retry.initial_backoff_ms = 200;
+  options.retry.jitter = 0.0;
+  options.retry.fast_first_retry = false;
+  options.retry.op_deadline_ms = 50;
+
+  Stopwatch timer;
+  auto session = ChirpSession::Connect(options);
+  EXPECT_FALSE(session.ok());
+  // The first 200ms backoff would cross the 50ms deadline, so the session
+  // reports ETIMEDOUT without sleeping out the schedule.
+  EXPECT_EQ(session.error().code(), ETIMEDOUT);
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST_F(RobustnessTest, LoadShedBusyIsRetryable) {
+  // A dedicated server with room for exactly one connection.
+  TempDir shed_export("shed-export");
+  TempDir shed_state("shed-state");
+  ChirpServerOptions server_options;
+  server_options.export_root = shed_export.path();
+  server_options.state_dir = shed_state.path();
+  server_options.auth_methods.push_back(AuthMethodConfig::Unix());
+  server_options.root_acl_text = "unix:* rwlax\n";
+  server_options.max_connections = 1;
+  auto server = ChirpServer::Start(server_options);
+  ASSERT_TRUE(server.ok());
+
+  ChirpClientOptions options;
+  options.port = (*server)->port();
+  options.credentials = {&cred_};
+
+  auto occupant = ChirpClient::Connect(options);
+  ASSERT_TRUE(occupant.ok());
+  ASSERT_TRUE((*occupant)->whoami().ok());
+
+  // A bare client is turned away with the distinct "busy" answer — EAGAIN,
+  // not a generic auth failure.
+  auto refused = ChirpClient::Connect(options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code(), EAGAIN);
+
+  // A session treats "busy" as retryable and keeps dialing.
+  ChirpSessionOptions session_opts;
+  session_opts.client = options;
+  session_opts.retry.max_attempts = 200;
+  session_opts.retry.initial_backoff_ms = 5;
+  session_opts.retry.max_backoff_ms = 20;
+  session_opts.retry.jitter = 0.0;
+  Result<std::unique_ptr<ChirpSession>> session = Error(EIO);
+  std::thread dialer(
+      [&] { session = ChirpSession::Connect(std::move(session_opts)); });
+
+  // Release the slot only after the server has demonstrably shed the
+  // session's dial at least once, so shed_retries below is deterministic.
+  for (int i = 0; i < 500 && (*server)->snapshot_stats().sheds < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE((*server)->snapshot_stats().sheds, 2u);
+  occupant->reset();
+  dialer.join();
+
+  ASSERT_TRUE(session.ok());
+  EXPECT_GE((*session)->stats().shed_retries, 1u);
+  EXPECT_TRUE((*session)->whoami().ok());
 }
 
 }  // namespace

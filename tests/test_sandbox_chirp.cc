@@ -45,7 +45,10 @@ class SandboxChirpTest : public ::testing::Test {
   std::unique_ptr<ChirpClient> connect(const std::string& dn) {
     auto data = ca_.issue(dn, 3600, kNow);
     GsiCredential cred(data);
-    auto client = ChirpClient::Connect("localhost", server_->port(), {&cred});
+    ChirpClientOptions options;
+    options.port = server_->port();
+    options.credentials = {&cred};
+    auto client = ChirpClient::Connect(options);
     EXPECT_TRUE(client.ok());
     return client.ok() ? std::move(*client) : nullptr;
   }
