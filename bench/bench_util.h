@@ -40,7 +40,8 @@ inline Result<std::string> run_native(const std::vector<std::string>& argv) {
 // Runs `argv` inside a fresh identity box and returns captured stdout.
 inline Result<std::string> run_boxed(const std::vector<std::string>& argv,
                                      const SandboxConfig& config = {},
-                                     SupervisorStats* stats_out = nullptr) {
+                                     SupervisorStats* stats_out = nullptr,
+                                     DispatchMode* effective_out = nullptr) {
   TempDir state("bench-box");
   BoxOptions options;
   options.state_dir = state.path();
@@ -77,6 +78,7 @@ inline Result<std::string> run_boxed(const std::vector<std::string>& argv,
     return Error(ECHILD);
   }
   if (stats_out) *stats_out = supervisor.stats();
+  if (effective_out) *effective_out = supervisor.effective_dispatch();
   return out;
 }
 

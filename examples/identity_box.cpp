@@ -8,6 +8,9 @@
 //   --audit <file>     write a forensic audit log
 //   --cwd <path>       initial working directory inside the box
 //   --data-path <p>    paper | peekpoke | processvm | channel
+//   --dispatch <m>     trace (stop on every syscall, the paper's mode) |
+//                      seccomp (BPF-classified: pass-through calls run
+//                      native; falls back to trace without kernel support)
 //   --no-home          do not provision a home directory
 //   --no-passwd        do not redirect /etc/passwd
 //   --stats            print supervisor statistics to stderr at exit
@@ -41,7 +44,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: identity_box [--state DIR] [--audit FILE] "
-               "[--cwd PATH] [--data-path MODE] [--no-home] [--no-passwd] "
+               "[--cwd PATH] [--data-path MODE] [--dispatch trace|seccomp] "
+               "[--no-home] [--no-passwd] "
                "[--stats] [--mount PREFIX=HOST:PORT] [--gsi DN:CA:SECRET] "
                "<identity> <command> [args...]\n");
 }
@@ -73,6 +77,11 @@ int main(int argc, char** argv) {
       else if (mode == "peekpoke") config.data_path = DataPath::kPeekPoke;
       else if (mode == "processvm") config.data_path = DataPath::kProcessVm;
       else if (mode == "channel") config.data_path = DataPath::kChannel;
+      else { usage(); return 2; }
+    } else if (arg == "--dispatch" && argi + 1 < argc) {
+      std::string mode = argv[++argi];
+      if (mode == "trace") config.dispatch = DispatchMode::kTraceAll;
+      else if (mode == "seccomp") config.dispatch = DispatchMode::kSeccomp;
       else { usage(); return 2; }
     } else if (arg == "--no-home") {
       options.provision_home = false;
@@ -195,6 +204,26 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.signals_denied),
                  static_cast<unsigned long long>(s.processes_seen),
                  static_cast<unsigned long long>(s.execs));
+    std::fprintf(
+        stderr,
+        "identity_box dispatch: mode=%s seccomp_stops=%llu "
+        "exit_stops_elided=%llu\n",
+        supervisor.effective_dispatch() == DispatchMode::kSeccomp ? "seccomp"
+                                                                  : "trace",
+        static_cast<unsigned long long>(s.seccomp_stops),
+        static_cast<unsigned long long>(s.exit_stops_elided));
+    if (const VfsCache* cache = (*box)->vfs().cache()) {
+      const auto& c = cache->stats();
+      std::fprintf(stderr,
+                   "identity_box vfs-cache: stat=%llu/%llu acl=%llu/%llu "
+                   "invalidations=%llu\n",
+                   static_cast<unsigned long long>(c.stat_hits),
+                   static_cast<unsigned long long>(c.stat_hits + c.stat_misses),
+                   static_cast<unsigned long long>(c.access_hits),
+                   static_cast<unsigned long long>(c.access_hits +
+                                                   c.access_misses),
+                   static_cast<unsigned long long>(c.invalidations));
+    }
   }
   return *exit_code;
 }

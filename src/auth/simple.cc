@@ -13,6 +13,19 @@
 namespace ibox {
 
 namespace {
+// getpwuid() hands back a pointer into one static buffer — racy when server
+// worker threads authenticate concurrently; the _r form keeps it local.
+std::string username_for_uid(uid_t uid) {
+  struct passwd pw;
+  struct passwd* found = nullptr;
+  char buf[4096];
+  if (::getpwuid_r(uid, &pw, buf, sizeof(buf), &found) == 0 &&
+      found != nullptr) {
+    return found->pw_name;
+  }
+  return "uid" + std::to_string(uid);
+}
+
 std::string make_nonce() {
   int local = 0;
   uint64_t seed = static_cast<uint64_t>(wall_clock_seconds()) ^
@@ -109,9 +122,7 @@ Result<Identity> UnixVerifier::verify(AuthChannel& channel) const {
   if (!proof.ok()) return proof.error();
   if (*proof != hmac_sha256_hex(nonce, "unix-auth")) return Error(EACCES);
 
-  const struct passwd* pw = ::getpwuid(st.st_uid);
-  const std::string owner =
-      pw ? std::string(pw->pw_name) : "uid" + std::to_string(st.st_uid);
+  const std::string owner = username_for_uid(st.st_uid);
   if (owner != username) return Error(EACCES);
 
   auto identity = Identity::Parse("unix:" + username);
@@ -119,11 +130,6 @@ Result<Identity> UnixVerifier::verify(AuthChannel& channel) const {
   return *identity;
 }
 
-std::string current_unix_username() {
-  if (const struct passwd* pw = ::getpwuid(::geteuid())) {
-    return pw->pw_name;
-  }
-  return "uid" + std::to_string(::geteuid());
-}
+std::string current_unix_username() { return username_for_uid(::geteuid()); }
 
 }  // namespace ibox

@@ -136,4 +136,12 @@ std::vector<std::string> BoxContext::environment_overrides() const {
   return env;
 }
 
+void BoxContext::enable_hot_caches() {
+  if (!options_.enable_vfs_cache) return;
+  VfsCacheConfig config;
+  config.capacity = options_.vfs_cache_capacity;
+  config.ttl_ms = options_.vfs_cache_ttl_ms;
+  vfs_->enable_cache(config);
+}
+
 }  // namespace ibox

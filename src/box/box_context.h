@@ -45,6 +45,15 @@ struct BoxOptions {
   // (e.g. a trailing v(...) so the visitor can reserve sub-namespaces).
   std::string home_acl_extra_subject;  // optional second subject
   std::string home_acl_extra_rights;
+
+  // Supervisor hot-path caches (vfs_cache.h): short-TTL stat and
+  // ACL-decision caches over the box Vfs. Not active until
+  // enable_hot_caches() — the supervisor calls it because it is the
+  // component that can uphold the invalidation contract. Direct Vfs users
+  // (tests, the Chirp server's own driver stack) are unaffected.
+  bool enable_vfs_cache = true;
+  uint64_t vfs_cache_ttl_ms = 50;
+  size_t vfs_cache_capacity = 4096;
 };
 
 class BoxContext {
@@ -81,6 +90,10 @@ class BoxContext {
   Status mount(const std::string& prefix, std::unique_ptr<Driver> driver) {
     return vfs_->mounts().mount(prefix, std::move(driver));
   }
+
+  // Turns the Vfs hot-path caches on per the options. Idempotent (re-enabling
+  // starts from an empty cache); no-op when options disable them.
+  void enable_hot_caches();
 
  private:
   BoxContext(Identity identity, BoxOptions options);

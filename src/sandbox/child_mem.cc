@@ -147,6 +147,41 @@ Status ChildMem::write_pvm(uint64_t addr, const void* buf,
 Result<std::string> ChildMem::read_string(uint64_t addr,
                                           size_t max_len) const {
   std::string out;
+
+  // Appends up to `len` bytes, stopping at a NUL. True when the NUL was hit.
+  auto scan = [&out](const char* data, size_t len) {
+    const void* nul = std::memchr(data, '\0', len);
+    if (nul != nullptr) {
+      out.append(data, static_cast<const char*>(nul) - data);
+      return true;
+    }
+    out.append(data, len);
+    return false;
+  };
+
+  if (mechanism_ != MemMechanism::kPeekPoke) {
+    // Fast path: probe up to a page at a time with process_vm_readv. Each
+    // probe is trimmed to its page so an unmapped neighbor can't fail a
+    // chunk whose string ends before the boundary; a short read is fine
+    // (the NUL scan decides whether we need the rest).
+    char chunk[4096];
+    while (out.size() < max_len) {
+      const uint64_t pos = addr + out.size();
+      size_t want = std::min(sizeof(chunk), max_len - out.size());
+      const uint64_t page_end = (pos & ~4095ull) + 4096;
+      want = std::min<uint64_t>(want, page_end - pos);
+      struct iovec local = {chunk, want};
+      struct iovec remote = {reinterpret_cast<void*>(pos), want};
+      const ssize_t n = ::process_vm_readv(pid_, &local, 1, &remote, 1, 0);
+      if (n <= 0) break;  // kernel without pvm, or a fault: fall back
+      if (scan(chunk, static_cast<size_t>(n))) return out;
+      if (static_cast<size_t>(n) < want) break;
+    }
+    if (out.size() >= max_len) return Error(ENAMETOOLONG);
+  }
+
+  // Word-granular tail (and the whole string under kPeekPoke): survives
+  // partially mapped pages at the exact word where the fast path faulted.
   char chunk[256];
   while (out.size() < max_len) {
     size_t want = std::min(sizeof(chunk), max_len - out.size());
@@ -154,15 +189,9 @@ Result<std::string> ChildMem::read_string(uint64_t addr,
     // the current page.
     const uint64_t page_end = ((addr + out.size()) & ~4095ull) + 4096;
     want = std::min<uint64_t>(want, page_end - (addr + out.size()));
-    Status st = read(addr + out.size(), chunk, want);
+    Status st = read_peek(addr + out.size(), chunk, want);
     if (!st.ok()) return st.error();
-    for (size_t i = 0; i < want; ++i) {
-      if (chunk[i] == '\0') {
-        out.append(chunk, i);
-        return out;
-      }
-    }
-    out.append(chunk, want);
+    if (scan(chunk, want)) return out;
   }
   return Error(ENAMETOOLONG);
 }

@@ -212,6 +212,7 @@ void Supervisor::sys_write(Proc& proc, Regs& regs, int fd, uint64_t buf_addr,
     stats_.bytes_via_peekpoke += *wrote;
   }
   if (!positional) ofd->offset = file_off + *wrote;
+  box_.vfs().invalidate_cached(ofd->box_path);
   nullify(proc, regs, static_cast<int64_t>(*wrote));
 }
 
@@ -282,6 +283,7 @@ void Supervisor::sys_readv_writev(Proc& proc, Regs& regs, bool is_write) {
     }
   }
   ofd->offset = file_off;
+  if (is_write && total > 0) box_.vfs().invalidate_cached(ofd->box_path);
   nullify(proc, regs, total);
 }
 
@@ -530,6 +532,7 @@ void Supervisor::sys_ftruncate(Proc& proc, Regs& regs, int fd,
     return;
   }
   Status st = (*lookup)->handle->ftruncate(length);
+  if (st.ok()) box_.vfs().invalidate_cached((*lookup)->box_path);
   nullify(proc, regs, st.ok() ? 0 : -st.error_code());
 }
 

@@ -37,6 +37,16 @@ class Regs {
   int64_t ret() const { return static_cast<int64_t>(regs_.rax); }
   void set_ret(int64_t value) { regs_.rax = static_cast<unsigned long long>(value); }
 
+  // One-stop nullification at a PTRACE_EVENT_SECCOMP stop: syscall number -1
+  // makes the kernel dispatch nothing, and (because the number is -1) it
+  // leaves rax alone instead of writing -ENOSYS, so the injected result
+  // survives to userspace. Replaces the getpid-rewrite + exit-stop
+  // injection pair used in trace-all mode.
+  void set_syscall_skip(int64_t result) {
+    set_syscall_nr(-1);
+    set_ret(result);
+  }
+
   uint64_t stack_pointer() const { return regs_.rsp; }
   uint64_t instruction_pointer() const { return regs_.rip; }
 

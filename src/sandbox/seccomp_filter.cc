@@ -1,0 +1,206 @@
+#include "sandbox/seccomp_filter.h"
+
+#include <linux/audit.h>
+#include <linux/seccomp.h>
+#include <stddef.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+// Older kernel headers may lack the newer constants; the values are ABI.
+#ifndef SECCOMP_SET_MODE_FILTER
+#define SECCOMP_SET_MODE_FILTER 1
+#endif
+#ifndef SECCOMP_GET_ACTION_AVAIL
+#define SECCOMP_GET_ACTION_AVAIL 2
+#endif
+#ifndef SECCOMP_RET_KILL_PROCESS
+#define SECCOMP_RET_KILL_PROCESS 0x80000000U
+#endif
+#ifndef SECCOMP_RET_TRACE
+#define SECCOMP_RET_TRACE 0x7ff00000U
+#endif
+#ifndef SECCOMP_RET_ALLOW
+#define SECCOMP_RET_ALLOW 0x7fff0000U
+#endif
+
+namespace ibox {
+
+namespace {
+
+// struct seccomp_data field offsets (fixed ABI).
+constexpr uint32_t kDataNr = 0;
+constexpr uint32_t kDataArch = 4;
+constexpr uint32_t kDataArgsLow(int index) {
+  return 16 + static_cast<uint32_t>(index) * 8;  // low 32 bits, little-endian
+}
+
+std::vector<uint32_t> make_intercept_table() {
+  // One entry per case label in Supervisor::on_entry, same grouping.
+  const long table[] = {
+      // ---------------- path namespace ----------------
+      SYS_open, SYS_creat, SYS_openat, SYS_openat2, SYS_clone3, SYS_stat,
+      SYS_lstat, SYS_newfstatat, SYS_statx, SYS_mkdir, SYS_mkdirat,
+      SYS_rmdir, SYS_unlink, SYS_unlinkat, SYS_rename, SYS_renameat,
+      SYS_renameat2, SYS_symlink, SYS_symlinkat, SYS_readlink,
+      SYS_readlinkat, SYS_link, SYS_linkat, SYS_chmod, SYS_fchmodat,
+      SYS_truncate, SYS_access, SYS_faccessat, SYS_faccessat2, SYS_utime,
+      SYS_utimes, SYS_utimensat, SYS_chdir, SYS_fchdir, SYS_getcwd,
+      SYS_statfs, SYS_chown, SYS_lchown, SYS_fchownat,
+      // ---------------- descriptor space ----------------
+      SYS_read, SYS_pread64, SYS_write, SYS_pwrite64, SYS_readv, SYS_writev,
+      SYS_close, SYS_fstat, SYS_lseek, SYS_getdents, SYS_getdents64,
+      SYS_fcntl, SYS_dup, SYS_dup2, SYS_dup3, SYS_ftruncate, SYS_fsync,
+      SYS_fdatasync, SYS_ioctl, SYS_fchmod, SYS_fchown, SYS_fstatfs,
+      SYS_mmap, SYS_munmap, SYS_poll, SYS_ppoll, SYS_pipe, SYS_pipe2,
+      SYS_sendfile, SYS_copy_file_range,
+      // ------------ path syscalls without box semantics ------------
+      SYS_getxattr, SYS_lgetxattr, SYS_listxattr, SYS_llistxattr,
+      SYS_fgetxattr, SYS_flistxattr, SYS_setxattr, SYS_lsetxattr,
+      SYS_fsetxattr, SYS_removexattr, SYS_lremovexattr, SYS_fremovexattr,
+      SYS_mknod, SYS_mknodat, SYS_inotify_add_watch, SYS_fanotify_mark,
+      SYS_name_to_handle_at, SYS_open_by_handle_at, SYS_acct, SYS_swapon,
+      SYS_swapoff, SYS_pivot_root, SYS_flock, SYS_fallocate,
+      // ---------------- process & identity ----------------
+      SYS_execve, SYS_execveat, SYS_kill, SYS_tkill, SYS_tgkill, SYS_setuid,
+      SYS_setgid, SYS_setreuid, SYS_setregid, SYS_setresuid, SYS_setresgid,
+      SYS_setgroups, SYS_umask, SYS_clone, SYS_fork, SYS_vfork, SYS_socket,
+      SYS_connect, SYS_bind, SYS_ptrace, SYS_mount, SYS_umount2, SYS_chroot,
+      SYS_reboot, SYS_sethostname, SYS_setdomainname,
+  };
+  std::vector<uint32_t> nrs;
+  nrs.reserve(sizeof(table) / sizeof(table[0]));
+  for (long nr : table) nrs.push_back(static_cast<uint32_t>(nr));
+  std::sort(nrs.begin(), nrs.end());
+  nrs.erase(std::unique(nrs.begin(), nrs.end()), nrs.end());
+  return nrs;
+}
+
+}  // namespace
+
+const std::vector<uint32_t>& seccomp_intercepted_syscalls() {
+  static const std::vector<uint32_t> table = make_intercept_table();
+  return table;
+}
+
+bool seccomp_filter_intercepts(long nr) {
+  if (nr < 0) return false;
+  const auto& table = seccomp_intercepted_syscalls();
+  return std::binary_search(table.begin(), table.end(),
+                            static_cast<uint32_t>(nr));
+}
+
+std::vector<sock_filter> build_seccomp_filter() {
+  const auto& trapped = seccomp_intercepted_syscalls();
+  std::vector<sock_filter> prog;
+  prog.reserve(trapped.size() + 12);
+
+  // Wrong-architecture syscalls (int 0x80, x32) would be classified against
+  // the wrong number space; kill rather than misroute.
+  prog.push_back(BPF_STMT(BPF_LD | BPF_W | BPF_ABS, kDataArch));
+  prog.push_back(BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K, AUDIT_ARCH_X86_64, 1, 0));
+  prog.push_back(BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_KILL_PROCESS));
+  prog.push_back(BPF_STMT(BPF_LD | BPF_W | BPF_ABS, kDataNr));
+
+  // mmap is the one argument-refined case: anonymous mappings never touch a
+  // boxed file and run native; file-backed mmaps trap. MAP_ANONYMOUS lives
+  // in the low word of args[3].
+  prog.push_back(BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K,
+                          static_cast<uint32_t>(SYS_mmap), 0, 4));
+  prog.push_back(BPF_STMT(BPF_LD | BPF_W | BPF_ABS, kDataArgsLow(3)));
+  prog.push_back(BPF_JUMP(BPF_JMP | BPF_JSET | BPF_K, MAP_ANONYMOUS, 0, 1));
+  prog.push_back(BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
+  prog.push_back(BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_TRACE));
+  prog.push_back(BPF_STMT(BPF_LD | BPF_W | BPF_ABS, kDataNr));
+
+  // Linear match chain over the remaining trap set; anything that falls
+  // through is a pass-through call and runs at native speed.
+  std::vector<uint32_t> chain;
+  chain.reserve(trapped.size());
+  for (uint32_t nr : trapped) {
+    if (nr != static_cast<uint32_t>(SYS_mmap)) chain.push_back(nr);
+  }
+  const size_t n = chain.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Jump over the remaining chain entries and the ALLOW to reach TRACE.
+    prog.push_back(BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K, chain[i],
+                            static_cast<uint8_t>(n - i), 0));
+  }
+  prog.push_back(BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
+  prog.push_back(BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_TRACE));
+  return prog;
+}
+
+bool seccomp_trace_supported() {
+  uint32_t action = SECCOMP_RET_TRACE;
+  return ::syscall(SYS_seccomp, SECCOMP_GET_ACTION_AVAIL, 0, &action) == 0;
+}
+
+Status install_seccomp_filter(const sock_filter* insns, size_t count) {
+  if (insns == nullptr || count == 0 || count > 4096) {
+    return Status::Errno(EINVAL);
+  }
+  struct sock_fprog prog;
+  prog.len = static_cast<unsigned short>(count);
+  prog.filter = const_cast<sock_filter*>(insns);
+  if (::syscall(SYS_seccomp, SECCOMP_SET_MODE_FILTER, 0, &prog) == 0) {
+    return Status::Ok();
+  }
+  if (errno != EACCES) return Error::FromErrno();
+  // Unprivileged processes must promise no_new_privs first. The boxed tree
+  // never setuids (the supervisor refuses it anyway), so the promise costs
+  // nothing.
+  if (::prctl(PR_SET_NO_NEW_PRIVS, 1, 0, 0, 0) != 0) return Error::FromErrno();
+  if (::syscall(SYS_seccomp, SECCOMP_SET_MODE_FILTER, 0, &prog) == 0) {
+    return Status::Ok();
+  }
+  return Error::FromErrno();
+}
+
+Status install_seccomp_filter() {
+  const auto prog = build_seccomp_filter();
+  return install_seccomp_filter(prog.data(), prog.size());
+}
+
+uint32_t simulate_seccomp_filter(const std::vector<sock_filter>& prog,
+                                 uint32_t arch, uint64_t nr,
+                                 const uint64_t args[6]) {
+  auto load = [&](uint32_t off) -> uint32_t {
+    if (off == kDataNr) return static_cast<uint32_t>(nr);
+    if (off == kDataArch) return arch;
+    for (int i = 0; i < 6; ++i) {
+      const uint64_t value = args != nullptr ? args[i] : 0;
+      if (off == kDataArgsLow(i)) return static_cast<uint32_t>(value);
+      if (off == kDataArgsLow(i) + 4) return static_cast<uint32_t>(value >> 32);
+    }
+    return 0;
+  };
+
+  uint32_t acc = 0;
+  for (size_t pc = 0; pc < prog.size(); ++pc) {
+    const sock_filter& insn = prog[pc];
+    switch (insn.code) {
+      case BPF_LD | BPF_W | BPF_ABS:
+        acc = load(insn.k);
+        break;
+      case BPF_JMP | BPF_JEQ | BPF_K:
+        pc += acc == insn.k ? insn.jt : insn.jf;
+        break;
+      case BPF_JMP | BPF_JSET | BPF_K:
+        pc += (acc & insn.k) != 0 ? insn.jt : insn.jf;
+        break;
+      case BPF_RET | BPF_K:
+        return insn.k;
+      default:
+        // The builder never emits anything else; fail closed.
+        return SECCOMP_RET_KILL_PROCESS;
+    }
+  }
+  return SECCOMP_RET_KILL_PROCESS;
+}
+
+}  // namespace ibox

@@ -1,0 +1,74 @@
+// Seccomp-BPF assisted syscall dispatch (the kSeccomp mode of the
+// supervisor).
+//
+// The trace-everything supervisor pays two ptrace stops for *every* syscall
+// in the boxed tree, including the overwhelming majority it passes through
+// untouched. This module builds a classifier BPF program installed in the
+// boxed child: syscalls the supervisor interposes on return
+// SECCOMP_RET_TRACE (one PTRACE_EVENT_SECCOMP stop), everything else
+// returns SECCOMP_RET_ALLOW and runs at native speed with zero stops.
+//
+// The trap set and its limits:
+//   * Every path-naming call must trap — the raw path must never reach the
+//     kernel untranslated.
+//   * Every fd-family call must trap too, even though most hit real kernel
+//     descriptors: BPF sees only the descriptor *number*, and boxed virtual
+//     descriptors can be dup2()ed onto any number (including 0/1/2), so no
+//     numeric range test can separate boxed from real descriptors.
+//   * The single argument-refined case is mmap: MAP_ANONYMOUS mappings
+//     never involve a boxed file and are allowed outright; file-backed
+//     mmaps trap.
+//   * Pure-compute and bookkeeping calls (futex, brk, clock_gettime,
+//     scheduling, signal masks, ...) — the supervisor's pass-through
+//     default — are allowed and never stop.
+//
+// Foreign-architecture syscalls (int 0x80 / x32) would bypass the x86-64
+// number space the classifier understands and kill the process.
+//
+// KEEP IN SYNC: the trap set below must contain every syscall with a case
+// label in Supervisor::on_entry (supervisor.cc). A syscall handled there
+// but missing here would run natively — a sandbox escape.
+// tests/test_seccomp_filter.cc cross-checks the program instruction by
+// instruction against seccomp_filter_intercepts().
+#pragma once
+
+#include <linux/filter.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ibox {
+
+// True if `nr` is in the supervisor's intercept set (i.e. Supervisor::
+// on_entry has a case label for it). mmap is reported as intercepted; its
+// MAP_ANONYMOUS refinement exists only inside the BPF program.
+bool seccomp_filter_intercepts(long nr);
+
+// The intercepted syscall numbers, sorted ascending.
+const std::vector<uint32_t>& seccomp_intercepted_syscalls();
+
+// Builds the classifier program (x86-64).
+std::vector<sock_filter> build_seccomp_filter();
+
+// Runtime probe: the kernel accepts seccomp filters and knows the
+// SECCOMP_RET_TRACE action. Callable from any process.
+bool seccomp_trace_supported();
+
+// Installs the classifier in the *calling* process (the boxed child, after
+// PTRACE_TRACEME and the handshake stop, before execve). Sets
+// PR_SET_NO_NEW_PRIVS first when the kernel demands it. The pointer form
+// takes a pre-built program so the forked child of a threaded supervisor
+// host needs no allocation.
+Status install_seccomp_filter(const sock_filter* insns, size_t count);
+Status install_seccomp_filter();
+
+// Pure interpreter over the classifier for tests: returns the
+// SECCOMP_RET_* action the kernel would take for (arch, nr, args).
+// Understands exactly the instruction subset build_seccomp_filter() emits.
+uint32_t simulate_seccomp_filter(const std::vector<sock_filter>& prog,
+                                 uint32_t arch, uint64_t nr,
+                                 const uint64_t args[6]);
+
+}  // namespace ibox

@@ -10,8 +10,17 @@
 
 #include <cstring>
 
+#include "sandbox/seccomp_filter.h"
 #include "util/log.h"
 #include "util/path.h"
+#include "util/strings.h"
+
+#ifndef PTRACE_EVENT_SECCOMP
+#define PTRACE_EVENT_SECCOMP 7
+#endif
+#ifndef PTRACE_O_TRACESECCOMP
+#define PTRACE_O_TRACESECCOMP (1 << PTRACE_EVENT_SECCOMP)
+#endif
 
 extern char** environ;
 
@@ -27,6 +36,7 @@ Supervisor::~Supervisor() {
     (void)proc;
     ::kill(pid, SIGKILL);
   }
+  if (seccomp_status_fd_ >= 0) ::close(seccomp_status_fd_);
 }
 
 ChildMem Supervisor::mem(const Proc& proc) const {
@@ -63,6 +73,11 @@ Result<int> Supervisor::run(const std::vector<std::string>& argv,
                             const Stdio& stdio) {
   if (argv.empty()) return Error(EINVAL);
 
+  // The supervisor is the one Vfs user that can guarantee the cache
+  // invalidation contract (every mutating handler funnels through the
+  // facade or calls invalidate_cached), so it turns the hot-path caches on.
+  box_.enable_hot_caches();
+
   // Authorize the initial program exactly as an in-box exec would be: the
   // visiting identity needs the execute right. resolve_executable also
   // yields the host path to hand to execve (they differ when the box root
@@ -94,9 +109,31 @@ Result<int> Supervisor::spawn(const std::vector<std::string>& argv,
   for (const auto& kv : box_.environment_overrides()) env.push_back(kv);
   for (const auto& kv : extra_env) env.push_back(kv);
 
+  // Seccomp dispatch setup happens before fork: probe the kernel, build the
+  // BPF program (the forked child of a threaded host must not allocate),
+  // and open a close-on-exec pipe through which the child reports a failed
+  // filter install ('F'). On success the exec closes the write end and the
+  // parent reads EOF.
+  effective_dispatch_ = config_.dispatch;
+  seccomp_checked_ = false;
+  std::vector<sock_filter> filter;
+  int status_pipe[2] = {-1, -1};
+  if (effective_dispatch_ == DispatchMode::kSeccomp) {
+    if (!seccomp_trace_supported() ||
+        ::pipe2(status_pipe, O_CLOEXEC) != 0) {
+      effective_dispatch_ = DispatchMode::kTraceAll;
+    } else {
+      filter = build_seccomp_filter();
+    }
+  }
+
   const int chan_fd = channel_->fd();
   pid_t pid = ::fork();
-  if (pid < 0) return Error::FromErrno();
+  if (pid < 0) {
+    if (status_pipe[0] >= 0) ::close(status_pipe[0]);
+    if (status_pipe[1] >= 0) ::close(status_pipe[1]);
+    return Error::FromErrno();
+  }
   if (pid == 0) {
     // Child: install stdio and the I/O channel at its reserved descriptor,
     // submit to tracing, and stop until the supervisor is ready.
@@ -106,6 +143,21 @@ Result<int> Supervisor::spawn(const std::vector<std::string>& argv,
     if (::dup2(chan_fd, config_.channel_child_fd) < 0) ::_exit(126);
     if (ptrace(PTRACE_TRACEME, 0, nullptr, nullptr) != 0) ::_exit(126);
     ::raise(SIGSTOP);
+
+    // Only past the handshake: the parent has set PTRACE_O_TRACESECCOMP by
+    // now, so SECCOMP_RET_TRACE resolves to a stop rather than ENOSYS.
+    // (Installing before raise() would turn raise's tgkill into ENOSYS and
+    // deadlock the handshake.)
+    if (!filter.empty()) {
+      ::close(status_pipe[0]);
+      bool installed = false;
+      if (!config_.force_dispatch_fallback) {
+        installed = install_seccomp_filter(filter.data(), filter.size()).ok();
+      }
+      if (!installed) {
+        (void)!::write(status_pipe[1], "F", 1);
+      }
+    }
 
     std::vector<char*> cargv;
     cargv.reserve(argv.size() + 1);
@@ -119,13 +171,23 @@ Result<int> Supervisor::spawn(const std::vector<std::string>& argv,
     ::_exit(127);
   }
 
+  if (status_pipe[1] >= 0) ::close(status_pipe[1]);
+  if (status_pipe[0] >= 0) {
+    if (seccomp_status_fd_ >= 0) ::close(seccomp_status_fd_);
+    seccomp_status_fd_ = status_pipe[0];
+    (void)::fcntl(seccomp_status_fd_, F_SETFL, O_NONBLOCK);
+  }
+
   int status = 0;
   if (::waitpid(pid, &status, 0) < 0) return Error::FromErrno();
   if (!WIFSTOPPED(status)) return Error(ECHILD);
 
-  const long opts = PTRACE_O_TRACESYSGOOD | PTRACE_O_TRACEFORK |
-                    PTRACE_O_TRACEVFORK | PTRACE_O_TRACECLONE |
-                    PTRACE_O_TRACEEXEC | PTRACE_O_EXITKILL;
+  long opts = PTRACE_O_TRACESYSGOOD | PTRACE_O_TRACEFORK |
+              PTRACE_O_TRACEVFORK | PTRACE_O_TRACECLONE |
+              PTRACE_O_TRACEEXEC | PTRACE_O_EXITKILL;
+  if (effective_dispatch_ == DispatchMode::kSeccomp) {
+    opts |= PTRACE_O_TRACESECCOMP;
+  }
   if (ptrace(PTRACE_SETOPTIONS, pid, nullptr,
              reinterpret_cast<void*>(opts)) != 0) {
     Error err = Error::FromErrno();
@@ -142,10 +204,37 @@ Result<int> Supervisor::spawn(const std::vector<std::string>& argv,
   registry_.add(pid, box_.identity());
   stats_.processes_seen++;
 
-  if (ptrace(PTRACE_SYSCALL, pid, nullptr, nullptr) != 0) {
+  if (ptrace(static_cast<__ptrace_request>(resume_request(procs_[pid])), pid, nullptr, nullptr) != 0) {
     return Error::FromErrno();
   }
   return pid;
+}
+
+int Supervisor::resume_request(const Proc& proc) const {
+  if (effective_dispatch_ == DispatchMode::kSeccomp && !proc.in_syscall) {
+    // The BPF classifier raises the next event; running to it skips the
+    // per-syscall entry/exit stops entirely.
+    return PTRACE_CONT;
+  }
+  return PTRACE_SYSCALL;
+}
+
+void Supervisor::check_seccomp_install() {
+  if (seccomp_checked_ || seccomp_status_fd_ < 0) return;
+  char byte = 0;
+  const ssize_t n = ::read(seccomp_status_fd_, &byte, 1);
+  if (n < 0) return;  // EAGAIN: child not at exec yet; decide later
+  seccomp_checked_ = true;
+  ::close(seccomp_status_fd_);
+  seccomp_status_fd_ = -1;
+  if (n == 1 && byte == 'F') {
+    // The child could not install the filter (or was told not to, for
+    // tests). No seccomp stops will ever arrive; fall back to the paper's
+    // trace-everything dispatch before any application code runs.
+    effective_dispatch_ = DispatchMode::kTraceAll;
+    IBOX_DEBUG << "seccomp filter install failed; dispatch falls back to "
+                  "trace-all";
+  }
 }
 
 Supervisor::Proc& Supervisor::ensure_proc(int pid) {
@@ -219,6 +308,13 @@ Result<int> Supervisor::event_loop() {
         }
       } else if (event == PTRACE_EVENT_EXEC) {
         handle_exec_event(proc);
+      } else if (event == PTRACE_EVENT_SECCOMP) {
+        // After a downgrade to trace-all with the filter nonetheless
+        // installed, seccomp stops still fire between the entry and exit
+        // stops; they carry no work of their own then.
+        if (effective_dispatch_ == DispatchMode::kSeccomp) {
+          handle_seccomp_stop(proc);
+        }
       }
     } else if (sig == SIGSTOP && !proc.attached) {
       proc.attached = true;  // attach artifact of auto-traced children
@@ -227,7 +323,7 @@ Result<int> Supervisor::event_loop() {
       stats_.signals_forwarded++;
     }
 
-    if (ptrace(PTRACE_SYSCALL, pid, nullptr,
+    if (ptrace(static_cast<__ptrace_request>(resume_request(proc)), pid, nullptr,
                reinterpret_cast<void*>(static_cast<long>(deliver))) != 0) {
       // The process died between the stop and the resume.
       if (errno == ESRCH) forget_proc(pid);
@@ -261,7 +357,7 @@ void Supervisor::handle_fork_event(Proc& parent, int child_pid) {
 
   if (unclaimed_stops_.erase(child_pid)) {
     // It stopped before this event; release it now that state is wired.
-    if (ptrace(PTRACE_SYSCALL, child_pid, nullptr, nullptr) != 0 &&
+    if (ptrace(static_cast<__ptrace_request>(resume_request(child)), child_pid, nullptr, nullptr) != 0 &&
         errno == ESRCH) {
       forget_proc(child_pid);
     }
@@ -276,6 +372,18 @@ void Supervisor::handle_exec_event(Proc& proc) {
     channel_->free_region(region.first);
   }
   proc.mmap_regions.clear();
+  if (config_.dispatch == DispatchMode::kSeccomp) {
+    // Definitive install verdict: a successful exec closed the status
+    // pipe's write end (EOF) and a failed install wrote 'F' before execing.
+    check_seccomp_install();
+  }
+  if (effective_dispatch_ == DispatchMode::kSeccomp) {
+    // The exec that raised this event was authorized at its seccomp stop;
+    // its exit stop carries nothing for the fresh image. Dropping the
+    // pending op resumes with PTRACE_CONT straight into the new program.
+    proc.pending = PendingOp{};
+    proc.in_syscall = false;
+  }
 }
 
 void Supervisor::handle_syscall_stop(Proc& proc) {
@@ -298,10 +406,62 @@ void Supervisor::handle_syscall_stop(Proc& proc) {
   }
 }
 
+void Supervisor::handle_seccomp_stop(Proc& proc) {
+  auto regs = Regs::Fetch(proc.pid);
+  if (!regs.ok()) return;
+
+  // The stop's arrival proves the filter installed; no need to wait for the
+  // status pipe's exec-time verdict.
+  if (!seccomp_checked_) {
+    seccomp_checked_ = true;
+    if (seccomp_status_fd_ >= 0) {
+      ::close(seccomp_status_fd_);
+      seccomp_status_fd_ = -1;
+    }
+  }
+
+  proc.in_syscall = false;
+  proc.nr = regs->syscall_nr();
+  proc.entry_regs = *regs;
+  proc.pending = PendingOp{};
+  stats_.syscalls_trapped++;
+  stats_.seccomp_stops++;
+  on_entry(proc, *regs);
+
+  switch (proc.pending.kind) {
+    case PendingOp::Kind::kNone:
+      // Pass-through of a trapped call: let it run, no exit stop needed.
+      stats_.syscalls_passed++;
+      break;
+    case PendingOp::Kind::kInject:
+      // Nullified: the result was already injected in place (nullify's
+      // seccomp branch), so the call is fully answered at this single stop.
+      proc.pending = PendingOp{};
+      break;
+    default:
+      // Rewritten: the kernel must run the substituted call and the
+      // supervisor needs its exit stop to finish the job.
+      proc.in_syscall = true;
+      break;
+  }
+}
+
 void Supervisor::nullify(Proc& proc, Regs& regs, int64_t result) {
   IBOX_DEBUG << "pid " << proc.pid << " " << syscall_name(proc.nr) << "("
              << proc.entry_regs.arg(0) << ", " << proc.entry_regs.arg(1)
              << ", " << proc.entry_regs.arg(2) << ") => " << result;
+  if (effective_dispatch_ == DispatchMode::kSeccomp && !proc.in_syscall) {
+    // At a seccomp stop the whole nullification happens here: number -1
+    // dispatches nothing and the injected rax survives to userspace, so
+    // the syscall-exit stop is elided.
+    regs.set_syscall_skip(result);
+    (void)regs.store(proc.pid);
+    proc.pending.kind = PendingOp::Kind::kInject;
+    proc.pending.inject_value = result;
+    stats_.syscalls_nullified++;
+    stats_.exit_stops_elided++;
+    return;
+  }
   regs.set_syscall_nr(SYS_getpid);
   (void)regs.store(proc.pid);
   proc.pending.kind = PendingOp::Kind::kInject;
@@ -322,13 +482,33 @@ Result<std::string> Supervisor::read_path_arg(Proc& proc,
   return path_join(*proc.cwd, *path);
 }
 
+// "/proc/self" must name the *tracee*: nullified calls are performed by the
+// supervisor process, so the literal path would transparently leak the
+// supervisor's maps/fd/exe to the boxed program (sanitizer runtimes read
+// /proc/self/maps at startup and abort on what they find there).
+static std::string retarget_proc_self(std::string path, int pid) {
+  const std::string tid = std::to_string(pid);
+  if (path == "/proc/self" || starts_with(path, "/proc/self/")) {
+    return "/proc/" + tid + path.substr(strlen("/proc/self"));
+  }
+  if (path == "/proc/thread-self" ||
+      starts_with(path, "/proc/thread-self/")) {
+    // ptrace stops are per-task, so `pid` is already the tid.
+    return "/proc/" + tid + "/task/" + tid +
+           path.substr(strlen("/proc/thread-self"));
+  }
+  return path;
+}
+
 Result<std::string> Supervisor::resolve_at(Proc& proc, int dirfd,
                                            uint64_t path_addr,
                                            bool empty_path_ok) const {
   auto rel = mem(proc).read_string(path_addr);
   if (!rel.ok()) return rel.error();
   if (rel->empty() && !empty_path_ok) return Error(ENOENT);
-  if (path_is_absolute(*rel)) return path_clean(*rel);
+  if (path_is_absolute(*rel)) {
+    return retarget_proc_self(path_clean(*rel), proc.pid);
+  }
   std::string base;
   if (dirfd == AT_FDCWD) {
     base = *proc.cwd;
@@ -390,6 +570,7 @@ void Supervisor::on_exit(Proc& proc, Regs& regs) {
             if (op.advance_offset) op.ofd->offset = op.file_off + *wrote;
             regs.set_ret(static_cast<int64_t>(*wrote));
             stats_.bytes_via_channel += *wrote;
+            box_.vfs().invalidate_cached(op.ofd->box_path);
           } else {
             regs.set_ret(-wrote.error_code());
           }

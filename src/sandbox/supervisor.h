@@ -47,6 +47,19 @@ enum class DataPath {
   kChannel,    // everything via the I/O channel
 };
 
+// How syscalls reach the supervisor.
+enum class DispatchMode {
+  // PTRACE_SYSCALL everywhere: two stops per syscall, interposed or not
+  // (the paper's measured configuration).
+  kTraceAll,
+  // Seccomp-BPF classifier in the child (seccomp_filter.h): interposed
+  // calls raise one PTRACE_EVENT_SECCOMP stop, pass-through calls run
+  // native with zero stops, nullified calls are answered at the seccomp
+  // stop itself (no exit stop). Falls back to kTraceAll at runtime on
+  // kernels without SECCOMP_RET_TRACE.
+  kSeccomp,
+};
+
 struct SandboxConfig {
   DataPath data_path = DataPath::kPaper;
   // kPaper: transfers at or below this size use peek/poke.
@@ -60,6 +73,10 @@ struct SandboxConfig {
   bool allow_network = true;
   // Initial working directory inside the box.
   std::string initial_cwd = "/";
+  DispatchMode dispatch = DispatchMode::kTraceAll;
+  // Test hook: make the child skip the filter installation so the runtime
+  // downgrade to kTraceAll is exercised on kernels that do have seccomp.
+  bool force_dispatch_fallback = false;
 };
 
 struct SupervisorStats {
@@ -75,6 +92,8 @@ struct SupervisorStats {
   uint64_t signals_denied = 0;
   uint64_t processes_seen = 0;
   uint64_t execs = 0;
+  uint64_t seccomp_stops = 0;       // PTRACE_EVENT_SECCOMP stops handled
+  uint64_t exit_stops_elided = 0;   // nullified calls answered in one stop
 };
 
 class Supervisor {
@@ -105,6 +124,10 @@ class Supervisor {
   }
 
   const SupervisorStats& stats() const { return stats_; }
+
+  // The dispatch mode actually in effect: config_.dispatch, downgraded to
+  // kTraceAll when the kernel lacks seccomp or the filter failed to install.
+  DispatchMode effective_dispatch() const { return effective_dispatch_; }
 
  private:
   // ---- per-process supervisor state ----
@@ -162,6 +185,14 @@ class Supervisor {
                     const Stdio& stdio);
   Result<int> event_loop();
   void handle_syscall_stop(Proc& proc);
+  void handle_seccomp_stop(Proc& proc);
+  // The ptrace resume request matching the dispatch mode and the process's
+  // position: PTRACE_SYSCALL when the next stop we need is a syscall-entry
+  // or -exit stop, PTRACE_CONT when seccomp will raise the next event.
+  int resume_request(const Proc& proc) const;
+  // Reads the child's filter-install status pipe; downgrades
+  // effective_dispatch_ to kTraceAll if the child reported failure.
+  void check_seccomp_install();
   void on_entry(Proc& proc, Regs& regs);
   void on_exit(Proc& proc, Regs& regs);
   void handle_fork_event(Proc& parent, int child_pid);
@@ -268,6 +299,11 @@ class Supervisor {
   int root_pid_ = -1;
   int root_exit_code_ = 0;
   bool root_exited_ = false;
+
+  // ---- seccomp dispatch state ----
+  DispatchMode effective_dispatch_ = DispatchMode::kTraceAll;
+  int seccomp_status_fd_ = -1;   // read end of the child's install pipe
+  bool seccomp_checked_ = false;
 };
 
 }  // namespace ibox

@@ -1,6 +1,7 @@
 #include "util/spawn.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -69,18 +70,32 @@ Result<RunOutput> run_capture(const std::vector<std::string>& argv,
   UniqueFd to_child(in_pipe[1]), from_out(out_pipe[0]), from_err(err_pipe[0]);
 
   // Feed stdin (bounded by pipe capacity for large inputs; benches use small
-  // inputs, so a single blocking write pass is acceptable here).
+  // inputs, so a single blocking write pass is acceptable here). A child
+  // that exits without draining its stdin would turn this write into a
+  // process-killing SIGPIPE; block it for the duration and swallow the
+  // pending instance, so the write fails with EPIPE instead.
   if (!stdin_data.empty()) {
+    sigset_t pipe_set, old_set;
+    sigemptyset(&pipe_set);
+    sigaddset(&pipe_set, SIGPIPE);
+    ::pthread_sigmask(SIG_BLOCK, &pipe_set, &old_set);
+    bool epipe = false;
     size_t off = 0;
     while (off < stdin_data.size()) {
       ssize_t n = ::write(to_child.get(), stdin_data.data() + off,
                           stdin_data.size() - off);
       if (n < 0) {
         if (errno == EINTR) continue;
+        epipe = errno == EPIPE;
         break;
       }
       off += static_cast<size_t>(n);
     }
+    if (epipe) {
+      struct timespec zero = {0, 0};
+      (void)::sigtimedwait(&pipe_set, nullptr, &zero);
+    }
+    ::pthread_sigmask(SIG_SETMASK, &old_set, nullptr);
   }
   to_child.reset();
 

@@ -1,5 +1,7 @@
 #include "vfs/vfs.h"
 
+#include <fcntl.h>
+
 #include "util/path.h"
 
 namespace ibox {
@@ -24,39 +26,71 @@ MountResolution Vfs::locate(const std::string& path) const {
 Result<std::unique_ptr<FileHandle>> Vfs::open(const std::string& path,
                                               int flags, int mode) {
   auto at = locate(path);
-  return at.driver->open(identity_, at.driver_path, flags, mode);
+  auto handle = at.driver->open(identity_, at.driver_path, flags, mode);
+  // A write-capable open may create or truncate; the bytes written later
+  // through the handle are the supervisor's to report (invalidate_cached).
+  if (cache_ && ((flags & O_ACCMODE) != O_RDONLY ||
+                 (flags & (O_CREAT | O_TRUNC)) != 0)) {
+    cache_->invalidate(path_clean(path));
+  }
+  return handle;
 }
 
 Result<VfsStat> Vfs::stat(const std::string& path) {
-  auto at = locate(path);
-  return at.driver->stat(identity_, at.driver_path);
+  if (!cache_) {
+    auto at = locate(path);
+    return at.driver->stat(identity_, at.driver_path);
+  }
+  const std::string key = path_clean(path);
+  if (auto hit = cache_->lookup_stat(key, true)) return *hit;
+  auto at = locate(key);
+  auto st = at.driver->stat(identity_, at.driver_path);
+  cache_->store_stat(key, true, st);
+  return st;
 }
 
 Result<VfsStat> Vfs::lstat(const std::string& path) {
-  auto at = locate(path);
-  return at.driver->lstat(identity_, at.driver_path);
+  if (!cache_) {
+    auto at = locate(path);
+    return at.driver->lstat(identity_, at.driver_path);
+  }
+  const std::string key = path_clean(path);
+  if (auto hit = cache_->lookup_stat(key, false)) return *hit;
+  auto at = locate(key);
+  auto st = at.driver->lstat(identity_, at.driver_path);
+  cache_->store_stat(key, false, st);
+  return st;
 }
 
 Status Vfs::mkdir(const std::string& path, int mode) {
   auto at = locate(path);
-  return at.driver->mkdir(identity_, at.driver_path, mode);
+  Status st = at.driver->mkdir(identity_, at.driver_path, mode);
+  if (cache_) cache_->invalidate(path_clean(path));
+  return st;
 }
 
 Status Vfs::rmdir(const std::string& path) {
   auto at = locate(path);
-  return at.driver->rmdir(identity_, at.driver_path);
+  Status st = at.driver->rmdir(identity_, at.driver_path);
+  if (cache_) cache_->invalidate(path_clean(path));
+  return st;
 }
 
 Status Vfs::unlink(const std::string& path) {
   auto at = locate(path);
-  return at.driver->unlink(identity_, at.driver_path);
+  Status st = at.driver->unlink(identity_, at.driver_path);
+  if (cache_) cache_->invalidate(path_clean(path));
+  return st;
 }
 
 Status Vfs::rename(const std::string& from, const std::string& to) {
   auto src = locate(from);
   auto dst = locate(to);
   if (src.driver != dst.driver) return Status::Errno(EXDEV);
-  return src.driver->rename(identity_, src.driver_path, dst.driver_path);
+  Status st = src.driver->rename(identity_, src.driver_path, dst.driver_path);
+  // A directory rename moves a whole subtree of cache keys; wipe.
+  if (cache_) cache_->invalidate_all();
+  return st;
 }
 
 Result<std::vector<DirEntry>> Vfs::readdir(const std::string& path) {
@@ -66,7 +100,9 @@ Result<std::vector<DirEntry>> Vfs::readdir(const std::string& path) {
 
 Status Vfs::symlink(const std::string& target, const std::string& linkpath) {
   auto at = locate(linkpath);
-  return at.driver->symlink(identity_, target, at.driver_path);
+  Status st = at.driver->symlink(identity_, target, at.driver_path);
+  if (cache_) cache_->invalidate(path_clean(linkpath));
+  return st;
 }
 
 Result<std::string> Vfs::readlink(const std::string& path) {
@@ -78,27 +114,46 @@ Status Vfs::link(const std::string& oldpath, const std::string& newpath) {
   auto src = locate(oldpath);
   auto dst = locate(newpath);
   if (src.driver != dst.driver) return Status::Errno(EXDEV);
-  return src.driver->link(identity_, src.driver_path, dst.driver_path);
+  Status st = src.driver->link(identity_, src.driver_path, dst.driver_path);
+  if (cache_) {
+    cache_->invalidate(path_clean(oldpath));  // nlink changed
+    cache_->invalidate(path_clean(newpath));
+  }
+  return st;
 }
 
 Status Vfs::truncate(const std::string& path, uint64_t length) {
   auto at = locate(path);
-  return at.driver->truncate(identity_, at.driver_path, length);
+  Status st = at.driver->truncate(identity_, at.driver_path, length);
+  if (cache_) cache_->invalidate(path_clean(path));
+  return st;
 }
 
 Status Vfs::utime(const std::string& path, uint64_t atime, uint64_t mtime) {
   auto at = locate(path);
-  return at.driver->utime(identity_, at.driver_path, atime, mtime);
+  Status st = at.driver->utime(identity_, at.driver_path, atime, mtime);
+  if (cache_) cache_->invalidate(path_clean(path));
+  return st;
 }
 
 Status Vfs::chmod(const std::string& path, int mode) {
   auto at = locate(path);
-  return at.driver->chmod(identity_, at.driver_path, mode);
+  Status st = at.driver->chmod(identity_, at.driver_path, mode);
+  if (cache_) cache_->invalidate(path_clean(path));
+  return st;
 }
 
 Status Vfs::access(const std::string& path, Access wanted) {
-  auto at = locate(path);
-  return at.driver->access(identity_, at.driver_path, wanted);
+  if (!cache_) {
+    auto at = locate(path);
+    return at.driver->access(identity_, at.driver_path, wanted);
+  }
+  const std::string key = path_clean(path);
+  if (auto hit = cache_->lookup_access(key, wanted)) return *hit;
+  auto at = locate(key);
+  Status verdict = at.driver->access(identity_, at.driver_path, wanted);
+  cache_->store_access(key, wanted, verdict);
+  return verdict;
 }
 
 Result<std::string> Vfs::getacl(const std::string& path) {
@@ -109,12 +164,24 @@ Result<std::string> Vfs::getacl(const std::string& path) {
 Status Vfs::setacl(const std::string& path, const std::string& subject,
                    const std::string& rights) {
   auto at = locate(path);
-  return at.driver->setacl(identity_, at.driver_path, subject, rights);
+  Status st = at.driver->setacl(identity_, at.driver_path, subject, rights);
+  // An ACL governs every path below it until overridden; any cached
+  // decision (and any stat whose ACL check it implied) may have changed.
+  if (cache_) cache_->invalidate_all();
+  return st;
 }
 
 bool Vfs::is_directory(const std::string& path) {
   auto st = stat(path);
   return st.ok() && st->is_dir();
+}
+
+void Vfs::enable_cache(VfsCacheConfig config) {
+  cache_ = std::make_unique<VfsCache>(config);
+}
+
+void Vfs::invalidate_cached(const std::string& box_path) {
+  if (cache_) cache_->invalidate(path_clean(box_path));
 }
 
 }  // namespace ibox

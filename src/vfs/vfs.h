@@ -17,6 +17,7 @@
 #include "identity/identity.h"
 #include "util/result.h"
 #include "vfs/mount_table.h"
+#include "vfs/vfs_cache.h"
 
 namespace ibox {
 
@@ -54,6 +55,17 @@ class Vfs {
   // True if `path` names an existing directory (used for chdir).
   bool is_directory(const std::string& path);
 
+  // Hot-path caches (vfs_cache.h), off by default. The caller that enables
+  // them owns the coherence contract: every write that bypasses this facade
+  // (descriptor-level writes held by the supervisor) must be reported via
+  // invalidate_cached(). Facade-level mutations invalidate automatically.
+  void enable_cache(VfsCacheConfig config);
+  VfsCache* cache() { return cache_.get(); }
+
+  // Drops cached state under `box_path` (and its parent). No-op when the
+  // cache is disabled.
+  void invalidate_cached(const std::string& box_path);
+
   // Which mount serves this path (after redirects). Used by the exec path
   // to distinguish local programs from ones that must be fetched first.
   MountResolution resolve_mount(const std::string& path) const {
@@ -66,6 +78,7 @@ class Vfs {
   Identity identity_;
   std::unique_ptr<MountTable> mounts_;
   std::map<std::string, std::string> redirects_;
+  std::unique_ptr<VfsCache> cache_;
 };
 
 }  // namespace ibox

@@ -1,0 +1,94 @@
+#include "vfs/vfs_cache.h"
+
+#include <time.h>
+
+#include "util/path.h"
+
+namespace ibox {
+
+VfsCache::VfsCache(VfsCacheConfig config) : config_(config) {}
+
+uint64_t VfsCache::now_ms() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC_COARSE, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+VfsCache::Entry* VfsCache::find_entry(const std::string& path) {
+  auto it = entries_.find(path);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+VfsCache::Entry& VfsCache::entry_for_store(const std::string& path) {
+  if (entries_.size() >= config_.capacity && !entries_.count(path)) {
+    // Full: wipe rather than evict. The working sets the cache targets are
+    // far below capacity; crossing it means churn, where retention has
+    // little value anyway.
+    entries_.clear();
+  }
+  return entries_[path];
+}
+
+std::optional<Result<VfsStat>> VfsCache::lookup_stat(const std::string& path,
+                                                     bool follow) {
+  Entry* entry = find_entry(path);
+  StatSlot* slot =
+      entry ? (follow ? &entry->stat_follow : &entry->stat_nofollow) : nullptr;
+  if (slot == nullptr || slot->expires_ms == 0 || now_ms() >= slot->expires_ms) {
+    stats_.stat_misses++;
+    return std::nullopt;
+  }
+  stats_.stat_hits++;
+  if (slot->ok) return Result<VfsStat>(slot->st);
+  return Result<VfsStat>(Error(slot->err));
+}
+
+void VfsCache::store_stat(const std::string& path, bool follow,
+                          const Result<VfsStat>& result) {
+  Entry& entry = entry_for_store(path);
+  StatSlot& slot = follow ? entry.stat_follow : entry.stat_nofollow;
+  slot.expires_ms = now_ms() + config_.ttl_ms;
+  slot.ok = result.ok();
+  if (result.ok()) {
+    slot.st = *result;
+    slot.err = 0;
+  } else {
+    slot.st = VfsStat{};
+    slot.err = result.error_code();
+  }
+}
+
+std::optional<Status> VfsCache::lookup_access(const std::string& path,
+                                              Access wanted) {
+  Entry* entry = find_entry(path);
+  AccessSlot* slot =
+      entry ? &entry->access[static_cast<size_t>(wanted)] : nullptr;
+  if (slot == nullptr || slot->expires_ms == 0 || now_ms() >= slot->expires_ms) {
+    stats_.access_misses++;
+    return std::nullopt;
+  }
+  stats_.access_hits++;
+  return slot->err == 0 ? Status::Ok() : Status::Errno(slot->err);
+}
+
+void VfsCache::store_access(const std::string& path, Access wanted,
+                            const Status& verdict) {
+  Entry& entry = entry_for_store(path);
+  AccessSlot& slot = entry.access[static_cast<size_t>(wanted)];
+  slot.expires_ms = now_ms() + config_.ttl_ms;
+  slot.err = verdict.ok() ? 0 : verdict.error_code();
+}
+
+void VfsCache::invalidate(const std::string& path) {
+  stats_.invalidations++;
+  entries_.erase(path);
+  entries_.erase(path_dirname(path));
+}
+
+void VfsCache::invalidate_all() {
+  stats_.invalidations++;
+  entries_.clear();
+}
+
+}  // namespace ibox

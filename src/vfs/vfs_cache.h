@@ -1,0 +1,98 @@
+// Supervisor hot-path caches over the box VFS: a short-TTL stat cache and a
+// normalized-path → ACL-decision cache.
+//
+// Every trapped syscall that names a path costs at least one ACL evaluation
+// and one host stat through the facade; workloads that stat the same few
+// paths in a loop (linkers, shells, build systems) pay that full price per
+// call. The caches answer repeats from memory, keyed by the normalized
+// box path (identity is fixed per Vfs instance, so it is implicit in the
+// key).
+//
+// Coherence contract: the component that enables the cache must call
+// invalidate()/invalidate_all() for every mutation, including writes that
+// bypass the facade (the supervisor's descriptor-level writes). The TTL is
+// not the coherence mechanism — it only bounds staleness from writers the
+// owner cannot see (other boxes, host processes, remote Chirp clients).
+//
+// Invalidation granularity: a path mutation invalidates the path and its
+// parent (the parent's mtime/size and the child's negative entries change
+// together). rename and setacl clear everything — a directory rename moves
+// a whole subtree of keys, and an ACL governs every path below it until
+// overridden.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/result.h"
+#include "vfs/types.h"
+
+namespace ibox {
+
+struct VfsCacheConfig {
+  // Entries (distinct paths) before the cache wipes itself; bounds memory
+  // without LRU bookkeeping on the hot path.
+  size_t capacity = 4096;
+  // How long an entry may answer without revalidation.
+  uint64_t ttl_ms = 50;
+};
+
+struct VfsCacheStats {
+  uint64_t stat_hits = 0;
+  uint64_t stat_misses = 0;
+  uint64_t access_hits = 0;
+  uint64_t access_misses = 0;
+  uint64_t invalidations = 0;
+};
+
+class VfsCache {
+ public:
+  explicit VfsCache(VfsCacheConfig config = {});
+
+  // Stat results, positive and negative (ENOENT is the common case worth
+  // caching: PATH and ld.so probes stat dozens of absent files per exec).
+  std::optional<Result<VfsStat>> lookup_stat(const std::string& path,
+                                             bool follow);
+  void store_stat(const std::string& path, bool follow,
+                  const Result<VfsStat>& result);
+
+  // ACL decisions for one (path, wanted) pair.
+  std::optional<Status> lookup_access(const std::string& path, Access wanted);
+  void store_access(const std::string& path, Access wanted,
+                    const Status& verdict);
+
+  // Drops `path` and its parent directory.
+  void invalidate(const std::string& path);
+  void invalidate_all();
+
+  const VfsCacheStats& stats() const { return stats_; }
+
+ private:
+  struct StatSlot {
+    uint64_t expires_ms = 0;  // 0 = empty
+    bool ok = false;
+    VfsStat st{};
+    int err = 0;
+  };
+  struct AccessSlot {
+    uint64_t expires_ms = 0;  // 0 = empty
+    int err = 0;              // 0 = allowed
+  };
+  struct Entry {
+    StatSlot stat_follow;
+    StatSlot stat_nofollow;
+    AccessSlot access[6];  // indexed by Access
+  };
+
+  Entry* find_entry(const std::string& path);
+  Entry& entry_for_store(const std::string& path);
+  static uint64_t now_ms();
+
+  VfsCacheConfig config_;
+  VfsCacheStats stats_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace ibox

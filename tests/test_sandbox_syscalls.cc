@@ -41,7 +41,7 @@ Outcome run_native(const std::string& scenario, const std::string& dir) {
 }
 
 Outcome run_boxed(const std::string& scenario, const std::string& dir,
-                  DataPath data_path) {
+                  DataPath data_path, DispatchMode dispatch) {
   Outcome outcome;
   TempDir state("sbsys");
   BoxOptions options;
@@ -53,6 +53,7 @@ Outcome run_boxed(const std::string& scenario, const std::string& dir,
   ProcessRegistry registry;
   SandboxConfig config;
   config.data_path = data_path;
+  config.dispatch = dispatch;
   Supervisor supervisor(**box, registry, config);
   Supervisor::Stdio stdio{-1, out_fd.get(), -1};
   auto exit_code = supervisor.run({helper_path(), scenario, dir}, {}, stdio);
@@ -69,15 +70,19 @@ Outcome run_boxed(const std::string& scenario, const std::string& dir,
   return outcome;
 }
 
-// The scenarios under every data path: boxed output must be byte-identical
-// to native output (cwd scenario outputs are path-dependent and compared
-// as-is since both run against the same directory).
+// The scenarios under every data path and both dispatch modes: boxed output
+// must be byte-identical to native output (cwd scenario outputs are
+// path-dependent and compared as-is since both run against the same
+// directory). On kernels without seccomp the kSeccomp half degenerates into
+// a second trace-all pass — still a valid parity check.
 class ScenarioTest
-    : public ::testing::TestWithParam<std::tuple<const char*, DataPath>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, DataPath, DispatchMode>> {};
 
 TEST_P(ScenarioTest, BoxedMatchesNative) {
   const std::string scenario = std::get<0>(GetParam());
   const DataPath data_path = std::get<1>(GetParam());
+  const DispatchMode dispatch = std::get<2>(GetParam());
 
   TempDir work_native("scn-native"), work_boxed("scn-boxed");
   ASSERT_TRUE(
@@ -85,7 +90,7 @@ TEST_P(ScenarioTest, BoxedMatchesNative) {
   ASSERT_TRUE(write_file(work_boxed.sub(".__acl"), "Tester rwldax\n").ok());
 
   Outcome native = run_native(scenario, work_native.path());
-  Outcome boxed = run_boxed(scenario, work_boxed.path(), data_path);
+  Outcome boxed = run_boxed(scenario, work_boxed.path(), data_path, dispatch);
 
   ASSERT_EQ(native.exit_code, 0) << native.out;
   ASSERT_EQ(boxed.exit_code, 0) << boxed.out;
@@ -105,7 +110,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(DataPath::kPaper,
                                          DataPath::kPeekPoke,
                                          DataPath::kProcessVm,
-                                         DataPath::kChannel)),
+                                         DataPath::kChannel),
+                       ::testing::Values(DispatchMode::kTraceAll,
+                                         DispatchMode::kSeccomp)),
     [](const auto& info) {
       std::string name = std::get<0>(info.param);
       switch (std::get<1>(info.param)) {
@@ -114,6 +121,8 @@ INSTANTIATE_TEST_SUITE_P(
         case DataPath::kProcessVm: name += "_ProcessVm"; break;
         case DataPath::kChannel: name += "_Channel"; break;
       }
+      name += std::get<2>(info.param) == DispatchMode::kSeccomp ? "_Seccomp"
+                                                                : "_Trace";
       return name;
     });
 

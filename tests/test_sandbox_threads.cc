@@ -21,7 +21,12 @@ std::string helper_path() {
   return path_join(path_dirname(buf), "helper_threads");
 }
 
-TEST(SandboxThreads, FourWritersShareTheBoxedTable) {
+// Both dispatch modes: thread creation (clone) traps either way, but under
+// kSeccomp the futex/mmap traffic between the writers runs untraced, which
+// exercises a very different interleaving of ptrace stops.
+class SandboxThreads : public ::testing::TestWithParam<DispatchMode> {};
+
+TEST_P(SandboxThreads, FourWritersShareTheBoxedTable) {
   TempDir work("threads-work");
   ASSERT_TRUE(write_file(work.sub(".__acl"), "Tester rwldax\n").ok());
   TempDir state("threads-state");
@@ -33,7 +38,9 @@ TEST(SandboxThreads, FourWritersShareTheBoxedTable) {
 
   UniqueFd out_fd(::memfd_create("threads-out", 0));
   ProcessRegistry registry;
-  Supervisor supervisor(**box, registry);
+  SandboxConfig config;
+  config.dispatch = GetParam();
+  Supervisor supervisor(**box, registry, config);
   Supervisor::Stdio stdio{-1, out_fd.get(), -1};
   auto exit_code =
       supervisor.run({helper_path(), work.path()}, {}, stdio);
@@ -52,6 +59,15 @@ TEST(SandboxThreads, FourWritersShareTheBoxedTable) {
   EXPECT_EQ(contents->size(), 4096u);
   EXPECT_EQ(contents->substr(0, 8), "t00r000-");
 }
+
+INSTANTIATE_TEST_SUITE_P(BothDispatchModes, SandboxThreads,
+                         ::testing::Values(DispatchMode::kTraceAll,
+                                           DispatchMode::kSeccomp),
+                         [](const auto& info) {
+                           return info.param == DispatchMode::kSeccomp
+                                      ? std::string("Seccomp")
+                                      : std::string("Trace");
+                         });
 
 }  // namespace
 }  // namespace ibox

@@ -1,0 +1,238 @@
+// VfsCache unit behavior (TTL, capacity wipe, invalidation granularity) and
+// the coherence contract at the Vfs facade: every mutation path must make
+// the next lookup see fresh state even with a TTL far too long to save it.
+#include "vfs/vfs_cache.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "vfs/local_driver.h"
+#include "vfs/vfs.h"
+
+namespace ibox {
+namespace {
+
+VfsStat regular(uint64_t size) {
+  VfsStat st;
+  st.size = size;
+  st.mode = 0100644;
+  return st;
+}
+
+TEST(VfsCacheUnit, StatRoundTripsPositiveAndNegative) {
+  VfsCache cache;
+  EXPECT_FALSE(cache.lookup_stat("/a", true).has_value());
+  cache.store_stat("/a", true, Result<VfsStat>(regular(7)));
+  cache.store_stat("/gone", true, Result<VfsStat>(Error(ENOENT)));
+
+  auto hit = cache.lookup_stat("/a", true);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->ok());
+  EXPECT_EQ((**hit).size, 7u);
+
+  auto negative = cache.lookup_stat("/gone", true);
+  ASSERT_TRUE(negative.has_value());
+  EXPECT_EQ(negative->error_code(), ENOENT);
+
+  EXPECT_EQ(cache.stats().stat_hits, 2u);
+  EXPECT_EQ(cache.stats().stat_misses, 1u);
+}
+
+TEST(VfsCacheUnit, FollowAndNoFollowAreIndependentSlots) {
+  VfsCache cache;
+  cache.store_stat("/link", /*follow=*/true, Result<VfsStat>(regular(9)));
+  EXPECT_TRUE(cache.lookup_stat("/link", true).has_value());
+  EXPECT_FALSE(cache.lookup_stat("/link", false).has_value());
+}
+
+TEST(VfsCacheUnit, AccessDecisionsPerRight) {
+  VfsCache cache;
+  cache.store_access("/f", Access::kRead, Status::Ok());
+  cache.store_access("/f", Access::kWrite, Status::Errno(EACCES));
+
+  auto read = cache.lookup_access("/f", Access::kRead);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok());
+  auto write = cache.lookup_access("/f", Access::kWrite);
+  ASSERT_TRUE(write.has_value());
+  EXPECT_EQ(write->error_code(), EACCES);
+  // A right never stored stays a miss even though the path entry exists.
+  EXPECT_FALSE(cache.lookup_access("/f", Access::kAdmin).has_value());
+}
+
+TEST(VfsCacheUnit, TtlExpiresEntries) {
+  VfsCacheConfig config;
+  config.ttl_ms = 1;
+  VfsCache cache(config);
+  cache.store_stat("/a", true, Result<VfsStat>(regular(1)));
+  // CLOCK_MONOTONIC_COARSE granularity can reach a few ms; sleep well past.
+  ::usleep(50 * 1000);
+  EXPECT_FALSE(cache.lookup_stat("/a", true).has_value());
+}
+
+TEST(VfsCacheUnit, InvalidateDropsPathAndParent) {
+  VfsCache cache;
+  cache.store_stat("/d", true, Result<VfsStat>(regular(0)));
+  cache.store_stat("/d/f", true, Result<VfsStat>(regular(1)));
+  cache.store_stat("/other", true, Result<VfsStat>(regular(2)));
+
+  cache.invalidate("/d/f");
+  EXPECT_FALSE(cache.lookup_stat("/d/f", true).has_value());
+  EXPECT_FALSE(cache.lookup_stat("/d", true).has_value());
+  EXPECT_TRUE(cache.lookup_stat("/other", true).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.lookup_stat("/other", true).has_value());
+}
+
+TEST(VfsCacheUnit, CapacityWipesInsteadOfEvicting) {
+  VfsCacheConfig config;
+  config.capacity = 2;
+  VfsCache cache(config);
+  cache.store_stat("/a", true, Result<VfsStat>(regular(1)));
+  cache.store_stat("/b", true, Result<VfsStat>(regular(2)));
+  cache.store_stat("/c", true, Result<VfsStat>(regular(3)));  // wipe, then /c
+  EXPECT_FALSE(cache.lookup_stat("/a", true).has_value());
+  EXPECT_FALSE(cache.lookup_stat("/b", true).has_value());
+  EXPECT_TRUE(cache.lookup_stat("/c", true).has_value());
+}
+
+// ---- facade coherence: mutations must beat a 10-second TTL ----
+
+class VfsCacheCoherence : public ::testing::Test {
+ protected:
+  VfsCacheCoherence() : root_("vfs-cache-root") {
+    (void)write_file(root_.sub(".__acl"), "Visitor rwldax\n");
+    auto mounts = std::make_unique<MountTable>(
+        std::make_unique<LocalDriver>(root_.path()));
+    vfs_ = std::make_unique<Vfs>(*Identity::Parse("Visitor"),
+                                 std::move(mounts));
+    VfsCacheConfig config;
+    config.ttl_ms = 10 * 1000;  // far beyond the test runtime
+    vfs_->enable_cache(config);
+  }
+
+  void put(const std::string& box_path, const std::string& text) {
+    auto handle = vfs_->open(box_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_TRUE(handle.ok()) << box_path;
+    ASSERT_TRUE((*handle)->pwrite(text.data(), text.size(), 0).ok());
+  }
+
+  TempDir root_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(VfsCacheCoherence, CacheServesRepeatedStats) {
+  put("/f", "abc");
+  ASSERT_TRUE(vfs_->stat("/f").ok());
+  ASSERT_TRUE(vfs_->stat("/f").ok());
+  // Not a vacuous suite: the second stat was answered from cache.
+  EXPECT_GE(vfs_->cache()->stats().stat_hits, 1u);
+}
+
+TEST_F(VfsCacheCoherence, TruncateInvalidatesCachedSize) {
+  put("/f", "abc");
+  auto before = vfs_->stat("/f");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size, 3u);
+  ASSERT_TRUE(vfs_->truncate("/f", 1).ok());
+  auto after = vfs_->stat("/f");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size, 1u);
+}
+
+TEST_F(VfsCacheCoherence, UnlinkInvalidatesPositiveEntry) {
+  put("/f", "x");
+  ASSERT_TRUE(vfs_->stat("/f").ok());
+  ASSERT_TRUE(vfs_->unlink("/f").ok());
+  EXPECT_EQ(vfs_->stat("/f").error_code(), ENOENT);
+}
+
+TEST_F(VfsCacheCoherence, CreateInvalidatesNegativeEntry) {
+  EXPECT_EQ(vfs_->stat("/ghost").error_code(), ENOENT);
+  EXPECT_EQ(vfs_->stat("/ghost").error_code(), ENOENT);  // cached negative
+  put("/ghost", "now real");
+  auto st = vfs_->stat("/ghost");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 8u);
+}
+
+TEST_F(VfsCacheCoherence, RenameInvalidatesBothNames) {
+  put("/old", "data");
+  ASSERT_TRUE(vfs_->stat("/old").ok());
+  EXPECT_EQ(vfs_->stat("/new").error_code(), ENOENT);
+  ASSERT_TRUE(vfs_->rename("/old", "/new").ok());
+  EXPECT_EQ(vfs_->stat("/old").error_code(), ENOENT);
+  EXPECT_TRUE(vfs_->stat("/new").ok());
+}
+
+TEST_F(VfsCacheCoherence, SetaclFlipsCachedAccessDecision) {
+  ASSERT_TRUE(vfs_->mkdir("/sub", 0755).ok());
+  put("/sub/f", "x");
+  ASSERT_TRUE(vfs_->access("/sub/f", Access::kWrite).ok());
+  ASSERT_TRUE(vfs_->access("/sub/f", Access::kWrite).ok());  // cached allow
+  // Revoke our own write right; the cached decision must not survive.
+  ASSERT_TRUE(vfs_->setacl("/sub", "Visitor", "rl").ok());
+  EXPECT_FALSE(vfs_->access("/sub/f", Access::kWrite).ok());
+  EXPECT_TRUE(vfs_->access("/sub/f", Access::kRead).ok());
+}
+
+TEST_F(VfsCacheCoherence, HandleWritesReportedViaInvalidateCached) {
+  put("/f", "ab");
+  auto before = vfs_->stat("/f");
+  ASSERT_TRUE(before.ok());
+  // A descriptor-level write the facade never sees (the supervisor's case).
+  auto handle = vfs_->open("/f", O_WRONLY, 0);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE((*handle)->pwrite("abcd", 4, 0).ok());
+  vfs_->invalidate_cached("/f");
+  auto after = vfs_->stat("/f");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size, 4u);
+}
+
+// ---- boxed end-to-end: supervisor handlers keep the cache coherent ----
+
+TEST(VfsCacheBoxed, MutatingShellPipelineSeesItsOwnWrites) {
+  TempDir work("cache-box-work");
+  ASSERT_TRUE(write_file(work.sub(".__acl"), "Tester rwldax\n").ok());
+  TempDir state("cache-box-state");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.provision_home = false;
+  // TTL far beyond the run: only explicit invalidation can keep this
+  // pipeline coherent (write → rename → read-back of the new name).
+  options.vfs_cache_ttl_ms = 10 * 1000;
+  auto box = BoxContext::Create(*Identity::Parse("Tester"), options);
+  ASSERT_TRUE(box.ok());
+
+  UniqueFd out_fd(::memfd_create("cache-box-out", 0));
+  ProcessRegistry registry;
+  SandboxConfig config;
+  config.dispatch = DispatchMode::kSeccomp;  // falls back without kernel aid
+  config.initial_cwd = work.path();
+  Supervisor supervisor(**box, registry, config);
+  Supervisor::Stdio stdio{-1, out_fd.get(), -1};
+  auto exit_code = supervisor.run(
+      {"/bin/sh", "-c", "echo x > f && mv f g && cat g"}, {}, stdio);
+  ASSERT_TRUE(exit_code.ok()) << exit_code.error().message();
+  char buf[256] = {0};
+  ssize_t n = ::pread(out_fd.get(), buf, sizeof(buf) - 1, 0);
+  EXPECT_EQ(*exit_code, 0) << buf;
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(buf), "x\n");
+  // The supervisor enabled the cache from BoxOptions and exercised it.
+  ASSERT_NE((*box)->vfs().cache(), nullptr);
+  const auto& stats = (*box)->vfs().cache()->stats();
+  EXPECT_GT(stats.invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace ibox
