@@ -125,13 +125,13 @@ int main(int argc, char** argv) {
                 kTotal / read_s / 1e6);
   }
 
-  const auto& stats = (*server)->stats();
+  const ChirpStatsSnapshot stats = (*server)->snapshot_stats();
   std::printf("\nserver stats: %llu connections, %llu requests, %llu MB "
               "read, %llu MB written\n",
-              static_cast<unsigned long long>(stats.connections.load()),
-              static_cast<unsigned long long>(stats.requests.load()),
-              static_cast<unsigned long long>(stats.bytes_read.load() >> 20),
-              static_cast<unsigned long long>(stats.bytes_written.load() >> 20));
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.bytes_read >> 20),
+              static_cast<unsigned long long>(stats.bytes_written >> 20));
 
   // --- concurrency: serving model x ACL cache ---
   // Fixed-duration stat hammering; every request authorizes against the

@@ -22,6 +22,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -126,9 +127,20 @@ int main(int argc, char** argv) {
                                     &seccomp_stats, &seccomp_effective);
   if (!seccomped.ok()) return 1;
 
+  // Fourth arm: the seccomp configuration with the metrics registry
+  // attached (trace ring off), measuring what leaving observability on
+  // costs — the overhead budget in DESIGN.md section 11.
+  MetricsRegistry obs_registry;
+  SandboxConfig obs_config = seccomp_config;
+  obs_config.metrics = &obs_registry;
+  SupervisorStats obs_stats;
+  auto observed = bench::run_boxed(child_argv, obs_config, &obs_stats);
+  if (!observed.ok()) return 1;
+
   auto native_ns = parse_results(*native);
   auto trace_ns = parse_results(*traced);
   auto seccomp_ns = parse_results(*seccomped);
+  auto obs_ns = parse_results(*observed);
 
   std::printf("%-12s %12s %12s %12s %8s %8s\n", "syscall", "native (us)",
               "seccomp (us)", "trace (us)", "sec/nat", "trc/nat");
@@ -149,6 +161,19 @@ int main(int argc, char** argv) {
                 s_us, t_us, s_ratio, t_ratio);
   }
   bench::print_rule(70);
+  // Aggregate registry-on overhead across the interposed cases (sums, so
+  // one noisy fast case cannot dominate the percentage).
+  double seccomp_total = 0;
+  double obs_total = 0;
+  for (const char* name : order) {
+    seccomp_total += seccomp_ns[name];
+    obs_total += obs_ns[name];
+  }
+  const double obs_overhead_pct =
+      seccomp_total > 0 ? (obs_total / seccomp_total - 1.0) * 100.0 : 0;
+  std::printf("\nregistry-on seccomp arm: %.2f us total per-case latency vs "
+              "%.2f us off (%+.2f%% observability overhead)\n",
+              obs_total / 1000.0, seccomp_total / 1000.0, obs_overhead_pct);
   const double pass_speedup =
       seccomp_ns["getpid"] > 0 ? trace_ns["getpid"] / seccomp_ns["getpid"] : 0;
   const double pass_vs_native =
@@ -182,14 +207,17 @@ int main(int argc, char** argv) {
     for (const char* name : order) {
       std::fprintf(json,
                    "%s{\"name\":\"%s\",\"native_ns\":%.0f,"
-                   "\"seccomp_ns\":%.0f,\"trace_ns\":%.0f}",
+                   "\"seccomp_ns\":%.0f,\"seccomp_obs_ns\":%.0f,"
+                   "\"trace_ns\":%.0f}",
                    first ? "" : ",", name, native_ns[name], seccomp_ns[name],
-                   trace_ns[name]);
+                   obs_ns[name], trace_ns[name]);
       first = false;
     }
     std::fprintf(json,
-                 "],\"trace_trapped\":%llu,\"seccomp_trapped\":%llu,"
+                 "],\"obs_overhead_pct\":%.2f,"
+                 "\"trace_trapped\":%llu,\"seccomp_trapped\":%llu,"
                  "\"seccomp_stops\":%llu,\"exit_stops_elided\":%llu}\n",
+                 obs_overhead_pct,
                  static_cast<unsigned long long>(trace_stats.syscalls_trapped),
                  static_cast<unsigned long long>(
                      seccomp_stats.syscalls_trapped),

@@ -110,12 +110,12 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   while (!g_stop) ::pause();
 
-  const auto& stats = (*server)->stats();
+  const ChirpStatsSnapshot stats = (*server)->snapshot_stats();
   std::printf("chirp_server: shutting down (%llu connections, %llu "
               "requests, %llu denials, %llu execs)\n",
-              static_cast<unsigned long long>(stats.connections.load()),
-              static_cast<unsigned long long>(stats.requests.load()),
-              static_cast<unsigned long long>(stats.denials.load()),
-              static_cast<unsigned long long>(stats.execs.load()));
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.denials),
+              static_cast<unsigned long long>(stats.execs));
   return 0;
 }

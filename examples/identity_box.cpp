@@ -14,6 +14,8 @@
 //   --no-home          do not provision a home directory
 //   --no-passwd        do not redirect /etc/passwd
 //   --stats            print supervisor statistics to stderr at exit
+//   --stats-json FILE  write the full observability snapshot (metrics
+//                      registry + trace ring) as JSON at exit
 //   --mount <pfx>=<host>:<port>   mount a Chirp server at a path prefix
 //                      (authenticated as unix:<user>, or with --gsi)
 //   --gsi DN:CA:SECRET mint a certificate for Chirp mounts
@@ -35,6 +37,8 @@
 #include "box/process_registry.h"
 #include "chirp/chirp_driver.h"
 #include "identity/identity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sandbox/supervisor.h"
 #include "util/fs.h"
 #include "util/strings.h"
@@ -46,8 +50,8 @@ void usage() {
                "usage: identity_box [--state DIR] [--audit FILE] "
                "[--cwd PATH] [--data-path MODE] [--dispatch trace|seccomp] "
                "[--no-home] [--no-passwd] "
-               "[--stats] [--mount PREFIX=HOST:PORT] [--gsi DN:CA:SECRET] "
-               "<identity> <command> [args...]\n");
+               "[--stats] [--stats-json FILE] [--mount PREFIX=HOST:PORT] "
+               "[--gsi DN:CA:SECRET] <identity> <command> [args...]\n");
 }
 
 }  // namespace
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
   BoxOptions options;
   SandboxConfig config;
   bool print_stats = false;
+  std::string stats_json_path;
   std::string state_dir;
   std::vector<std::pair<std::string, std::string>> mounts;  // prefix, addr
   std::string gsi_spec;
@@ -89,6 +94,8 @@ int main(int argc, char** argv) {
       options.redirect_passwd = false;
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg == "--stats-json" && argi + 1 < argc) {
+      stats_json_path = argv[++argi];
     } else if (arg == "--mount" && argi + 1 < argc) {
       std::string spec = argv[++argi];
       size_t eq = spec.find('=');
@@ -178,6 +185,12 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> command(argv + argi, argv + argc);
   ProcessRegistry registry;
+  MetricsRegistry metrics;
+  TraceRing trace(4096);
+  if (!stats_json_path.empty()) {
+    config.metrics = &metrics;
+    config.trace = &trace;
+  }
   Supervisor supervisor(**box, registry, config);
   auto exit_code = supervisor.run(command);
   if (!exit_code.ok()) {
@@ -223,6 +236,16 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(c.access_hits +
                                                    c.access_misses),
                    static_cast<unsigned long long>(c.invalidations));
+    }
+  }
+  if (!stats_json_path.empty()) {
+    std::string json = "{\"metrics\":" + metrics.snapshot().to_json() +
+                       ",\"trace\":" + trace.to_json() + "}\n";
+    Status written = write_file(stats_json_path, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "identity_box: cannot write %s: %s\n",
+                   stats_json_path.c_str(), written.message().c_str());
+      return 1;
     }
   }
   return *exit_code;

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include "obs/metrics.h"
 #include "util/hash.h"
 
 namespace ibox {
@@ -31,6 +32,17 @@ AclCache::Shard& AclCache::shard_for(const std::string& dir) {
   return shards_[fnv1a64(dir) % kShards];
 }
 
+void AclCache::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_hits_ = m_misses_ = m_evictions_ = m_invalidations_ = nullptr;
+    return;
+  }
+  m_hits_ = &metrics->counter("acl.cache.hits");
+  m_misses_ = &metrics->counter("acl.cache.misses");
+  m_evictions_ = &metrics->counter("acl.cache.evictions");
+  m_invalidations_ = &metrics->counter("acl.cache.invalidations");
+}
+
 std::optional<std::shared_ptr<const Acl>> AclCache::lookup(
     const std::string& dir, const Validator& current) {
   if (!enabled()) return std::nullopt;
@@ -39,6 +51,7 @@ std::optional<std::shared_ptr<const Acl>> AclCache::lookup(
   auto it = shard.entries.find(dir);
   if (it == shard.entries.end()) {
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->inc();
     return std::nullopt;
   }
   if (it->second.validator != current) {
@@ -46,10 +59,12 @@ std::optional<std::shared_ptr<const Acl>> AclCache::lookup(
     shard.lru.erase(it->second.lru_it);
     shard.entries.erase(it);
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->inc();
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (m_hits_ != nullptr) m_hits_->inc();
   return it->second.acl;
 }
 
@@ -69,6 +84,7 @@ void AclCache::insert(const std::string& dir, const Validator& validator,
     shard.entries.erase(shard.lru.back());
     shard.lru.pop_back();
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (m_evictions_ != nullptr) m_evictions_->inc();
   }
   shard.lru.push_front(dir);
   shard.entries.emplace(
@@ -84,6 +100,7 @@ void AclCache::invalidate(const std::string& dir) {
   shard.lru.erase(it->second.lru_it);
   shard.entries.erase(it);
   stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  if (m_invalidations_ != nullptr) m_invalidations_->inc();
 }
 
 void AclCache::clear() {

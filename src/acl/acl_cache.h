@@ -34,6 +34,9 @@
 
 namespace ibox {
 
+class Counter;
+class MetricsRegistry;
+
 struct AclCacheStats {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
@@ -87,6 +90,13 @@ class AclCache {
   size_t size() const;
   const AclCacheStats& stats() const { return stats_; }
 
+  // Mirrors hit/miss/eviction/invalidation counts into `metrics` under the
+  // `acl.cache.*` names (obs/metrics.h). Null detaches. Must be called
+  // before the cache is shared across threads (the owning server binds it
+  // during construction); the mirrored Counter adds are relaxed atomics,
+  // safe from any thread afterwards.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   static constexpr size_t kShards = 8;
 
@@ -108,6 +118,12 @@ class AclCache {
   size_t shard_capacity_ = 0;
   Shard shards_[kShards];
   mutable AclCacheStats stats_;
+
+  // Registry mirrors (null when detached).
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Counter* m_invalidations_ = nullptr;
 };
 
 }  // namespace ibox

@@ -142,6 +142,13 @@ void BoxContext::enable_hot_caches() {
   config.capacity = options_.vfs_cache_capacity;
   config.ttl_ms = options_.vfs_cache_ttl_ms;
   vfs_->enable_cache(config);
+  if (vfs_->cache() != nullptr) vfs_->cache()->set_metrics(metrics_);
+}
+
+void BoxContext::bind_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (vfs_->cache() != nullptr) vfs_->cache()->set_metrics(metrics_);
+  if (local_ != nullptr) local_->acl_store().cache().set_metrics(metrics_);
 }
 
 }  // namespace ibox

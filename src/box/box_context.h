@@ -25,6 +25,8 @@
 
 namespace ibox {
 
+class MetricsRegistry;
+
 struct BoxOptions {
   // Host directory exported as the box's "/". "/" (default) gives the
   // paper's interactive-session behavior: the visitor sees the whole
@@ -95,6 +97,11 @@ class BoxContext {
   // starts from an empty cache); no-op when options disable them.
   void enable_hot_caches();
 
+  // Points the box's caches (VfsCache, the local driver's AclCache) at a
+  // metrics registry so their hit/miss counters are published through it.
+  // Survives enable_hot_caches() recreating the VfsCache. Null detaches.
+  void bind_metrics(MetricsRegistry* metrics);
+
  private:
   BoxContext(Identity identity, BoxOptions options);
 
@@ -108,6 +115,7 @@ class BoxContext {
   LocalDriver* local_ = nullptr;  // owned by the mount table
   AuditLog audit_;
   std::string home_box_path_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ibox

@@ -283,6 +283,22 @@ Result<SpaceInfo> ChirpClient::statfs() {
   return info;
 }
 
+Result<ChirpDebugStats> ChirpClient::debug_stats() {
+  BufWriter request;
+  request.put_u8(static_cast<uint8_t>(ChirpOp::kDebugStats));
+  auto result = rpc(request);
+  if (!result.ok()) return result.error();
+  BufReader reader(result->second);
+  auto metrics = MetricsSnapshot::Decode(reader);
+  if (!metrics.ok()) return metrics.error();
+  auto trace_json = reader.get_bytes();
+  if (!trace_json.ok()) return Error(EBADMSG);
+  ChirpDebugStats stats;
+  stats.metrics = std::move(*metrics);
+  stats.trace_json = std::move(*trace_json);
+  return stats;
+}
+
 Result<std::vector<AclEntry>> ChirpClient::getacl(const std::string& path) {
   auto text = getacl_text(path);
   if (!text.ok()) return text.error();

@@ -13,11 +13,20 @@
 #include "auth/auth.h"
 #include "chirp/net.h"
 #include "chirp/protocol.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace ibox {
 
 class FaultInjector;
+
+// Server-side observability export carried by the kDebugStats RPC: the
+// server's full metrics snapshot plus its trace ring rendered as JSON
+// (the trace is export-only — there is no JSON parser in the tree).
+struct ChirpDebugStats {
+  MetricsSnapshot metrics;
+  std::string trace_json;
+};
 
 // Connection parameters for ChirpClient::Connect. A struct rather than a
 // positional list so new knobs (timeouts, fault hooks) do not ripple
@@ -79,6 +88,9 @@ class ChirpClient {
 
   // Space totals of the server's export.
   Result<SpaceInfo> statfs();
+
+  // The server's observability snapshot (metrics registry + trace ring).
+  Result<ChirpDebugStats> debug_stats();
 
   // Typed ACL listing: the server's canonical ACL text parsed into
   // (subject pattern, rights) entries at the protocol boundary.

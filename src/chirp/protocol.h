@@ -52,6 +52,7 @@ enum class ChirpOp : uint8_t {
   kGetFile = 26,  // path -> whole file (convenience, like chirp's getfile)
   kPutFile = 27,  // path, mode, data (convenience, like chirp's putfile)
   kStatfs = 28,   // -> space totals of the export
+  kDebugStats = 29,  // -> metrics snapshot (codec) + trace ring JSON
 };
 
 // Load-shed protocol error: the server is over its connection soft limit

@@ -13,6 +13,7 @@
 
 #include "box/box_context.h"
 #include "chirp/catalog.h"
+#include "chirp/fault_injector.h"
 #include "sandbox/supervisor.h"
 #include "util/fs.h"
 #include "util/log.h"
@@ -55,9 +56,33 @@ struct ChirpServer::Connection {
   uint32_t armed_events = 0;
 };
 
+ChirpServer::ServerCounters::ServerCounters(MetricsRegistry& metrics)
+    : connections(metrics.counter("chirp.server.connections")),
+      auth_failures(metrics.counter("chirp.server.auth_failures")),
+      requests(metrics.counter("chirp.server.requests")),
+      denials(metrics.counter("chirp.server.denials")),
+      execs(metrics.counter("chirp.server.execs")),
+      bytes_read(metrics.counter("chirp.server.bytes_read")),
+      bytes_written(metrics.counter("chirp.server.bytes_written")),
+      oversized_frames(metrics.counter("chirp.server.oversized_frames")),
+      queue_depth(metrics.gauge("chirp.server.queue_depth")),
+      peak_queue_depth(metrics.gauge("chirp.server.peak_queue_depth")),
+      worker_batches(metrics.counter("chirp.server.worker_batches")),
+      worker_busy_micros(
+          metrics.counter("chirp.server.worker_busy_micros")),
+      sheds(metrics.counter("chirp.server.sheds")),
+      active_connections(metrics.gauge("chirp.server.active_connections")),
+      rpc_latency_us(metrics.histogram("chirp.rpc.latency_us")) {}
+
 ChirpServer::ChirpServer(ChirpServerOptions options)
     : options_(std::move(options)),
-      driver_(options_.export_root, options_.acl_cache_capacity) {}
+      driver_(options_.export_root, options_.acl_cache_capacity),
+      stats_(metrics_) {
+  // The driver's ACL cache mirrors its hit/miss counters into the same
+  // registry, so one debug_stats snapshot carries the whole serving path.
+  // Bound here, before any serving thread exists.
+  driver_.acl_store().cache().set_metrics(&metrics_);
+}
 
 Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
     ChirpServerOptions options) {
@@ -133,20 +158,22 @@ void ChirpServer::stop() {
 
 ChirpStatsSnapshot ChirpServer::snapshot_stats() const {
   ChirpStatsSnapshot snap;
-  snap.connections = stats_.connections.load();
-  snap.auth_failures = stats_.auth_failures.load();
-  snap.requests = stats_.requests.load();
-  snap.denials = stats_.denials.load();
-  snap.execs = stats_.execs.load();
-  snap.bytes_read = stats_.bytes_read.load();
-  snap.bytes_written = stats_.bytes_written.load();
-  snap.oversized_frames = stats_.oversized_frames.load();
-  snap.queue_depth = stats_.queue_depth.load();
-  snap.peak_queue_depth = stats_.peak_queue_depth.load();
-  snap.worker_batches = stats_.worker_batches.load();
-  snap.worker_busy_micros = stats_.worker_busy_micros.load();
-  snap.sheds = stats_.sheds.load();
-  snap.active_connections = stats_.active_connections.load();
+  snap.connections = stats_.connections.value();
+  snap.auth_failures = stats_.auth_failures.value();
+  snap.requests = stats_.requests.value();
+  snap.denials = stats_.denials.value();
+  snap.execs = stats_.execs.value();
+  snap.bytes_read = stats_.bytes_read.value();
+  snap.bytes_written = stats_.bytes_written.value();
+  snap.oversized_frames = stats_.oversized_frames.value();
+  snap.queue_depth = static_cast<uint64_t>(
+      std::max<int64_t>(0, stats_.queue_depth.value()));
+  snap.peak_queue_depth =
+      static_cast<uint64_t>(stats_.peak_queue_depth.value());
+  snap.worker_batches = stats_.worker_batches.value();
+  snap.worker_busy_micros = stats_.worker_busy_micros.value();
+  snap.sheds = stats_.sheds.value();
+  snap.active_connections = stats_.active_connections.value();
   snap.request_timeouts = driver_sink_.timeouts.load();
   const AclCacheStats& cache = driver_.acl_store().cache().stats();
   snap.acl_cache_hits = cache.hits.load();
@@ -154,6 +181,26 @@ ChirpStatsSnapshot ChirpServer::snapshot_stats() const {
   snap.acl_cache_evictions = cache.evictions.load();
   snap.acl_cache_invalidations = cache.invalidations.load();
   return snap;
+}
+
+MetricsSnapshot ChirpServer::metrics_snapshot() const {
+  // Surfaces that live outside the registry (the driver sink's deadline
+  // expiries, the optional fault injector) are refreshed into gauges just
+  // before the snapshot, so one export carries everything.
+  metrics_.gauge("chirp.server.request_timeouts")
+      .set(static_cast<int64_t>(driver_sink_.timeouts.load()));
+  if (options_.faults != nullptr) {
+    const FaultInjectorStats faults = options_.faults->stats();
+    metrics_.gauge("chirp.faults.drops")
+        .set(static_cast<int64_t>(faults.drops));
+    metrics_.gauge("chirp.faults.delays")
+        .set(static_cast<int64_t>(faults.delays));
+    metrics_.gauge("chirp.faults.truncates")
+        .set(static_cast<int64_t>(faults.truncates));
+    metrics_.gauge("chirp.faults.refused_accepts")
+        .set(static_cast<int64_t>(faults.refused_accepts));
+  }
+  return metrics_.snapshot();
 }
 
 // ---------------------------------------------------------------- auth --
@@ -219,11 +266,13 @@ RequestContext ChirpServer::make_context(const Identity& id) const {
 
 bool ChirpServer::should_shed() {
   if (options_.max_connections == 0) return false;
-  if (stats_.active_connections.load() <
+  if (stats_.active_connections.value() <
       static_cast<int64_t>(options_.max_connections)) {
     return false;
   }
-  stats_.sheds++;
+  stats_.sheds.inc();
+  trace_.record(TraceKind::kShed, 0,
+                static_cast<uint64_t>(stats_.active_connections.value()));
   return true;
 }
 
@@ -242,7 +291,7 @@ void ChirpServer::accept_loop() {
       if (stopping_.load()) return;
       continue;
     }
-    stats_.connections++;
+    stats_.connections.inc();
     auto shared = std::make_shared<FrameChannel>(std::move(*channel));
     if (should_shed()) {
       std::lock_guard<std::mutex> lock(threads_mutex_);
@@ -250,11 +299,11 @@ void ChirpServer::accept_loop() {
           [this, shared] { shed_job(shared); });
       continue;
     }
-    stats_.active_connections++;
+    stats_.active_connections.add(1);
     std::lock_guard<std::mutex> lock(threads_mutex_);
     connection_threads_.emplace_back([this, shared] {
       serve_connection(std::move(*shared));
-      stats_.active_connections--;
+      stats_.active_connections.sub(1);
     });
   }
 }
@@ -262,10 +311,12 @@ void ChirpServer::accept_loop() {
 void ChirpServer::serve_connection(FrameChannel channel) {
   auto identity = authenticate(channel);
   if (!identity.ok()) {
-    stats_.auth_failures++;
+    stats_.auth_failures.inc();
+    trace_.record(TraceKind::kAuthHandshake, identity.error_code());
     return;
   }
   IBOX_INFO << "chirp connection authenticated as " << identity->str();
+  trace_.record(TraceKind::kAuthHandshake, 0, 0, identity->str());
 
   Session session;
   session.identity = *identity;
@@ -276,7 +327,7 @@ void ChirpServer::serve_connection(FrameChannel channel) {
       // An oversized frame was drained by recv_frame, so the stream is
       // still in sync: answer with a protocol error and keep serving.
       if (frame.error_code() == EMSGSIZE) {
-        stats_.oversized_frames++;
+        stats_.oversized_frames.inc();
         BufWriter reply;
         reply.put_i64(-EMSGSIZE);
         if (!channel.send_frame(reply.data()).ok()) return;
@@ -287,9 +338,14 @@ void ChirpServer::serve_connection(FrameChannel channel) {
     BufReader reader(*frame);
     auto op = reader.get_u8();
     if (!op.ok()) return;
-    stats_.requests++;
+    stats_.requests.inc();
     BufWriter reply;
+    const auto started = std::chrono::steady_clock::now();
     dispatch(session, static_cast<ChirpOp>(*op), reader, reply);
+    stats_.rpc_latency_us.observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
     if (!channel.send_frame(reply.data()).ok()) return;
   }
 }
@@ -420,13 +476,13 @@ void ChirpServer::handle_accept() {
       if (channel.error().code() == ECONNABORTED) continue;
       return;  // EAGAIN or shutdown
     }
-    stats_.connections++;
+    stats_.connections.inc();
     auto shared = std::make_shared<FrameChannel>(std::move(*channel));
     if (should_shed()) {
       enqueue_job([this, shared] { shed_job(shared); });
       continue;
     }
-    stats_.active_connections++;
+    stats_.active_connections.add(1);
     // The handshake is blocking (guarded by a receive timeout), so it
     // runs on the worker pool, not the reactor.
     enqueue_job([this, shared] { handshake_job(shared); });
@@ -440,14 +496,16 @@ void ChirpServer::handshake_job(std::shared_ptr<FrameChannel> channel) {
   }
   auto identity = authenticate(*channel);
   if (!identity.ok()) {
-    stats_.auth_failures++;
-    stats_.active_connections--;
+    stats_.auth_failures.inc();
+    trace_.record(TraceKind::kAuthHandshake, identity.error_code());
+    stats_.active_connections.sub(1);
     return;
   }
   IBOX_INFO << "chirp connection authenticated as " << identity->str();
+  trace_.record(TraceKind::kAuthHandshake, 0, 0, identity->str());
   if (!channel->set_recv_timeout_ms(0).ok() ||
       !channel->set_nonblocking(true).ok()) {
-    stats_.active_connections--;
+    stats_.active_connections.sub(1);
     return;
   }
 
@@ -465,7 +523,7 @@ void ChirpServer::handshake_job(std::shared_ptr<FrameChannel> channel) {
             0) {
       // Dropped (shutdown race or registration failure); the fd closes
       // with `conn` and its admission slot frees here.
-      stats_.active_connections--;
+      stats_.active_connections.sub(1);
       return;
     }
     conn->armed_events = EPOLLIN;
@@ -522,12 +580,9 @@ void ChirpServer::handle_readable(const std::shared_ptr<Connection>& conn) {
     std::lock_guard<std::mutex> lock(conn->mutex);
     for (auto& event : events) conn->requests.push_back(std::move(event));
     if (!events.empty()) {
-      uint64_t depth =
-          stats_.queue_depth.fetch_add(events.size()) + events.size();
-      uint64_t peak = stats_.peak_queue_depth.load();
-      while (depth > peak &&
-             !stats_.peak_queue_depth.compare_exchange_weak(peak, depth)) {
-      }
+      const int64_t depth = stats_.queue_depth.add_fetch(
+          static_cast<int64_t>(events.size()));
+      stats_.peak_queue_depth.update_max(depth);
     }
     if (closed || failed) {
       conn->closing = true;
@@ -593,7 +648,7 @@ void ChirpServer::finalize_close(int fd) {
   // job may still hold one briefly; it guards against the missing map
   // entry).
   connections_.erase(it);
-  stats_.active_connections--;
+  stats_.active_connections.sub(1);
 }
 
 bool ChirpServer::flush_outbound(Connection& conn) {
@@ -639,7 +694,7 @@ void ChirpServer::connection_job(std::shared_ptr<Connection> conn) {
       }
       event = std::move(conn->requests.front());
       conn->requests.pop_front();
-      stats_.queue_depth--;
+      stats_.queue_depth.sub(1);
     }
 
     std::string reply = serve_frame(conn->session, event);
@@ -657,11 +712,11 @@ void ChirpServer::connection_job(std::shared_ptr<Connection> conn) {
       }
     }
   }
-  stats_.worker_batches++;
-  stats_.worker_busy_micros +=
+  stats_.worker_batches.inc();
+  stats_.worker_busy_micros.add(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - started)
-          .count();
+          .count()));
   if (ask_finalize) {
     post_to_reactor([this, conn] { maybe_finalize(conn); });
   }
@@ -671,7 +726,7 @@ std::string ChirpServer::serve_frame(Session& session,
                                      FrameReader::Event& event) {
   BufWriter reply;
   if (event.kind == FrameReader::Event::Kind::kOversized) {
-    stats_.oversized_frames++;
+    stats_.oversized_frames.inc();
     reply.put_i64(-EMSGSIZE);
   } else {
     BufReader reader(event.payload);
@@ -679,8 +734,13 @@ std::string ChirpServer::serve_frame(Session& session,
     if (!op.ok()) {
       reply.put_i64(-EBADMSG);
     } else {
-      stats_.requests++;
+      stats_.requests.inc();
+      const auto started = std::chrono::steady_clock::now();
       dispatch(session, static_cast<ChirpOp>(*op), reader, reply);
+      stats_.rpc_latency_us.observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()));
     }
   }
   const std::string& payload = reply.data();
@@ -722,7 +782,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto handle = driver_.open(ctx, *path, static_cast<int>(*flags),
                                  static_cast<int>(*mode));
       if (!handle.ok()) {
-        if (handle.error_code() == EACCES) stats_.denials++;
+        if (handle.error_code() == EACCES) stats_.denials.inc();
         put_status(reply, -handle.error_code());
         return;
       }
@@ -753,7 +813,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
         put_status(reply, -got.error_code());
         return;
       }
-      stats_.bytes_read += *got;
+      stats_.bytes_read.add(*got);
       put_status(reply, static_cast<int64_t>(*got));
       reply.put_bytes(std::string_view(buf.data(), *got));
       return;
@@ -773,7 +833,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
         put_status(reply, -wrote.error_code());
         return;
       }
-      stats_.bytes_written += *wrote;
+      stats_.bytes_written.add(*wrote);
       put_status(reply, static_cast<int64_t>(*wrote));
       return;
     }
@@ -836,7 +896,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto mode = reader.get_u32();
       if (!path.ok() || !mode.ok()) return bad();
       Status st = driver_.mkdir(ctx, *path, static_cast<int>(*mode));
-      if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
+      if (!st.ok() && st.error_code() == EACCES) stats_.denials.inc();
       put_status(reply, status_of(st));
       return;
     }
@@ -927,7 +987,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto kind = reader.get_u8();
       if (!path.ok() || !kind.ok()) return bad();
       Status st = driver_.access(ctx, *path, static_cast<Access>(*kind));
-      if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
+      if (!st.ok() && st.error_code() == EACCES) stats_.denials.inc();
       put_status(reply, status_of(st));
       return;
     }
@@ -949,7 +1009,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto rights = reader.get_bytes();
       if (!path.ok() || !subject.ok() || !rights.ok()) return bad();
       Status st = driver_.setacl(ctx, *path, *subject, *rights);
-      if (!st.ok() && st.error_code() == EACCES) stats_.denials++;
+      if (!st.ok() && st.error_code() == EACCES) stats_.denials.inc();
       put_status(reply, status_of(st));
       return;
     }
@@ -978,7 +1038,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
           return;
         }
       }
-      stats_.bytes_read += contents.size();
+      stats_.bytes_read.add(contents.size());
       put_status(reply, static_cast<int64_t>(contents.size()));
       reply.put_bytes(contents);
       return;
@@ -991,7 +1051,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto handle = driver_.open(ctx, *path, O_WRONLY | O_CREAT | O_TRUNC,
                                  static_cast<int>(*mode));
       if (!handle.ok()) {
-        if (handle.error_code() == EACCES) stats_.denials++;
+        if (handle.error_code() == EACCES) stats_.denials.inc();
         put_status(reply, -handle.error_code());
         return;
       }
@@ -1000,7 +1060,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
         put_status(reply, -wrote.error_code());
         return;
       }
-      stats_.bytes_written += *wrote;
+      stats_.bytes_written.add(*wrote);
       put_status(reply, static_cast<int64_t>(*wrote));
       return;
     }
@@ -1018,6 +1078,16 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
     }
     case ChirpOp::kExec: {
       handle_exec(session, reader, reply);
+      return;
+    }
+    case ChirpOp::kDebugStats: {
+      // Unified observability export: the metrics snapshot in the codec
+      // wire format, then the trace ring as a JSON blob. Authenticated
+      // like any other RPC; the registry merge is cheap enough that no
+      // special rate limit is needed.
+      put_status(reply, 0);
+      metrics_snapshot().encode(reply);
+      reply.put_bytes(trace_.to_json());
       return;
     }
   }
@@ -1046,7 +1116,7 @@ void ChirpServer::handle_exec(Session& session, BufReader& reader,
     }
     argv.push_back(std::move(*arg));
   }
-  stats_.execs++;
+  stats_.execs.inc();
 
   // "This process is run within an identity box corresponding to the
   // identity negotiated at connection." The box is rooted at the host "/"

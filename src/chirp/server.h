@@ -42,6 +42,8 @@
 #include "box/process_registry.h"
 #include "chirp/net.h"
 #include "chirp/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vfs/local_driver.h"
 
 namespace ibox {
@@ -130,27 +132,6 @@ struct ChirpServerOptions {
   FaultInjector* faults = nullptr;
 };
 
-struct ChirpServerStats {
-  std::atomic<uint64_t> connections{0};
-  std::atomic<uint64_t> auth_failures{0};
-  std::atomic<uint64_t> requests{0};
-  std::atomic<uint64_t> denials{0};
-  std::atomic<uint64_t> execs{0};
-  std::atomic<uint64_t> bytes_read{0};
-  std::atomic<uint64_t> bytes_written{0};
-  // Reactor-mode surface: frames rejected for size, depth of the pending
-  // request queues, and worker activity (batches drained / busy time).
-  std::atomic<uint64_t> oversized_frames{0};
-  std::atomic<uint64_t> queue_depth{0};
-  std::atomic<uint64_t> peak_queue_depth{0};
-  std::atomic<uint64_t> worker_batches{0};
-  std::atomic<uint64_t> worker_busy_micros{0};
-  // Load shedding: connections answered "busy" over the soft limit, and
-  // the live count the limit is measured against.
-  std::atomic<uint64_t> sheds{0};
-  std::atomic<int64_t> active_connections{0};
-};
-
 // Plain-value copy of the counters (plus the driver-side surfaces: ACL
 // cache effectiveness and deadline expiries), for benches and tests.
 struct ChirpStatsSnapshot {
@@ -186,8 +167,13 @@ class ChirpServer {
   ChirpServer& operator=(const ChirpServer&) = delete;
 
   uint16_t port() const { return listener_.port(); }
-  const ChirpServerStats& stats() const { return stats_; }
   ChirpStatsSnapshot snapshot_stats() const;
+
+  // The server's unified observability surface (also served remotely via
+  // the kDebugStats RPC): every chirp.server.* counter, the per-RPC
+  // latency histogram, and the mirrored acl.cache.* counters.
+  MetricsSnapshot metrics_snapshot() const;
+  const TraceRing& trace() const { return trace_; }
 
   // Stops accepting, drains workers, and joins all threads.
   void stop();
@@ -241,11 +227,43 @@ class ChirpServer {
   // connection mutex. Returns false on a fatal socket error.
   bool flush_outbound(Connection& conn);
 
+  // Registry-backed server counters. Handles resolve once at construction
+  // so every increment on the serving paths is a single relaxed atomic op;
+  // the member keeps the historical `stats_` name because it is touched on
+  // every request path.
+  struct ServerCounters {
+    explicit ServerCounters(MetricsRegistry& metrics);
+    Counter& connections;
+    Counter& auth_failures;
+    Counter& requests;
+    Counter& denials;
+    Counter& execs;
+    Counter& bytes_read;
+    Counter& bytes_written;
+    // Reactor-mode surface: frames rejected for size, depth of the pending
+    // request queues, and worker activity (batches drained / busy time).
+    Counter& oversized_frames;
+    Gauge& queue_depth;
+    Gauge& peak_queue_depth;
+    Counter& worker_batches;
+    Counter& worker_busy_micros;
+    // Load shedding: connections answered "busy" over the soft limit, and
+    // the live count the limit is measured against.
+    Counter& sheds;
+    Gauge& active_connections;
+    Histogram& rpc_latency_us;
+  };
+
   ChirpServerOptions options_;
   TcpListener listener_;
   LocalDriver driver_;
   ProcessRegistry registry_;
-  ChirpServerStats stats_;
+  // Declared before stats_ (which holds references into it) and mutable so
+  // snapshot() — which merges shards under the registry lock — works from
+  // const accessors.
+  mutable MetricsRegistry metrics_;
+  TraceRing trace_{1024};
+  ServerCounters stats_;
   // Deadline expiries / driver-op counters fed via the RequestContext.
   mutable DriverStatsSink driver_sink_;
 

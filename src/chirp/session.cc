@@ -20,10 +20,14 @@ Result<std::unique_ptr<ChirpSession>> ChirpSession::Connect(
 
 Status ChirpSession::connect_once() {
   stats_.connect_attempts++;
+  if (m_connect_attempts_ != nullptr) m_connect_attempts_->inc();
   auto client = ChirpClient::Connect(options_.client);
   if (!client.ok()) return client.error();
   client_ = std::move(*client);
-  if (ever_connected_) stats_.reconnects++;
+  if (ever_connected_) {
+    stats_.reconnects++;
+    if (m_reconnects_ != nullptr) m_reconnects_->inc();
+  }
   ever_connected_ = true;
   Status replayed = replay_handles();
   if (!replayed.ok()) {
@@ -46,6 +50,7 @@ Status ChirpSession::replay_handles() {
     if (handle.ok()) {
       info.server_handle = *handle;
       stats_.replayed_handles++;
+      if (m_replayed_handles_ != nullptr) m_replayed_handles_->inc();
       continue;
     }
     if (client_->poisoned()) return handle.error();
@@ -147,10 +152,14 @@ Status ChirpSession::close(int64_t handle) {
 
 Result<std::string> ChirpSession::pread(int64_t handle, size_t length,
                                         uint64_t offset) {
-  return run_handle_op<std::string>(
+  auto result = run_handle_op<std::string>(
       handle, true, [&](ChirpClient& c, int64_t server_handle) {
         return c.pread(server_handle, length, offset);
       });
+  if (result.ok() && m_bytes_read_ != nullptr) {
+    m_bytes_read_->add(result->size());
+  }
+  return result;
 }
 
 Result<size_t> ChirpSession::pwrite(int64_t handle, std::string_view data,
@@ -158,10 +167,14 @@ Result<size_t> ChirpSession::pwrite(int64_t handle, std::string_view data,
   // pwrite at an absolute offset is overwrite-idempotent in effect, but a
   // torn reply leaves the *count* unknown — classify as non-idempotent so
   // only send-phase failures replay it.
-  return run_handle_op<size_t>(
+  auto result = run_handle_op<size_t>(
       handle, false, [&](ChirpClient& c, int64_t server_handle) {
         return c.pwrite(server_handle, data, offset);
       });
+  if (result.ok() && m_bytes_written_ != nullptr) {
+    m_bytes_written_->add(*result);
+  }
+  return result;
 }
 
 Result<VfsStat> ChirpSession::fstat(int64_t handle) {
@@ -312,6 +325,11 @@ Result<ExecResult> ChirpSession::exec(const std::vector<std::string>& argv,
   // failure.
   return run_op<ExecResult>(
       false, [&](ChirpClient& c) { return c.exec(argv, cwd); });
+}
+
+Result<ChirpDebugStats> ChirpSession::debug_stats() {
+  return run_op<ChirpDebugStats>(
+      true, [](ChirpClient& c) { return c.debug_stats(); });
 }
 
 }  // namespace ibox

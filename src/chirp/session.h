@@ -46,6 +46,10 @@ struct ChirpSessionOptions {
   RetryPolicy retry;
   // Seed for the jitter stream, so tests and benches replay exactly.
   uint64_t jitter_seed = 0x5E5510;
+  // Optional registry (not owned): the recovery counters below are
+  // mirrored as chirp.session.* counters, plus a whole-op latency
+  // histogram and bytes moved. Null keeps the session registry-free.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Recovery counters, for benches and tests ("the run survived 212 drops
@@ -105,6 +109,10 @@ class ChirpSession {
   Result<ExecResult> exec(const std::vector<std::string>& argv,
                           const std::string& cwd = "/");
 
+  // The server's observability snapshot, fetched over this session (and
+  // retried/reconnected like any read).
+  Result<ChirpDebugStats> debug_stats();
+
   const ChirpSessionStats& stats() const { return stats_; }
   // False between a dropped connection and the next op's reconnect.
   bool connected() const { return client_ != nullptr; }
@@ -122,7 +130,36 @@ class ChirpSession {
   };
 
   explicit ChirpSession(ChirpSessionOptions options)
-      : options_(std::move(options)), rng_(options_.jitter_seed) {}
+      : options_(std::move(options)), rng_(options_.jitter_seed) {
+    if (options_.metrics != nullptr) {
+      MetricsRegistry& m = *options_.metrics;
+      m_retries_ = &m.counter("chirp.session.retries");
+      m_connect_attempts_ = &m.counter("chirp.session.connect_attempts");
+      m_reconnects_ = &m.counter("chirp.session.reconnects");
+      m_replayed_handles_ = &m.counter("chirp.session.replayed_handles");
+      m_shed_retries_ = &m.counter("chirp.session.shed_retries");
+      m_giveups_ = &m.counter("chirp.session.giveups");
+      m_bytes_read_ = &m.counter("chirp.session.bytes_read");
+      m_bytes_written_ = &m.counter("chirp.session.bytes_written");
+      m_op_latency_ = &m.histogram("chirp.session.op_latency_us");
+    }
+  }
+
+  // Times one whole op (all attempts, backoff included) into the
+  // session's latency histogram; inert when no registry is attached.
+  struct LatencyScope {
+    explicit LatencyScope(Histogram* hist)
+        : hist_(hist), t0_(std::chrono::steady_clock::now()) {}
+    ~LatencyScope() {
+      if (hist_ == nullptr) return;
+      hist_->observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count()));
+    }
+    Histogram* hist_;
+    std::chrono::steady_clock::time_point t0_;
+  };
 
   // One attempt loop: connect if needed, run the op, classify the failure,
   // back off, repeat. The template stays in the header; the policy logic
@@ -130,6 +167,7 @@ class ChirpSession {
   template <typename T>
   Result<T> run_op(bool idempotent,
                    const std::function<Result<T>(ChirpClient&)>& fn) {
+    LatencyScope timed(m_op_latency_);
     Backoff backoff(options_.retry, rng_);
     const Deadline deadline = op_deadline();
     for (int attempt = 1;; ++attempt) {
@@ -138,9 +176,12 @@ class ChirpSession {
         Status conn = connect_once();
         if (!conn.ok()) {
           err = conn.error_code();
-          if (err == EAGAIN) stats_.shed_retries++;
+          if (err == EAGAIN) {
+            stats_.shed_retries++;
+            if (m_shed_retries_ != nullptr) m_shed_retries_->inc();
+          }
           if (!retryable_errno(err)) {
-            stats_.giveups++;
+            give_up();
             return Error(err);
           }
         }
@@ -161,20 +202,21 @@ class ChirpSession {
           // The request reached the wire and the reply was torn: the
           // server may have committed it. Replaying could apply a
           // mutation twice, so surface the ambiguity instead.
-          stats_.giveups++;
+          give_up();
           return Error(EIO);
         }
       }
       if (attempt >= options_.retry.max_attempts) {
-        stats_.giveups++;
+        give_up();
         return Error(err != 0 ? err : EIO);
       }
       Status waited = wait(backoff.next_delay_ms(), deadline);
       if (!waited.ok()) {
-        stats_.giveups++;
+        give_up();
         return waited.error();
       }
       stats_.retries++;
+      if (m_retries_ != nullptr) m_retries_->inc();
     }
   }
 
@@ -201,6 +243,11 @@ class ChirpSession {
 
   // Dials, authenticates, and replays open handles. One attempt; the
   // caller's loop owns the schedule.
+  void give_up() {
+    stats_.giveups++;
+    if (m_giveups_ != nullptr) m_giveups_->inc();
+  }
+
   Status connect_once();
   // Reopens every lost handle on the fresh connection. A definitive
   // failure (file gone, ACL changed) marks only that handle lost; a
@@ -220,6 +267,17 @@ class ChirpSession {
   bool ever_connected_ = false;
   uint64_t budget_spent_ms_ = 0;
   ChirpSessionStats stats_;
+
+  // Registry mirrors of stats_ (null when options_.metrics is null).
+  Counter* m_retries_ = nullptr;
+  Counter* m_connect_attempts_ = nullptr;
+  Counter* m_reconnects_ = nullptr;
+  Counter* m_replayed_handles_ = nullptr;
+  Counter* m_shed_retries_ = nullptr;
+  Counter* m_giveups_ = nullptr;
+  Counter* m_bytes_read_ = nullptr;
+  Counter* m_bytes_written_ = nullptr;
+  Histogram* m_op_latency_ = nullptr;
 };
 
 }  // namespace ibox

@@ -1,0 +1,41 @@
+// Minimal JSON string escaping shared by the obs serializers (metrics
+// snapshots and trace rings). Only the writer side lives here: obs exports
+// JSON for files and dashboards; the machine-readable round-trip format is
+// the util/codec binary encoding.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ibox {
+
+// Appends `s` to `out` as the body of a JSON string literal (no quotes).
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+}  // namespace ibox

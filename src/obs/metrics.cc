@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace ibox {
+
+// ------------------------------------------------------------ Histogram --
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds_us();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  const size_t buckets = bounds_.size() + 1;
+  for (auto& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+    for (size_t i = 0; i < buckets; ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+const std::vector<uint64_t>& Histogram::default_latency_bounds_us() {
+  static const std::vector<uint64_t> bounds = {
+      1,    2,    5,     10,    20,    50,     100,    200,
+      500,  1000, 2000,  5000,  10000, 20000,  50000,  100000,
+      200000, 500000, 1000000};
+  return bounds;
+}
+
+size_t Histogram::bucket_for(uint64_t value) const {
+  // First bucket whose (inclusive) upper bound holds the value; past the
+  // last bound it lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(uint64_t value) {
+  Shard& shard = shards_[obs_internal::stripe_index()];
+  shard.counts[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::counts() const {
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts()) total += c;
+  return total;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ------------------------------------------------------------- Registry --
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->counts();
+    for (uint64_t c : h.counts) h.count += c;
+    h.sum = histogram->sum();
+    snap.histograms.emplace_back(name, std::move(h));
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------- Snapshot --
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::encode(BufWriter& writer) const {
+  writer.put_u32(static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    writer.put_bytes(name);
+    writer.put_u64(value);
+  }
+  writer.put_u32(static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    writer.put_bytes(name);
+    writer.put_i64(value);
+  }
+  writer.put_u32(static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    writer.put_bytes(name);
+    writer.put_u32(static_cast<uint32_t>(h.bounds.size()));
+    for (uint64_t bound : h.bounds) writer.put_u64(bound);
+    writer.put_u32(static_cast<uint32_t>(h.counts.size()));
+    for (uint64_t count : h.counts) writer.put_u64(count);
+    writer.put_u64(h.count);
+    writer.put_u64(h.sum);
+  }
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::Decode(BufReader& reader) {
+  MetricsSnapshot snap;
+  auto n_counters = reader.get_u32();
+  if (!n_counters.ok()) return n_counters.error();
+  for (uint32_t i = 0; i < *n_counters; ++i) {
+    auto name = reader.get_bytes();
+    auto value = reader.get_u64();
+    if (!name.ok() || !value.ok()) return Error(EBADMSG);
+    snap.counters.emplace_back(std::move(*name), *value);
+  }
+  auto n_gauges = reader.get_u32();
+  if (!n_gauges.ok()) return n_gauges.error();
+  for (uint32_t i = 0; i < *n_gauges; ++i) {
+    auto name = reader.get_bytes();
+    auto value = reader.get_i64();
+    if (!name.ok() || !value.ok()) return Error(EBADMSG);
+    snap.gauges.emplace_back(std::move(*name), *value);
+  }
+  auto n_histograms = reader.get_u32();
+  if (!n_histograms.ok()) return n_histograms.error();
+  for (uint32_t i = 0; i < *n_histograms; ++i) {
+    auto name = reader.get_bytes();
+    if (!name.ok()) return Error(EBADMSG);
+    HistogramSnapshot h;
+    auto n_bounds = reader.get_u32();
+    if (!n_bounds.ok()) return Error(EBADMSG);
+    for (uint32_t j = 0; j < *n_bounds; ++j) {
+      auto bound = reader.get_u64();
+      if (!bound.ok()) return Error(EBADMSG);
+      h.bounds.push_back(*bound);
+    }
+    auto n_counts = reader.get_u32();
+    if (!n_counts.ok()) return Error(EBADMSG);
+    for (uint32_t j = 0; j < *n_counts; ++j) {
+      auto count = reader.get_u64();
+      if (!count.ok()) return Error(EBADMSG);
+      h.counts.push_back(*count);
+    }
+    auto count = reader.get_u64();
+    auto sum = reader.get_u64();
+    if (!count.ok() || !sum.ok()) return Error(EBADMSG);
+    h.count = *count;
+    h.sum = *sum;
+    snap.histograms.emplace_back(std::move(*name), std::move(h));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ibox

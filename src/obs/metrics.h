@@ -1,0 +1,187 @@
+// MetricsRegistry: the unified counter/gauge/histogram surface for the
+// identity-box subsystems (supervisor dispatch, VFS/ACL caches, Chirp
+// server and sessions).
+//
+// The paper's overhead claims ("runs as fast as the hardware allows" only
+// if we can see where time goes) need per-operation accounting that is
+// cheap enough to leave on: every metric write is one relaxed atomic add
+// on a thread-striped shard — no locks, no shared cache line between
+// concurrently-writing threads. Reads (snapshot) merge the stripes; they
+// are exact for quiescent metrics and monotone-consistent for live ones.
+//
+// Registration (registry.counter("name")) takes a mutex and is meant for
+// setup paths; hot paths cache the returned reference. Handles are stable
+// for the registry's lifetime.
+//
+// Snapshots are plain values: comparable (tests assert exact counts),
+// codec-encodable (the Chirp debug_stats RPC ships them in the standard
+// wire format), and JSON-exportable (identity_box --stats-json, benches).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/codec.h"
+#include "util/result.h"
+
+namespace ibox {
+
+namespace obs_internal {
+
+inline constexpr size_t kStripes = 16;
+
+// Each thread gets a fixed stripe for its lifetime; 16 stripes bound the
+// memory while keeping same-stripe collisions (two threads sharing a
+// cache line) rare at realistic thread counts.
+inline size_t stripe_index() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return mine;
+}
+
+}  // namespace obs_internal
+
+// Monotone event count. Writers add; value() merges the stripes.
+class Counter {
+ public:
+  void add(uint64_t n) {
+    shards_[obs_internal::stripe_index()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[obs_internal::kStripes];
+};
+
+// Instantaneous level (queue depth, live connections). Single atomic:
+// gauges move both ways, so striping would lose the level semantics.
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  // add() that returns the post-add level (queue-depth peak tracking).
+  int64_t add_fetch(int64_t d) {
+    return v_.fetch_add(d, std::memory_order_relaxed) + d;
+  }
+  // Raises the gauge to `v` if above the current level (watermarks).
+  void update_max(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+// one implicit overflow bucket catches everything above the last bound.
+// observe() is two relaxed adds on the caller's stripe.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void observe(uint64_t value);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // Merged per-bucket counts; size is bounds().size() + 1 (overflow last).
+  std::vector<uint64_t> counts() const;
+  uint64_t total_count() const;
+  uint64_t sum() const;
+
+  // Upper bounds in microseconds spanning sub-µs syscall handling to
+  // multi-second RPC stalls; the shared default so latencies from
+  // different subsystems land in comparable buckets.
+  static const std::vector<uint64_t>& default_latency_bounds_us();
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> sum{0};
+  };
+
+  size_t bucket_for(uint64_t value) const;
+
+  std::vector<uint64_t> bounds_;
+  Shard shards_[obs_internal::kStripes];
+};
+
+// Plain-value copy of one histogram, for snapshots and the wire.
+struct HistogramSnapshot {
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1, overflow last
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+// A point-in-time copy of every metric in a registry. Entries are sorted
+// by name (the registry map order), so equal registries produce equal
+// snapshots and the JSON/codec output is deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  // Lookup helpers; a missing name reads as zero/null (absent metric and
+  // never-touched metric are deliberately indistinguishable).
+  uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+
+  // util/codec wire format (the debug_stats RPC payload).
+  void encode(BufWriter& writer) const;
+  static Result<MetricsSnapshot> Decode(BufReader& reader);
+
+  std::string to_json() const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name; the same name always returns the same handle.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `bounds` applies only on first creation (empty = the default latency
+  // buckets); later calls return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       std::vector<uint64_t> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace ibox

@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace ibox {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSyscallNullified: return "syscall_nullified";
+    case TraceKind::kSyscallDenied: return "syscall_denied";
+    case TraceKind::kSyscallRewritten: return "syscall_rewritten";
+    case TraceKind::kAclDecision: return "acl_decision";
+    case TraceKind::kCacheHit: return "cache_hit";
+    case TraceKind::kCacheMiss: return "cache_miss";
+    case TraceKind::kAuthHandshake: return "auth_handshake";
+    case TraceKind::kRpc: return "rpc";
+    case TraceKind::kRetry: return "retry";
+    case TraceKind::kBackoff: return "backoff";
+    case TraceKind::kReconnect: return "reconnect";
+    case TraceKind::kFaultInjected: return "fault_injected";
+    case TraceKind::kShed: return "shed";
+    case TraceKind::kExec: return "exec";
+    case TraceKind::kSignal: return "signal";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      start_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::record(TraceKind kind, int32_t code, uint64_t value,
+                       std::string_view detail) {
+  const uint64_t t_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& slot = ring_[next_seq_ % capacity_];
+  slot.seq = next_seq_++;
+  slot.t_us = t_us;
+  slot.kind = kind;
+  slot.code = code;
+  slot.value = value;
+  slot.detail.assign(detail);
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  const uint64_t live = next_seq_ < capacity_ ? next_seq_ : capacity_;
+  out.reserve(live);
+  for (uint64_t seq = next_seq_ - live; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
+std::string TraceRing::to_json() const {
+  const auto events = snapshot();
+  std::string out = "{\"capacity\":" + std::to_string(capacity_) +
+                    ",\"recorded\":" + std::to_string(recorded()) +
+                    ",\"dropped\":" + std::to_string(dropped()) +
+                    ",\"events\":[";
+  bool first = true;
+  for (const auto& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(event.seq) +
+           ",\"t_us\":" + std::to_string(event.t_us) + ",\"kind\":";
+    append_json_string(out, trace_kind_name(event.kind));
+    out += ",\"code\":" + std::to_string(event.code) +
+           ",\"value\":" + std::to_string(event.value) + ",\"detail\":";
+    append_json_string(out, event.detail);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ibox

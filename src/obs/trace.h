@@ -1,0 +1,82 @@
+// TraceRing: a bounded ring of structured observability events.
+//
+// Counters say how often; the trace says in what order and with what
+// detail. Subsystems record low-rate, high-signal events — a syscall
+// nullified or denied, an ACL decision, an auth handshake, a retry, an
+// injected fault — and the ring keeps the most recent `capacity` of them.
+// Old events are overwritten, never reallocated: the ring's memory is
+// fixed at construction and recording is one mutex-protected slot write,
+// cheap enough to stay on in production and in the supervisor's
+// single-threaded event loop.
+//
+// Sequence numbers are global and never reused, so a consumer can detect
+// both ordering and loss (dropped() = events overwritten before export).
+// Export is JSON (identity_box --stats-json, the debug_stats RPC).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibox {
+
+// Event taxonomy (DESIGN.md section 11). Kinds are stable wire/JSON names;
+// extend at the end.
+enum class TraceKind : uint8_t {
+  kSyscallNullified,  // code = syscall nr, value = injected result
+  kSyscallDenied,     // code = errno injected, detail = syscall name
+  kSyscallRewritten,  // code = syscall nr, value = bytes moved
+  kAclDecision,       // code = 0 allow / errno deny, detail = path
+  kCacheHit,          // detail = cache name
+  kCacheMiss,         // detail = cache name
+  kAuthHandshake,     // code = 0 ok / errno, detail = principal or method
+  kRpc,               // code = opcode, value = latency us
+  kRetry,             // code = errno that triggered it, value = attempt
+  kBackoff,           // value = delay ms
+  kReconnect,         // value = dials so far
+  kFaultInjected,     // detail = drop | delay | truncate | refuse_accept
+  kShed,              // server turned a connection away under load
+  kExec,              // code = pid that exec'd
+  kSignal,            // code = signo, value = 0 forwarded / 1 denied,
+                      // detail = target pid
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  uint64_t seq = 0;   // global, monotone, never reused
+  uint64_t t_us = 0;  // microseconds since the ring was created
+  TraceKind kind = TraceKind::kSyscallNullified;
+  int32_t code = 0;
+  uint64_t value = 0;
+  std::string detail;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 1024);
+
+  void record(TraceKind kind, int32_t code = 0, uint64_t value = 0,
+              std::string_view detail = {});
+
+  // Events still in the ring, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  uint64_t recorded() const;  // events ever recorded
+  uint64_t dropped() const;   // events overwritten before snapshot
+  size_t capacity() const { return capacity_; }
+
+  std::string to_json() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // slot = seq % capacity_
+  uint64_t next_seq_ = 0;
+  const std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ibox

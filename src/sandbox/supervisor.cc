@@ -8,8 +8,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sandbox/seccomp_filter.h"
 #include "util/log.h"
 #include "util/path.h"
@@ -73,6 +76,8 @@ Result<int> Supervisor::run(const std::vector<std::string>& argv,
                             const Stdio& stdio) {
   if (argv.empty()) return Error(EINVAL);
 
+  bind_observability();
+
   // The supervisor is the one Vfs user that can guarantee the cache
   // invalidation contract (every mutating handler funnels through the
   // facade or calls invalidate_cached), so it turns the hot-path caches on.
@@ -98,7 +103,97 @@ Result<int> Supervisor::run(const std::vector<std::string>& argv,
   if (!spawned.ok()) return spawned.error();
   root_pid_ = *spawned;
 
-  return event_loop();
+  auto rc = event_loop();
+  publish_stats();
+  return rc;
+}
+
+void Supervisor::bind_observability() {
+  box_.bind_metrics(config_.metrics);
+  if (config_.metrics == nullptr) {
+    lat_path_ = lat_fd_ = lat_proc_ = lat_other_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = *config_.metrics;
+  lat_path_ = &m.histogram("sandbox.latency.path_us");
+  lat_fd_ = &m.histogram("sandbox.latency.fd_us");
+  lat_proc_ = &m.histogram("sandbox.latency.proc_us");
+  lat_other_ = &m.histogram("sandbox.latency.other_us");
+}
+
+Histogram* Supervisor::latency_hist(long nr) const {
+  if (lat_path_ == nullptr) return nullptr;  // registry detached
+  switch (nr) {
+    case SYS_open: case SYS_creat: case SYS_openat: case SYS_openat2:
+    case SYS_stat: case SYS_lstat: case SYS_newfstatat: case SYS_statx:
+    case SYS_mkdir: case SYS_mkdirat: case SYS_rmdir:
+    case SYS_unlink: case SYS_unlinkat:
+    case SYS_rename: case SYS_renameat: case SYS_renameat2:
+    case SYS_symlink: case SYS_symlinkat:
+    case SYS_readlink: case SYS_readlinkat:
+    case SYS_link: case SYS_linkat:
+    case SYS_chmod: case SYS_fchmodat:
+    case SYS_truncate:
+    case SYS_access: case SYS_faccessat: case SYS_faccessat2:
+    case SYS_utime: case SYS_utimes: case SYS_utimensat:
+    case SYS_chdir: case SYS_getcwd: case SYS_statfs:
+    case SYS_chown: case SYS_lchown: case SYS_fchownat:
+      return lat_path_;
+    case SYS_read: case SYS_pread64: case SYS_write: case SYS_pwrite64:
+    case SYS_readv: case SYS_writev:
+    case SYS_close: case SYS_fstat: case SYS_lseek:
+    case SYS_getdents: case SYS_getdents64:
+    case SYS_fcntl: case SYS_dup: case SYS_dup2: case SYS_dup3:
+    case SYS_ftruncate: case SYS_fsync: case SYS_fdatasync:
+    case SYS_ioctl: case SYS_fchmod: case SYS_fchown: case SYS_fchdir:
+    case SYS_fstatfs: case SYS_mmap: case SYS_munmap:
+    case SYS_poll: case SYS_ppoll: case SYS_pipe: case SYS_pipe2:
+    case SYS_sendfile: case SYS_copy_file_range:
+      return lat_fd_;
+    case SYS_execve: case SYS_execveat:
+    case SYS_kill: case SYS_tkill: case SYS_tgkill:
+    case SYS_clone: case SYS_clone3: case SYS_fork: case SYS_vfork:
+    case SYS_umask:
+    case SYS_socket: case SYS_connect: case SYS_bind:
+      return lat_proc_;
+    default:
+      return lat_other_;
+  }
+}
+
+void Supervisor::timed_entry(Proc& proc, Regs& regs) {
+  Histogram* hist = latency_hist(proc.nr);
+  if (hist == nullptr) {
+    on_entry(proc, regs);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  on_entry(proc, regs);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  hist->observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+}
+
+void Supervisor::publish_stats() {
+  if (config_.metrics == nullptr) return;
+  MetricsRegistry& m = *config_.metrics;
+  m.counter("sandbox.syscalls.trapped").add(stats_.syscalls_trapped);
+  m.counter("sandbox.syscalls.nullified").add(stats_.syscalls_nullified);
+  m.counter("sandbox.syscalls.rewritten").add(stats_.syscalls_rewritten);
+  m.counter("sandbox.syscalls.passed").add(stats_.syscalls_passed);
+  m.counter("sandbox.denials").add(stats_.denials);
+  m.counter("sandbox.stops.trace").add(stats_.trace_stops);
+  m.counter("sandbox.stops.seccomp").add(stats_.seccomp_stops);
+  m.counter("sandbox.stops.exit_elided").add(stats_.exit_stops_elided);
+  m.counter("sandbox.bytes.peekpoke").add(stats_.bytes_via_peekpoke);
+  m.counter("sandbox.bytes.processvm").add(stats_.bytes_via_processvm);
+  m.counter("sandbox.bytes.channel").add(stats_.bytes_via_channel);
+  m.counter("sandbox.signals.forwarded").add(stats_.signals_forwarded);
+  m.counter("sandbox.signals.denied").add(stats_.signals_denied);
+  m.counter("sandbox.processes").add(stats_.processes_seen);
+  m.counter("sandbox.execs").add(stats_.execs);
+  m.gauge("sandbox.dispatch.effective")
+      .set(effective_dispatch_ == DispatchMode::kSeccomp ? 1 : 0);
 }
 
 Result<int> Supervisor::spawn(const std::vector<std::string>& argv,
@@ -321,6 +416,10 @@ Result<int> Supervisor::event_loop() {
     } else {
       deliver = sig;
       stats_.signals_forwarded++;
+      if (config_.trace != nullptr) {
+        config_.trace->record(TraceKind::kSignal, sig, 0,
+                              std::to_string(pid));
+      }
     }
 
     if (ptrace(static_cast<__ptrace_request>(resume_request(proc)), pid, nullptr,
@@ -366,6 +465,9 @@ void Supervisor::handle_fork_event(Proc& parent, int child_pid) {
 
 void Supervisor::handle_exec_event(Proc& proc) {
   stats_.execs++;
+  if (config_.trace != nullptr) {
+    config_.trace->record(TraceKind::kExec, proc.pid);
+  }
   proc.fds->apply_cloexec();
   for (const auto& [addr, region] : proc.mmap_regions) {
     (void)addr;
@@ -389,6 +491,7 @@ void Supervisor::handle_exec_event(Proc& proc) {
 void Supervisor::handle_syscall_stop(Proc& proc) {
   auto regs = Regs::Fetch(proc.pid);
   if (!regs.ok()) return;
+  stats_.trace_stops++;
 
   if (!proc.in_syscall) {
     // Genuine entry stops carry -ENOSYS in rax; anything else is a stray
@@ -399,7 +502,7 @@ void Supervisor::handle_syscall_stop(Proc& proc) {
     proc.entry_regs = *regs;
     proc.pending = PendingOp{};
     stats_.syscalls_trapped++;
-    on_entry(proc, *regs);
+    timed_entry(proc, *regs);
   } else {
     proc.in_syscall = false;
     on_exit(proc, *regs);
@@ -426,7 +529,7 @@ void Supervisor::handle_seccomp_stop(Proc& proc) {
   proc.pending = PendingOp{};
   stats_.syscalls_trapped++;
   stats_.seccomp_stops++;
-  on_entry(proc, *regs);
+  timed_entry(proc, *regs);
 
   switch (proc.pending.kind) {
     case PendingOp::Kind::kNone:
@@ -447,6 +550,14 @@ void Supervisor::handle_seccomp_stop(Proc& proc) {
 }
 
 void Supervisor::nullify(Proc& proc, Regs& regs, int64_t result) {
+  if (config_.trace != nullptr) {
+    // A denial shows up as kSyscallDenied followed by the kSyscallNullified
+    // that implements it — a denial IS a nullification with an error result.
+    config_.trace->record(TraceKind::kSyscallNullified,
+                          static_cast<int32_t>(proc.nr),
+                          static_cast<uint64_t>(result),
+                          syscall_name(proc.nr));
+  }
   IBOX_DEBUG << "pid " << proc.pid << " " << syscall_name(proc.nr) << "("
              << proc.entry_regs.arg(0) << ", " << proc.entry_regs.arg(1)
              << ", " << proc.entry_regs.arg(2) << ") => " << result;
@@ -471,6 +582,11 @@ void Supervisor::nullify(Proc& proc, Regs& regs, int64_t result) {
 
 void Supervisor::deny(Proc& proc, Regs& regs, int err) {
   stats_.denials++;
+  if (config_.trace != nullptr) {
+    config_.trace->record(TraceKind::kSyscallDenied, err,
+                          static_cast<uint64_t>(proc.nr),
+                          syscall_name(proc.nr));
+  }
   nullify(proc, regs, -static_cast<int64_t>(err));
 }
 

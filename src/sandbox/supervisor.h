@@ -38,6 +38,10 @@
 
 namespace ibox {
 
+class Histogram;
+class MetricsRegistry;
+class TraceRing;
+
 // How the supervisor moves bulk data between boxed files and the child.
 enum class DataPath {
   kPaper,      // peek/poke below the threshold, I/O channel above (the
@@ -77,6 +81,16 @@ struct SandboxConfig {
   // Test hook: make the child skip the filter installation so the runtime
   // downgrade to kTraceAll is exercised on kernels that do have seccomp.
   bool force_dispatch_fallback = false;
+
+  // Observability (obs/metrics.h, obs/trace.h), both optional and off by
+  // default. `metrics` receives per-syscall-class interposition latency
+  // histograms live plus the full SupervisorStats as sandbox.* counters
+  // when the run ends; it is also bound to the box's hot-path caches.
+  // `trace` records low-rate structured events (nullified/denied calls,
+  // execs, forwarded signals) — deliberately not every passed syscall, so
+  // tracing stays within the interposition overhead budget.
+  MetricsRegistry* metrics = nullptr;
+  TraceRing* trace = nullptr;
 };
 
 struct SupervisorStats {
@@ -94,6 +108,7 @@ struct SupervisorStats {
   uint64_t execs = 0;
   uint64_t seccomp_stops = 0;       // PTRACE_EVENT_SECCOMP stops handled
   uint64_t exit_stops_elided = 0;   // nullified calls answered in one stop
+  uint64_t trace_stops = 0;         // syscall-entry/exit ptrace stops handled
 };
 
 class Supervisor {
@@ -194,6 +209,9 @@ class Supervisor {
   // effective_dispatch_ to kTraceAll if the child reported failure.
   void check_seccomp_install();
   void on_entry(Proc& proc, Regs& regs);
+  // on_entry plus, when a registry is attached, a latency observation on
+  // the syscall class's histogram.
+  void timed_entry(Proc& proc, Regs& regs);
   void on_exit(Proc& proc, Regs& regs);
   void handle_fork_event(Proc& parent, int child_pid);
   void handle_exec_event(Proc& proc);
@@ -304,6 +322,23 @@ class Supervisor {
   DispatchMode effective_dispatch_ = DispatchMode::kTraceAll;
   int seccomp_status_fd_ = -1;   // read end of the child's install pipe
   bool seccomp_checked_ = false;
+
+  // ---- observability (config_.metrics / config_.trace) ----
+  // Resolves registry handles and hands the registry to the box caches.
+  void bind_observability();
+  // Pushes the accumulated SupervisorStats into the registry as sandbox.*
+  // counters. Done once at end of run rather than per increment: some
+  // handlers adjust counters downward mid-flight (a provisional denial a
+  // later branch converts to pass-through), which monotonic registry
+  // counters cannot express.
+  void publish_stats();
+  // The latency histogram for syscall `nr`'s class, null when detached.
+  Histogram* latency_hist(long nr) const;
+
+  Histogram* lat_path_ = nullptr;   // path-naming calls (open/stat/...)
+  Histogram* lat_fd_ = nullptr;     // descriptor calls (read/write/...)
+  Histogram* lat_proc_ = nullptr;   // process-control calls (exec/kill/...)
+  Histogram* lat_other_ = nullptr;  // everything else that traps
 };
 
 }  // namespace ibox

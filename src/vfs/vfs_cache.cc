@@ -2,11 +2,26 @@
 
 #include <time.h>
 
+#include "obs/metrics.h"
 #include "util/path.h"
 
 namespace ibox {
 
 VfsCache::VfsCache(VfsCacheConfig config) : config_(config) {}
+
+void VfsCache::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_stat_hits_ = m_stat_misses_ = nullptr;
+    m_access_hits_ = m_access_misses_ = nullptr;
+    m_invalidations_ = nullptr;
+    return;
+  }
+  m_stat_hits_ = &metrics->counter("vfs.cache.stat.hits");
+  m_stat_misses_ = &metrics->counter("vfs.cache.stat.misses");
+  m_access_hits_ = &metrics->counter("vfs.cache.access.hits");
+  m_access_misses_ = &metrics->counter("vfs.cache.access.misses");
+  m_invalidations_ = &metrics->counter("vfs.cache.invalidations");
+}
 
 uint64_t VfsCache::now_ms() {
   struct timespec ts;
@@ -37,9 +52,11 @@ std::optional<Result<VfsStat>> VfsCache::lookup_stat(const std::string& path,
       entry ? (follow ? &entry->stat_follow : &entry->stat_nofollow) : nullptr;
   if (slot == nullptr || slot->expires_ms == 0 || now_ms() >= slot->expires_ms) {
     stats_.stat_misses++;
+    if (m_stat_misses_ != nullptr) m_stat_misses_->inc();
     return std::nullopt;
   }
   stats_.stat_hits++;
+  if (m_stat_hits_ != nullptr) m_stat_hits_->inc();
   if (slot->ok) return Result<VfsStat>(slot->st);
   return Result<VfsStat>(Error(slot->err));
 }
@@ -66,9 +83,11 @@ std::optional<Status> VfsCache::lookup_access(const std::string& path,
       entry ? &entry->access[static_cast<size_t>(wanted)] : nullptr;
   if (slot == nullptr || slot->expires_ms == 0 || now_ms() >= slot->expires_ms) {
     stats_.access_misses++;
+    if (m_access_misses_ != nullptr) m_access_misses_->inc();
     return std::nullopt;
   }
   stats_.access_hits++;
+  if (m_access_hits_ != nullptr) m_access_hits_->inc();
   return slot->err == 0 ? Status::Ok() : Status::Errno(slot->err);
 }
 
@@ -82,12 +101,14 @@ void VfsCache::store_access(const std::string& path, Access wanted,
 
 void VfsCache::invalidate(const std::string& path) {
   stats_.invalidations++;
+  if (m_invalidations_ != nullptr) m_invalidations_->inc();
   entries_.erase(path);
   entries_.erase(path_dirname(path));
 }
 
 void VfsCache::invalidate_all() {
   stats_.invalidations++;
+  if (m_invalidations_ != nullptr) m_invalidations_->inc();
   entries_.clear();
 }
 

@@ -31,6 +31,9 @@
 
 namespace ibox {
 
+class Counter;
+class MetricsRegistry;
+
 struct VfsCacheConfig {
   // Entries (distinct paths) before the cache wipes itself; bounds memory
   // without LRU bookkeeping on the hot path.
@@ -69,6 +72,13 @@ class VfsCache {
 
   const VfsCacheStats& stats() const { return stats_; }
 
+  // Mirrors hit/miss/invalidation counts into `metrics` under the
+  // `vfs.cache.*` names (obs/metrics.h), so boxed runs publish cache
+  // effectiveness through the unified registry. Null detaches. The cache
+  // is used from the supervisor's single event-loop thread; call this
+  // before the run starts.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   struct StatSlot {
     uint64_t expires_ms = 0;  // 0 = empty
@@ -93,6 +103,14 @@ class VfsCache {
   VfsCacheConfig config_;
   VfsCacheStats stats_;
   std::unordered_map<std::string, Entry> entries_;
+
+  // Registry mirrors (null when detached); cached handles keep the hot
+  // path at one relaxed atomic add per event.
+  Counter* m_stat_hits_ = nullptr;
+  Counter* m_stat_misses_ = nullptr;
+  Counter* m_access_hits_ = nullptr;
+  Counter* m_access_misses_ = nullptr;
+  Counter* m_invalidations_ = nullptr;
 };
 
 }  // namespace ibox

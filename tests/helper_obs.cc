@@ -1,0 +1,22 @@
+// helper_obs — a deterministic test child for the observability
+// integration tests: stat(2) the same path N times and exit.
+//
+//   helper_obs <count> <path>
+//
+// The loop body is exactly one syscall per iteration and nothing else, so
+// two runs differing only in <count> differ by a known number of
+// interposition events — the tests assert those deltas exactly. Keep it
+// that way: no printf, no allocation, nothing per-iteration but the stat.
+#include <sys/stat.h>
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+  if (argc != 3) return 2;
+  const long count = std::strtol(argv[1], nullptr, 10);
+  struct stat st;
+  for (long i = 0; i < count; ++i) {
+    if (::stat(argv[2], &st) != 0) return 1;
+  }
+  return 0;
+}

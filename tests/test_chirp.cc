@@ -99,7 +99,7 @@ TEST_F(ChirpTest, UntrustedCertificateRejected) {
   auto client =
       ChirpClient::Connect(client_options((*server)->port(), &cred));
   EXPECT_FALSE(client.ok());
-  EXPECT_GT((*server)->stats().auth_failures.load(), 0u);
+  EXPECT_GT((*server)->snapshot_stats().auth_failures, 0u);
 }
 
 TEST_F(ChirpTest, Figure3Workflow) {
@@ -281,11 +281,11 @@ TEST_F(ChirpTest, StatsAccumulate) {
   ASSERT_TRUE(fred->mkdir("/work").ok());
   ASSERT_TRUE(fred->put_file("/work/f", "0123456789").ok());
   (void)fred->get_file("/work/f");
-  const auto& stats = (*server)->stats();
-  EXPECT_GE(stats.connections.load(), 1u);
-  EXPECT_GE(stats.requests.load(), 3u);
-  EXPECT_GE(stats.bytes_written.load(), 10u);
-  EXPECT_GE(stats.bytes_read.load(), 10u);
+  const ChirpStatsSnapshot stats = (*server)->snapshot_stats();
+  EXPECT_GE(stats.connections, 1u);
+  EXPECT_GE(stats.requests, 3u);
+  EXPECT_GE(stats.bytes_written, 10u);
+  EXPECT_GE(stats.bytes_read, 10u);
 }
 
 TEST_F(ChirpTest, StatfsReportsSpace) {

@@ -17,6 +17,7 @@
 #include "chirp/protocol.h"
 #include "chirp/server.h"
 #include "chirp/session.h"
+#include "obs/metrics.h"
 #include "util/fs.h"
 #include "util/rand.h"
 #include "util/retry.h"
@@ -450,6 +451,116 @@ TEST_F(RobustnessTest, LoadShedBusyIsRetryable) {
   ASSERT_TRUE(session.ok());
   EXPECT_GE((*session)->stats().shed_retries, 1u);
   EXPECT_TRUE((*session)->whoami().ok());
+
+  // The registry behind debug_stats must agree with the bespoke snapshot
+  // about how many dials the server turned away.
+  auto debug = (*session)->debug_stats();
+  ASSERT_TRUE(debug.ok());
+  EXPECT_EQ(debug->metrics.counter("chirp.server.sheds"),
+            (*server)->snapshot_stats().sheds);
+  // Every shed left a structured trace event behind.
+  EXPECT_NE(debug->trace_json.find("\"shed\""), std::string::npos);
+}
+
+TEST_F(RobustnessTest, DebugStatsMatchesInjectedFaultSchedule) {
+#ifndef IBOX_FAULTS_ENABLED
+  GTEST_SKIP() << "fault hooks compiled out (IBOX_FAULTS=OFF)";
+#else
+  // A dedicated server whose accept path is scripted to fail exactly
+  // twice; the fault gauges exported via debug_stats must match the
+  // injector's own ledger field for field.
+  TempDir fault_export("fault-export");
+  TempDir fault_state("fault-state");
+  FaultInjector server_faults{FaultInjectorConfig{}};
+  ChirpServerOptions server_options;
+  server_options.export_root = fault_export.path();
+  server_options.state_dir = fault_state.path();
+  server_options.auth_methods.push_back(AuthMethodConfig::Unix());
+  server_options.root_acl_text = "unix:* rwlax\n";
+  server_options.faults = &server_faults;
+  auto server = ChirpServer::Start(server_options);
+  ASSERT_TRUE(server.ok());
+
+  server_faults.script_refuse_accept();
+  server_faults.script_refuse_accept();
+
+  ChirpSessionOptions options;
+  options.client.port = (*server)->port();
+  options.client.credentials = {&cred_};
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.max_backoff_ms = 8;
+  options.retry.jitter = 0.0;
+  auto session = ChirpSession::Connect(options);
+  ASSERT_TRUE(session.ok());
+
+  auto debug = (*session)->debug_stats();
+  ASSERT_TRUE(debug.ok());
+  const FaultInjectorStats injected = server_faults.stats();
+  EXPECT_EQ(injected.refused_accepts, 2u);
+  EXPECT_EQ(debug->metrics.gauge("chirp.faults.refused_accepts"),
+            static_cast<int64_t>(injected.refused_accepts));
+  EXPECT_EQ(debug->metrics.gauge("chirp.faults.drops"),
+            static_cast<int64_t>(injected.drops));
+  EXPECT_EQ(debug->metrics.gauge("chirp.faults.delays"),
+            static_cast<int64_t>(injected.delays));
+  EXPECT_EQ(debug->metrics.gauge("chirp.faults.truncates"),
+            static_cast<int64_t>(injected.truncates));
+
+  // The session absorbed both refusals: its own ledger shows the extra
+  // dials, and the server's registry saw every accepted connection.
+  EXPECT_GE((*session)->stats().connect_attempts, 3u);
+  EXPECT_GE(debug->metrics.counter("chirp.server.connections"), 1u);
+#endif
+}
+
+TEST_F(RobustnessTest, SessionRegistryMirrorsRecoveryCounters) {
+#ifndef IBOX_FAULTS_ENABLED
+  GTEST_SKIP() << "fault hooks compiled out (IBOX_FAULTS=OFF)";
+#else
+  // A session with a registry bound must report exactly what its bespoke
+  // stats struct reports, event for event, after a scripted fault run.
+  MetricsRegistry registry;
+  FaultInjector faults{FaultInjectorConfig{}};
+  ChirpSessionOptions options = session_options(&faults);
+  options.metrics = &registry;
+  auto session = ChirpSession::Connect(std::move(options));
+  ASSERT_TRUE(session.ok());
+
+  auto handle = (*session)->open("/mirror.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+  faults.script_send(FaultAction::kDrop);
+  auto written = (*session)->pwrite(*handle, "mirrored", 0);
+  ASSERT_TRUE(written.ok());
+  faults.script_recv(FaultAction::kDrop);
+  auto ambiguous = (*session)->pwrite(*handle, "maybe", 0);
+  EXPECT_EQ(ambiguous.error_code(), EIO);
+  auto readback = (*session)->pread(*handle, 16, 0);
+  ASSERT_TRUE(readback.ok());
+
+  const ChirpSessionStats& stats = (*session)->stats();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("chirp.session.retries"), stats.retries);
+  EXPECT_EQ(snap.counter("chirp.session.connect_attempts"),
+            stats.connect_attempts);
+  EXPECT_EQ(snap.counter("chirp.session.reconnects"), stats.reconnects);
+  EXPECT_EQ(snap.counter("chirp.session.replayed_handles"),
+            stats.replayed_handles);
+  EXPECT_EQ(snap.counter("chirp.session.shed_retries"), stats.shed_retries);
+  EXPECT_EQ(snap.counter("chirp.session.giveups"), stats.giveups);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.giveups, 1u);
+
+  // Bytes moved and whole-op latency flowed into the registry too.
+  EXPECT_EQ(snap.counter("chirp.session.bytes_written"), 8u);
+  EXPECT_EQ(snap.counter("chirp.session.bytes_read"), readback->size());
+  const HistogramSnapshot* lat =
+      snap.histogram("chirp.session.op_latency_us");
+  ASSERT_NE(lat, nullptr);
+  // Connect + open + 2 pwrites + pread, each one timed op.
+  EXPECT_EQ(lat->count, 5u);
+#endif
 }
 
 }  // namespace

@@ -52,6 +52,25 @@ TEST(CliIdentityBox, ExitCodeAndStatsFlag) {
   EXPECT_NE(result->err.find("trapped="), std::string::npos);
 }
 
+TEST(CliIdentityBox, StatsJsonFlagWritesSnapshot) {
+  TempDir tmp("cli-stats-json");
+  const std::string path = tmp.sub("stats.json");
+  auto result = run_capture({example_bin("identity_box"), "--stats-json",
+                             path, "CliUser", "/bin/true"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exit_code, 0) << result->err;
+  auto json = read_file(path);
+  ASSERT_TRUE(json.ok());
+  // Top-level shape plus one metric from each wired subsystem: the
+  // supervisor's counters and the trace ring's event array.
+  EXPECT_NE(json->find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json->find("\"trace\""), std::string::npos);
+  EXPECT_NE(json->find("\"sandbox.syscalls.trapped\""), std::string::npos);
+  EXPECT_NE(json->find("\"sandbox.latency.path_us\""), std::string::npos);
+  EXPECT_NE(json->find("\"events\""), std::string::npos);
+  EXPECT_NE(json->find("\"exec\""), std::string::npos);
+}
+
 TEST(CliIdentityBox, AuditFlagWritesLog) {
   TempDir tmp("cli-audit");
   auto result = run_capture({example_bin("identity_box"), "--audit",

@@ -1,0 +1,290 @@
+// Conformance tests for the observability layer: exact merge semantics of
+// the striped counters under contention (run under TSan via the obs-tsan
+// preset), histogram bucket-edge placement, TraceRing wraparound/loss
+// accounting, and the snapshot wire/JSON round trip.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/codec.h"
+
+namespace ibox {
+namespace {
+
+// ------------------------------------------------------------- counters --
+
+TEST(Counter, StartsAtZeroAndMerges) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, MergeUnderContentionIsExact) {
+  // 8 writer threads x 10k increments each; a reader snapshots while the
+  // writers run. The reads must be data-race-free (TSan) and the final
+  // merged value exact — striping must lose nothing.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&c] {
+      for (uint64_t n = 0; n < kPerThread; ++n) c.inc();
+    });
+  }
+  // Concurrent reads: monotone partial sums, never garbage.
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t now = c.value();
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, kThreads * kPerThread);
+    last = now;
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, MovesBothWaysAndTracksMax) {
+  Gauge g;
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.add_fetch(4), 7);
+  g.update_max(100);
+  g.set(50);
+  g.update_max(10);  // below current level: no effect
+  EXPECT_EQ(g.value(), 50);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Registry, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_NE(&registry.counter("y"), &a);
+}
+
+TEST(Registry, SnapshotWhileWritersRun) {
+  // Registration, writes, and snapshots from different threads must be
+  // TSan-clean, and the post-join snapshot exact.
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&registry] {
+      Counter& ops = registry.counter("ops");
+      Histogram& lat = registry.histogram("lat_us");
+      for (uint64_t n = 0; n < kPerThread; ++n) {
+        ops.inc();
+        lat.observe(n % 512);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_LE(snap.counter("ops"), kThreads * kPerThread);
+  }
+  for (auto& t : workers) t.join();
+  MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("ops"), kThreads * kPerThread);
+  const HistogramSnapshot* lat = snap.histogram("lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, kThreads * kPerThread);
+}
+
+// ----------------------------------------------------------- histograms --
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({10, 100, 1000});
+  h.observe(0);     // bucket 0
+  h.observe(10);    // bucket 0: bounds are inclusive
+  h.observe(11);    // bucket 1
+  h.observe(100);   // bucket 1
+  h.observe(101);   // bucket 2
+  h.observe(1000);  // bucket 2
+  h.observe(1001);  // overflow
+  const std::vector<uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.total_count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101 + 1000 + 1001);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreAscending) {
+  const std::vector<uint64_t>& bounds = Histogram::default_latency_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");  // empty bounds = default
+  EXPECT_EQ(h.bounds(), bounds);
+}
+
+TEST(Histogram, ObserveUnderContentionIsExact) {
+  Histogram h({1, 2, 4, 8});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&h] {
+      for (uint64_t n = 0; n < kPerThread; ++n) h.observe(n % 16);
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(h.total_count(), kThreads * kPerThread);
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(h.total_count(), kThreads * kPerThread);
+  // n % 16 spreads evenly: 0..1 -> b0, 2 -> b1, 3..4 -> b2, 5..8 -> b3,
+  // 9..15 -> overflow.
+  const std::vector<uint64_t> counts = h.counts();
+  const uint64_t per_value = kThreads * kPerThread / 16;
+  EXPECT_EQ(counts[0], 2 * per_value);
+  EXPECT_EQ(counts[1], 1 * per_value);
+  EXPECT_EQ(counts[2], 2 * per_value);
+  EXPECT_EQ(counts[3], 4 * per_value);
+  EXPECT_EQ(counts[4], 7 * per_value);
+}
+
+// ------------------------------------------------------------ trace ring --
+
+TEST(TraceRing, KeepsEverythingBelowCapacity) {
+  TraceRing ring(8);
+  ring.record(TraceKind::kSyscallDenied, EPERM, 42, "openat");
+  ring.record(TraceKind::kCacheHit, 0, 0, "vfs");
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].kind, TraceKind::kSyscallDenied);
+  EXPECT_EQ(events[0].code, EPERM);
+  EXPECT_EQ(events[0].value, 42u);
+  EXPECT_EQ(events[0].detail, "openat");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(ring.recorded(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDrops) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.record(TraceKind::kRetry, i, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, contiguous sequence numbers, the newest 4 of 10.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].code, static_cast<int32_t>(6 + i));
+  }
+}
+
+TEST(TraceRing, JsonNamesEveryKind) {
+  TraceRing ring(64);
+  ring.record(TraceKind::kFaultInjected, 0, 0, "drop");
+  ring.record(TraceKind::kAuthHandshake, 0, 0, "unix:alice");
+  const std::string json = ring.to_json();
+  EXPECT_NE(json.find("\"fault_injected\""), std::string::npos);
+  EXPECT_NE(json.find("\"auth_handshake\""), std::string::npos);
+  EXPECT_NE(json.find("unix:alice"), std::string::npos);
+}
+
+TEST(TraceRing, RecordFromManyThreadsIsLossAccounted) {
+  TraceRing ring(16);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 1'000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&ring] {
+      for (uint64_t n = 0; n < kPerThread; ++n) {
+        ring.record(TraceKind::kRpc, 1, n);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(ring.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), kThreads * kPerThread - ring.capacity());
+  EXPECT_EQ(ring.snapshot().size(), ring.capacity());
+}
+
+// ------------------------------------------------------------ snapshots --
+
+MetricsSnapshot populated_snapshot() {
+  MetricsRegistry registry;
+  registry.counter("a.hits").add(7);
+  registry.counter("a.misses").add(3);
+  registry.gauge("depth").set(-2);
+  Histogram& h = registry.histogram("lat", {1, 10});
+  h.observe(0);
+  h.observe(5);
+  h.observe(100);
+  return registry.snapshot();
+}
+
+TEST(MetricsSnapshot, CodecRoundTripIsIdentity) {
+  const MetricsSnapshot snap = populated_snapshot();
+  BufWriter writer;
+  snap.encode(writer);
+  BufReader reader(writer.data());
+  auto decoded = MetricsSnapshot::Decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_EQ(*decoded, snap);
+  EXPECT_EQ(decoded->counter("a.hits"), 7u);
+  EXPECT_EQ(decoded->gauge("depth"), -2);
+  const HistogramSnapshot* lat = decoded->histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 3u);
+  EXPECT_EQ(lat->sum, 105u);
+  ASSERT_EQ(lat->counts.size(), 3u);
+  EXPECT_EQ(lat->counts[2], 1u);  // overflow bucket
+}
+
+TEST(MetricsSnapshot, DecodeRejectsTruncation) {
+  const MetricsSnapshot snap = populated_snapshot();
+  BufWriter writer;
+  snap.encode(writer);
+  const std::string wire = writer.data();
+  BufReader reader(std::string_view(wire).substr(0, wire.size() / 2));
+  auto decoded = MetricsSnapshot::Decode(reader);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(MetricsSnapshot, MissingNamesReadAsZero) {
+  const MetricsSnapshot snap = populated_snapshot();
+  EXPECT_EQ(snap.counter("no.such"), 0u);
+  EXPECT_EQ(snap.gauge("no.such"), 0);
+  EXPECT_EQ(snap.histogram("no.such"), nullptr);
+}
+
+TEST(MetricsSnapshot, JsonIsDeterministicAndNamed) {
+  const MetricsSnapshot a = populated_snapshot();
+  const MetricsSnapshot b = populated_snapshot();
+  EXPECT_EQ(a.to_json(), b.to_json());
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"a.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibox

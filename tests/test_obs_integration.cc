@@ -1,0 +1,205 @@
+// End-to-end observability: the registry wired through SandboxConfig must
+// report exact interposition counts per dispatch mode and exact cache
+// hit/miss tallies — no timers, no tolerances. The method is
+// delta-of-two-runs: run helper_obs with N1 and N2 stat(2) loops and
+// assert the counter differences equal N2-N1 exactly, which cancels
+// whatever fixed syscall preamble the dynamic loader contributes.
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "acl/acl_store.h"
+#include "box/box_context.h"
+#include "box/process_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sandbox/supervisor.h"
+#include "util/fs.h"
+#include "util/path.h"
+#include "vfs/vfs_cache.h"
+
+namespace ibox {
+namespace {
+
+// Both argv strings are two digits so the child's startup is byte-for-byte
+// identical across runs; the delta D is what every exact assertion uses.
+constexpr int kRunSmall = 16;
+constexpr int kRunLarge = 80;
+constexpr uint64_t kDelta = kRunLarge - kRunSmall;
+
+std::string helper_path() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  buf[n > 0 ? n : 0] = '\0';
+  return path_join(path_dirname(buf), "helper_obs");
+}
+
+struct BoxedRun {
+  int exit_code = -1;
+  DispatchMode effective = DispatchMode::kTraceAll;
+  MetricsSnapshot metrics;
+  uint64_t trace_recorded = 0;
+  std::vector<TraceEvent> trace_events;
+};
+
+BoxedRun run_boxed_stats(int count, DispatchMode dispatch) {
+  BoxedRun run;
+  TempDir work("obs-int-work");
+  EXPECT_TRUE(write_file(work.sub(".__acl"), "Tester rwldax\n").ok());
+  EXPECT_TRUE(write_file(work.sub("probe"), "x").ok());
+  TempDir state("obs-int-state");
+  BoxOptions options;
+  options.state_dir = state.path();
+  options.provision_home = false;
+  // TTL far beyond the run so every repeat stat is a cache hit.
+  options.vfs_cache_ttl_ms = 60 * 1000;
+  auto box = BoxContext::Create(*Identity::Parse("Tester"), options);
+  if (!box.ok()) return run;
+
+  MetricsRegistry registry;
+  TraceRing trace(4096);
+  ProcessRegistry procs;
+  SandboxConfig config;
+  config.dispatch = dispatch;
+  config.metrics = &registry;
+  config.trace = &trace;
+  Supervisor supervisor(**box, procs, config);
+  auto exit_code = supervisor.run(
+      {helper_path(), std::to_string(count), work.sub("probe")});
+  if (!exit_code.ok()) return run;
+  run.exit_code = *exit_code;
+  run.effective = supervisor.effective_dispatch();
+  run.metrics = registry.snapshot();
+  run.trace_recorded = trace.recorded();
+  run.trace_events = trace.snapshot();
+  return run;
+}
+
+uint64_t delta(const BoxedRun& small, const BoxedRun& large,
+               std::string_view counter) {
+  return large.metrics.counter(counter) - small.metrics.counter(counter);
+}
+
+TEST(ObsIntegration, TraceAllModeCountsEveryStopExactly) {
+  const BoxedRun small = run_boxed_stats(kRunSmall, DispatchMode::kTraceAll);
+  const BoxedRun large = run_boxed_stats(kRunLarge, DispatchMode::kTraceAll);
+  ASSERT_EQ(small.exit_code, 0);
+  ASSERT_EQ(large.exit_code, 0);
+  ASSERT_EQ(small.effective, DispatchMode::kTraceAll);
+  ASSERT_EQ(large.effective, DispatchMode::kTraceAll);
+
+  // Each extra stat is one trapped, nullified call: an entry stop plus an
+  // exit stop in trace-all mode, and no seccomp machinery at all.
+  EXPECT_EQ(delta(small, large, "sandbox.syscalls.trapped"), kDelta);
+  EXPECT_EQ(delta(small, large, "sandbox.syscalls.nullified"), kDelta);
+  EXPECT_EQ(delta(small, large, "sandbox.stops.trace"), 2 * kDelta);
+  EXPECT_EQ(large.metrics.counter("sandbox.stops.seccomp"), 0u);
+  EXPECT_EQ(large.metrics.counter("sandbox.stops.exit_elided"), 0u);
+  EXPECT_EQ(large.metrics.gauge("sandbox.dispatch.effective"), 0);
+
+  // Repeat stats of one path: the first resolve misses, every repeat hits.
+  EXPECT_EQ(delta(small, large, "vfs.cache.stat.hits"), kDelta);
+  EXPECT_EQ(delta(small, large, "vfs.cache.stat.misses"), 0u);
+
+  // One process, one exec, no denials in either run.
+  EXPECT_EQ(large.metrics.counter("sandbox.processes"), 1u);
+  EXPECT_EQ(large.metrics.counter("sandbox.execs"), 1u);
+  EXPECT_EQ(large.metrics.counter("sandbox.denials"), 0u);
+
+  // The per-class latency histograms saw every trapped call: the stat loop
+  // lands in the path class.
+  const HistogramSnapshot* path_lat =
+      large.metrics.histogram("sandbox.latency.path_us");
+  ASSERT_NE(path_lat, nullptr);
+  EXPECT_GE(path_lat->count, static_cast<uint64_t>(kRunLarge));
+
+  // The trace saw each nullified stat.
+  EXPECT_EQ(large.trace_recorded - small.trace_recorded, kDelta);
+  bool saw_nullified_stat = false;
+  for (const TraceEvent& ev : large.trace_events) {
+    if (ev.kind == TraceKind::kSyscallNullified &&
+        ev.detail.find("stat") != std::string::npos) {
+      saw_nullified_stat = true;
+    }
+  }
+  EXPECT_TRUE(saw_nullified_stat);
+}
+
+TEST(ObsIntegration, SeccompModeElidesExitStopsExactly) {
+  const BoxedRun small = run_boxed_stats(kRunSmall, DispatchMode::kSeccomp);
+  const BoxedRun large = run_boxed_stats(kRunLarge, DispatchMode::kSeccomp);
+  ASSERT_EQ(small.exit_code, 0);
+  ASSERT_EQ(large.exit_code, 0);
+  if (small.effective != DispatchMode::kSeccomp ||
+      large.effective != DispatchMode::kSeccomp) {
+    GTEST_SKIP() << "kernel lacks SECCOMP_RET_TRACE; dispatch downgraded";
+  }
+
+  // Each extra stat is one seccomp stop answering the call in place: the
+  // exit stop is elided and the trace-all path never runs.
+  EXPECT_EQ(delta(small, large, "sandbox.syscalls.trapped"), kDelta);
+  EXPECT_EQ(delta(small, large, "sandbox.syscalls.nullified"), kDelta);
+  EXPECT_EQ(delta(small, large, "sandbox.stops.seccomp"), kDelta);
+  EXPECT_EQ(delta(small, large, "sandbox.stops.exit_elided"), kDelta);
+  EXPECT_EQ(delta(small, large, "sandbox.stops.trace"), 0u);
+  EXPECT_EQ(large.metrics.gauge("sandbox.dispatch.effective"), 1);
+
+  // Cache behaviour is dispatch-independent.
+  EXPECT_EQ(delta(small, large, "vfs.cache.stat.hits"), kDelta);
+  EXPECT_EQ(delta(small, large, "vfs.cache.stat.misses"), 0u);
+  EXPECT_EQ(large.trace_recorded - small.trace_recorded, kDelta);
+}
+
+TEST(ObsIntegration, AclCacheCountsExactHitsAndMisses) {
+  TempDir work("obs-acl-work");
+  ASSERT_TRUE(write_file(work.sub(".__acl"), "Tester rwldax\n").ok());
+
+  MetricsRegistry registry;
+  AclStore store(work.path());
+  store.cache().set_metrics(&registry);
+
+  constexpr int kLoads = 10;
+  for (int i = 0; i < kLoads; ++i) {
+    auto acl = store.load_shared(work.path());
+    ASSERT_TRUE(acl.ok());
+    ASSERT_NE(*acl, nullptr);
+  }
+
+  // First load misses and fills; every repeat revalidates by mtime and
+  // hits. The registry mirrors must agree with the cache's own stats.
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("acl.cache.misses"), 1u);
+  EXPECT_EQ(snap.counter("acl.cache.hits"),
+            static_cast<uint64_t>(kLoads - 1));
+  EXPECT_EQ(snap.counter("acl.cache.hits"), store.cache().stats().hits);
+  EXPECT_EQ(snap.counter("acl.cache.misses"), store.cache().stats().misses);
+
+  // Touching the ACL file invalidates: the next load is a miss again.
+  ASSERT_TRUE(write_file(work.sub(".__acl"), "Tester rwldax\nOther rl\n").ok());
+  ASSERT_TRUE(store.load_shared(work.path()).ok());
+  EXPECT_EQ(registry.snapshot().counter("acl.cache.misses"), 2u);
+}
+
+TEST(ObsIntegration, VfsCacheMetricsFollowRebinding) {
+  // set_metrics(nullptr) must detach cleanly: counters freeze, the cache
+  // keeps working.
+  MetricsRegistry registry;
+  VfsCache cache;
+  cache.set_metrics(&registry);
+  cache.store_stat("/a", true, Result<VfsStat>(Error(ENOENT)));
+  (void)cache.lookup_stat("/a", true);
+  (void)cache.lookup_stat("/b", true);
+  MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("vfs.cache.stat.hits"), 1u);
+  EXPECT_EQ(snap.counter("vfs.cache.stat.misses"), 1u);
+
+  cache.set_metrics(nullptr);
+  (void)cache.lookup_stat("/a", true);
+  EXPECT_EQ(registry.snapshot().counter("vfs.cache.stat.hits"), 1u);
+  EXPECT_EQ(cache.stats().stat_hits, 2u);
+}
+
+}  // namespace
+}  // namespace ibox
