@@ -3,15 +3,19 @@
 //   chirp_server --export DIR [--port N] [--root-acl FILE]
 //                [--unix] [--gsi CA_NAME:CA_SECRET] [--kerberos REALM:SECRET]
 //                [--hostname] [--catalog PORT] [--name NAME] [--no-exec]
+//                [--audit FILE] [--metrics-export FILE]
+//                [--metrics-interval MS]
 //
 // "A Chirp server is a personal file server for grid computing. It can be
 // deployed by an ordinary user anywhere there is space available."
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "chirp/server.h"
+#include "obs/export.h"
 #include "util/fs.h"
 #include "util/strings.h"
 
@@ -27,6 +31,7 @@ int main(int argc, char** argv) {
   TempDir state("chirp-server-state");
   options.state_dir = state.path();
   std::string root_acl_file;
+  PeriodicExporter::Options export_options;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,6 +79,17 @@ int main(int argc, char** argv) {
       options.server_name = next();
     } else if (arg == "--no-exec") {
       options.enable_exec = false;
+    } else if (arg == "--audit") {
+      options.audit_log_path = next();
+    } else if (arg == "--metrics-export") {
+      export_options.path = next();
+    } else if (arg == "--metrics-interval") {
+      export_options.interval_ms = static_cast<uint32_t>(
+          parse_u64(next()).value_or(0));
+      if (export_options.interval_ms == 0) {
+        std::fprintf(stderr, "--metrics-interval wants a positive MS\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -106,10 +122,22 @@ int main(int argc, char** argv) {
               (*server)->port(), options.export_root.c_str());
   std::fflush(stdout);
 
+  // Prometheus-compatible snapshot file, rewritten atomically on each
+  // interval. A node_exporter textfile collector (or anything that can
+  // read a file) scrapes it from there.
+  std::unique_ptr<PeriodicExporter> exporter;
+  if (!export_options.path.empty()) {
+    ChirpServer* raw = server->get();
+    exporter = std::make_unique<PeriodicExporter>(
+        export_options,
+        [raw] { return render_prometheus(raw->metrics_snapshot()); });
+  }
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   while (!g_stop) ::pause();
 
+  if (exporter) exporter->stop();  // final snapshot before teardown
   const ChirpStatsSnapshot stats = (*server)->snapshot_stats();
   std::printf("chirp_server: shutting down (%llu connections, %llu "
               "requests, %llu denials, %llu execs)\n",

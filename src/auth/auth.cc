@@ -74,11 +74,25 @@ AuthChannelPair make_channel_pair() {
 Status authenticate_client(
     AuthChannel& channel,
     const std::vector<const ClientCredential*>& credentials) {
-  // Offer: "auth <m1> <m2> ..." in preference order.
+  return authenticate_client(channel, credentials, {}, nullptr);
+}
+
+Status authenticate_client(
+    AuthChannel& channel,
+    const std::vector<const ClientCredential*>& credentials,
+    const std::vector<std::string>& extensions,
+    std::vector<std::string>* negotiated) {
+  if (negotiated != nullptr) negotiated->clear();
+  // Offer: "auth <m1> <m2> ... <+ext1> ..." in preference order.
   std::vector<std::string> names;
-  names.reserve(credentials.size());
+  names.reserve(credentials.size() + extensions.size());
   for (const auto* cred : credentials) {
     names.emplace_back(auth_method_name(cred->method()));
+  }
+  for (const auto& extension : extensions) {
+    if (!extension.empty() && extension[0] == '+') {
+      names.push_back(extension);
+    }
   }
   IBOX_RETURN_IF_ERROR(channel.send("auth " + join(names, " ")));
 
@@ -89,9 +103,19 @@ Status authenticate_client(
   // "come back later" apart from "we will never agree".
   if (*reply == "busy") return Status::Errno(EAGAIN);
   auto fields = split_ws(*reply);
-  if (fields.size() != 2 || fields[0] != "use") return Status::Errno(EPROTO);
+  if (fields.size() < 2 || fields[0] != "use") return Status::Errno(EPROTO);
   auto chosen = auth_method_from_name(fields[1]);
   if (!chosen) return Status::Errno(EPROTO);
+  // Anything after the method must be an extension we actually offered; a
+  // server volunteering more than that is talking a different protocol.
+  for (size_t i = 2; i < fields.size(); ++i) {
+    bool offered = false;
+    for (const auto& extension : extensions) {
+      if (fields[i] == extension) offered = true;
+    }
+    if (!offered) return Status::Errno(EPROTO);
+    if (negotiated != nullptr) negotiated->push_back(fields[i]);
+  }
 
   for (const auto* cred : credentials) {
     if (cred->method() == *chosen) {
@@ -109,10 +133,33 @@ Status authenticate_client(
 Result<Identity> authenticate_server(
     AuthChannel& channel,
     const std::vector<const ServerVerifier*>& verifiers) {
+  return authenticate_server(channel, verifiers, {}, nullptr);
+}
+
+Result<Identity> authenticate_server(
+    AuthChannel& channel,
+    const std::vector<const ServerVerifier*>& verifiers,
+    const std::vector<std::string>& supported,
+    std::vector<std::string>* negotiated) {
+  if (negotiated != nullptr) negotiated->clear();
   auto offer = channel.recv();
   if (!offer.ok()) return offer.error();
   auto fields = split_ws(*offer);
   if (fields.empty() || fields[0] != "auth") return Error(EPROTO);
+
+  // Extensions we both speak, echoed after the chosen method. Only ever
+  // non-empty when the client offered the token, so a pre-extension
+  // client always gets the two-field "use" reply it insists on.
+  std::string accepted;
+  for (const auto& extension : supported) {
+    for (size_t i = 1; i < fields.size(); ++i) {
+      if (fields[i] == extension) {
+        accepted += ' ';
+        accepted += extension;
+        if (negotiated != nullptr) negotiated->push_back(extension);
+      }
+    }
+  }
 
   // First client-preferred method we can verify wins.
   for (size_t i = 1; i < fields.size(); ++i) {
@@ -120,8 +167,8 @@ Result<Identity> authenticate_server(
     if (!method) continue;
     for (const auto* verifier : verifiers) {
       if (verifier->method() != *method) continue;
-      IBOX_RETURN_IF_ERROR(
-          channel.send("use " + std::string(auth_method_name(*method))));
+      IBOX_RETURN_IF_ERROR(channel.send(
+          "use " + std::string(auth_method_name(*method)) + accepted));
       auto identity = verifier->verify(channel);
       if (!identity.ok()) {
         (void)channel.send("denied");

@@ -68,12 +68,37 @@ class ServerVerifier {
 // Negotiation: the client offers its methods in preference order; the
 // server answers with the first offer it can verify, or rejects. Then the
 // chosen method's handshake runs. EPROTO on no common method.
+//
+// Protocol extensions ride the same negotiation: the client appends
+// extension tokens (which always start with '+', so they can never be
+// mistaken for a method name) to its offer; the server echoes the subset
+// it also supports after the chosen method in the "use" reply. A server
+// that predates extensions skips the unknown tokens and replies with the
+// bare two-field "use", a client that predates them never offers any and
+// therefore never receives any — both directions degrade silently.
 Status authenticate_client(
     AuthChannel& channel,
     const std::vector<const ClientCredential*>& credentials);
 
+// Extended form: offers `extensions` and, on success, stores the subset
+// the server accepted into *negotiated (may be null to discard).
+Status authenticate_client(
+    AuthChannel& channel,
+    const std::vector<const ClientCredential*>& credentials,
+    const std::vector<std::string>& extensions,
+    std::vector<std::string>* negotiated);
+
 Result<Identity> authenticate_server(
     AuthChannel& channel,
     const std::vector<const ServerVerifier*>& verifiers);
+
+// Extended form: accepts any offered extension present in `supported`,
+// echoes it in the "use" reply, and stores the accepted subset into
+// *negotiated (may be null to discard).
+Result<Identity> authenticate_server(
+    AuthChannel& channel,
+    const std::vector<const ServerVerifier*>& verifiers,
+    const std::vector<std::string>& supported,
+    std::vector<std::string>* negotiated);
 
 }  // namespace ibox

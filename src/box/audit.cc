@@ -4,9 +4,116 @@
 #include <unistd.h>
 
 #include "auth/auth.h"
+#include "obs/json.h"
 #include "util/strings.h"
 
 namespace ibox {
+
+namespace {
+
+// Purpose-built reader for the records this file writes: strict field
+// order, JSON string unescaping limited to the escapes append_json_escaped
+// produces. Not a general JSON parser (the tree deliberately has none).
+struct LineReader {
+  std::string_view rest;
+
+  bool literal(std::string_view expected) {
+    if (rest.substr(0, expected.size()) != expected) return false;
+    rest.remove_prefix(expected.size());
+    return true;
+  }
+
+  bool quoted(std::string* out) {
+    if (rest.empty() || rest[0] != '"') return false;
+    rest.remove_prefix(1);
+    out->clear();
+    while (!rest.empty() && rest[0] != '"') {
+      char c = rest[0];
+      rest.remove_prefix(1);
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (rest.empty()) return false;
+      char esc = rest[0];
+      rest.remove_prefix(1);
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Only \u00XX ever appears (control bytes); decode that form.
+          if (rest.size() < 4) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = rest[static_cast<size_t>(i)];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return false;
+            }
+            code = code * 16 + digit;
+          }
+          if (code > 0xff) return false;
+          out->push_back(static_cast<char>(code));
+          rest.remove_prefix(4);
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (rest.empty()) return false;
+    rest.remove_prefix(1);  // closing quote
+    return true;
+  }
+
+  bool integer(int64_t* out) {
+    size_t len = 0;
+    if (len < rest.size() && rest[len] == '-') ++len;
+    while (len < rest.size() && rest[len] >= '0' && rest[len] <= '9') ++len;
+    auto parsed = parse_i64(rest.substr(0, len));
+    if (!parsed) return false;
+    *out = *parsed;
+    rest.remove_prefix(len);
+    return true;
+  }
+
+  bool unsigned64(uint64_t* out) {
+    size_t len = 0;
+    while (len < rest.size() && rest[len] >= '0' && rest[len] <= '9') ++len;
+    auto parsed = parse_u64(rest.substr(0, len));
+    if (!parsed) return false;
+    *out = *parsed;
+    rest.remove_prefix(len);
+    return true;
+  }
+};
+
+bool parse_record(std::string_view line, AuditLog::Record* record) {
+  LineReader r{line};
+  int64_t err = 0;
+  if (!r.literal("{\"ts\":") || !r.integer(&record->timestamp)) return false;
+  if (!r.literal(",\"identity\":") || !r.quoted(&record->identity)) {
+    return false;
+  }
+  if (!r.literal(",\"op\":") || !r.quoted(&record->operation)) return false;
+  if (!r.literal(",\"object\":") || !r.quoted(&record->object)) return false;
+  if (!r.literal(",\"errno\":") || !r.integer(&err)) return false;
+  if (!r.literal(",\"trace_id\":") || !r.unsigned64(&record->trace_id)) {
+    return false;
+  }
+  if (!r.literal("}") || !r.rest.empty()) return false;
+  record->errno_code = static_cast<int>(err);
+  return true;
+}
+
+}  // namespace
 
 AuditLog::AuditLog(std::string path) : path_(std::move(path)) {
   if (!path_.empty()) {
@@ -16,19 +123,19 @@ AuditLog::AuditLog(std::string path) : path_(std::move(path)) {
 }
 
 void AuditLog::record(const Identity& id, std::string_view operation,
-                      std::string_view object, int errno_code) {
+                      std::string_view object, int errno_code,
+                      uint64_t trace_id) {
   if (!fd_) return;
-  std::string line = std::to_string(wall_clock_seconds());
-  line.push_back(' ');
-  line += id.str();
-  line.push_back(' ');
-  line += operation;
-  line.push_back(' ');
-  // Paths may contain spaces; escape them to keep one record per line.
-  line += replace_all(replace_all(object, "%", "%25"), " ", "%20");
-  line.push_back(' ');
-  line += std::to_string(errno_code);
-  line.push_back('\n');
+  std::string line = "{\"ts\":" + std::to_string(wall_clock_seconds());
+  line += ",\"identity\":";
+  append_json_string(line, id.str());
+  line += ",\"op\":";
+  append_json_string(line, operation);
+  line += ",\"object\":";
+  append_json_string(line, object);
+  line += ",\"errno\":" + std::to_string(errno_code);
+  line += ",\"trace_id\":" + std::to_string(trace_id);
+  line += "}\n";
   std::lock_guard<std::mutex> lock(mutex_);
   // O_APPEND writes are atomic per line for reasonable line lengths.
   ssize_t rc = ::write(fd_.get(), line.data(), line.size());
@@ -42,17 +149,8 @@ Result<std::vector<AuditLog::Record>> AuditLog::Load(
   std::vector<Record> out;
   for (const auto& line : split(*text, '\n')) {
     if (trim(line).empty()) continue;
-    auto fields = split_ws(line);
-    if (fields.size() != 5) return Error(EBADMSG);
     Record record;
-    auto ts = parse_i64(fields[0]);
-    auto err = parse_i64(fields[4]);
-    if (!ts || !err) return Error(EBADMSG);
-    record.timestamp = *ts;
-    record.identity = fields[1];
-    record.operation = fields[2];
-    record.object = replace_all(replace_all(fields[3], "%20", " "), "%25", "%");
-    record.errno_code = static_cast<int>(*err);
+    if (!parse_record(trim(line), &record)) return Error(EBADMSG);
     out.push_back(std::move(record));
   }
   return out;

@@ -3,9 +3,19 @@
 // "the identity box could be used for forensic purposes, recording the
 // objects accessed and the activities taken by the untrusted user."
 //
-// Each record is one line: <unix-time> <identity> <operation> <path>
-// <result>. The log is written by the supervisor, outside the box, so the
-// boxed process can neither read nor tamper with it.
+// Each record is one JSONL line:
+//
+//   {"ts":<unix-time>,"identity":"...","op":"...","object":"...",
+//    "errno":<n>,"trace_id":<id>}
+//
+// JSON framing because the interesting fields are hostile to whitespace
+// delimiting: grid identities ("globus:/O=Univ Nowhere/CN=Fred") and
+// paths both legitimately contain spaces. trace_id carries the request
+// correlation ID when the operation was performed on behalf of a traced
+// Chirp request (0 otherwise), tying the forensic record to the same
+// request's TraceRing events and client-side ID. The log is written by
+// the supervisor/server, outside the box, so the boxed process can
+// neither read nor tamper with it.
 #pragma once
 
 #include <mutex>
@@ -26,9 +36,11 @@ class AuditLog {
   bool enabled() const { return !path_.empty(); }
   const std::string& path() const { return path_; }
 
-  // Thread-safe append. errno_code 0 means success.
+  // Thread-safe append. errno_code 0 means success; trace_id 0 means the
+  // operation was not request-scoped.
   void record(const Identity& id, std::string_view operation,
-              std::string_view object, int errno_code);
+              std::string_view object, int errno_code,
+              uint64_t trace_id = 0);
 
   // Parses a log file back into records (for the forensics example/tests).
   struct Record {
@@ -37,6 +49,7 @@ class AuditLog {
     std::string operation;
     std::string object;
     int errno_code = 0;
+    uint64_t trace_id = 0;
   };
   static Result<std::vector<Record>> Load(const std::string& path);
 

@@ -52,110 +52,145 @@ class ChirpFileHandle : public FileHandle {
   int64_t handle_;
 };
 
+
+// Pins the caller's trace ID onto the shared client for the duration of
+// one forwarded operation, so the relayed wire request carries the same
+// trace ID the sandbox-side RequestContext does. Cleared on destruction
+// so handle IO (which carries no context) goes back to minting fresh
+// per-request IDs. Callers hold mutex_, so the pin never races another
+// operation on the same client.
+class TracePin {
+ public:
+  TracePin(ChirpClient& client, uint64_t trace_id) : client_(client) {
+    client_.set_trace_id(trace_id);
+  }
+  ~TracePin() { client_.set_trace_id(0); }
+
+ private:
+  ChirpClient& client_;
+};
+
 }  // namespace
 
-Result<std::unique_ptr<FileHandle>> ChirpDriver::open(const RequestContext&,
+Result<std::unique_ptr<FileHandle>> ChirpDriver::open(const RequestContext& ctx,
                                                       const std::string& path,
                                                       int flags, int mode) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   auto handle = client_->open(path, flags, mode);
   if (!handle.ok()) return handle.error();
   return std::unique_ptr<FileHandle>(
       new ChirpFileHandle(*client_, mutex_, *handle));
 }
 
-Result<VfsStat> ChirpDriver::stat(const RequestContext&, const std::string& path) {
+Result<VfsStat> ChirpDriver::stat(const RequestContext& ctx, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->stat(path);
 }
 
-Result<VfsStat> ChirpDriver::lstat(const RequestContext&, const std::string& path) {
+Result<VfsStat> ChirpDriver::lstat(const RequestContext& ctx, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->lstat(path);
 }
 
-Status ChirpDriver::mkdir(const RequestContext&, const std::string& path,
+Status ChirpDriver::mkdir(const RequestContext& ctx, const std::string& path,
                           int mode) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->mkdir(path, mode);
 }
 
-Status ChirpDriver::rmdir(const RequestContext&, const std::string& path) {
+Status ChirpDriver::rmdir(const RequestContext& ctx, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->rmdir(path);
 }
 
-Status ChirpDriver::unlink(const RequestContext&, const std::string& path) {
+Status ChirpDriver::unlink(const RequestContext& ctx, const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->unlink(path);
 }
 
-Status ChirpDriver::rename(const RequestContext&, const std::string& from,
+Status ChirpDriver::rename(const RequestContext& ctx, const std::string& from,
                            const std::string& to) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->rename(from, to);
 }
 
-Result<std::vector<DirEntry>> ChirpDriver::readdir(const RequestContext&,
+Result<std::vector<DirEntry>> ChirpDriver::readdir(const RequestContext& ctx,
                                                    const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->readdir(path);
 }
 
-Status ChirpDriver::symlink(const RequestContext&, const std::string& target,
+Status ChirpDriver::symlink(const RequestContext& ctx, const std::string& target,
                             const std::string& linkpath) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->symlink(target, linkpath);
 }
 
-Result<std::string> ChirpDriver::readlink(const RequestContext&,
+Result<std::string> ChirpDriver::readlink(const RequestContext& ctx,
                                           const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->readlink(path);
 }
 
-Status ChirpDriver::link(const RequestContext&, const std::string& oldpath,
+Status ChirpDriver::link(const RequestContext& ctx, const std::string& oldpath,
                          const std::string& newpath) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->link(oldpath, newpath);
 }
 
-Status ChirpDriver::truncate(const RequestContext&, const std::string& path,
+Status ChirpDriver::truncate(const RequestContext& ctx, const std::string& path,
                              uint64_t length) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->truncate(path, length);
 }
 
-Status ChirpDriver::utime(const RequestContext&, const std::string& path,
+Status ChirpDriver::utime(const RequestContext& ctx, const std::string& path,
                           uint64_t atime, uint64_t mtime) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->utime(path, atime, mtime);
 }
 
-Status ChirpDriver::chmod(const RequestContext&, const std::string& path,
+Status ChirpDriver::chmod(const RequestContext& ctx, const std::string& path,
                           int mode) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->chmod(path, mode);
 }
 
-Status ChirpDriver::access(const RequestContext&, const std::string& path,
+Status ChirpDriver::access(const RequestContext& ctx, const std::string& path,
                            Access wanted) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->access(path, wanted);
 }
 
-Result<std::string> ChirpDriver::getacl(const RequestContext&,
+Result<std::string> ChirpDriver::getacl(const RequestContext& ctx,
                                         const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   // The Driver interface trades in raw ACL text (it round-trips through
   // Acl::Parse at the consumer); the typed entries are the client surface.
   return client_->getacl_text(path);
 }
 
-Status ChirpDriver::setacl(const RequestContext&, const std::string& path,
+Status ChirpDriver::setacl(const RequestContext& ctx, const std::string& path,
                            const std::string& subject,
                            const std::string& rights) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TracePin pin(*client_, ctx.trace_id());
   return client_->setacl(path, subject, rights);
 }
 

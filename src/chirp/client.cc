@@ -1,6 +1,9 @@
 #include "chirp/client.h"
 
+#include <algorithm>
+
 #include "chirp/fault_injector.h"
+#include "obs/trace.h"
 
 namespace ibox {
 
@@ -15,10 +18,16 @@ Result<std::unique_ptr<ChirpClient>> ChirpClient::Connect(
         static_cast<int>(options.recv_timeout_ms)));
   }
   FrameAuthChannel auth_channel(*channel);
-  IBOX_RETURN_IF_ERROR(
-      authenticate_client(auth_channel, options.credentials));
+  std::vector<std::string> extensions;
+  if (options.enable_trace) extensions.emplace_back(kTraceExtension);
+  std::vector<std::string> negotiated;
+  IBOX_RETURN_IF_ERROR(authenticate_client(auth_channel, options.credentials,
+                                           extensions, &negotiated));
+  const bool traced =
+      std::find(negotiated.begin(), negotiated.end(), kTraceExtension) !=
+      negotiated.end();
   return std::unique_ptr<ChirpClient>(
-      new ChirpClient(std::move(*channel)));
+      new ChirpClient(std::move(*channel), traced));
 }
 
 Result<std::unique_ptr<ChirpClient>> ChirpClient::Connect(
@@ -29,6 +38,26 @@ Result<std::unique_ptr<ChirpClient>> ChirpClient::Connect(
   options.port = port;
   options.credentials = credentials;
   return Connect(options);
+}
+
+BufWriter ChirpClient::begin_request(ChirpOp op) {
+  BufWriter request;
+  if (traced_) {
+    last_trace_id_ =
+        pinned_trace_id_ != 0 ? pinned_trace_id_ : mint_trace_id();
+    request.put_u8(kTracedFrameMarker);
+    request.put_u64(last_trace_id_);
+  } else {
+    last_trace_id_ = 0;
+  }
+  request.put_u8(static_cast<uint8_t>(op));
+  return request;
+}
+
+BufWriter ChirpClient::path_request(ChirpOp op, const std::string& path) {
+  BufWriter request = begin_request(op);
+  request.put_bytes(path);
+  return request;
 }
 
 Result<std::pair<int64_t, std::string>> ChirpClient::rpc(
@@ -69,8 +98,7 @@ Status ChirpClient::rpc_status(const BufWriter& request) {
 }
 
 Result<std::string> ChirpClient::whoami() {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kWhoami));
+  BufWriter request = begin_request(ChirpOp::kWhoami);
   auto result = rpc(request);
   if (!result.ok()) return result.error();
   BufReader reader(result->second);
@@ -81,8 +109,7 @@ Result<std::string> ChirpClient::whoami() {
 
 Result<int64_t> ChirpClient::open(const std::string& path, int flags,
                                   int mode) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kOpen));
+  BufWriter request = begin_request(ChirpOp::kOpen);
   request.put_bytes(path);
   request.put_u32(static_cast<uint32_t>(flags));
   request.put_u32(static_cast<uint32_t>(mode));
@@ -92,16 +119,14 @@ Result<int64_t> ChirpClient::open(const std::string& path, int flags,
 }
 
 Status ChirpClient::close(int64_t handle) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kClose));
+  BufWriter request = begin_request(ChirpOp::kClose);
   request.put_i64(handle);
   return rpc_status(request);
 }
 
 Result<std::string> ChirpClient::pread(int64_t handle, size_t length,
                                        uint64_t offset) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kPread));
+  BufWriter request = begin_request(ChirpOp::kPread);
   request.put_i64(handle);
   request.put_u32(static_cast<uint32_t>(length));
   request.put_u64(offset);
@@ -115,8 +140,7 @@ Result<std::string> ChirpClient::pread(int64_t handle, size_t length,
 
 Result<size_t> ChirpClient::pwrite(int64_t handle, std::string_view data,
                                    uint64_t offset) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kPwrite));
+  BufWriter request = begin_request(ChirpOp::kPwrite);
   request.put_i64(handle);
   request.put_u64(offset);
   request.put_bytes(data);
@@ -126,8 +150,7 @@ Result<size_t> ChirpClient::pwrite(int64_t handle, std::string_view data,
 }
 
 Result<VfsStat> ChirpClient::fstat(int64_t handle) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kFstat));
+  BufWriter request = begin_request(ChirpOp::kFstat);
   request.put_i64(handle);
   auto result = rpc(request);
   if (!result.ok()) return result.error();
@@ -136,28 +159,17 @@ Result<VfsStat> ChirpClient::fstat(int64_t handle) {
 }
 
 Status ChirpClient::ftruncate(int64_t handle, uint64_t length) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kFtruncate));
+  BufWriter request = begin_request(ChirpOp::kFtruncate);
   request.put_i64(handle);
   request.put_u64(length);
   return rpc_status(request);
 }
 
 Status ChirpClient::fsync(int64_t handle) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kFsync));
+  BufWriter request = begin_request(ChirpOp::kFsync);
   request.put_i64(handle);
   return rpc_status(request);
 }
-
-namespace {
-BufWriter path_request(ChirpOp op, const std::string& path) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(op));
-  request.put_bytes(path);
-  return request;
-}
-}  // namespace
 
 Result<VfsStat> ChirpClient::stat(const std::string& path) {
   auto result = rpc(path_request(ChirpOp::kStat, path));
@@ -174,8 +186,7 @@ Result<VfsStat> ChirpClient::lstat(const std::string& path) {
 }
 
 Status ChirpClient::mkdir(const std::string& path, int mode) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kMkdir));
+  BufWriter request = begin_request(ChirpOp::kMkdir);
   request.put_bytes(path);
   request.put_u32(static_cast<uint32_t>(mode));
   return rpc_status(request);
@@ -190,8 +201,7 @@ Status ChirpClient::unlink(const std::string& path) {
 }
 
 Status ChirpClient::rename(const std::string& from, const std::string& to) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kRename));
+  BufWriter request = begin_request(ChirpOp::kRename);
   request.put_bytes(from);
   request.put_bytes(to);
   return rpc_status(request);
@@ -206,8 +216,7 @@ Result<std::vector<DirEntry>> ChirpClient::readdir(const std::string& path) {
 
 Status ChirpClient::symlink(const std::string& target,
                             const std::string& linkpath) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kSymlink));
+  BufWriter request = begin_request(ChirpOp::kSymlink);
   request.put_bytes(target);
   request.put_bytes(linkpath);
   return rpc_status(request);
@@ -223,24 +232,21 @@ Result<std::string> ChirpClient::readlink(const std::string& path) {
 }
 
 Status ChirpClient::link(const std::string& from, const std::string& to) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kLink));
+  BufWriter request = begin_request(ChirpOp::kLink);
   request.put_bytes(from);
   request.put_bytes(to);
   return rpc_status(request);
 }
 
 Status ChirpClient::chmod(const std::string& path, int mode) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kChmod));
+  BufWriter request = begin_request(ChirpOp::kChmod);
   request.put_bytes(path);
   request.put_u32(static_cast<uint32_t>(mode));
   return rpc_status(request);
 }
 
 Status ChirpClient::truncate(const std::string& path, uint64_t length) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kTruncate));
+  BufWriter request = begin_request(ChirpOp::kTruncate);
   request.put_bytes(path);
   request.put_u64(length);
   return rpc_status(request);
@@ -248,8 +254,7 @@ Status ChirpClient::truncate(const std::string& path, uint64_t length) {
 
 Status ChirpClient::utime(const std::string& path, uint64_t atime,
                           uint64_t mtime) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kUtime));
+  BufWriter request = begin_request(ChirpOp::kUtime);
   request.put_bytes(path);
   request.put_u64(atime);
   request.put_u64(mtime);
@@ -257,16 +262,14 @@ Status ChirpClient::utime(const std::string& path, uint64_t atime,
 }
 
 Status ChirpClient::access(const std::string& path, Access wanted) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kAccess));
+  BufWriter request = begin_request(ChirpOp::kAccess);
   request.put_bytes(path);
   request.put_u8(static_cast<uint8_t>(wanted));
   return rpc_status(request);
 }
 
 Result<SpaceInfo> ChirpClient::statfs() {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kStatfs));
+  BufWriter request = begin_request(ChirpOp::kStatfs);
   auto result = rpc(request);
   if (!result.ok()) return result.error();
   BufReader reader(result->second);
@@ -283,9 +286,11 @@ Result<SpaceInfo> ChirpClient::statfs() {
   return info;
 }
 
-Result<ChirpDebugStats> ChirpClient::debug_stats() {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kDebugStats));
+Result<ChirpDebugStats> ChirpClient::debug_stats(uint64_t trace_id_filter) {
+  BufWriter request = begin_request(ChirpOp::kDebugStats);
+  // Optional trailing filter: a server predating it ignores the extra
+  // payload, a client predating it sends none and gets the full ring.
+  if (trace_id_filter != 0) request.put_u64(trace_id_filter);
   auto result = rpc(request);
   if (!result.ok()) return result.error();
   BufReader reader(result->second);
@@ -321,8 +326,7 @@ Result<std::string> ChirpClient::getacl_text(const std::string& path) {
 Status ChirpClient::setacl(const std::string& path,
                            const std::string& subject,
                            const std::string& rights) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kSetAcl));
+  BufWriter request = begin_request(ChirpOp::kSetAcl);
   request.put_bytes(path);
   request.put_bytes(subject);
   request.put_bytes(rights);
@@ -340,8 +344,7 @@ Result<std::string> ChirpClient::get_file(const std::string& path) {
 
 Status ChirpClient::put_file(const std::string& path, std::string_view data,
                              int mode) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kPutFile));
+  BufWriter request = begin_request(ChirpOp::kPutFile);
   request.put_bytes(path);
   request.put_u32(static_cast<uint32_t>(mode));
   request.put_bytes(data);
@@ -350,8 +353,7 @@ Status ChirpClient::put_file(const std::string& path, std::string_view data,
 
 Result<ExecResult> ChirpClient::exec(const std::vector<std::string>& argv,
                                      const std::string& cwd) {
-  BufWriter request;
-  request.put_u8(static_cast<uint8_t>(ChirpOp::kExec));
+  BufWriter request = begin_request(ChirpOp::kExec);
   request.put_bytes(cwd);
   request.put_u32(static_cast<uint32_t>(argv.size()));
   for (const auto& arg : argv) request.put_bytes(arg);

@@ -43,6 +43,11 @@ struct ChirpClientOptions {
   // Optional fault-injection hook (tests/bench; not owned, may be null).
   // Only consulted when built with IBOX_FAULTS.
   FaultInjector* faults = nullptr;
+  // Offer the "+trace" extension during the handshake; when the server
+  // accepts, every request carries a 64-bit trace ID. Off mimics a
+  // pre-extension client (compat tests); either way a refusing peer just
+  // degrades every request to trace ID 0.
+  bool enable_trace = true;
 };
 
 class ChirpClient {
@@ -90,7 +95,9 @@ class ChirpClient {
   Result<SpaceInfo> statfs();
 
   // The server's observability snapshot (metrics registry + trace ring).
-  Result<ChirpDebugStats> debug_stats();
+  // A non-zero filter narrows the trace ring to events stamped with that
+  // request trace ID (servers predating the filter ignore it).
+  Result<ChirpDebugStats> debug_stats(uint64_t trace_id_filter = 0);
 
   // Typed ACL listing: the server's canonical ACL text parsed into
   // (subject pattern, rights) entries at the protocol boundary.
@@ -122,8 +129,28 @@ class ChirpClient {
   enum class FailurePhase : uint8_t { kNone, kSend, kRecv };
   FailurePhase failure_phase() const { return failure_phase_; }
 
+  // True when the server accepted the "+trace" extension and requests go
+  // out with trace IDs.
+  bool traced() const { return traced_; }
+
+  // Pins the trace ID stamped on subsequent requests (a retry layer uses
+  // this so a replayed op keeps the ID of its first attempt; ChirpDriver
+  // uses it to forward the boxed requester's ID). 0 unpins: each request
+  // then mints a fresh ID.
+  void set_trace_id(uint64_t trace_id) { pinned_trace_id_ = trace_id; }
+
+  // The trace ID the most recent request went out with (0 on an untraced
+  // connection) — the client-side half of a correlation assertion.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
-  explicit ChirpClient(FrameChannel channel) : channel_(std::move(channel)) {}
+  ChirpClient(FrameChannel channel, bool traced)
+      : channel_(std::move(channel)), traced_(traced) {}
+
+  // Starts a request frame: the traced header (when negotiated) and the
+  // opcode. Mints or reuses the trace ID and records it in last_trace_id_.
+  BufWriter begin_request(ChirpOp op);
+  BufWriter path_request(ChirpOp op, const std::string& path);
 
   // Sends request, receives reply, returns the payload reader positioned
   // after the status (or the negative status as an error).
@@ -134,6 +161,9 @@ class ChirpClient {
   FrameChannel channel_;
   bool poisoned_ = false;
   FailurePhase failure_phase_ = FailurePhase::kNone;
+  bool traced_ = false;
+  uint64_t pinned_trace_id_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace ibox

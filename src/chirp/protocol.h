@@ -15,6 +15,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "acl/acl.h"
@@ -54,6 +55,22 @@ enum class ChirpOp : uint8_t {
   kStatfs = 28,   // -> space totals of the export
   kDebugStats = 29,  // -> metrics snapshot (codec) + trace ring JSON
 };
+
+// ---- Request tracing wire extension ----
+//
+// A traced request frame is:  u8 0xFF marker, u64 trace id, u8 opcode,
+// fields... — the marker can never collide with an opcode (ops are small
+// positive integers), so a server accepts both frame shapes uncondition-
+// ally. Whether a client may SEND traced frames is negotiated in the auth
+// handshake: the client appends the "+trace" token to its method offer
+// ("auth unix +trace"); an old server skips tokens it cannot parse as a
+// method name and never echoes them, a new server echoes the extension in
+// its "use" reply ("use unix +trace") only when the client offered it —
+// so an old client (which insists on a two-field "use" reply) never sees
+// it. Either side missing the extension degrades to trace ID 0 on every
+// request, never to a protocol error.
+inline constexpr uint8_t kTracedFrameMarker = 0xFF;
+inline constexpr std::string_view kTraceExtension = "+trace";
 
 // Load-shed protocol error: the server is over its connection soft limit
 // and answered the handshake offer with "busy" instead of a method choice.

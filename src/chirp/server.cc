@@ -77,11 +77,15 @@ ChirpServer::ServerCounters::ServerCounters(MetricsRegistry& metrics)
 ChirpServer::ChirpServer(ChirpServerOptions options)
     : options_(std::move(options)),
       driver_(options_.export_root, options_.acl_cache_capacity),
-      stats_(metrics_) {
+      stats_(metrics_),
+      audit_(options_.audit_log_path) {
   // The driver's ACL cache mirrors its hit/miss counters into the same
   // registry, so one debug_stats snapshot carries the whole serving path.
   // Bound here, before any serving thread exists.
   driver_.acl_store().cache().set_metrics(&metrics_);
+  // Every authorization verdict lands in the trace ring stamped with the
+  // request's trace ID (via the RequestContext the dispatcher builds).
+  driver_.set_trace(&trace_);
 }
 
 Result<std::unique_ptr<ChirpServer>> ChirpServer::Start(
@@ -250,16 +254,21 @@ Result<Identity> ChirpServer::authenticate(FrameChannel& channel) {
   std::vector<const ServerVerifier*> verifiers;
   verifiers.reserve(active.size());
   for (const auto& verifier : active) verifiers.push_back(verifier.get());
-  return authenticate_server(auth_channel, verifiers);
+  // The trace extension is accepted (and echoed) whenever the client
+  // offers it; which frames actually carry trace headers is then the
+  // client's choice — the dispatcher parses both shapes regardless.
+  return authenticate_server(auth_channel, verifiers,
+                             {std::string(kTraceExtension)}, nullptr);
 }
 
-RequestContext ChirpServer::make_context(const Identity& id) const {
+RequestContext ChirpServer::make_context(const Identity& id,
+                                         uint64_t trace_id) const {
   RequestContext::Clock::time_point deadline{};  // epoch: no deadline
   if (options_.request_timeout_ms != 0) {
     deadline = RequestContext::Clock::now() +
                std::chrono::milliseconds(options_.request_timeout_ms);
   }
-  return RequestContext(id, deadline, &driver_sink_);
+  return RequestContext(id, deadline, &driver_sink_, trace_id);
 }
 
 // ---------------------------------------------------- load shedding --
@@ -281,6 +290,30 @@ void ChirpServer::shed_job(std::shared_ptr<FrameChannel> channel) {
   (void)channel->recv_frame();  // the auth offer; content is irrelevant
   (void)channel->send_frame("busy");
 }
+
+namespace {
+
+// Reads a request's op header in either wire shape: bare `u8 opcode`, or
+// the traced form `u8 0xFF, u64 trace id, u8 opcode`. The marker cannot
+// collide with an opcode, so no negotiation state is needed here.
+struct OpHeader {
+  ChirpOp op;
+  uint64_t trace_id = 0;
+};
+
+std::optional<OpHeader> read_op_header(BufReader& reader) {
+  auto first = reader.get_u8();
+  if (!first.ok()) return std::nullopt;
+  if (*first != kTracedFrameMarker) {
+    return OpHeader{static_cast<ChirpOp>(*first), 0};
+  }
+  auto trace_id = reader.get_u64();
+  auto op = reader.get_u8();
+  if (!trace_id.ok() || !op.ok()) return std::nullopt;
+  return OpHeader{static_cast<ChirpOp>(*op), *trace_id};
+}
+
+}  // namespace
 
 // -------------------------------------------- legacy (ablation) mode --
 
@@ -336,16 +369,19 @@ void ChirpServer::serve_connection(FrameChannel channel) {
       return;  // disconnect
     }
     BufReader reader(*frame);
-    auto op = reader.get_u8();
-    if (!op.ok()) return;
+    auto header = read_op_header(reader);
+    if (!header) return;
     stats_.requests.inc();
     BufWriter reply;
     const auto started = std::chrono::steady_clock::now();
-    dispatch(session, static_cast<ChirpOp>(*op), reader, reply);
-    stats_.rpc_latency_us.observe(static_cast<uint64_t>(
+    dispatch(session, header->op, header->trace_id, reader, reply);
+    const uint64_t latency_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - started)
-            .count()));
+            .count());
+    stats_.rpc_latency_us.observe(latency_us);
+    trace_.record(TraceKind::kRpc, static_cast<int32_t>(header->op),
+                  latency_us, {}, header->trace_id);
     if (!channel.send_frame(reply.data()).ok()) return;
   }
 }
@@ -730,17 +766,20 @@ std::string ChirpServer::serve_frame(Session& session,
     reply.put_i64(-EMSGSIZE);
   } else {
     BufReader reader(event.payload);
-    auto op = reader.get_u8();
-    if (!op.ok()) {
+    auto header = read_op_header(reader);
+    if (!header) {
       reply.put_i64(-EBADMSG);
     } else {
       stats_.requests.inc();
       const auto started = std::chrono::steady_clock::now();
-      dispatch(session, static_cast<ChirpOp>(*op), reader, reply);
-      stats_.rpc_latency_us.observe(static_cast<uint64_t>(
+      dispatch(session, header->op, header->trace_id, reader, reply);
+      const uint64_t latency_us = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - started)
-              .count()));
+              .count());
+      stats_.rpc_latency_us.observe(latency_us);
+      trace_.record(TraceKind::kRpc, static_cast<int32_t>(header->op),
+                    latency_us, {}, header->trace_id);
     }
   }
   const std::string& payload = reply.data();
@@ -763,10 +802,17 @@ int64_t status_of(const Status& st) {
 }
 }  // namespace
 
-void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
-                           BufWriter& reply) {
-  const RequestContext ctx = make_context(session.identity);
+void ChirpServer::dispatch(Session& session, ChirpOp op, uint64_t trace_id,
+                           BufReader& reader, BufWriter& reply) {
+  const RequestContext ctx = make_context(session.identity, trace_id);
   auto bad = [&reply] { put_status(reply, -EBADMSG); };
+  // Forensic record for ops that touch state (plus open): identity, op,
+  // object, verdict, and the request's trace ID. No-op unless the server
+  // was started with an audit log.
+  auto audit = [&](std::string_view op_name, std::string_view object,
+                   int errno_code) {
+    audit_.record(session.identity, op_name, object, errno_code, trace_id);
+  };
 
   switch (op) {
     case ChirpOp::kWhoami: {
@@ -781,6 +827,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       if (!path.ok() || !flags.ok() || !mode.ok()) return bad();
       auto handle = driver_.open(ctx, *path, static_cast<int>(*flags),
                                  static_cast<int>(*mode));
+      audit("open", *path, handle.ok() ? 0 : handle.error_code());
       if (!handle.ok()) {
         if (handle.error_code() == EACCES) stats_.denials.inc();
         put_status(reply, -handle.error_code());
@@ -896,6 +943,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto mode = reader.get_u32();
       if (!path.ok() || !mode.ok()) return bad();
       Status st = driver_.mkdir(ctx, *path, static_cast<int>(*mode));
+      audit("mkdir", *path, st.error_code());
       if (!st.ok() && st.error_code() == EACCES) stats_.denials.inc();
       put_status(reply, status_of(st));
       return;
@@ -903,20 +951,26 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
     case ChirpOp::kRmdir: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      put_status(reply, status_of(driver_.rmdir(ctx, *path)));
+      Status st = driver_.rmdir(ctx, *path);
+      audit("rmdir", *path, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kUnlink: {
       auto path = reader.get_bytes();
       if (!path.ok()) return bad();
-      put_status(reply, status_of(driver_.unlink(ctx, *path)));
+      Status st = driver_.unlink(ctx, *path);
+      audit("unlink", *path, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kRename: {
       auto from = reader.get_bytes();
       auto to = reader.get_bytes();
       if (!from.ok() || !to.ok()) return bad();
-      put_status(reply, status_of(driver_.rename(ctx, *from, *to)));
+      Status st = driver_.rename(ctx, *from, *to);
+      audit("rename", *from + " -> " + *to, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kReaddir: {
@@ -935,8 +989,9 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto target = reader.get_bytes();
       auto linkpath = reader.get_bytes();
       if (!target.ok() || !linkpath.ok()) return bad();
-      put_status(reply,
-                 status_of(driver_.symlink(ctx, *target, *linkpath)));
+      Status st = driver_.symlink(ctx, *target, *linkpath);
+      audit("symlink", *linkpath, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kReadlink: {
@@ -955,22 +1010,27 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto from = reader.get_bytes();
       auto to = reader.get_bytes();
       if (!from.ok() || !to.ok()) return bad();
-      put_status(reply, status_of(driver_.link(ctx, *from, *to)));
+      Status st = driver_.link(ctx, *from, *to);
+      audit("link", *from + " -> " + *to, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kChmod: {
       auto path = reader.get_bytes();
       auto mode = reader.get_u32();
       if (!path.ok() || !mode.ok()) return bad();
-      put_status(reply, status_of(driver_.chmod(ctx, *path,
-                                                static_cast<int>(*mode))));
+      Status st = driver_.chmod(ctx, *path, static_cast<int>(*mode));
+      audit("chmod", *path, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kTruncate: {
       auto path = reader.get_bytes();
       auto length = reader.get_u64();
       if (!path.ok() || !length.ok()) return bad();
-      put_status(reply, status_of(driver_.truncate(ctx, *path, *length)));
+      Status st = driver_.truncate(ctx, *path, *length);
+      audit("truncate", *path, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kUtime: {
@@ -978,8 +1038,9 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto atime = reader.get_u64();
       auto mtime = reader.get_u64();
       if (!path.ok() || !atime.ok() || !mtime.ok()) return bad();
-      put_status(reply,
-                 status_of(driver_.utime(ctx, *path, *atime, *mtime)));
+      Status st = driver_.utime(ctx, *path, *atime, *mtime);
+      audit("utime", *path, st.error_code());
+      put_status(reply, status_of(st));
       return;
     }
     case ChirpOp::kAccess: {
@@ -1009,6 +1070,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       auto rights = reader.get_bytes();
       if (!path.ok() || !subject.ok() || !rights.ok()) return bad();
       Status st = driver_.setacl(ctx, *path, *subject, *rights);
+      audit("setacl", *path, st.error_code());
       if (!st.ok() && st.error_code() == EACCES) stats_.denials.inc();
       put_status(reply, status_of(st));
       return;
@@ -1050,6 +1112,7 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       if (!path.ok() || !mode.ok() || !data.ok()) return bad();
       auto handle = driver_.open(ctx, *path, O_WRONLY | O_CREAT | O_TRUNC,
                                  static_cast<int>(*mode));
+      audit("putfile", *path, handle.ok() ? 0 : handle.error_code());
       if (!handle.ok()) {
         if (handle.error_code() == EACCES) stats_.denials.inc();
         put_status(reply, -handle.error_code());
@@ -1077,25 +1140,28 @@ void ChirpServer::dispatch(Session& session, ChirpOp op, BufReader& reader,
       return;
     }
     case ChirpOp::kExec: {
-      handle_exec(session, reader, reply);
+      handle_exec(session, trace_id, reader, reply);
       return;
     }
     case ChirpOp::kDebugStats: {
       // Unified observability export: the metrics snapshot in the codec
       // wire format, then the trace ring as a JSON blob. Authenticated
       // like any other RPC; the registry merge is cheap enough that no
-      // special rate limit is needed.
+      // special rate limit is needed. An optional trailing u64 narrows
+      // the trace dump to one trace ID (absent or zero means everything
+      // — old clients simply never send it).
+      auto filter = reader.get_u64();
       put_status(reply, 0);
       metrics_snapshot().encode(reply);
-      reply.put_bytes(trace_.to_json());
+      reply.put_bytes(trace_.to_json(filter.ok() ? *filter : 0));
       return;
     }
   }
   put_status(reply, -ENOSYS);
 }
 
-void ChirpServer::handle_exec(Session& session, BufReader& reader,
-                              BufWriter& reply) {
+void ChirpServer::handle_exec(Session& session, uint64_t trace_id,
+                              BufReader& reader, BufWriter& reply) {
   if (!options_.enable_exec) {
     put_status(reply, -EPERM);
     return;
@@ -1117,6 +1183,7 @@ void ChirpServer::handle_exec(Session& session, BufReader& reader,
     argv.push_back(std::move(*arg));
   }
   stats_.execs.inc();
+  audit_.record(session.identity, "exec", argv[0], 0, trace_id);
 
   // "This process is run within an identity box corresponding to the
   // identity negotiated at connection." The box is rooted at the host "/"

@@ -37,6 +37,7 @@
 
 #include "auth/cas.h"
 #include "auth/sim_gsi.h"
+#include "box/audit.h"
 #include "auth/sim_kerberos.h"
 #include "auth/simple.h"
 #include "box/process_registry.h"
@@ -130,6 +131,10 @@ struct ChirpServerOptions {
   // Fault-injection hook applied to the accept path (tests/bench; not
   // owned, may be null). Only consulted when built with IBOX_FAULTS.
   FaultInjector* faults = nullptr;
+  // Forensic audit log (paper section 9) for the serving path: every
+  // mutating request, open, and exec is recorded with the proven identity
+  // and the request's trace ID. Empty disables.
+  std::string audit_log_path;
 };
 
 // Plain-value copy of the counters (plus the driver-side surfaces: ACL
@@ -189,10 +194,11 @@ class ChirpServer {
     int64_t next_handle = 1;
   };
   Result<Identity> authenticate(FrameChannel& channel);
-  RequestContext make_context(const Identity& id) const;
-  void dispatch(Session& session, ChirpOp op, BufReader& reader,
-                BufWriter& reply);
-  void handle_exec(Session& session, BufReader& reader, BufWriter& reply);
+  RequestContext make_context(const Identity& id, uint64_t trace_id) const;
+  void dispatch(Session& session, ChirpOp op, uint64_t trace_id,
+                BufReader& reader, BufWriter& reply);
+  void handle_exec(Session& session, uint64_t trace_id, BufReader& reader,
+                   BufWriter& reply);
   // Decodes one inbound frame event, runs it, and returns the reply frame
   // (header + payload) ready to append to an outbound buffer.
   std::string serve_frame(Session& session, FrameReader::Event& event);
@@ -264,6 +270,7 @@ class ChirpServer {
   mutable MetricsRegistry metrics_;
   TraceRing trace_{1024};
   ServerCounters stats_;
+  AuditLog audit_;
   // Deadline expiries / driver-op counters fed via the RequestContext.
   mutable DriverStatsSink driver_sink_;
 

@@ -327,9 +327,10 @@ Result<ExecResult> ChirpSession::exec(const std::vector<std::string>& argv,
       false, [&](ChirpClient& c) { return c.exec(argv, cwd); });
 }
 
-Result<ChirpDebugStats> ChirpSession::debug_stats() {
-  return run_op<ChirpDebugStats>(
-      true, [](ChirpClient& c) { return c.debug_stats(); });
+Result<ChirpDebugStats> ChirpSession::debug_stats(uint64_t trace_id_filter) {
+  return run_op<ChirpDebugStats>(true, [trace_id_filter](ChirpClient& c) {
+    return c.debug_stats(trace_id_filter);
+  });
 }
 
 }  // namespace ibox

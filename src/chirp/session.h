@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "chirp/client.h"
+#include "obs/trace.h"
 #include "util/rand.h"
 #include "util/retry.h"
 
@@ -110,12 +111,18 @@ class ChirpSession {
                           const std::string& cwd = "/");
 
   // The server's observability snapshot, fetched over this session (and
-  // retried/reconnected like any read).
-  Result<ChirpDebugStats> debug_stats();
+  // retried/reconnected like any read). A non-zero filter narrows the
+  // returned trace ring to events stamped with that request trace ID.
+  Result<ChirpDebugStats> debug_stats(uint64_t trace_id_filter = 0);
 
   const ChirpSessionStats& stats() const { return stats_; }
   // False between a dropped connection and the next op's reconnect.
   bool connected() const { return client_ != nullptr; }
+
+  // The trace ID the most recent op's wire requests carried (0 when the
+  // server did not negotiate the trace extension). Stable across that
+  // op's retries — the client-side half of a correlation assertion.
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
  private:
   using Deadline = std::chrono::steady_clock::time_point;
@@ -170,6 +177,11 @@ class ChirpSession {
     LatencyScope timed(m_op_latency_);
     Backoff backoff(options_.retry, rng_);
     const Deadline deadline = op_deadline();
+    // One trace ID per logical op, minted up front and pinned onto the
+    // (possibly reconnected) client before every attempt: a replayed op
+    // keeps the ID of its first attempt, so the server-side trail shows
+    // one request retried rather than two requests.
+    const uint64_t op_trace_id = mint_trace_id();
     for (int attempt = 1;; ++attempt) {
       int err = 0;
       if (!client_) {
@@ -187,7 +199,9 @@ class ChirpSession {
         }
       }
       if (client_) {
+        client_->set_trace_id(op_trace_id);
         Result<T> result = fn(*client_);
+        last_trace_id_ = client_->last_trace_id();
         if (result.ok()) return result;
         if (!client_->poisoned()) {
           // The connection answered; the error is the server's (or a local
@@ -266,6 +280,7 @@ class ChirpSession {
   int64_t next_handle_ = 1;
   bool ever_connected_ = false;
   uint64_t budget_spent_ms_ = 0;
+  uint64_t last_trace_id_ = 0;
   ChirpSessionStats stats_;
 
   // Registry mirrors of stats_ (null when options_.metrics is null).

@@ -1,0 +1,167 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/fs.h"
+
+namespace ibox {
+
+namespace {
+
+// %g-style formatting clips precision; print integers exactly and
+// fractional values with enough digits to round-trip a latency estimate.
+std::string format_double(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double histogram_quantile(const HistogramSnapshot& histogram, double q) {
+  if (histogram.count == 0 || histogram.counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based: p50 of 100 observations is
+  // the 50th in sorted order. ceil() keeps bucket-edge expectations exact.
+  const double exact = q * static_cast<double>(histogram.count);
+  uint64_t target = static_cast<uint64_t>(exact);
+  if (static_cast<double>(target) < exact) ++target;
+  if (target == 0) target = 1;
+
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.counts.size(); ++i) {
+    const uint64_t in_bucket = histogram.counts[i];
+    if (in_bucket == 0 || cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= histogram.bounds.size()) {
+      // Overflow bucket: unbounded above, so clamp to the last finite
+      // bound (0 if the histogram has no finite buckets at all).
+      return histogram.bounds.empty()
+                 ? 0.0
+                 : static_cast<double>(histogram.bounds.back());
+    }
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(histogram.bounds[i - 1]);
+    const double upper = static_cast<double>(histogram.bounds[i]);
+    const double fraction = static_cast<double>(target - cumulative) /
+                            static_cast<double>(in_bucket);
+    return lower + fraction * (upper - lower);
+  }
+  return histogram.bounds.empty()
+             ? 0.0
+             : static_cast<double>(histogram.bounds.back());
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative +=
+          i < histogram.counts.size() ? histogram.counts[i] : 0;
+      out += prom + "_bucket{le=\"" + std::to_string(histogram.bounds[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) +
+           "\n";
+    out += prom + "_sum " + std::to_string(histogram.sum) + "\n";
+    out += prom + "_count " + std::to_string(histogram.count) + "\n";
+    // Summaries may not share a histogram's metric name, so the estimated
+    // quantiles go out as companion gauge series.
+    const struct { const char* suffix; double q; } quantiles[] = {
+        {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+    for (const auto& [suffix, q] : quantiles) {
+      out += "# TYPE " + prom + suffix + " gauge\n";
+      out += prom + suffix + " " +
+             format_double(histogram_quantile(histogram, q)) + "\n";
+    }
+  }
+  return out;
+}
+
+PeriodicExporter::PeriodicExporter(Options options,
+                                   std::function<std::string()> render)
+    : options_(std::move(options)), render_(std::move(render)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+PeriodicExporter::~PeriodicExporter() { stop(); }
+
+Status PeriodicExporter::write_once() {
+  const std::string body = render_();
+  Status written = write_file_atomic(options_.path, body);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (written.ok()) {
+    ++writes_;
+  } else {
+    last_error_ = written;
+  }
+  return written;
+}
+
+void PeriodicExporter::stop() {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first = !stopping_;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (first) (void)write_once();
+}
+
+uint64_t PeriodicExporter::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+Status PeriodicExporter::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+void PeriodicExporter::thread_main() {
+  const auto interval = std::chrono::milliseconds(
+      options_.interval_ms == 0 ? 1 : options_.interval_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (wake_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    (void)write_once();
+    lock.lock();
+  }
+}
+
+}  // namespace ibox

@@ -1,0 +1,83 @@
+// Metrics export: Prometheus text-format rendering of a MetricsSnapshot
+// plus a periodic on-disk snapshot writer.
+//
+// The registry keeps exact counts; this layer turns them into something a
+// scraper understands. Histograms render as the classic cumulative
+// `_bucket{le=...}` / `_sum` / `_count` triple, and because summaries and
+// histograms may not share a metric name, the estimated p50/p95/p99 ride
+// along as separate `<name>_p50` (etc.) gauge series. Quantiles are
+// estimated from the fixed buckets by linear interpolation; that is the
+// usual Prometheus `histogram_quantile` semantics, computed server-side so
+// a bare `cat` of the export file already answers "what is the p99".
+//
+// PeriodicExporter is the file-based stand-in for a scrape endpoint: a
+// background thread renders the snapshot every interval and swaps it into
+// place atomically (write + rename), so readers never observe a torn file.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace ibox {
+
+// Estimated value at quantile q (0 < q <= 1) from the cumulative bucket
+// counts, linearly interpolated inside the winning bucket (lower edge of
+// the first bucket is 0). An empty histogram reads as 0. A target rank
+// landing in the overflow bucket clamps to the last finite bound — the
+// honest answer given that the histogram cannot see above it.
+double histogram_quantile(const HistogramSnapshot& histogram, double q);
+
+// Maps a registry metric name to a legal Prometheus name: every character
+// outside [a-zA-Z0-9_:] becomes '_' ("chirp.op.stat" -> "chirp_op_stat").
+std::string prometheus_name(std::string_view name);
+
+// Renders the whole snapshot in Prometheus text exposition format v0.0.4.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+// Periodically renders a snapshot body and atomically replaces `path`
+// with it. `render` runs on the exporter thread; it must be safe to call
+// concurrently with metric writers (MetricsRegistry snapshots are).
+class PeriodicExporter {
+ public:
+  struct Options {
+    std::string path;
+    uint32_t interval_ms = 1000;
+  };
+
+  PeriodicExporter(Options options, std::function<std::string()> render);
+  ~PeriodicExporter();
+
+  PeriodicExporter(const PeriodicExporter&) = delete;
+  PeriodicExporter& operator=(const PeriodicExporter&) = delete;
+
+  // Renders and writes immediately (also used for the final snapshot on
+  // stop, so a short-lived server still leaves a complete export behind).
+  Status write_once();
+
+  // Stops the background thread after one last write_once(). Idempotent.
+  void stop();
+
+  uint64_t writes() const;  // successful writes so far
+  Status last_error() const;
+
+ private:
+  void thread_main();
+
+  const Options options_;
+  const std::function<std::string()> render_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  uint64_t writes_ = 0;
+  Status last_error_;
+  std::thread thread_;
+};
+
+}  // namespace ibox

@@ -1,8 +1,39 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
+#include <atomic>
+
 #include "obs/json.h"
 
 namespace ibox {
+
+namespace {
+
+// splitmix64 finalizer: a cheap bijective mixer, so sequential counter
+// values map to well-spread 64-bit IDs.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t mint_trace_id() {
+  static const uint64_t seed = [] {
+    const uint64_t t = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return mix64(t ^ (static_cast<uint64_t>(::getpid()) << 32));
+  }();
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = 0;
+  do {
+    id = mix64(seed ^ counter.fetch_add(1, std::memory_order_relaxed));
+  } while (id == 0);
+  return id;
+}
 
 const char* trace_kind_name(TraceKind kind) {
   switch (kind) {
@@ -32,7 +63,7 @@ TraceRing::TraceRing(size_t capacity)
 }
 
 void TraceRing::record(TraceKind kind, int32_t code, uint64_t value,
-                       std::string_view detail) {
+                       std::string_view detail, uint64_t trace_id) {
   const uint64_t t_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)
@@ -44,16 +75,19 @@ void TraceRing::record(TraceKind kind, int32_t code, uint64_t value,
   slot.kind = kind;
   slot.code = code;
   slot.value = value;
+  slot.trace_id = trace_id;
   slot.detail.assign(detail);
 }
 
-std::vector<TraceEvent> TraceRing::snapshot() const {
+std::vector<TraceEvent> TraceRing::snapshot(uint64_t trace_id_filter) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceEvent> out;
   const uint64_t live = next_seq_ < capacity_ ? next_seq_ : capacity_;
   out.reserve(live);
   for (uint64_t seq = next_seq_ - live; seq < next_seq_; ++seq) {
-    out.push_back(ring_[seq % capacity_]);
+    const TraceEvent& event = ring_[seq % capacity_];
+    if (trace_id_filter != 0 && event.trace_id != trace_id_filter) continue;
+    out.push_back(event);
   }
   return out;
 }
@@ -68,8 +102,8 @@ uint64_t TraceRing::dropped() const {
   return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
 }
 
-std::string TraceRing::to_json() const {
-  const auto events = snapshot();
+std::string TraceRing::to_json(uint64_t trace_id_filter) const {
+  const auto events = snapshot(trace_id_filter);
   std::string out = "{\"capacity\":" + std::to_string(capacity_) +
                     ",\"recorded\":" + std::to_string(recorded()) +
                     ",\"dropped\":" + std::to_string(dropped()) +
@@ -82,7 +116,8 @@ std::string TraceRing::to_json() const {
            ",\"t_us\":" + std::to_string(event.t_us) + ",\"kind\":";
     append_json_string(out, trace_kind_name(event.kind));
     out += ",\"code\":" + std::to_string(event.code) +
-           ",\"value\":" + std::to_string(event.value) + ",\"detail\":";
+           ",\"value\":" + std::to_string(event.value) +
+           ",\"trace_id\":" + std::to_string(event.trace_id) + ",\"detail\":";
     append_json_string(out, event.detail);
     out += '}';
   }

@@ -52,24 +52,32 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kSyscallNullified;
   int32_t code = 0;
   uint64_t value = 0;
+  uint64_t trace_id = 0;  // request correlation id; 0 = not request-scoped
   std::string detail;
 };
+
+// Mints a process-unique, non-zero 64-bit request trace ID. IDs are
+// mixed from a random per-process seed and a monotone counter, so two
+// clients minting concurrently will not collide in practice and an ID
+// never repeats within a process.
+uint64_t mint_trace_id();
 
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity = 1024);
 
   void record(TraceKind kind, int32_t code = 0, uint64_t value = 0,
-              std::string_view detail = {});
+              std::string_view detail = {}, uint64_t trace_id = 0);
 
-  // Events still in the ring, oldest first.
-  std::vector<TraceEvent> snapshot() const;
+  // Events still in the ring, oldest first. A non-zero filter keeps only
+  // events stamped with that request trace ID.
+  std::vector<TraceEvent> snapshot(uint64_t trace_id_filter = 0) const;
 
   uint64_t recorded() const;  // events ever recorded
   uint64_t dropped() const;   // events overwritten before snapshot
   size_t capacity() const { return capacity_; }
 
-  std::string to_json() const;
+  std::string to_json(uint64_t trace_id_filter = 0) const;
 
  private:
   const size_t capacity_;

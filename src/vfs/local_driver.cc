@@ -241,6 +241,10 @@ Status LocalDriver::authorize(const RequestContext& ctx,
     verdict = fallback_check(box_path, wanted, must_exist);
   }
   if (verdict.error_code() == EACCES) ctx.count_denial();
+  if (trace_ != nullptr) {
+    trace_->record(TraceKind::kAclDecision, verdict.error_code(), 0,
+                   box_path, ctx.trace_id());
+  }
   return verdict;
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "acl/acl_store.h"
+#include "obs/trace.h"
 #include "vfs/driver.h"
 
 namespace ibox {
@@ -51,6 +52,13 @@ class LocalDriver : public Driver {
                               bool follow_final) const;
 
   const AclStore& acl_store() const { return acls_; }
+
+  // Attaches a trace ring (not owned, may be null): every authorization
+  // verdict is then recorded as a kAclDecision event stamped with the
+  // request's trace ID, tying ACL decisions to the wire request that
+  // caused them. One ring slot write per authorize; hot-path cache probes
+  // stay counters-only.
+  void set_trace(TraceRing* trace) { trace_ = trace; }
 
   // Stamps an initial ACL on a box directory (supervisor-side setup; not
   // reachable from inside a box).
@@ -104,6 +112,7 @@ class LocalDriver : public Driver {
 
   std::string root_;
   AclStore acls_;
+  TraceRing* trace_ = nullptr;
 };
 
 }  // namespace ibox

@@ -44,10 +44,15 @@ class RequestContext {
       : identity_(&id) {}
 
   RequestContext(const Identity& id, Clock::time_point deadline,
-                 DriverStatsSink* stats)
-      : identity_(&id), deadline_(deadline), stats_(stats) {}
+                 DriverStatsSink* stats, uint64_t trace_id = 0)
+      : identity_(&id), deadline_(deadline), stats_(stats),
+        trace_id_(trace_id) {}
 
   const Identity& identity() const { return *identity_; }
+
+  // Request correlation ID minted by the originating client (0 = request
+  // arrived without one, e.g. from a pre-trace peer or a local caller).
+  uint64_t trace_id() const { return trace_id_; }
 
   bool has_deadline() const {
     return deadline_ != Clock::time_point();
@@ -77,6 +82,7 @@ class RequestContext {
   const Identity* identity_;
   Clock::time_point deadline_{};  // epoch value means "no deadline"
   DriverStatsSink* stats_ = nullptr;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace ibox

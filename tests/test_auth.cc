@@ -273,5 +273,82 @@ TEST(Negotiation, FallsPastUnverifiableMethod) {
   EXPECT_EQ(result.server->method(), AuthMethod::kUnix);
 }
 
+// ------------------------------------------------- protocol extensions --
+
+// Like run_handshake, but with each side's extension lists and capture of
+// what the client believes was negotiated.
+HandshakeResult run_handshake_ext(
+    const std::vector<const ClientCredential*>& creds,
+    const std::vector<const ServerVerifier*>& verifiers,
+    const std::vector<std::string>& offered,
+    const std::vector<std::string>& supported,
+    std::vector<std::string>* negotiated) {
+  auto pair = make_channel_pair();
+  HandshakeResult result;
+  std::thread client_thread([&] {
+    result.client = authenticate_client(*pair.a, creds, offered, negotiated);
+  });
+  result.server =
+      authenticate_server(*pair.b, verifiers, supported, nullptr);
+  client_thread.join();
+  return result;
+}
+
+TEST(Extensions, NegotiatedWhenBothSidesSupport) {
+  TempDir tmp("ext");
+  UnixCredential cred(current_unix_username());
+  UnixVerifier verifier(tmp.path());
+  std::vector<std::string> negotiated;
+  auto result = run_handshake_ext({&cred}, {&verifier}, {"+trace"},
+                                  {"+trace"}, &negotiated);
+  ASSERT_TRUE(result.client.ok());
+  ASSERT_TRUE(result.server.ok());
+  ASSERT_EQ(negotiated.size(), 1u);
+  EXPECT_EQ(negotiated[0], "+trace");
+}
+
+TEST(Extensions, OldServerSilentlyIgnoresOffer) {
+  // A server that predates extensions (the 2-arg entry point) skips the
+  // unknown "+trace" token; the client ends up with nothing negotiated
+  // and the handshake still succeeds.
+  TempDir tmp("ext");
+  UnixCredential cred(current_unix_username());
+  UnixVerifier verifier(tmp.path());
+  std::vector<std::string> negotiated;
+  auto result =
+      run_handshake_ext({&cred}, {&verifier}, {"+trace"}, {}, &negotiated);
+  ASSERT_TRUE(result.client.ok());
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_TRUE(negotiated.empty());
+}
+
+TEST(Extensions, NewServerOffersNothingToOldClient) {
+  // An extension-aware server never volunteers tokens the client did not
+  // offer, so an old client's strict "use <method>" parse stays valid.
+  TempDir tmp("ext");
+  UnixCredential cred(current_unix_username());
+  UnixVerifier verifier(tmp.path());
+  std::vector<std::string> negotiated;
+  auto result =
+      run_handshake_ext({&cred}, {&verifier}, {}, {"+trace"}, &negotiated);
+  ASSERT_TRUE(result.client.ok());
+  ASSERT_TRUE(result.server.ok());
+  EXPECT_TRUE(negotiated.empty());
+}
+
+TEST(Extensions, UnsupportedExtensionIsDropped) {
+  TempDir tmp("ext");
+  UnixCredential cred(current_unix_username());
+  UnixVerifier verifier(tmp.path());
+  std::vector<std::string> negotiated;
+  auto result = run_handshake_ext({&cred}, {&verifier},
+                                  {"+trace", "+compress"}, {"+trace"},
+                                  &negotiated);
+  ASSERT_TRUE(result.client.ok());
+  ASSERT_TRUE(result.server.ok());
+  ASSERT_EQ(negotiated.size(), 1u);
+  EXPECT_EQ(negotiated[0], "+trace");
+}
+
 }  // namespace
 }  // namespace ibox

@@ -56,7 +56,8 @@ TEST(Audit, RecordAndLoad) {
   {
     AuditLog log(log_path);
     ASSERT_TRUE(log.enabled());
-    log.record(id("Freddy"), "open", "/work/data with space", 0);
+    log.record(id("Freddy"), "open", "/work/data with space", 0,
+               0x1234abcdull);
     log.record(id("Freddy"), "unlink", "/secret", EACCES);
   }
   auto records = AuditLog::Load(log_path);
@@ -66,8 +67,31 @@ TEST(Audit, RecordAndLoad) {
   EXPECT_EQ((*records)[0].operation, "open");
   EXPECT_EQ((*records)[0].object, "/work/data with space");
   EXPECT_EQ((*records)[0].errno_code, 0);
+  EXPECT_EQ((*records)[0].trace_id, 0x1234abcdull);
   EXPECT_EQ((*records)[1].errno_code, EACCES);
+  EXPECT_EQ((*records)[1].trace_id, 0u);
   EXPECT_GT((*records)[0].timestamp, 0);
+}
+
+TEST(Audit, JsonFramingSurvivesHostileStrings) {
+  // The JSONL framing must round-trip identities and objects containing
+  // the old space-delimited format's killers: spaces, quotes, backslashes,
+  // newlines, and control bytes.
+  TempDir tmp("audit");
+  const std::string log_path = tmp.sub("audit.log");
+  const std::string object = "/dir with spaces/\"quoted\"\\back\nnew\tline\x01";
+  {
+    AuditLog log(log_path);
+    log.record(id("globus:/O=UnivNowhere/CN=Fred"), "rename", object,
+               ENOENT, 7);
+  }
+  auto records = AuditLog::Load(log_path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].identity, "globus:/O=UnivNowhere/CN=Fred");
+  EXPECT_EQ((*records)[0].object, object);
+  EXPECT_EQ((*records)[0].errno_code, ENOENT);
+  EXPECT_EQ((*records)[0].trace_id, 7u);
 }
 
 TEST(Audit, DisabledLogIsNoop) {

@@ -1,0 +1,235 @@
+// End-to-end request tracing across the Chirp wire (DESIGN.md section 12).
+//
+// One trace ID, minted client-side per logical operation, must show up in
+// every record the operation leaves behind: the session's own client-side
+// record (last_trace_id), the server's TraceRing events (the kRpc entry
+// and the kAclDecision the authorization made), and the forensic audit
+// log — including when the operation survives an injected transport fault
+// and is replayed on a fresh connection. The traced frame shape is a
+// negotiated protocol extension, so an untraced client against the same
+// server must keep working with trace ID 0 everywhere.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "auth/simple.h"
+#include "box/audit.h"
+#include "chirp/client.h"
+#include "chirp/fault_injector.h"
+#include "chirp/protocol.h"
+#include "chirp/server.h"
+#include "chirp/session.h"
+#include "util/fs.h"
+
+namespace ibox {
+namespace {
+
+class ChirpTraceTest : public ::testing::Test {
+ protected:
+  ChirpTraceTest() : export_("trace-export"), state_("trace-state") {
+    ChirpServerOptions options;
+    options.export_root = export_.path();
+    options.state_dir = state_.path();
+    options.auth_methods.push_back(AuthMethodConfig::Unix());
+    options.root_acl_text = "unix:* rwlax\n";
+    options.audit_log_path = state_.sub("audit.jsonl");
+    auto server = ChirpServer::Start(options);
+    EXPECT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  ChirpClientOptions client_options(FaultInjector* faults = nullptr) {
+    ChirpClientOptions options;
+    options.port = server_->port();
+    options.credentials = {&cred_};
+    options.faults = faults;
+    return options;
+  }
+
+  ChirpSessionOptions session_options(FaultInjector* faults = nullptr) {
+    ChirpSessionOptions options;
+    options.client = client_options(faults);
+    options.retry.max_attempts = 8;
+    options.retry.initial_backoff_ms = 1;
+    options.retry.max_backoff_ms = 8;
+    options.retry.jitter = 0.0;
+    return options;
+  }
+
+  // Audit records for `op` stamped with `trace_id`.
+  std::vector<AuditLog::Record> audit_matching(uint64_t trace_id,
+                                               const std::string& op) {
+    auto records = AuditLog::Load(state_.sub("audit.jsonl"));
+    if (!records.ok()) return {};
+    std::vector<AuditLog::Record> out;
+    for (const auto& record : *records) {
+      if (record.trace_id == trace_id && record.operation == op) {
+        out.push_back(record);
+      }
+    }
+    return out;
+  }
+
+  TempDir export_;
+  TempDir state_;
+  UnixCredential cred_{current_unix_username()};
+  std::unique_ptr<ChirpServer> server_;
+};
+
+TEST_F(ChirpTraceTest, SameIdInSessionServerRingAndAuditLog) {
+  auto session = ChirpSession::Connect(session_options());
+  ASSERT_TRUE(session.ok());
+
+  auto handle = (*session)->open("/data.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+  // (a) The client-side record: the ID the session stamped on the op.
+  const uint64_t trace_id = (*session)->last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+
+  // (b) The server's trace ring: the RPC event for the open carries the
+  // same ID, and so does the ACL decision the open's authorization made.
+  const std::vector<TraceEvent> events = server_->trace().snapshot(trace_id);
+  bool saw_rpc = false;
+  bool saw_acl = false;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceKind::kRpc &&
+        event.code == static_cast<int32_t>(ChirpOp::kOpen)) {
+      saw_rpc = true;
+    }
+    if (event.kind == TraceKind::kAclDecision &&
+        event.detail == "/data.bin") {
+      saw_acl = true;
+    }
+  }
+  EXPECT_TRUE(saw_rpc);
+  EXPECT_TRUE(saw_acl);
+
+  // (c) The audit log: the open's record carries the same ID.
+  const auto audited = audit_matching(trace_id, "open");
+  ASSERT_EQ(audited.size(), 1u);
+  EXPECT_EQ(audited[0].object, "/data.bin");
+  EXPECT_EQ(audited[0].errno_code, 0);
+  EXPECT_EQ(audited[0].identity, "unix:" + current_unix_username());
+
+  // A later op mints a different ID.
+  ASSERT_TRUE((*session)->stat("/data.bin").ok());
+  EXPECT_NE((*session)->last_trace_id(), trace_id);
+  EXPECT_NE((*session)->last_trace_id(), 0u);
+}
+
+TEST_F(ChirpTraceTest, RetriedOpKeepsItsTraceIdEverywhere) {
+#ifndef IBOX_FAULTS_ENABLED
+  GTEST_SKIP() << "fault hooks compiled out (IBOX_FAULTS=OFF)";
+#else
+  FaultInjector faults{FaultInjectorConfig{}};
+  auto session = ChirpSession::Connect(session_options(&faults));
+  ASSERT_TRUE(session.ok());
+
+  // The connection dies as the open goes out; the session reconnects and
+  // replays the SAME logical op, which must keep its first attempt's ID.
+  faults.script_send(FaultAction::kDrop);
+  auto handle = (*session)->open("/retried.bin", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_GE((*session)->stats().retries, 1u);
+  const uint64_t open_id = (*session)->last_trace_id();
+  ASSERT_NE(open_id, 0u);
+  const auto audited = audit_matching(open_id, "open");
+  ASSERT_EQ(audited.size(), 1u);  // send-drop: only the replay arrived
+  EXPECT_EQ(audited[0].object, "/retried.bin");
+
+  // A reply torn on the way back: the server served the first attempt,
+  // the session retries the idempotent stat, and BOTH server-side RPC
+  // events carry the one trace ID — that is what makes "this request ran
+  // twice" visible from the trace alone.
+  faults.script_recv(FaultAction::kDrop);
+  ASSERT_TRUE((*session)->stat("/retried.bin").ok());
+  EXPECT_GE((*session)->stats().retries, 2u);
+  const uint64_t stat_id = (*session)->last_trace_id();
+  ASSERT_NE(stat_id, 0u);
+  EXPECT_NE(stat_id, open_id);
+  size_t stat_rpcs = 0;
+  for (const TraceEvent& event : server_->trace().snapshot(stat_id)) {
+    if (event.kind == TraceKind::kRpc &&
+        event.code == static_cast<int32_t>(ChirpOp::kStat)) {
+      ++stat_rpcs;
+    }
+  }
+  EXPECT_EQ(stat_rpcs, 2u);
+#endif
+}
+
+TEST_F(ChirpTraceTest, DebugStatsFilterNarrowsTheTraceDump) {
+  auto session = ChirpSession::Connect(session_options());
+  ASSERT_TRUE(session.ok());
+  auto first = (*session)->open("/a.txt", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(first.ok());
+  const uint64_t open_id = (*session)->last_trace_id();
+  ASSERT_NE(open_id, 0u);
+  auto second = (*session)->open("/b.txt", O_RDWR | O_CREAT, 0644);
+  ASSERT_TRUE(second.ok());
+
+  auto filtered = (*session)->debug_stats(open_id);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NE(
+      filtered->trace_json.find("\"trace_id\":" + std::to_string(open_id)),
+      std::string::npos);
+  EXPECT_NE(filtered->trace_json.find("/a.txt"), std::string::npos);
+  EXPECT_EQ(filtered->trace_json.find("/b.txt"), std::string::npos);
+
+  auto full = (*session)->debug_stats();
+  ASSERT_TRUE(full.ok());
+  EXPECT_NE(full->trace_json.find("/b.txt"), std::string::npos);
+  EXPECT_GT(full->trace_json.size(), filtered->trace_json.size());
+}
+
+TEST_F(ChirpTraceTest, UntracedClientInteroperatesWithTraceIdZero) {
+  // A client that predates (or disables) the extension never offers
+  // "+trace": its frames have no traced header, every op completes, and
+  // the server-side records all carry trace ID 0.
+  ChirpClientOptions options = client_options();
+  options.enable_trace = false;
+  auto client = ChirpClient::Connect(options);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE((*client)->traced());
+
+  ASSERT_TRUE((*client)->mkdir("/legacy", 0755).ok());
+  EXPECT_EQ((*client)->last_trace_id(), 0u);
+  auto whoami = (*client)->whoami();
+  ASSERT_TRUE(whoami.ok());
+
+  bool saw_untraced_mkdir = false;
+  for (const TraceEvent& event : server_->trace().snapshot()) {
+    if (event.kind == TraceKind::kRpc &&
+        event.code == static_cast<int32_t>(ChirpOp::kMkdir)) {
+      EXPECT_EQ(event.trace_id, 0u);
+      saw_untraced_mkdir = true;
+    }
+  }
+  EXPECT_TRUE(saw_untraced_mkdir);
+
+  const auto audited = audit_matching(0, "mkdir");
+  ASSERT_EQ(audited.size(), 1u);
+  EXPECT_EQ(audited[0].object, "/legacy");
+}
+
+TEST_F(ChirpTraceTest, TracedClientNegotiatesAndStampsFrames) {
+  auto client = ChirpClient::Connect(client_options());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->traced());
+
+  // A bare client (no session pinning) mints a fresh ID per request.
+  ASSERT_TRUE((*client)->stat("/").ok());
+  const uint64_t first = (*client)->last_trace_id();
+  ASSERT_TRUE((*client)->stat("/").ok());
+  const uint64_t second = (*client)->last_trace_id();
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, 0u);
+  EXPECT_NE(first, second);
+  const std::vector<TraceEvent> events = server_->trace().snapshot(second);
+  ASSERT_FALSE(events.empty());
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.trace_id, second);
+  }
+}
+
+}  // namespace
+}  // namespace ibox

@@ -4,12 +4,18 @@
 // accounting, and the snapshot wire/JSON round trip.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/codec.h"
+#include "util/fs.h"
+#include "util/strings.h"
 
 namespace ibox {
 namespace {
@@ -284,6 +290,186 @@ TEST(MetricsSnapshot, JsonIsDeterministicAndNamed) {
   EXPECT_NE(json.find("\"a.hits\""), std::string::npos);
   EXPECT_NE(json.find("\"depth\""), std::string::npos);
   EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ trace ids --
+
+TEST(TraceId, MintedIdsAreNonzeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = mint_trace_id();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceRing, SnapshotFiltersByTraceId) {
+  TraceRing ring(16);
+  ring.record(TraceKind::kRpc, 1, 10, "stat", 111);
+  ring.record(TraceKind::kRpc, 2, 20, "open", 222);
+  ring.record(TraceKind::kAclDecision, 0, 0, "/work", 111);
+  ring.record(TraceKind::kRpc, 3, 30, "read");  // unstamped
+
+  EXPECT_EQ(ring.snapshot().size(), 4u);  // zero filter: everything
+  const std::vector<TraceEvent> match = ring.snapshot(111);
+  ASSERT_EQ(match.size(), 2u);
+  EXPECT_EQ(match[0].detail, "stat");
+  EXPECT_EQ(match[1].detail, "/work");
+  EXPECT_EQ(match[0].trace_id, 111u);
+
+  const std::string json = ring.to_json(222);
+  EXPECT_NE(json.find("\"open\""), std::string::npos);
+  EXPECT_EQ(json.find("\"stat\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":222"), std::string::npos);
+}
+
+// ------------------------------------------------------------ quantiles --
+
+HistogramSnapshot histogram_with(const std::vector<uint64_t>& bounds,
+                                 const std::vector<double>& values) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", bounds);
+  for (double v : values) h.observe(static_cast<uint64_t>(v));
+  return *registry.snapshot().histogram("h");
+}
+
+TEST(Quantile, EmptyHistogramReadsZero) {
+  const HistogramSnapshot h = histogram_with({10, 100}, {});
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
+  EXPECT_EQ(histogram_quantile(h, 0.99), 0.0);
+}
+
+TEST(Quantile, InterpolatesInsideBucket) {
+  // 100 observations spread evenly through the (0, 100] bucket: the rank-k
+  // estimate interpolates linearly across the bucket width.
+  std::vector<double> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<size_t>(i)] = i;
+  const HistogramSnapshot h = histogram_with({100, 1000}, values);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 100.0);
+}
+
+TEST(Quantile, BucketEdgeCountsAreInclusive) {
+  // Observations exactly on a bound land in that bound's bucket (inclusive
+  // upper edge, matching Histogram::observe); a quantile that needs the
+  // whole bucket reports the upper edge.
+  const HistogramSnapshot h = histogram_with({10, 100}, {10, 10, 10, 10});
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 10.0);
+  // Rank 1 of 4 needs a quarter of the only populated bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.25), 2.5);
+}
+
+TEST(Quantile, OverflowBucketClampsToLastFiniteBound) {
+  const HistogramSnapshot h = histogram_with({10, 100}, {5000, 6000, 7000});
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 100.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 100.0);
+}
+
+TEST(Quantile, MixedBucketsMatchExactCounts) {
+  // 8 observations: 4 in (0,10], 2 in (10,100], 2 overflow. p50 needs
+  // rank 4 -> exactly fills bucket 0 -> its upper edge. p75 needs rank 6
+  // -> second of 2 in bucket 1 -> its upper edge. p99 -> overflow clamp.
+  const HistogramSnapshot h =
+      histogram_with({10, 100}, {1, 2, 3, 4, 50, 60, 500, 600});
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.75), 100.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 100.0);
+}
+
+// ----------------------------------------------------- prometheus text --
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("chirp.rpc.latency_us"),
+            "chirp_rpc_latency_us");
+  EXPECT_EQ(prometheus_name("acl:cache.hits"), "acl:cache_hits");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+}
+
+TEST(Prometheus, RendersCountersGaugesAndHistogram) {
+  MetricsRegistry registry;
+  registry.counter("chirp.server.requests").add(42);
+  registry.gauge("chirp.server.queue_depth").set(-3);
+  Histogram& h = registry.histogram("chirp.rpc.latency_us", {10, 100});
+  for (int i = 0; i < 4; ++i) h.observe(5);   // (0,10]
+  h.observe(50);                              // (10,100]
+  h.observe(5000);                            // overflow
+  const std::string text = render_prometheus(registry.snapshot());
+
+  EXPECT_NE(text.find("# TYPE chirp_server_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("chirp_server_requests 42\n"), std::string::npos);
+  EXPECT_NE(text.find("chirp_server_queue_depth -3\n"), std::string::npos);
+  EXPECT_NE(
+      text.find("chirp_rpc_latency_us_bucket{le=\"10\"} 4\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("chirp_rpc_latency_us_bucket{le=\"100\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("chirp_rpc_latency_us_bucket{le=\"+Inf\"} 6\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("chirp_rpc_latency_us_count 6\n"), std::string::npos);
+  EXPECT_NE(text.find("chirp_rpc_latency_us_sum 5070\n"),
+            std::string::npos);
+  // Companion quantile gauges, matching the exact-count estimates.
+  EXPECT_NE(text.find("chirp_rpc_latency_us_p50 7.5\n"), std::string::npos);
+  EXPECT_NE(text.find("chirp_rpc_latency_us_p99 100\n"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value".
+  for (const auto& line : split(text, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+// -------------------------------------------------------- exporter ------
+
+TEST(PeriodicExporter, WritesAtomicSnapshotsAndFinalOnStop) {
+  TempDir tmp("exporter");
+  const std::string path = tmp.sub("metrics.prom");
+  std::atomic<int> renders{0};
+  PeriodicExporter::Options options;
+  options.path = path;
+  options.interval_ms = 3600 * 1000;  // only explicit writes
+  PeriodicExporter exporter(options, [&renders] {
+    renders.fetch_add(1);
+    return std::string("content ") + std::to_string(renders.load()) + "\n";
+  });
+  ASSERT_TRUE(exporter.write_once().ok());
+  const uint64_t after_first = exporter.writes();
+  EXPECT_GE(after_first, 1u);
+  auto body = read_file(path);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body->find("content"), std::string::npos);
+
+  exporter.stop();  // final snapshot
+  EXPECT_GT(exporter.writes(), after_first);
+  EXPECT_TRUE(exporter.last_error().ok());
+  exporter.stop();  // idempotent
+}
+
+TEST(PeriodicExporter, PeriodicWritesHappenWithoutPrompting) {
+  TempDir tmp("exporter");
+  PeriodicExporter::Options options;
+  options.path = tmp.sub("metrics.prom");
+  options.interval_ms = 5;
+  PeriodicExporter exporter(options, [] { return std::string("x\n"); });
+  for (int i = 0; i < 200 && exporter.writes() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(exporter.writes(), 2u);
+  exporter.stop();
+}
+
+TEST(PeriodicExporter, SurfacesWriteFailure) {
+  PeriodicExporter::Options options;
+  options.path = "/nonexistent-dir-xyz/metrics.prom";
+  options.interval_ms = 3600 * 1000;
+  PeriodicExporter exporter(options, [] { return std::string("x\n"); });
+  EXPECT_FALSE(exporter.write_once().ok());
+  EXPECT_FALSE(exporter.last_error().ok());
+  exporter.stop();
 }
 
 }  // namespace
